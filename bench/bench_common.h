@@ -1,0 +1,73 @@
+// Shared helpers for the reproduction benches. Every bench binary prints
+// the rows/series of one table or figure of the paper; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+//
+// All benches accept an optional first argument `--paper-scale` that grows
+// the testcases (more sinks/pairs, deeper sweeps) at the cost of runtime;
+// the default sizing finishes in seconds to a few minutes.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/flow.h"
+#include "testgen/testgen.h"
+
+namespace skewopt::bench {
+
+struct BenchScale {
+  std::size_t sinks_cls1 = 120;
+  std::size_t sinks_cls2 = 160;
+  std::size_t max_pairs = 120;
+  std::size_t train_cases = 24;
+  std::size_t train_moves = 24;
+  std::size_t local_iterations = 6;
+  std::vector<double> u_sweep = {0.05, 0.2, 0.4};
+};
+
+inline BenchScale parseScale(int argc, char** argv) {
+  BenchScale s;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--paper-scale") == 0) {
+      s.sinks_cls1 = 400;
+      s.sinks_cls2 = 600;
+      s.max_pairs = 300;
+      s.train_cases = 150;
+      s.train_moves = 60;
+      s.local_iterations = 25;
+    }
+  }
+  return s;
+}
+
+inline testgen::TestcaseOptions testcaseOptions(const BenchScale& s,
+                                                const std::string& name) {
+  testgen::TestcaseOptions o;
+  o.sinks = (name == "CLS2v1") ? s.sinks_cls2 : s.sinks_cls1;
+  o.max_pairs = s.max_pairs;
+  o.seed = 1;
+  return o;
+}
+
+inline core::FlowOptions flowOptions(const BenchScale& s) {
+  core::FlowOptions f;
+  f.global.u_sweep = s.u_sweep;
+  f.local.max_iterations = s.local_iterations;
+  f.local.max_chunks_per_round = 20;  // the paper tries the next R until a hit
+  return f;
+}
+
+inline core::TrainOptions trainOptions(const BenchScale& s) {
+  core::TrainOptions t;
+  t.cases = s.train_cases;
+  t.moves_per_case = s.train_moves;
+  return t;
+}
+
+inline void printRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace skewopt::bench

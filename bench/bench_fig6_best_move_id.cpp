@@ -1,0 +1,104 @@
+// Reproduces the paper's Figure 6: how often each predictor identifies a
+// buffer's best move within N attempts (an attempt = one golden ECO
+// evaluation). The paper compares its learning-based model against the
+// four analytical estimators on 114 buffers x 45 candidate moves and finds
+// the model identifies the best move for ~40% of buffers in one attempt vs
+// up to ~20% for the analytical models.
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace skewopt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parseScale(argc, argv);
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const sta::Timer timer(tech);
+
+  std::printf("Figure 6: best-move identification rate vs attempts\n");
+  core::DeltaLatencyModel model;
+  model.train(tech, {0, 1, 3}, bench::trainOptions(scale));
+
+  network::Design d = testgen::makeCls1(
+      tech, "v1", bench::testcaseOptions(scale, "CLS1v1"));
+  const core::Objective objective(d, timer);
+  const core::VariationReport base = objective.evaluate(d, timer);
+
+  // Predictors: ML-corrected plus the four analytical estimators.
+  struct Scorer {
+    std::string name;
+    core::MovePredictor predictor;
+  };
+  std::vector<Scorer> scorers;
+  scorers.push_back({"learning-based (HSM)",
+                     core::MovePredictor(d, timer, objective, &model, 0)});
+  for (std::size_t f = 0; f < core::kNumAnalytic; ++f)
+    scorers.push_back({core::analyticName(f),
+                       core::MovePredictor(d, timer, objective, nullptr, f)});
+
+  // Per buffer: golden-rank the moves, then see where each predictor's
+  // ordering finds the golden best.
+  std::vector<int> buffers = d.tree.buffers();
+  if (buffers.size() > 114) buffers.resize(114);  // the paper's count
+  constexpr std::size_t kAttempts = 5;
+  std::vector<std::vector<std::size_t>> hits(
+      scorers.size(), std::vector<std::size_t>(kAttempts, 0));
+  std::size_t usable = 0;
+
+  for (const int b : buffers) {
+    const std::vector<core::Move> moves = core::enumerateMoves(d, b);
+    if (moves.size() < 2) continue;
+    // Golden deltas.
+    std::vector<double> golden(moves.size());
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      network::Design copy = d;
+      core::applyMove(copy, moves[i]);
+      golden[i] = objective.evaluate(copy, timer).sum_variation_ps -
+                  base.sum_variation_ps;
+    }
+    const std::size_t best = static_cast<std::size_t>(
+        std::min_element(golden.begin(), golden.end()) - golden.begin());
+    if (golden[best] > -0.5) continue;  // no genuinely improving move
+    ++usable;
+
+    for (std::size_t s = 0; s < scorers.size(); ++s) {
+      std::vector<std::pair<double, std::size_t>> scored;
+      for (std::size_t i = 0; i < moves.size(); ++i)
+        scored.push_back(
+            {scorers[s].predictor.predictedVariationDelta(moves[i]), i});
+      std::sort(scored.begin(), scored.end());
+      for (std::size_t a = 0; a < std::min(kAttempts, scored.size()); ++a) {
+        if (scored[a].second == best) {
+          for (std::size_t a2 = a; a2 < kAttempts; ++a2)
+            ++hits[s][a2];
+          break;
+        }
+      }
+    }
+  }
+
+  std::printf("\n%zu buffers with an improving move (of %zu examined, up to "
+              "45 moves each)\n\n",
+              usable, buffers.size());
+  std::printf("%-22s", "predictor \\ attempts");
+  for (std::size_t a = 1; a <= kAttempts; ++a) std::printf("%8zu", a);
+  std::printf("\n");
+  bench::printRule(64);
+  for (std::size_t s = 0; s < scorers.size(); ++s) {
+    std::printf("%-22s", scorers[s].name.c_str());
+    for (std::size_t a = 0; a < kAttempts; ++a)
+      std::printf("%7.0f%%", usable ? 100.0 * static_cast<double>(hits[s][a]) /
+                                          static_cast<double>(usable)
+                                    : 0.0);
+    std::printf("\n");
+  }
+  bench::printRule(64);
+  std::printf(
+      "\nPaper's claim: the learning-based model identifies best moves for "
+      "more buffers\nper attempt (40%% vs up to 20%% at one attempt). See "
+      "EXPERIMENTS.md: with a\nself-consistent open substrate the "
+      "analytical estimators share the golden\ntimer's engine, so model "
+      "and analytical ranking reach parity here.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// google-benchmark microbenchmarks of the computational kernels underneath
+// the reproduction: NLDM lookup, Elmore/D2M moment analysis, Steiner
+// construction, full multi-corner STA, stage-LUT arc evaluation, the
+// simplex, and move prediction.
+#include <benchmark/benchmark.h>
+
+#include "core/predictor.h"
+#include "eco/stage_lut.h"
+#include "lp/lp.h"
+#include "rc/rc.h"
+#include "route/route.h"
+#include "sta/timer.h"
+#include "testgen/testgen.h"
+
+using namespace skewopt;
+
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+const network::Design& sharedDesign() {
+  static network::Design d = [] {
+    testgen::TestcaseOptions o;
+    o.sinks = 120;
+    o.max_pairs = 120;
+    return testgen::makeCls1(sharedTech(), "v1", o);
+  }();
+  return d;
+}
+
+void BM_NldmLookup(benchmark::State& state) {
+  const tech::Cell& cell = sharedTech().cell(2);
+  double slew = 7.0, load = 3.0, acc = 0.0;
+  for (auto _ : state) {
+    acc += cell.delay[0].lookup(slew, load);
+    slew = 5.0 + (slew * 1.37 > 300.0 ? 5.0 : slew * 1.37);
+    load = 1.0 + (load * 1.21 > 200.0 ? 1.0 : load * 1.21);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NldmLookup);
+
+void BM_ElmoreMoments(benchmark::State& state) {
+  geom::Rng rng(3);
+  rc::RcTree t;
+  std::vector<std::size_t> nodes = {0};
+  for (int i = 0; i < 64; ++i)
+    nodes.push_back(t.addNode(nodes[rng.index(nodes.size())],
+                              rng.uniform(0.05, 0.5),
+                              rng.uniform(0.5, 5.0)));
+  for (auto _ : state) {
+    const rc::Moments m = rc::Moments::compute(t);
+    benchmark::DoNotOptimize(m.m2.back());
+  }
+}
+BENCHMARK(BM_ElmoreMoments);
+
+void BM_GreedySteiner(benchmark::State& state) {
+  geom::Rng rng(5);
+  std::vector<geom::Point> pins;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i)
+    pins.push_back(rng.pointIn(geom::Rect{0, 0, 500, 500}));
+  for (auto _ : state) {
+    const route::SteinerTree t = route::greedySteiner({250, 250}, pins);
+    benchmark::DoNotOptimize(t.wirelength());
+  }
+}
+BENCHMARK(BM_GreedySteiner)->Arg(8)->Arg(24)->Arg(40);
+
+void BM_FullStaCorner(benchmark::State& state) {
+  const network::Design& d = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  for (auto _ : state) {
+    const sta::CornerTiming t = timer.analyze(d.tree, d.routing, 0);
+    benchmark::DoNotOptimize(t.arrival.back());
+  }
+}
+BENCHMARK(BM_FullStaCorner);
+
+void BM_StageLutArcDelay(benchmark::State& state) {
+  static eco::StageDelayLut lut(sharedTech());
+  std::size_t qi = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += lut.arcDelay(2, qi, 4, 1, 35.0, 5.0);
+    qi = (qi + 7) % lut.wirelengths().size();
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_StageLutArcDelay);
+
+void BM_SimplexTransport(benchmark::State& state) {
+  const int ns = static_cast<int>(state.range(0)), nd = 10;
+  geom::Rng rng(7);
+  lp::Model m;
+  for (int i = 0; i < ns * nd; ++i)
+    m.addVar(0, lp::kInf, rng.uniform(1.0, 5.0));
+  for (int i = 0; i < ns; ++i) {
+    std::vector<lp::Term> t;
+    for (int j = 0; j < nd; ++j) t.push_back({i * nd + j, 1.0});
+    m.addRow(-lp::kInf, 10.0, std::move(t));
+  }
+  for (int j = 0; j < nd; ++j) {
+    std::vector<lp::Term> t;
+    for (int i = 0; i < ns; ++i) t.push_back({i * nd + j, 1.0});
+    m.addRow(8.0, lp::kInf, std::move(t));
+  }
+  for (auto _ : state) {
+    const lp::Solution s = lp::solve(m);
+    benchmark::DoNotOptimize(s.objective);
+  }
+}
+BENCHMARK(BM_SimplexTransport)->Arg(20)->Arg(60);
+
+void BM_MovePrediction(benchmark::State& state) {
+  const network::Design& d = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  const core::Objective objective(d, timer);
+  core::MovePredictor predictor(d, timer, objective, nullptr);
+  const std::vector<core::Move> moves = core::enumerateAllMoves(d);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        predictor.predictedVariationDelta(moves[i % moves.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_MovePrediction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

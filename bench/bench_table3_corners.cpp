@@ -1,0 +1,41 @@
+// Reproduces the paper's Table 3: the four signoff corners, plus the
+// derived derating our synthetic technology assigns to each (not in the
+// paper's table but the quantity that makes the corners interesting).
+#include "bench_common.h"
+
+using namespace skewopt;
+
+int main(int argc, char** argv) {
+  (void)bench::parseScale(argc, argv);
+  const tech::TechModel t = tech::TechModel::make28nm();
+
+  std::printf("Table 3: Description of corners\n");
+  bench::printRule();
+  std::printf("%-8s %-8s %-8s %-12s %-14s %-12s %-12s\n", "Corner", "Process",
+              "Voltage", "Temperature", "Back-end", "gate-derate",
+              "wire RC-derate");
+  bench::printRule();
+  const double rc0 =
+      t.wire(0).res_kohm_per_um * t.wire(0).cap_ff_per_um;
+  for (std::size_t k = 0; k < t.numCorners(); ++k) {
+    const tech::Corner& c = t.corner(k);
+    const double rck = t.wire(k).res_kohm_per_um * t.wire(k).cap_ff_per_um;
+    std::printf("%-8s %-8s %-8.2f %-12.0f %-14s %-12.3f %-12.3f\n",
+                c.name.c_str(),
+                c.process == tech::Process::SS ? "ss" : "ff", c.voltage,
+                c.temp_c, c.beol == tech::Beol::CMAX ? "Cmax" : "Cmin",
+                t.gateDerate(k), rck / rc0);
+  }
+  bench::printRule();
+  std::printf("\nInverter library (5 sizes, NLDM-characterized at all "
+              "corners):\n");
+  std::printf("%-8s %-8s %-10s %-10s %-14s %-16s\n", "Cell", "Drive",
+              "Area um2", "MaxCap fF", "PinCap@c0 fF", "Delay@c0(30ps,16fF)");
+  for (std::size_t i = 0; i < t.numCells(); ++i) {
+    const tech::Cell& c = t.cell(i);
+    std::printf("%-8s %-8.0f %-10.2f %-10.0f %-14.2f %-16.2f\n",
+                c.name.c_str(), c.drive, c.area_um2, c.max_cap_ff,
+                c.pin_cap_ff[0], c.delay[0].lookup(30.0, 16.0));
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces the paper's Table 4 (testcase summary) for the scaled CLS
+// testcases, plus an ASCII rendering of each floorplan in the spirit of its
+// Figure 7.
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace skewopt;
+
+namespace {
+
+void asciiFloorplan(const network::Design& d) {
+  const geom::Rect bb = d.floorplan.bbox();
+  constexpr int W = 64, H = 20;
+  std::vector<std::string> grid(H, std::string(W, ' '));
+  for (int y = 0; y < H; ++y)
+    for (int x = 0; x < W; ++x) {
+      const geom::Point p{bb.lx + (x + 0.5) * bb.width() / W,
+                          bb.ly + (y + 0.5) * bb.height() / H};
+      if (d.floorplan.contains(p)) grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = '.';
+    }
+  for (const int s : d.tree.sinks()) {
+    const geom::Point p = d.tree.node(s).pos;
+    const int x = static_cast<int>((p.x - bb.lx) / bb.width() * W);
+    const int y = static_cast<int>((p.y - bb.ly) / bb.height() * H);
+    if (x >= 0 && x < W && y >= 0 && y < H)
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = 'f';
+  }
+  for (const int b : d.tree.buffers()) {
+    const geom::Point p = d.tree.node(b).pos;
+    const int x = static_cast<int>((p.x - bb.lx) / bb.width() * W);
+    const int y = static_cast<int>((p.y - bb.ly) / bb.height() * H);
+    if (x >= 0 && x < W && y >= 0 && y < H)
+      grid[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)] = 'B';
+  }
+  for (int y = H - 1; y >= 0; --y)
+    std::printf("  %s\n", grid[static_cast<std::size_t>(y)].c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parseScale(argc, argv);
+  const tech::TechModel tech = tech::TechModel::make28nm();
+
+  std::printf("Table 4: Summary of testcases (scaled reproduction)\n");
+  bench::printRule(90);
+  std::printf("%-9s %-8s %-12s %-10s %-7s %-12s %-10s %-10s %-8s\n",
+              "Testcase", "#Cells", "#Flip-flops", "Area mm2", "Util",
+              "Corners", "#ClkBufs", "#Pairs", "CTSskew");
+  bench::printRule(90);
+
+  std::vector<network::Design> designs;
+  for (const char* name : {"CLS1v1", "CLS1v2", "CLS2v1"}) {
+    network::Design d = testgen::makeTestcase(
+        tech, name, bench::testcaseOptions(scale, name));
+    const sta::Timer timer(tech);
+    const core::Objective obj(d, timer);
+    const core::VariationReport r = obj.evaluate(d, timer);
+    std::string corners;
+    for (const std::size_t k : d.corners) {
+      if (!corners.empty()) corners += ",";
+      corners += tech.corner(k).name;
+    }
+    std::printf("%-9s %-8zu %-12zu %-10.2f %-7.0f%% %-12s %-10zu %-10zu %-8.0f\n",
+                d.name.c_str(), d.block_cells, d.tree.sinks().size(),
+                d.floorplan.area() / 1e6, d.utilization * 100.0,
+                corners.c_str(), d.tree.numBuffers(), d.pairs.size(),
+                r.local_skew_ps[0]);
+    designs.push_back(std::move(d));
+  }
+  bench::printRule(90);
+
+  std::printf("\nFigure 7-style floorplans ('.' block area, 'f' flip-flop, "
+              "'B' clock buffer):\n");
+  for (const network::Design& d : designs) {
+    std::printf("\n%s:\n", d.name.c_str());
+    asciiFloorplan(d);
+  }
+  return 0;
+}

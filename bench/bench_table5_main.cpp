@@ -1,0 +1,76 @@
+// Reproduces the paper's Table 5: for each testcase, the sum of normalized
+// skew variations, the local skew at each corner, clock cell count, power
+// and area — for the original tree and after the global, local, and
+// global-local flows.
+//
+// Paper reference (foundry 28nm, commercial CTS baseline):
+//   CLS1v1: 512ns -> global 431 (0.84) / local 493 (0.96) / both 399 (0.78)
+//   CLS1v2: 585ns -> 518 (0.89) / 557 (0.95) / 510 (0.87)
+//   CLS2v1: 972ns -> 888 (0.91) / 926 (0.95) / 841 (0.87)
+// The shape to reproduce: global > local in isolation, global-local best,
+// no local-skew degradation, negligible cell/power/area overhead.
+#include <chrono>
+
+#include "bench_common.h"
+
+using namespace skewopt;
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale = bench::parseScale(argc, argv);
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const eco::StageDelayLut lut(tech);
+  const sta::Timer timer(tech);
+
+  // One delta-latency model per corner (the paper trains per corner once
+  // per technology); used by the local stage of every testcase.
+  std::printf("training delta-latency models (HSM) on artificial "
+              "testcases...\n");
+  core::DeltaLatencyModel model;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::size_t nsamples =
+      model.train(tech, {0, 1, 2, 3}, bench::trainOptions(scale));
+  std::printf("  %zu samples/corner, %.1fs\n\n", nsamples,
+              std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                            t0)
+                  .count());
+
+  std::printf("Table 5: Experimental results\n");
+  bench::printRule(100);
+  std::printf("%-9s %-13s %-18s %-21s %-8s %-10s %-10s\n", "Testcase",
+              "Flow", "Variation [norm]", "Skew(ps) c0/c1/c2,3", "#Cells",
+              "Power mW", "Area um2");
+  bench::printRule(100);
+
+  for (const char* name : {"CLS1v1", "CLS1v2", "CLS2v1"}) {
+    const network::Design base = testgen::makeTestcase(
+        tech, name, bench::testcaseOptions(scale, name));
+
+    const core::Objective objective(base, timer);
+    const core::DesignMetrics orig =
+        core::computeMetrics(base, objective, timer);
+
+    auto row = [&](const char* flow, const core::DesignMetrics& m) {
+      std::printf("%-9s %-13s %7.0f [%4.2f]    %5.0f /%5.0f /%5.0f     "
+                  "%-8zu %-10.3f %-10.0f\n",
+                  name, flow, m.sum_variation_ps,
+                  m.sum_variation_ps / orig.sum_variation_ps,
+                  m.local_skew_ps[0], m.local_skew_ps[1], m.local_skew_ps[2],
+                  m.clock_cells, m.power_mw, m.area_um2);
+    };
+    row("orig", orig);
+
+    const core::Flow flow(tech, lut, bench::flowOptions(scale));
+    for (const core::FlowMode mode :
+         {core::FlowMode::kGlobal, core::FlowMode::kLocal,
+          core::FlowMode::kGlobalLocal}) {
+      network::Design d = base;
+      const core::FlowResult r = flow.run(d, mode, &model);
+      row(core::flowModeName(mode), r.after);
+    }
+    bench::printRule(100);
+  }
+  std::printf("\nShape check vs paper: global-alone beats local-alone, "
+              "global-local is best,\nlocal skews do not degrade, and the "
+              "cell/power/area overhead stays small.\n");
+  return 0;
+}

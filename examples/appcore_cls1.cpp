@@ -1,0 +1,100 @@
+// Application-processor scenario (paper's CLS1 class): four interface
+// logic module blocks, clustered register banks, local plus cross-block
+// datapaths. This example runs the complete paper flow, including the
+// trained per-corner delta-latency models for the local stage, and prints
+// a per-stage breakdown of where the skew-variation reduction comes from.
+//
+//   ./build/examples/appcore_cls1 [--sinks N] [--seed S]
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/flow.h"
+#include "testgen/testgen.h"
+
+using namespace skewopt;
+
+int main(int argc, char** argv) {
+  std::size_t sinks = 160;
+  std::uint64_t seed = 1;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--sinks") == 0)
+      sinks = static_cast<std::size_t>(std::stoul(argv[i + 1]));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = std::stoull(argv[i + 1]);
+  }
+
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const eco::StageDelayLut lut(tech);
+  const sta::Timer timer(tech);
+
+  // The CLS1 corners are c0/c1 (setup) and c3 (hold) per the paper.
+  testgen::TestcaseOptions topt;
+  topt.sinks = sinks;
+  topt.seed = seed;
+  topt.max_pairs = 150;
+  network::Design d = testgen::makeCls1(tech, "v1", topt);
+  std::printf("%s: %zu FFs in four 650x650um ILM blocks, %zu sink pairs, "
+              "%zu clock buffers\n",
+              d.name.c_str(), d.tree.sinks().size(), d.pairs.size(),
+              d.tree.numBuffers());
+
+  // Train the per-corner latency-change models once (a per-technology,
+  // reusable step in the paper).
+  std::printf("training HSM delta-latency models per corner...\n");
+  core::DeltaLatencyModel model;
+  core::TrainOptions train;
+  train.cases = 30;
+  train.moves_per_case = 30;
+  model.train(tech, d.corners, train);
+
+  const core::Objective objective(d, timer);
+  core::VariationReport report = objective.evaluate(d, timer);
+  std::printf("\nbaseline: sum variation %.0f ps, local skews",
+              report.sum_variation_ps);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    std::printf(" %s=%.0fps", tech.corner(d.corners[ki]).name.c_str(),
+                report.local_skew_ps[ki]);
+  std::printf("\n");
+
+  // Stage 1: global LP-guided optimization.
+  core::GlobalOptimizer gopt(tech, lut);
+  const core::GlobalResult gr = gopt.run(d, objective);
+  report = objective.evaluate(d, timer);
+  std::printf("\nafter global (LP %zux%zu, U*=%.0fps, %zu arcs rebuilt):\n",
+              gr.lp_rows, gr.lp_vars, gr.chosen_u_ps, gr.arcs_changed);
+  std::printf("  sum variation %.0f ps (%.1f%% cumulative reduction)\n",
+              report.sum_variation_ps,
+              100.0 * (1.0 - report.sum_variation_ps / gr.sum_before_ps));
+
+  // Stage 2: ML-guided local optimization.
+  core::LocalOptions lopts;
+  lopts.max_iterations = 12;
+  core::LocalOptimizer lopt(tech, lopts);
+  const core::LocalResult lr = lopt.run(d, objective, &model);
+  report = objective.evaluate(d, timer);
+  std::printf("\nafter local (%zu committed moves", lr.history.size());
+  std::size_t by_type[3] = {0, 0, 0};
+  for (const core::LocalIteration& it : lr.history)
+    ++by_type[static_cast<std::size_t>(it.type)];
+  std::printf(": %zu type-I, %zu type-II, %zu type-III):\n", by_type[0],
+              by_type[1], by_type[2]);
+  std::printf("  sum variation %.0f ps (%.1f%% cumulative reduction)\n",
+              report.sum_variation_ps,
+              100.0 * (1.0 - report.sum_variation_ps / gr.sum_before_ps));
+  std::printf("  local skews now");
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    std::printf(" %s=%.0fps", tech.corner(d.corners[ki]).name.c_str(),
+                report.local_skew_ps[ki]);
+  std::printf("\n");
+
+  std::string err;
+  if (!d.tree.validate(&err)) {
+    std::printf("TREE INVALID: %s\n", err.c_str());
+    return 1;
+  }
+  std::printf("\nfinal tree valid; %zu clock cells, %.3f mW, %.0f um2\n",
+              d.tree.numBuffers(), sta::clockTreePowerMw(d, d.corners[0]),
+              sta::clockCellAreaUm2(d));
+  return 0;
+}

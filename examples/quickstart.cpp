@@ -1,0 +1,74 @@
+// Quickstart: synthesize a small application-processor-like clock tree,
+// measure its multi-corner skew variation, and run the global-local
+// optimization flow on it.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/flow.h"
+#include "testgen/testgen.h"
+
+using namespace skewopt;
+
+int main() {
+  // 1. Technology: the four signoff corners of the paper's Table 3 plus a
+  //    five-size inverter library with NLDM tables.
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  std::printf("technology: %zu corners, %zu inverter sizes\n",
+              tech.numCorners(), tech.numCells());
+  for (const tech::Corner& c : tech.corners())
+    std::printf("  %-3s %s %.2fV %+5.0fC %s\n", c.name.c_str(),
+                c.process == tech::Process::SS ? "ss" : "ff", c.voltage,
+                c.temp_c, c.beol == tech::Beol::CMAX ? "Cmax" : "Cmin");
+
+  // 2. Testcase: a scaled CLS1v1 (four ILM blocks, local + cross-block
+  //    sequentially adjacent sink pairs) with a baseline CTS tree.
+  testgen::TestcaseOptions topt;
+  topt.sinks = 120;
+  topt.max_pairs = 120;  // evaluation universe == optimized universe
+  network::Design design = testgen::makeCls1(tech, "v1", topt);
+  std::printf("\ndesign %s: %zu sinks, %zu clock buffers, %zu sink pairs\n",
+              design.name.c_str(), design.tree.sinks().size(),
+              design.tree.numBuffers(), design.pairs.size());
+
+  // 3. Baseline multi-corner timing and skew-variation objective.
+  const sta::Timer timer(tech);
+  const core::Objective objective(design, timer);
+  const core::VariationReport before = objective.evaluate(design, timer);
+  std::printf("sum of normalized skew variations: %.1f ps\n",
+              before.sum_variation_ps);
+  for (std::size_t ki = 0; ki < design.corners.size(); ++ki)
+    std::printf("  corner %s: local skew %.1f ps (alpha %.3f)\n",
+                tech.corner(design.corners[ki]).name.c_str(),
+                before.local_skew_ps[ki], objective.alphas()[ki]);
+
+  // 4. Characterize the stage-delay LUTs once per technology, then run the
+  //    full global-local flow (analytical predictor in this quickstart; see
+  //    examples/appcore_cls1.cpp for the trained ML predictor).
+  const eco::StageDelayLut lut(tech);
+  core::FlowOptions fopts;
+  fopts.local.max_iterations = 6;
+  const core::Flow flow(tech, lut, fopts);
+  const core::FlowResult result =
+      flow.run(design, core::FlowMode::kGlobalLocal, nullptr);
+
+  std::printf("\nglobal-local optimization:\n");
+  std::printf("  global: LP %zu rows x %zu vars, %d simplex iterations, "
+              "%zu arcs re-engineered\n",
+              result.global.lp_rows, result.global.lp_vars,
+              result.global.lp_iterations, result.global.arcs_changed);
+  std::printf("  local : %zu committed moves, %zu golden evaluations\n",
+              result.local.history.size(), result.local.golden_evaluations);
+  std::printf("  sum variation %.1f -> %.1f ps (%.1f%% reduction)\n",
+              result.before.sum_variation_ps, result.after.sum_variation_ps,
+              100.0 * (1.0 - result.after.sum_variation_ps /
+                                 result.before.sum_variation_ps));
+  std::printf("  clock cells %zu -> %zu, power %.3f -> %.3f mW, "
+              "area %.0f -> %.0f um^2\n",
+              result.before.clock_cells, result.after.clock_cells,
+              result.before.power_mw, result.after.power_mw,
+              result.before.area_um2, result.after.area_um2);
+  return 0;
+}

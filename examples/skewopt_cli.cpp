@@ -1,0 +1,159 @@
+// Command-line driver for the library: generate a testcase, report its
+// multi-corner skew state, optimize it, and persist designs to disk.
+//
+//   skewopt_cli gen --testcase CLS1v1 --sinks 120 --pairs 120 --seed 1
+//                   --out design.skv
+//   skewopt_cli report design.skv [--detailed]
+//   skewopt_cli diff before.skv after.skv
+//   skewopt_cli optimize design.skv --flow global-local [--train]
+//                   --out optimized.skv
+//
+// The .skv format round-trips the exact timing state (see network/io.h).
+#include <cstdio>
+#include <iostream>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/flow.h"
+#include "network/eco_export.h"
+#include "network/io.h"
+#include "sta/report.h"
+#include "testgen/testgen.h"
+
+using namespace skewopt;
+
+namespace {
+
+std::map<std::string, std::string> parseFlags(int argc, char** argv,
+                                              int start) {
+  std::map<std::string, std::string> flags;
+  for (int i = start; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && argv[i + 1][0] != '-') {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "1";
+    }
+  }
+  return flags;
+}
+
+int usage() {
+  std::printf(
+      "usage:\n"
+      "  skewopt_cli gen --testcase CLS1v1|CLS1v2|CLS2v1 [--sinks N]\n"
+      "                  [--pairs N] [--seed S] --out FILE\n"
+      "  skewopt_cli report FILE [--detailed]\n"
+      "  skewopt_cli diff BEFORE AFTER       (emit ECO script)\n"
+      "  skewopt_cli optimize FILE --flow global|local|global-local\n"
+      "                  [--train] [--iterations N] --out FILE\n");
+  return 2;
+}
+
+void report(const tech::TechModel& tech, const network::Design& d) {
+  const sta::Timer timer(tech);
+  const core::Objective obj(d, timer);
+  const core::VariationReport r = obj.evaluate(d, timer);
+  std::printf("%s: %zu sinks, %zu buffers, %zu pairs, %.0f um wire\n",
+              d.name.c_str(), d.tree.sinks().size(), d.tree.numBuffers(),
+              d.pairs.size(), d.routing.totalWirelength());
+  std::printf("  sum of normalized skew variations: %.1f ps\n",
+              r.sum_variation_ps);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    std::printf("  %s: local skew %.1f ps, alpha %.3f, power %.3f mW\n",
+                tech.corner(d.corners[ki]).name.c_str(), r.local_skew_ps[ki],
+                obj.alphas()[ki], sta::clockTreePowerMw(d, d.corners[ki]));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const tech::TechModel tech = tech::TechModel::make28nm();
+
+  if (cmd == "gen") {
+    const auto flags = parseFlags(argc, argv, 2);
+    if (!flags.count("testcase") || !flags.count("out")) return usage();
+    testgen::TestcaseOptions o;
+    if (flags.count("sinks")) o.sinks = std::stoul(flags.at("sinks"));
+    if (flags.count("pairs")) o.max_pairs = std::stoul(flags.at("pairs"));
+    if (flags.count("seed")) o.seed = std::stoull(flags.at("seed"));
+    const network::Design d =
+        testgen::makeTestcase(tech, flags.at("testcase"), o);
+    network::saveDesign(d, flags.at("out"));
+    std::printf("wrote %s\n", flags.at("out").c_str());
+    report(tech, d);
+    return 0;
+  }
+
+  if (cmd == "report") {
+    if (argc < 3) return usage();
+    const auto flags = parseFlags(argc, argv, 3);
+    const network::Design d = network::loadDesign(tech, argv[2]);
+    if (flags.count("detailed")) {
+      const sta::Timer timer(tech);
+      sta::writeTimingReport(std::cout, d, timer);
+    } else {
+      report(tech, d);
+    }
+    return 0;
+  }
+
+  if (cmd == "diff") {
+    if (argc < 4) return usage();
+    const network::Design before = network::loadDesign(tech, argv[2]);
+    const network::Design after = network::loadDesign(tech, argv[3]);
+    const network::EcoDiffStats stats =
+        network::writeEcoScript(before, after, std::cout);
+    std::fprintf(stderr, "%zu ECO commands\n", stats.total());
+    return 0;
+  }
+
+  if (cmd == "optimize") {
+    if (argc < 3) return usage();
+    const auto flags = parseFlags(argc, argv, 3);
+    network::Design d = network::loadDesign(tech, argv[2]);
+
+    core::FlowMode mode = core::FlowMode::kGlobalLocal;
+    const std::string fm =
+        flags.count("flow") ? flags.at("flow") : "global-local";
+    if (fm == "global") mode = core::FlowMode::kGlobal;
+    else if (fm == "local") mode = core::FlowMode::kLocal;
+    else if (fm != "global-local") return usage();
+
+    core::DeltaLatencyModel model;
+    const core::DeltaLatencyModel* model_ptr = nullptr;
+    if (flags.count("train")) {
+      std::printf("training delta-latency models...\n");
+      core::TrainOptions t;
+      t.cases = 24;
+      t.moves_per_case = 24;
+      model.train(tech, d.corners, t);
+      model_ptr = &model;
+    }
+
+    const eco::StageDelayLut lut(tech);
+    core::FlowOptions fopts;
+    if (flags.count("iterations"))
+      fopts.local.max_iterations = std::stoul(flags.at("iterations"));
+    const core::Flow flow(tech, lut, fopts);
+    const core::FlowResult r = flow.run(d, mode, model_ptr);
+
+    std::printf("%s flow: %.1f -> %.1f ps (%.1f%% reduction)\n",
+                core::flowModeName(mode), r.before.sum_variation_ps,
+                r.after.sum_variation_ps,
+                100.0 * (1.0 - r.after.sum_variation_ps /
+                                   r.before.sum_variation_ps));
+    report(tech, d);
+    if (flags.count("out")) {
+      network::saveDesign(d, flags.at("out"));
+      std::printf("wrote %s\n", flags.at("out").c_str());
+    }
+    return 0;
+  }
+  return usage();
+}

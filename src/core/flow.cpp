@@ -1,0 +1,47 @@
+#include "core/flow.h"
+
+namespace skewopt::core {
+
+const char* flowModeName(FlowMode m) {
+  switch (m) {
+    case FlowMode::kGlobal: return "global";
+    case FlowMode::kLocal: return "local";
+    case FlowMode::kGlobalLocal: return "global-local";
+  }
+  return "?";
+}
+
+DesignMetrics computeMetrics(const network::Design& d,
+                             const Objective& objective,
+                             const sta::Timer& timer) {
+  DesignMetrics m;
+  const VariationReport r = objective.evaluate(d, timer);
+  m.sum_variation_ps = r.sum_variation_ps;
+  m.local_skew_ps = r.local_skew_ps;
+  m.clock_cells = d.tree.numBuffers();
+  m.power_mw = sta::clockTreePowerMw(d, d.corners.front());
+  m.area_um2 = sta::clockCellAreaUm2(d);
+  return m;
+}
+
+FlowResult Flow::run(network::Design& d, FlowMode mode,
+                     const DeltaLatencyModel* model) const {
+  // Alphas are locked to the incoming tree (they are an input parameter of
+  // the formulation).
+  Objective objective(d, timer_);
+  FlowResult res;
+  res.before = computeMetrics(d, objective, timer_);
+
+  if (mode == FlowMode::kGlobal || mode == FlowMode::kGlobalLocal) {
+    GlobalOptimizer gopt(*tech_, *lut_, opts_.global);
+    res.global = gopt.run(d, objective);
+  }
+  if (mode == FlowMode::kLocal || mode == FlowMode::kGlobalLocal) {
+    LocalOptimizer lopt(*tech_, opts_.local);
+    res.local = lopt.run(d, objective, model);
+  }
+  res.after = computeMetrics(d, objective, timer_);
+  return res;
+}
+
+}  // namespace skewopt::core

@@ -1,0 +1,63 @@
+// The complete optimization framework (paper Figure 1): global LP-guided
+// optimization followed by local ML-guided iterative optimization, with the
+// Table 5 metric set collected before and after.
+#pragma once
+
+#include <string>
+
+#include "core/global_opt.h"
+#include "core/local_opt.h"
+#include "core/objective.h"
+#include "core/predictor.h"
+#include "eco/eco.h"
+#include "network/design.h"
+
+namespace skewopt::core {
+
+/// The Table 5 row for one design state.
+struct DesignMetrics {
+  double sum_variation_ps = 0.0;
+  std::vector<double> local_skew_ps;  ///< per active corner
+  std::size_t clock_cells = 0;        ///< buffers (+1 root driver)
+  double power_mw = 0.0;              ///< at the nominal corner
+  double area_um2 = 0.0;
+};
+
+DesignMetrics computeMetrics(const network::Design& d,
+                             const Objective& objective,
+                             const sta::Timer& timer);
+
+enum class FlowMode { kGlobal, kLocal, kGlobalLocal };
+const char* flowModeName(FlowMode m);
+
+struct FlowOptions {
+  GlobalOptions global;
+  LocalOptions local;
+};
+
+struct FlowResult {
+  DesignMetrics before;
+  DesignMetrics after;
+  GlobalResult global;  ///< meaningful for kGlobal / kGlobalLocal
+  LocalResult local;    ///< meaningful for kLocal / kGlobalLocal
+};
+
+class Flow {
+ public:
+  Flow(const tech::TechModel& tech, const eco::StageDelayLut& lut,
+       FlowOptions opts = {})
+      : tech_(&tech), lut_(&lut), opts_(opts), timer_(tech) {}
+
+  /// Runs the selected flow on the design in place. `model` may be null
+  /// (the local stage then predicts analytically).
+  FlowResult run(network::Design& d, FlowMode mode,
+                 const DeltaLatencyModel* model) const;
+
+ private:
+  const tech::TechModel* tech_;
+  const eco::StageDelayLut* lut_;
+  FlowOptions opts_;
+  sta::Timer timer_;
+};
+
+}  // namespace skewopt::core

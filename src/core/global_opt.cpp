@@ -1,0 +1,574 @@
+#include "core/global_opt.h"
+
+#include "cts/cts.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace skewopt::core {
+
+using network::Arc;
+using network::ClockTree;
+using network::Design;
+using network::NodeKind;
+
+double arcRoutedLength(const Design& d, const Arc& arc) {
+  double len = 0.0;
+  int prev = arc.src;
+  auto hop = [&](int child) {
+    const route::SteinerTree* net = d.routing.net(prev);
+    double l = geom::manhattan(d.tree.node(prev).pos, d.tree.node(child).pos);
+    if (net != nullptr) {
+      const auto& kids = d.tree.node(prev).children;
+      for (std::size_t i = 0; i < kids.size(); ++i)
+        if (kids[i] == child) {
+          l = net->pathLength(i);
+          break;
+        }
+    }
+    len += l;
+    prev = child;
+  };
+  for (const int b : arc.interior) hop(b);
+  hop(arc.dst);
+  return len;
+}
+
+namespace {
+
+/// Everything the LP needs, extracted once from the design snapshot.
+struct LpContext {
+  std::vector<Arc> arcs;
+  std::vector<int> arc_by_dst;       // node id -> arc id (-1 if none)
+  std::vector<std::size_t> opt_pairs;  // indices into d.pairs
+  std::vector<int> slot_arc;         // slot -> arc id
+  std::vector<int> arc_slot;         // arc id -> slot (-1 if not optimized)
+  std::vector<std::vector<double>> delay;  // [slot][ki]
+  std::vector<double> routed_len, direct_len;
+  std::vector<std::vector<int>> path_of_sink;  // sink id -> slots (unsorted)
+  std::vector<int> opt_sinks;
+  std::vector<double> dmax;  // per ki, original max latency
+};
+
+LpContext buildContext(const Design& d,
+                       const std::vector<sta::CornerTiming>& timing,
+                       const VariationReport& report, std::size_t max_pairs,
+                       double min_arc_delay_ps) {
+  LpContext ctx;
+  ctx.arcs = d.tree.extractArcs();
+  ctx.arc_by_dst.assign(d.tree.numNodes(), -1);
+  for (const Arc& a : ctx.arcs)
+    ctx.arc_by_dst[static_cast<std::size_t>(a.dst)] = a.id;
+
+  // Top critical pairs by weight.
+  std::vector<std::size_t> order(d.pairs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return d.pairs[a].weight != d.pairs[b].weight
+               ? d.pairs[a].weight > d.pairs[b].weight
+               : a < b;
+  });
+  order.resize(std::min(order.size(), max_pairs));
+  ctx.opt_pairs = order;
+
+  // Arc paths of the involved sinks; arcs on any such path get LP slots.
+  ctx.arc_slot.assign(ctx.arcs.size(), -1);
+  ctx.path_of_sink.assign(d.tree.numNodes(), {});
+  std::vector<char> sink_seen(d.tree.numNodes(), 0);
+  auto addSink = [&](int s) {
+    if (sink_seen[static_cast<std::size_t>(s)]) return;
+    sink_seen[static_cast<std::size_t>(s)] = 1;
+    ctx.opt_sinks.push_back(s);
+    int cur = s;
+    while (cur != d.tree.root()) {
+      const int aid = ctx.arc_by_dst[static_cast<std::size_t>(cur)];
+      if (aid < 0) break;  // cur is an interior node: step to its anchor
+      const Arc& a = ctx.arcs[static_cast<std::size_t>(aid)];
+      const double d0 = timing[0].arrival[static_cast<std::size_t>(a.dst)] -
+                        timing[0].arrival[static_cast<std::size_t>(a.src)];
+      // Tiny leaf stubs stay constant (no LP slot).
+      if (d0 >= min_arc_delay_ps) {
+        if (ctx.arc_slot[static_cast<std::size_t>(aid)] < 0) {
+          ctx.arc_slot[static_cast<std::size_t>(aid)] =
+              static_cast<int>(ctx.slot_arc.size());
+          ctx.slot_arc.push_back(aid);
+        }
+        ctx.path_of_sink[static_cast<std::size_t>(s)].push_back(
+            ctx.arc_slot[static_cast<std::size_t>(aid)]);
+      }
+      cur = a.src;
+    }
+  };
+  for (const std::size_t pi : ctx.opt_pairs) {
+    addSink(d.pairs[pi].launch);
+    addSink(d.pairs[pi].capture);
+  }
+
+  const std::size_t nk = d.corners.size();
+  ctx.delay.assign(ctx.slot_arc.size(), std::vector<double>(nk, 0.0));
+  ctx.routed_len.resize(ctx.slot_arc.size());
+  ctx.direct_len.resize(ctx.slot_arc.size());
+  for (std::size_t s = 0; s < ctx.slot_arc.size(); ++s) {
+    const Arc& a = ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[s])];
+    for (std::size_t ki = 0; ki < nk; ++ki)
+      ctx.delay[s][ki] =
+          timing[ki].arrival[static_cast<std::size_t>(a.dst)] -
+          timing[ki].arrival[static_cast<std::size_t>(a.src)];
+    ctx.routed_len[s] = arcRoutedLength(d, a);
+    ctx.direct_len[s] = a.direct_len_um;
+  }
+
+  ctx.dmax.assign(nk, 0.0);
+  for (std::size_t ki = 0; ki < nk; ++ki)
+    for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+      const int id = static_cast<int>(i);
+      if (d.tree.isValid(id) && d.tree.node(id).kind == NodeKind::Sink)
+        ctx.dmax[ki] = std::max(ctx.dmax[ki], timing[ki].arrival[i]);
+    }
+  (void)report;
+  return ctx;
+}
+
+/// Per-pair arc coefficients: +1 launch-path only, -1 capture-path only.
+std::vector<std::pair<int, double>> pairCoefs(const Design& d,
+                                              const LpContext& ctx,
+                                              std::size_t pi) {
+  std::vector<double> coef(ctx.slot_arc.size(), 0.0);
+  for (const int s :
+       ctx.path_of_sink[static_cast<std::size_t>(d.pairs[pi].launch)])
+    coef[static_cast<std::size_t>(s)] += 1.0;
+  for (const int s :
+       ctx.path_of_sink[static_cast<std::size_t>(d.pairs[pi].capture)])
+    coef[static_cast<std::size_t>(s)] -= 1.0;
+  std::vector<std::pair<int, double>> out;
+  for (std::size_t s = 0; s < coef.size(); ++s)
+    if (coef[s] != 0.0) out.push_back({static_cast<int>(s), coef[s]});
+  return out;
+}
+
+struct BuiltLp {
+  lp::Model model;
+  // dp/dm var index of (slot, ki): dp = base(slot,ki), dm = base+1.
+  int varBase(std::size_t slot, std::size_t ki, std::size_t nk) const {
+    return static_cast<int>(2 * (slot * nk + ki));
+  }
+  std::vector<int> v_var;  // per opt-pair position
+};
+
+BuiltLp buildLp(const Design& d, const LpContext& ctx,
+                const eco::StageDelayLut& lut, const Objective& objective,
+                const VariationReport& report, double beta, bool min_sum_v,
+                double u_bound) {
+  BuiltLp built;
+  lp::Model& m = built.model;
+  const std::size_t nk = d.corners.size();
+  const std::vector<double>& alpha = objective.alphas();
+
+  // Delta variables, with Constraint (10) folded into their bounds.
+  for (std::size_t s = 0; s < ctx.slot_arc.size(); ++s) {
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const double dj = ctx.delay[s][ki];
+      const double dmin =
+          lut.minAchievableDelay(ctx.direct_len[s], d.corners[ki]);
+      const double up = std::max(0.0, (beta - 1.0) * dj);
+      const double down = std::max(0.0, dj - dmin);
+      m.addVar(0.0, up, min_sum_v ? 0.0 : 1.0);    // Delta+
+      m.addVar(0.0, down, min_sum_v ? 0.0 : 1.0);  // Delta-
+    }
+  }
+  // V variables.
+  built.v_var.reserve(ctx.opt_pairs.size());
+  for (std::size_t p = 0; p < ctx.opt_pairs.size(); ++p)
+    built.v_var.push_back(m.addVar(0.0, lp::kInf, min_sum_v ? 1.0 : 0.0));
+
+  // (6) V lower bounds, (7) local-skew, (8) variation-vs-c0 preservation.
+  for (std::size_t p = 0; p < ctx.opt_pairs.size(); ++p) {
+    const std::size_t pi = ctx.opt_pairs[p];
+    const auto coefs = pairCoefs(d, ctx, pi);
+    // Original skew constants per active corner.
+    std::vector<double> c(nk);
+    for (std::size_t ki = 0; ki < nk; ++ki) c[ki] = report.skew_ps[ki][pi];
+
+    for (std::size_t a = 0; a < nk; ++a) {
+      for (std::size_t b = a + 1; b < nk; ++b) {
+        for (int sign = -1; sign <= 1; sign += 2) {
+          // V >= sign * (alpha_a * S^a - alpha_b * S^b)
+          std::vector<lp::Term> terms;
+          terms.push_back({built.v_var[p], 1.0});
+          for (const auto& [slot, cf] : coefs) {
+            const int va = built.varBase(static_cast<std::size_t>(slot), a, nk);
+            const int vb = built.varBase(static_cast<std::size_t>(slot), b, nk);
+            const double ka = -sign * alpha[a] * cf;
+            const double kb = sign * alpha[b] * cf;
+            terms.push_back({va, ka});
+            terms.push_back({va + 1, -ka});
+            terms.push_back({vb, kb});
+            terms.push_back({vb + 1, -kb});
+          }
+          const double rhs = sign * (alpha[a] * c[a] - alpha[b] * c[b]);
+          m.addRow(rhs, lp::kInf, std::move(terms));
+        }
+      }
+    }
+    // (7): -|c^k| <= c^k + sum coef*Delta^k <= |c^k| for every corner.
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      std::vector<lp::Term> terms;
+      for (const auto& [slot, cf] : coefs) {
+        const int v = built.varBase(static_cast<std::size_t>(slot), ki, nk);
+        terms.push_back({v, cf});
+        terms.push_back({v + 1, -cf});
+      }
+      if (terms.empty()) continue;
+      m.addRow(-std::abs(c[ki]) - c[ki], std::abs(c[ki]) - c[ki],
+               std::move(terms));
+    }
+    // (8): variation against the nominal corner must not degrade.
+    for (std::size_t ki = 1; ki < nk; ++ki) {
+      const double v0 = alpha[ki] * c[ki] - alpha[0] * c[0];
+      std::vector<lp::Term> terms;
+      for (const auto& [slot, cf] : coefs) {
+        const int vk = built.varBase(static_cast<std::size_t>(slot), ki, nk);
+        const int v0i = built.varBase(static_cast<std::size_t>(slot), 0, nk);
+        terms.push_back({vk, alpha[ki] * cf});
+        terms.push_back({vk + 1, -alpha[ki] * cf});
+        terms.push_back({v0i, -alpha[0] * cf});
+        terms.push_back({v0i + 1, alpha[0] * cf});
+      }
+      if (terms.empty()) continue;
+      m.addRow(-std::abs(v0) - v0, std::abs(v0) - v0, std::move(terms));
+    }
+  }
+
+  // (9): latency bound per optimized sink and corner.
+  for (const int s : ctx.opt_sinks) {
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      double lat = 0.0;
+      for (const int slot : ctx.path_of_sink[static_cast<std::size_t>(s)])
+        lat += ctx.delay[static_cast<std::size_t>(slot)][ki];
+      std::vector<lp::Term> terms;
+      for (const int slot : ctx.path_of_sink[static_cast<std::size_t>(s)]) {
+        const int v = built.varBase(static_cast<std::size_t>(slot), ki, nk);
+        terms.push_back({v, 1.0});
+        terms.push_back({v + 1, -1.0});
+      }
+      if (terms.empty()) continue;
+      m.addRow(-lp::kInf, ctx.dmax[ki] - lat, std::move(terms));
+    }
+  }
+
+  // (11): achievable cross-corner delay ratios per arc.
+  for (std::size_t s = 0; s < ctx.slot_arc.size(); ++s) {
+    const double d0 = ctx.delay[s][0];
+    if (d0 < 1.0 || ctx.routed_len[s] < 5.0) continue;  // degenerate arc
+    const double u0 = d0 / ctx.routed_len[s];
+    for (std::size_t a = 0; a < nk; ++a) {
+      for (std::size_t b = a + 1; b < nk; ++b) {
+        const double da = ctx.delay[s][a], db = ctx.delay[s][b];
+        if (db < 1.0) continue;
+        double w_up =
+            lut.ratioBound(d.corners[a], d.corners[b], true).eval(u0);
+        double w_lo =
+            lut.ratioBound(d.corners[a], d.corners[b], false).eval(u0);
+        // Keep the original configuration feasible (Delta = 0).
+        const double r0 = da / db;
+        w_up = std::max(w_up, r0 * 1.001);
+        w_lo = std::min(w_lo, r0 * 0.999);
+        const int va = built.varBase(s, a, nk);
+        const int vb = built.varBase(s, b, nk);
+        // da + Dla - W*(db + Dlb) <= 0  (upper), >= 0 with w_lo (lower)
+        m.addRow(-lp::kInf, w_up * db - da,
+                 {{va, 1.0}, {va + 1, -1.0}, {vb, -w_up}, {vb + 1, w_up}});
+        m.addRow(w_lo * db - da, lp::kInf,
+                 {{va, 1.0}, {va + 1, -1.0}, {vb, -w_lo}, {vb + 1, w_lo}});
+      }
+    }
+  }
+
+  // (5): sum of V <= U (only in the min-|Delta| mode).
+  if (!min_sum_v) {
+    std::vector<lp::Term> terms;
+    for (const int v : built.v_var) terms.push_back({v, 1.0});
+    m.addRow(-lp::kInf, u_bound, std::move(terms));
+  }
+  return built;
+}
+
+}  // namespace
+
+// Post-ECO local-skew cleanup: for every pair whose |skew| degraded beyond
+// the repair threshold at some corner, snake the *fast* sink's leaf wire
+// until the pair is back inside its original envelope. Wire delay scales
+// almost uniformly across corners, so the repair barely moves the pair's
+// normalized variation while restoring the paper's "no local skew
+// degradation" property that the LP guaranteed but the discrete ECO broke.
+void GlobalOptimizer::repairLocalSkew(Design& trial,
+                                      const Objective& objective,
+                                      const VariationReport& before) const {
+  // Targeted: each pass fixes only the single worst violator of the
+  // acceptance envelope (the gate metric is the max |skew| per corner, so
+  // one or two pairs are usually responsible). Broad repair cascades
+  // through shared driver loads and erodes the variation gain.
+  const std::size_t nk = trial.corners.size();
+  for (std::size_t pass = 0; pass < opts_.repair_passes; ++pass) {
+    const VariationReport now = objective.evaluate(trial, timer_);
+    double worst_excess = 0.0;
+    std::size_t worst_ki = 0, worst_pi = 0;
+    for (std::size_t pi = 0; pi < trial.pairs.size(); ++pi) {
+      for (std::size_t ki = 0; ki < nk; ++ki) {
+        // Only pairs that currently define/threaten the gate metric
+        // matter: compare against the acceptance envelope of the *corner
+        // max*, not per-pair budgets.
+        const double gate = before.local_skew_ps[ki] *
+                                opts_.local_skew_tolerance +
+                            opts_.local_skew_allowance_ps -
+                            opts_.repair_threshold_ps;
+        const double excess = std::abs(now.skew_ps[ki][pi]) - gate;
+        if (excess > worst_excess) {
+          worst_excess = excess;
+          worst_ki = ki;
+          worst_pi = pi;
+        }
+      }
+    }
+    if (worst_excess <= 0.0) break;
+
+    const network::SinkPair& p = trial.pairs[worst_pi];
+    const double skew = now.skew_ps[worst_ki][worst_pi];
+    const int fast = skew > 0 ? p.capture : p.launch;
+    const int drv = trial.tree.node(fast).parent;
+    if (drv < 0) break;
+    const auto& kids = trial.tree.node(drv).children;
+    std::size_t pin = 0;
+    for (std::size_t pi2 = 0; pi2 < kids.size(); ++pi2)
+      if (kids[pi2] == fast) pin = pi2;
+    // Sensitivity at the violating corner (snake delay there per um).
+    const std::size_t k = trial.corners[worst_ki];
+    const tech::WireParams& w = tech_->wire(k);
+    const network::ClockNode& dn = trial.tree.node(drv);
+    const double reff =
+        (dn.kind == NodeKind::Buffer)
+            ? cts::CtsEngine::effectiveDriveRes(
+                  tech_->cell(static_cast<std::size_t>(dn.cell)), k)
+            : 0.2;
+    const double cur = trial.routing.extraOf(drv, pin);
+    const double cpin = (trial.tree.node(fast).kind == NodeKind::Sink)
+                            ? tech_->sinkCapFf(k)
+                            : tech_->cell(static_cast<std::size_t>(
+                                              trial.tree.node(fast).cell))
+                                  .pin_cap_ff[k];
+    const double sens = w.res_kohm_per_um * w.cap_ff_per_um * cur +
+                        w.res_kohm_per_um * (cpin + 2.0) +
+                        reff * w.cap_ff_per_um + 1e-4;
+    const double extra = std::min(0.7 * worst_excess / sens, 250.0);
+    if (extra < 1.0) break;
+    trial.routing.addExtra(drv, pin, extra);
+  }
+}
+
+GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
+  GlobalResult res;
+  const std::vector<sta::CornerTiming> timing = timer_.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(timing.size());
+  for (std::size_t ki = 0; ki < timing.size(); ++ki)
+    lat[ki] = timing[ki].arrival;
+  const VariationReport before = objective.evaluateFromLatencies(d, lat);
+  res.sum_before_ps = before.sum_variation_ps;
+  res.sum_after_ps = before.sum_variation_ps;
+
+  if (d.pairs.empty()) return res;
+  LpContext ctx = buildContext(d, timing, before, opts_.max_pairs_lp,
+                               opts_.min_arc_delay_ps);
+  res.arcs_in_lp = ctx.slot_arc.size();
+  if (ctx.slot_arc.empty()) return res;
+
+  for (const std::size_t pi : ctx.opt_pairs)
+    res.lp_orig_sum_ps += before.v_pair_ps[pi];
+
+  // Pass 1: minimum achievable sum of variations over the selected pairs.
+  BuiltLp min_lp = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
+                           /*min_sum_v=*/true, 0.0);
+  res.lp_rows = static_cast<std::size_t>(min_lp.model.numRows());
+  res.lp_vars = static_cast<std::size_t>(min_lp.model.numVars());
+  const lp::Solution vsol = lp::solve(min_lp.model, opts_.lp);
+  if (vsol.status != lp::Status::Optimal) return res;
+  res.lp_min_sum_ps = vsol.objective;
+  res.lp_iterations = vsol.iterations;
+
+  // Pass 2: sweep U, realize each LP with the ECO flow, keep the best.
+  eco::EcoEngine eco_engine(*tech_, *lut_, opts_.eco_pair_penalty_ps,
+                            opts_.eco_overshoot_weight);
+  const std::size_t nk = d.corners.size();
+  double best_sum = before.sum_variation_ps;
+  Design best = d;
+  bool improved = false;
+
+  for (const double t : opts_.u_sweep) {
+    const double u =
+        res.lp_min_sum_ps + t * (res.lp_orig_sum_ps - res.lp_min_sum_ps);
+    if (u >= res.lp_orig_sum_ps) continue;
+    BuiltLp run_lp = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
+                             /*min_sum_v=*/false, u);
+    const lp::Solution sol = lp::solve(run_lp.model, opts_.lp);
+    if (sol.status != lp::Status::Optimal) {
+      res.candidates.push_back({u, -1.0});
+      continue;
+    }
+
+    Design trial = d;
+    std::size_t changed = 0;
+    // Slews/loads are refreshed from the trial design as upstream rebuilds
+    // land, so downstream arc solutions see post-ECO conditions.
+    std::vector<sta::CornerTiming> trial_timing = timing;
+    // Upstream arcs first so that downstream rebuilds see stable parents.
+    std::vector<std::size_t> slots(ctx.slot_arc.size());
+    std::iota(slots.begin(), slots.end(), std::size_t{0});
+    std::sort(slots.begin(), slots.end(), [&](std::size_t a, std::size_t b) {
+      const int la = d.tree.level(
+          ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[a])].src);
+      const int lb = d.tree.level(
+          ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[b])].src);
+      return la != lb ? la < lb : a < b;
+    });
+    for (const std::size_t s : slots) {
+      const Arc& arc = ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[s])];
+      std::vector<double> desired(nk), chain(nk), slews(nk), loads(nk);
+      double maxdev = 0.0;
+      for (std::size_t ki = 0; ki < nk; ++ki) {
+        const int v = run_lp.varBase(s, ki, nk);
+        const double delta = sol.x[static_cast<std::size_t>(v)] -
+                             sol.x[static_cast<std::size_t>(v + 1)];
+        desired[ki] = ctx.delay[s][ki] + delta;
+        maxdev = std::max(maxdev, std::abs(delta));
+        slews[ki] = trial_timing[ki].slew[static_cast<std::size_t>(arc.src)];
+        const network::ClockNode& dst = d.tree.node(arc.dst);
+        loads[ki] = (dst.kind == NodeKind::Sink)
+                        ? tech_->sinkCapFf(d.corners[ki])
+                        : tech_->cell(static_cast<std::size_t>(dst.cell))
+                              .pin_cap_ff[d.corners[ki]];
+        // The arc delay spans src output -> dst *output*, but the LUT chain
+        // model ends at the dst input pin: target the chain at the desired
+        // delay minus the dst's own (current) gate delay.
+        const double dst_gate =
+            trial_timing[ki].arrival[static_cast<std::size_t>(arc.dst)] -
+            trial_timing[ki].in_arrival[static_cast<std::size_t>(arc.dst)];
+        chain[ki] = std::max(1.0, desired[ki] - dst_gate);
+      }
+      if (maxdev < opts_.min_delta_ps) continue;
+      eco::ArcSolution asol = eco_engine.selectSolution(
+          d.corners, chain, ctx.direct_len[s], slews, loads);
+      if (!asol.valid) continue;
+      // Second pass: the new chain changes the slew into dst, which moves
+      // dst's own gate delay; re-target the chain against the *predicted*
+      // post-ECO dst gate delay.
+      const network::ClockNode& dstn = d.tree.node(arc.dst);
+      if (dstn.kind == NodeKind::Buffer) {
+        const tech::Cell& dcell =
+            tech_->cell(static_cast<std::size_t>(dstn.cell));
+        for (std::size_t ki = 0; ki < nk; ++ki) {
+          const std::size_t k = d.corners[ki];
+          const double slew_pred = lut_->detailOutSlew(
+              asol.p, lut_->wirelengths()[asol.q_idx], k,
+              asol.u >= 2 ? lut_->uniformSlew(asol.p, asol.q_idx, k)
+                          : slews[ki],
+              loads[ki]);
+          const double dload =
+              trial_timing[ki].driver_load[static_cast<std::size_t>(arc.dst)];
+          const double gate_pred = dcell.delay[k].lookup(slew_pred, dload);
+          chain[ki] = std::max(1.0, desired[ki] - gate_pred);
+        }
+        asol = eco_engine.selectSolution(d.corners, chain, ctx.direct_len[s],
+                                         slews, loads);
+        if (!asol.valid) continue;
+      }
+      const std::vector<int> inserted = eco_engine.rebuildArc(trial, arc, asol);
+      ++changed;
+      trial_timing = timer_.analyzeDesign(trial);
+      if (std::getenv("SKEWOPT_DEBUG_ECO") != nullptr) {
+        for (std::size_t ki = 0; ki < nk; ++ki) {
+          const double realized =
+              trial_timing[ki].arrival[static_cast<std::size_t>(arc.dst)] -
+              trial_timing[ki].arrival[static_cast<std::size_t>(arc.src)];
+          std::fprintf(stderr,
+                       "eco arc %d->%d ki %zu: orig %.0f desired %.0f chain "
+                       "%.0f est %.0f realized %.0f (p=%zu q=%.0f u=%zu err %.1f)\n",
+                       arc.src, arc.dst, ki, ctx.delay[s][ki], desired[ki],
+                       chain[ki], asol.est_delay[ki], realized, asol.p,
+                       lut_->wirelengths()[asol.q_idx], asol.u, asol.err);
+        }
+      }
+
+      // Trim: close nominal-corner undershoot with snaking on the arc's
+      // last hop. Wire delay scales almost uniformly across corners, so
+      // this cancels the common-mode part of the ECO quantization error.
+      for (int pass = 0; pass < 2; ++pass) {
+        const double realized =
+            trial_timing[0].arrival[static_cast<std::size_t>(arc.dst)] -
+            trial_timing[0].arrival[static_cast<std::size_t>(arc.src)];
+        const double gap = desired[0] - realized;
+        if (gap <= opts_.trim_threshold_ps) break;
+        const int hop_driver = inserted.empty() ? arc.src : inserted.back();
+        const auto& hop_kids = trial.tree.node(hop_driver).children;
+        std::size_t pin = 0;
+        bool found = false;
+        for (std::size_t pi = 0; pi < hop_kids.size(); ++pi)
+          if (hop_kids[pi] == arc.dst) {
+            pin = pi;
+            found = true;
+          }
+        if (!found) break;
+        const tech::WireParams& w = tech_->wire(d.corners[0]);
+        const network::ClockNode& hd = trial.tree.node(hop_driver);
+        const double reff =
+            (hd.kind == NodeKind::Buffer)
+                ? cts::CtsEngine::effectiveDriveRes(
+                      tech_->cell(static_cast<std::size_t>(hd.cell)),
+                      d.corners[0])
+                : 0.2;
+        const double cur = trial.routing.extraOf(hop_driver, pin);
+        const double sens = w.res_kohm_per_um * w.cap_ff_per_um * cur +
+                            w.res_kohm_per_um * (loads[0] + 2.0) +
+                            reff * w.cap_ff_per_um + 1e-4;
+        const double extra = std::min(gap / sens, 500.0);
+        if (extra < 1.0) break;
+        trial.routing.addExtra(hop_driver, pin, extra);
+        trial_timing = timer_.analyzeDesign(trial);
+      }
+    }
+
+    std::string err;
+    if (!trial.tree.validate(&err))
+      throw std::logic_error("global ECO broke the tree: " + err);
+    repairLocalSkew(trial, objective, before);
+    const VariationReport after = objective.evaluate(trial, timer_);
+    res.candidates.push_back({u, after.sum_variation_ps});
+
+    // Accept only if the realized local skew did not materially degrade.
+    bool skew_ok = true;
+    for (std::size_t ki = 0; ki < nk; ++ki)
+      if (after.local_skew_ps[ki] >
+          before.local_skew_ps[ki] * opts_.local_skew_tolerance +
+              opts_.local_skew_allowance_ps)
+        skew_ok = false;
+    if (skew_ok && after.sum_variation_ps < best_sum) {
+      best_sum = after.sum_variation_ps;
+      best = std::move(trial);
+      improved = true;
+      res.chosen_u_ps = u;
+      res.arcs_changed = changed;
+    }
+  }
+
+  if (improved) {
+    d = std::move(best);
+    res.sum_after_ps = best_sum;
+    res.improved = true;
+  }
+  return res;
+}
+
+}  // namespace skewopt::core

@@ -1,0 +1,106 @@
+// Global skew-variation optimization (paper Sec. 4.1).
+//
+// Builds the LP of Eqs. (4)-(11) over per-arc, per-corner delay changes:
+//
+//   minimize    sum |Delta_j^k|                                  (4)
+//   subject to  sum over pairs of V_{i,i'} <= U                  (5)
+//               V >= +/- (alpha_k skew^k - alpha_k' skew^k')     (6)
+//               |skew^k(new)| <= |skew^k(orig)|  (local skew)    (7)
+//               |var vs c0 (new)| <= |var vs c0 (orig)|          (8)
+//               path latency <= Dmax^k                           (9)
+//               Dmin <= D + Delta <= beta * D                    (10)
+//               W_min <= (D+Delta)^k / (D+Delta)^k' <= W_max     (11)
+//
+// with |Delta| split into Delta+ - Delta- (footnote 2 of the paper); (10)
+// folds into variable bounds; W_min/W_max come from the characterized
+// stage-delay LUT envelope (Figure 2). The upper bound U is swept between
+// the LP's own minimum achievable sum of variations (found by first solving
+// a min-sum-V variant) and the original sum; each LP solution is realized
+// with the Algorithm-1 ECO flow, re-timed with the golden timer, and the
+// best realized result is kept.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/objective.h"
+#include "eco/eco.h"
+#include "lp/lp.h"
+#include "network/design.h"
+#include "sta/timer.h"
+
+namespace skewopt::core {
+
+struct GlobalOptions {
+  double beta = 1.2;              ///< Constraint (10) upper factor
+  std::size_t max_pairs_lp = 150; ///< top critical pairs entering the LP
+  /// Arcs whose nominal delay is below this threshold (leaf stubs) are kept
+  /// constant: they contribute little variation and excluding them keeps
+  /// the LP compact.
+  double min_arc_delay_ps = 6.0;
+  /// After each arc rebuild, snake extra wire to close a nominal-corner
+  /// undershoot of more than this (common-mode ECO error cancellation).
+  double trim_threshold_ps = 2.0;
+  /// Post-ECO repair passes: each pass snakes the fast sink of the single
+  /// worst violator of the local-skew acceptance envelope (broad repair
+  /// would cascade through shared driver loads).
+  std::size_t repair_passes = 8;
+  double repair_threshold_ps = 2.0;  ///< land this far inside the envelope
+  /// Sweep positions between the LP's minimum achievable sum (t=0) and the
+  /// original sum (t=1).
+  std::vector<double> u_sweep = {0.05, 0.2, 0.4};
+  double min_delta_ps = 1.5;      ///< ECO threshold on |Delta| per arc
+  /// Realized local-skew acceptance gate: the LP forbids degradation, but
+  /// the discrete ECO adds noise, so a candidate is accepted when each
+  /// corner's realized local skew stays within tolerance * before +
+  /// allowance.
+  double local_skew_tolerance = 1.05;
+  double local_skew_allowance_ps = 12.0;
+  /// Algorithm-1 tie-breaks (see EcoEngine): per-inverter-pair penalty keeps
+  /// the cell-count overhead negligible; overshoot weight biases toward
+  /// trim-recoverable undershoot.
+  double eco_pair_penalty_ps = 8.0;
+  double eco_overshoot_weight = 2.0;
+  lp::SolverOptions lp;
+};
+
+struct GlobalResult {
+  double sum_before_ps = 0.0;
+  double sum_after_ps = 0.0;
+  double lp_min_sum_ps = 0.0;  ///< V* of the min-sum-V LP (selected pairs)
+  double lp_orig_sum_ps = 0.0; ///< original sum over the selected pairs
+  double chosen_u_ps = 0.0;
+  std::size_t arcs_in_lp = 0;
+  std::size_t arcs_changed = 0;
+  std::size_t lp_rows = 0;
+  std::size_t lp_vars = 0;
+  int lp_iterations = 0;
+  bool improved = false;
+  /// (U, realized full-objective sum) per sweep candidate; -1 if ECO failed.
+  std::vector<std::pair<double, double>> candidates;
+};
+
+class GlobalOptimizer {
+ public:
+  GlobalOptimizer(const tech::TechModel& tech, const eco::StageDelayLut& lut,
+                  GlobalOptions opts = {})
+      : tech_(&tech), lut_(&lut), opts_(opts), timer_(tech) {}
+
+  /// Optimizes the design in place (keeps the original when no sweep
+  /// candidate realizes an improvement).
+  GlobalResult run(network::Design& d, const Objective& objective) const;
+
+ private:
+  void repairLocalSkew(network::Design& trial, const Objective& objective,
+                       const VariationReport& before) const;
+
+  const tech::TechModel* tech_;
+  const eco::StageDelayLut* lut_;
+  GlobalOptions opts_;
+  sta::Timer timer_;
+};
+
+/// Routed length of an arc (sum of its hop path lengths), um.
+double arcRoutedLength(const network::Design& d, const network::Arc& arc);
+
+}  // namespace skewopt::core

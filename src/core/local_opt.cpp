@@ -1,0 +1,190 @@
+#include "core/local_opt.h"
+
+#include "sta/incremental.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <thread>
+
+namespace skewopt::core {
+
+using network::Design;
+
+namespace {
+
+/// Golden trial: returns the realized objective report of applying `m` to a
+/// copy of `d`.
+struct Trial {
+  Design design;
+  VariationReport report;
+};
+
+Trial goldenTrial(const Design& d, const sta::Timer& timer,
+                  const Objective& objective, const Move& m) {
+  Trial t{d, {}};
+  applyMove(t.design, m);
+  t.report = objective.evaluate(t.design, timer);
+  return t;
+}
+
+/// Incremental golden trial: instead of a full multi-corner re-analysis,
+/// retime only the move's dirty subtrees from the round's base timing
+/// (bit-identical results; see IncrementalTimer tests).
+Trial goldenTrialIncremental(const Design& d,
+                             const sta::IncrementalTimer& base,
+                             const Objective& objective, const Move& m) {
+  Trial t{d, {}};
+  sta::IncrementalTimer inc = base;
+  const std::vector<int> dirty = applyMoveTracked(t.design, m);
+  inc.update(t.design, dirty);
+  t.report = objective.evaluateFromLatencies(t.design, inc.latencies());
+  return t;
+}
+
+bool skewOk(const VariationReport& before, const VariationReport& after,
+            double tol) {
+  for (std::size_t ki = 0; ki < before.local_skew_ps.size(); ++ki)
+    if (after.local_skew_ps[ki] > before.local_skew_ps[ki] * tol + 1.0)
+      return false;
+  return true;
+}
+
+}  // namespace
+
+LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
+                                const DeltaLatencyModel* model,
+                                std::size_t analytic_fallback) const {
+  LocalResult res;
+  VariationReport current = objective.evaluate(d, timer_);
+  const VariationReport initial = current;
+  res.sum_before_ps = current.sum_variation_ps;
+  res.sum_after_ps = current.sum_variation_ps;
+
+  for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
+    MovePredictor predictor(d, timer_, objective, model, analytic_fallback);
+    std::vector<Move> moves = enumerateAllMoves(d, opts_.enumerate);
+    res.candidate_moves = moves.size();
+
+    std::vector<std::pair<double, std::size_t>> scored;
+    scored.reserve(moves.size());
+    for (std::size_t i = 0; i < moves.size(); ++i)
+      scored.push_back({predictor.predictedVariationDelta(moves[i]), i});
+    std::sort(scored.begin(), scored.end());
+
+    const sta::IncrementalTimer base_timing(*tech_, d);
+    bool committed = false;
+    for (std::size_t chunk = 0;
+         chunk < opts_.max_chunks_per_round && !committed; ++chunk) {
+      const std::size_t lo = chunk * opts_.r;
+      if (lo >= scored.size()) break;
+      if (scored[lo].first > -opts_.min_predicted_gain_ps) break;
+      const std::size_t hi = std::min(scored.size(), lo + opts_.r);
+
+      // Golden-evaluate the chunk (the paper's "R individual threads").
+      std::vector<std::size_t> todo;
+      for (std::size_t i = lo; i < hi; ++i) {
+        if (scored[i].first > -opts_.min_predicted_gain_ps) break;
+        todo.push_back(i);
+      }
+      std::vector<Trial> trials(todo.size(), Trial{d, {}});
+      if (opts_.parallel_trials && todo.size() > 1) {
+        std::vector<std::thread> workers;
+        workers.reserve(todo.size());
+        for (std::size_t t = 0; t < todo.size(); ++t) {
+          workers.emplace_back([&, t] {
+            trials[t] = goldenTrialIncremental(
+                d, base_timing, objective, moves[scored[todo[t]].second]);
+          });
+        }
+        for (std::thread& w : workers) w.join();
+      } else {
+        for (std::size_t t = 0; t < todo.size(); ++t)
+          trials[t] = goldenTrialIncremental(d, base_timing, objective,
+                                             moves[scored[todo[t]].second]);
+      }
+      res.golden_evaluations += todo.size();
+
+      // Pick the best realized improvement (lowest index on ties, so the
+      // parallel and serial paths commit identically).
+      double best_sum = current.sum_variation_ps;
+      std::size_t best_idx = 0;
+      Trial best_trial{d, {}};
+      bool have_best = false;
+      for (std::size_t t = 0; t < todo.size(); ++t) {
+        Trial& trial = trials[t];
+        if (trial.report.sum_variation_ps < best_sum &&
+            skewOk(initial, trial.report, opts_.local_skew_tolerance)) {
+          best_sum = trial.report.sum_variation_ps;
+          best_trial = std::move(trial);
+          best_idx = todo[t];
+          have_best = true;
+        }
+      }
+      if (have_best) {
+        LocalIteration it;
+        it.round = round;
+        it.type = moves[scored[best_idx].second].type;
+        it.predicted_delta_ps = scored[best_idx].first;
+        it.realized_delta_ps =
+            best_trial.report.sum_variation_ps - current.sum_variation_ps;
+        it.sum_after_ps = best_trial.report.sum_variation_ps;
+        res.history.push_back(it);
+        d = std::move(best_trial.design);
+        current = std::move(best_trial.report);
+        committed = true;
+      }
+    }
+    if (!committed) break;  // predictor shows no further reduction
+  }
+  res.sum_after_ps = current.sum_variation_ps;
+  res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;
+  return res;
+}
+
+LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
+                                      std::uint64_t seed) const {
+  LocalResult res;
+  VariationReport current = objective.evaluate(d, timer_);
+  const VariationReport initial = current;
+  res.sum_before_ps = current.sum_variation_ps;
+  geom::Rng rng(seed);
+
+  for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
+    std::vector<Move> moves = enumerateAllMoves(d, opts_.enumerate);
+    if (moves.empty()) break;
+    res.candidate_moves = moves.size();
+
+    double best_sum = current.sum_variation_ps;
+    Trial best_trial{d, {}};
+    MoveType best_type = MoveType::kSizeDisplace;
+    bool have_best = false;
+    for (std::size_t i = 0; i < opts_.r; ++i) {
+      const Move& m = moves[rng.index(moves.size())];
+      Trial t = goldenTrial(d, timer_, objective, m);
+      ++res.golden_evaluations;
+      if (t.report.sum_variation_ps < best_sum &&
+          skewOk(initial, t.report, opts_.local_skew_tolerance)) {
+        best_sum = t.report.sum_variation_ps;
+        best_trial = std::move(t);
+        best_type = m.type;
+        have_best = true;
+      }
+    }
+    if (!have_best) continue;  // a random round may simply find nothing
+    LocalIteration it;
+    it.round = round;
+    it.type = best_type;
+    it.realized_delta_ps =
+        best_trial.report.sum_variation_ps - current.sum_variation_ps;
+    it.sum_after_ps = best_trial.report.sum_variation_ps;
+    res.history.push_back(it);
+    d = std::move(best_trial.design);
+    current = std::move(best_trial.report);
+  }
+  res.sum_after_ps = current.sum_variation_ps;
+  res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;
+  return res;
+}
+
+}  // namespace skewopt::core

@@ -1,0 +1,180 @@
+#include "core/moves.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "eco/eco.h"
+
+namespace skewopt::core {
+
+using network::ClockTree;
+using network::Design;
+using network::NodeKind;
+
+const char* moveTypeName(MoveType t) {
+  switch (t) {
+    case MoveType::kSizeDisplace: return "I";
+    case MoveType::kChildDisplaceSize: return "II";
+    case MoveType::kReassign: return "III";
+  }
+  return "?";
+}
+
+std::string Move::describe(const Design& d) const {
+  std::string s = std::string("type-") + moveTypeName(type) + " node " +
+                  d.tree.node(node).name;
+  if (type == MoveType::kReassign)
+    s += " -> driver " + d.tree.node(new_parent).name;
+  return s;
+}
+
+std::vector<Move> enumerateMoves(const Design& d, int buffer,
+                                 const MoveEnumOptions& opts) {
+  std::vector<Move> moves;
+  const ClockTree& tree = d.tree;
+  if (!tree.isValid(buffer) ||
+      tree.node(buffer).kind != NodeKind::Buffer)
+    return moves;
+  const network::ClockNode& n = tree.node(buffer);
+  const int ncells = static_cast<int>(d.tech->numCells());
+
+  static const double kDirs[8][2] = {{0, 1},  {0, -1}, {1, 0},  {-1, 0},
+                                     {1, 1},  {1, -1}, {-1, 1}, {-1, -1}};
+
+  // Type I: displacement x sizing of the buffer itself.
+  for (const auto& dir : kDirs) {
+    for (int step = -1; step <= 1; ++step) {
+      if (step == 0 && !opts.include_no_sizing) continue;
+      const int cell = n.cell + step;
+      if (cell < 0 || cell >= ncells) continue;
+      Move m;
+      m.type = MoveType::kSizeDisplace;
+      m.node = buffer;
+      m.delta = {dir[0] * opts.step_um, dir[1] * opts.step_um};
+      m.size_step = step;
+      moves.push_back(m);
+    }
+  }
+
+  // Type II: displacement x sizing of one child buffer. The paper resizes
+  // "one of its child buffers"; we target the child driving the largest
+  // subtree (the highest-leverage choice) to keep the 45-move budget.
+  int pick = -1;
+  std::size_t best_sinks = 0;
+  for (const int c : n.children) {
+    if (tree.node(c).kind != NodeKind::Buffer) continue;
+    const std::size_t cnt = subtreeSinks(tree, c).size();
+    if (pick < 0 || cnt > best_sinks) {
+      pick = c;
+      best_sinks = cnt;
+    }
+  }
+  if (pick >= 0) {
+    for (const auto& dir : kDirs) {
+      for (int step = -1; step <= 1; step += 2) {
+        const int cell = tree.node(pick).cell + step;
+        if (cell < 0 || cell >= ncells) continue;
+        Move m;
+        m.type = MoveType::kChildDisplaceSize;
+        m.node = buffer;
+        m.delta = {dir[0] * opts.step_um, dir[1] * opts.step_um};
+        m.size_step = step;
+        m.child = pick;
+        moves.push_back(m);
+      }
+    }
+  }
+
+  // Type III: reassign to a same-level driver inside the surgery box.
+  if (n.parent >= 0) {
+    const int cur_level = tree.level(n.parent);
+    const geom::Rect box = geom::Rect::around(n.pos, opts.surgery_box_um / 2.0,
+                                              opts.surgery_box_um / 2.0);
+    std::vector<std::pair<double, int>> cands;
+    for (std::size_t i = 0; i < tree.numNodes(); ++i) {
+      const int id = static_cast<int>(i);
+      if (!tree.isValid(id) || id == n.parent) continue;
+      const network::ClockNode& cand = tree.node(id);
+      if (cand.kind != NodeKind::Buffer) continue;
+      if (!box.contains(cand.pos)) continue;
+      if (tree.level(id) != cur_level) continue;
+      if (tree.isAncestorOrSelf(buffer, id)) continue;  // would create cycle
+      cands.push_back({geom::manhattan(n.pos, cand.pos), id});
+    }
+    std::sort(cands.begin(), cands.end());
+    for (std::size_t i = 0; i < std::min(opts.max_reassign, cands.size());
+         ++i) {
+      Move m;
+      m.type = MoveType::kReassign;
+      m.node = buffer;
+      m.new_parent = cands[i].second;
+      moves.push_back(m);
+    }
+  }
+  return moves;
+}
+
+std::vector<Move> enumerateAllMoves(const Design& d,
+                                    const MoveEnumOptions& opts) {
+  std::vector<Move> all;
+  for (const int b : d.tree.buffers()) {
+    std::vector<Move> m = enumerateMoves(d, b, opts);
+    all.insert(all.end(), m.begin(), m.end());
+  }
+  return all;
+}
+
+void applyMove(Design& d, const Move& m) { applyMoveTracked(d, m); }
+
+std::vector<int> applyMoveTracked(Design& d, const Move& m) {
+  ClockTree& tree = d.tree;
+  switch (m.type) {
+    case MoveType::kSizeDisplace: {
+      const geom::Point p = tree.node(m.node).pos;
+      tree.moveNode(m.node, {p.x + m.delta.x, p.y + m.delta.y});
+      if (m.size_step != 0)
+        tree.resize(m.node, tree.node(m.node).cell + m.size_step);
+      eco::Legalizer legal(*d.tech, d.floorplan);
+      legal.legalize(d, {m.node});
+      d.routing.rebuildAround(tree, m.node);
+      // The parent's net changed (child pin moved/resized) and the node's
+      // own net changed; the parent subtree covers both.
+      return {tree.node(m.node).parent};
+    }
+    case MoveType::kChildDisplaceSize: {
+      const geom::Point p = tree.node(m.node).pos;
+      tree.moveNode(m.node, {p.x + m.delta.x, p.y + m.delta.y});
+      tree.resize(m.child, tree.node(m.child).cell + m.size_step);
+      eco::Legalizer legal(*d.tech, d.floorplan);
+      legal.legalize(d, {m.node});
+      d.routing.rebuildAround(tree, m.node);
+      return {tree.node(m.node).parent};
+    }
+    case MoveType::kReassign: {
+      const int old_parent = tree.node(m.node).parent;
+      tree.reassignDriver(m.node, m.new_parent);
+      d.routing.rebuildNet(tree, old_parent);
+      d.routing.rebuildNet(tree, m.new_parent);
+      return {old_parent, m.new_parent};
+    }
+  }
+  return {};
+}
+
+std::vector<int> subtreeSinks(const ClockTree& tree, int node) {
+  std::vector<int> sinks;
+  std::vector<int> stack = {node};
+  while (!stack.empty()) {
+    const int v = stack.back();
+    stack.pop_back();
+    const network::ClockNode& n = tree.node(v);
+    if (n.kind == NodeKind::Sink) {
+      sinks.push_back(v);
+      continue;
+    }
+    for (const int c : n.children) stack.push_back(c);
+  }
+  return sinks;
+}
+
+}  // namespace skewopt::core

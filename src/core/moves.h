@@ -1,0 +1,66 @@
+// Local optimization moves (paper Table 2, Figure 4).
+//
+//   Type I   — displace a buffer +/-10um in the 8 compass directions,
+//              combined with one-step up/down (or no) resizing of the same
+//              buffer.
+//   Type II  — the same displacement of the buffer combined with one-step
+//              up/down resizing of one of its child buffers.
+//   Type III — tree surgery: reassign the node to a different driver at the
+//              same tree level within a 50x50um box.
+//
+// applyMove() performs the move the way the paper's flow does an ECO: edit
+// the tree, legalize the touched cell, and ECO-reroute the affected nets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "network/design.h"
+
+namespace skewopt::core {
+
+enum class MoveType { kSizeDisplace, kChildDisplaceSize, kReassign };
+
+const char* moveTypeName(MoveType t);
+
+struct Move {
+  MoveType type = MoveType::kSizeDisplace;
+  int node = -1;          ///< buffer displaced (I, II) or reassigned (III)
+  geom::Point delta;      ///< displacement (types I, II)
+  int size_step = 0;      ///< -1/0/+1 on `node` (I) or on `child` (II)
+  int child = -1;         ///< type II: child buffer being resized
+  int new_parent = -1;    ///< type III: the new driver
+
+  std::string describe(const network::Design& d) const;
+};
+
+struct MoveEnumOptions {
+  double step_um = 10.0;          ///< displacement magnitude
+  double surgery_box_um = 50.0;   ///< type-III search box edge
+  std::size_t max_reassign = 5;   ///< type-III candidates per buffer
+  bool include_no_sizing = true;  ///< type I with size_step == 0
+};
+
+/// All candidate moves of one buffer per Table 2 (filtered for legality:
+/// size steps stay inside the library, reassignment never creates a cycle).
+std::vector<Move> enumerateMoves(const network::Design& d, int buffer,
+                                 const MoveEnumOptions& opts = {});
+
+/// Candidate moves of every buffer in the tree.
+std::vector<Move> enumerateAllMoves(const network::Design& d,
+                                    const MoveEnumOptions& opts = {});
+
+/// Applies a move with ECO semantics (edit + legalize + reroute). The
+/// design is modified in place; callers wanting trial evaluation copy the
+/// design first.
+void applyMove(network::Design& d, const Move& m);
+
+/// applyMove plus the dirty-driver set for sta::IncrementalTimer::update —
+/// the drivers whose nets were rebuilt (every timing change is inside their
+/// subtrees).
+std::vector<int> applyMoveTracked(network::Design& d, const Move& m);
+
+/// Sinks in the subtree rooted at `node`.
+std::vector<int> subtreeSinks(const network::ClockTree& tree, int node);
+
+}  // namespace skewopt::core

@@ -1,0 +1,70 @@
+#include "core/objective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace skewopt::core {
+
+using network::Design;
+
+Objective::Objective(const Design& d, const sta::Timer& timer) {
+  if (d.corners.empty())
+    throw std::invalid_argument("Objective: design has no active corners");
+  const std::vector<sta::CornerTiming> timing = timer.analyzeDesign(d);
+  // alpha_k = average skew-magnitude ratio between c0 and c_k over pairs,
+  // computed robustly as sum|skew^c0| / sum|skew^ck|.
+  alphas_.assign(d.corners.size(), 1.0);
+  std::vector<double> sum_abs(d.corners.size(), 0.0);
+  for (const network::SinkPair& p : d.pairs) {
+    for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+      const double s =
+          timing[ki].arrival[static_cast<std::size_t>(p.launch)] -
+          timing[ki].arrival[static_cast<std::size_t>(p.capture)];
+      sum_abs[ki] += std::abs(s);
+    }
+  }
+  for (std::size_t ki = 1; ki < d.corners.size(); ++ki)
+    alphas_[ki] = (sum_abs[ki] > 1e-9) ? sum_abs[0] / sum_abs[ki] : 1.0;
+}
+
+double Objective::pairV(const std::vector<double>& skew) const {
+  double v = 0.0;
+  for (std::size_t a = 0; a < skew.size(); ++a)
+    for (std::size_t b = a + 1; b < skew.size(); ++b)
+      v = std::max(v, std::abs(alphas_[a] * skew[a] - alphas_[b] * skew[b]));
+  return v;
+}
+
+VariationReport Objective::evaluateFromLatencies(
+    const Design& d, const std::vector<std::vector<double>>& lat) const {
+  const std::size_t nk = d.corners.size();
+  VariationReport r;
+  r.local_skew_ps.assign(nk, 0.0);
+  r.skew_ps.assign(nk, std::vector<double>(d.pairs.size(), 0.0));
+  r.v_pair_ps.assign(d.pairs.size(), 0.0);
+  std::vector<double> skew(nk);
+  for (std::size_t pi = 0; pi < d.pairs.size(); ++pi) {
+    const network::SinkPair& p = d.pairs[pi];
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      skew[ki] = lat[ki][static_cast<std::size_t>(p.launch)] -
+                 lat[ki][static_cast<std::size_t>(p.capture)];
+      r.skew_ps[ki][pi] = skew[ki];
+      r.local_skew_ps[ki] = std::max(r.local_skew_ps[ki], std::abs(skew[ki]));
+    }
+    r.v_pair_ps[pi] = pairV(skew);
+    r.sum_variation_ps += r.v_pair_ps[pi];
+  }
+  return r;
+}
+
+VariationReport Objective::evaluate(const Design& d,
+                                    const sta::Timer& timer) const {
+  const std::vector<sta::CornerTiming> timing = timer.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(timing.size());
+  for (std::size_t ki = 0; ki < timing.size(); ++ki)
+    lat[ki] = timing[ki].arrival;
+  return evaluateFromLatencies(d, lat);
+}
+
+}  // namespace skewopt::core

@@ -1,0 +1,61 @@
+// Skew-variation objective (paper Eqs. (1)-(3)).
+//
+// For sink pair (f_i, f_i') and corner pair (c_k, c_k'):
+//   v^{k,k'} = | alpha_k * skew^k - alpha_k' * skew^k' |
+//   V        = max over corner pairs of v
+//   objective = sum over sink pairs of V
+//
+// alpha_k normalizes corner c_k against the nominal corner c_0; per the
+// paper we use the average skew ratio between c_0 and c_k over all sink
+// pairs of the *initial* tree (alphas are an input parameter and stay fixed
+// through the optimization).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "network/design.h"
+#include "sta/timer.h"
+
+namespace skewopt::core {
+
+struct VariationReport {
+  /// Per active corner: max |skew| over the evaluated pairs — the paper's
+  /// "local skew" column of Table 5.
+  std::vector<double> local_skew_ps;
+  /// Per pair: skew at each active corner (skew[kIdx][pair]).
+  std::vector<std::vector<double>> skew_ps;
+  /// Per pair: V (max normalized variation over corner pairs).
+  std::vector<double> v_pair_ps;
+  /// Sum of V over pairs — the quantity the whole paper minimizes.
+  double sum_variation_ps = 0.0;
+};
+
+class Objective {
+ public:
+  /// Captures the pair list and computes the alphas from the design's
+  /// current (initial) tree.
+  Objective(const network::Design& d, const sta::Timer& timer);
+
+  /// Alphas per active corner (alpha for corners.front() is 1).
+  const std::vector<double>& alphas() const { return alphas_; }
+
+  /// Full report on the design's current state.
+  VariationReport evaluate(const network::Design& d,
+                           const sta::Timer& timer) const;
+
+  /// Report from externally supplied latencies: lat[kIdx][node_id] (only
+  /// sink entries are read). Used by the move predictor to score
+  /// hypothetical latency perturbations without a retime.
+  VariationReport evaluateFromLatencies(
+      const network::Design& d,
+      const std::vector<std::vector<double>>& lat) const;
+
+  /// V of one pair given its skew at each active corner.
+  double pairV(const std::vector<double>& skew_per_corner) const;
+
+ private:
+  std::vector<double> alphas_;
+};
+
+}  // namespace skewopt::core

@@ -1,0 +1,74 @@
+#include "core/placement_explorer.h"
+
+#include <algorithm>
+
+#include "eco/eco.h"
+
+namespace skewopt::core {
+
+double BufferPlacementExplorer::probe(int buffer, const geom::Point& pos,
+                                      int size_step,
+                                      std::size_t* count) const {
+  const geom::Point cur = design_->tree.node(buffer).pos;
+  Move m;
+  m.type = MoveType::kSizeDisplace;
+  m.node = buffer;
+  m.delta = {pos.x - cur.x, pos.y - cur.y};
+  m.size_step = size_step;
+  ++*count;
+  return predictor_.predictedVariationDelta(m);
+}
+
+PlacementChoice BufferPlacementExplorer::explore(
+    int buffer, const ExplorerOptions& opts) const {
+  const network::Design& d = *design_;
+  const geom::Point origin = d.tree.node(buffer).pos;
+  const int cells = static_cast<int>(d.tech->numCells());
+  const int cur_cell = d.tree.node(buffer).cell;
+
+  PlacementChoice best;
+  best.position = origin;
+
+  std::vector<int> steps = {0};
+  if (opts.explore_sizing) {
+    if (cur_cell + 1 < cells) steps.push_back(1);
+    if (cur_cell - 1 >= 0) steps.push_back(-1);
+  }
+
+  auto scan = [&](const geom::Point& center, double radius, double step) {
+    for (double dx = -radius; dx <= radius + 1e-9; dx += step) {
+      for (double dy = -radius; dy <= radius + 1e-9; dy += step) {
+        geom::Point p{center.x + dx, center.y + dy};
+        if (!d.floorplan.empty()) p = d.floorplan.clamp(p);
+        for (const int s : steps) {
+          if (p == origin && s == 0) continue;  // the do-nothing probe
+          const double delta = probe(buffer, p, s, &best.probes);
+          if (delta < best.predicted_delta_ps) {
+            best.predicted_delta_ps = delta;
+            best.position = p;
+            best.size_step = s;
+          }
+        }
+      }
+    }
+  };
+
+  // Coarse pass over the whole window, then refine around the winner.
+  scan(origin, opts.radius_um, opts.coarse_step_um);
+  if (best.predicted_delta_ps < 0.0)
+    scan(best.position, opts.coarse_step_um, opts.fine_step_um);
+  return best;
+}
+
+void BufferPlacementExplorer::apply(network::Design& d, int buffer,
+                                    const PlacementChoice& choice) {
+  Move m;
+  m.type = MoveType::kSizeDisplace;
+  m.node = buffer;
+  const geom::Point cur = d.tree.node(buffer).pos;
+  m.delta = {choice.position.x - cur.x, choice.position.y - cur.y};
+  m.size_step = choice.size_step;
+  applyMove(d, m);
+}
+
+}  // namespace skewopt::core

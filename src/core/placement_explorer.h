@@ -1,0 +1,60 @@
+// Continuous buffer-placement exploration — the paper's future-work item
+// (ii): "development of models to predict a buffer location for minimum
+// skew over a continuous range of possible buffer locations".
+//
+// Table 2's type-I moves probe eight fixed 10um displacements; this
+// extension instead scans a whole neighborhood with the same delta-latency
+// predictor (coarse grid, then a refinement grid around the coarse
+// optimum), returning the predicted-best location for a buffer. Each probe
+// is a prediction, not an ECO, so exploring hundreds of locations costs
+// what Algorithm 2 spends on a handful of golden trials.
+#pragma once
+
+#include "core/objective.h"
+#include "core/predictor.h"
+#include "network/design.h"
+
+namespace skewopt::core {
+
+struct ExplorerOptions {
+  double radius_um = 45.0;     ///< half-edge of the search square
+  double coarse_step_um = 15.0;
+  double fine_step_um = 4.0;
+  /// Also consider one-step up/down resizing at each probed location.
+  bool explore_sizing = true;
+};
+
+struct PlacementChoice {
+  geom::Point position;          ///< absolute location (legalized on apply)
+  int size_step = 0;             ///< -1/0/+1 library steps
+  double predicted_delta_ps = 0.0;  ///< predicted objective change
+  std::size_t probes = 0;        ///< predictor evaluations spent
+};
+
+class BufferPlacementExplorer {
+ public:
+  /// `model` may be null (analytical prediction).
+  BufferPlacementExplorer(const network::Design& d, const sta::Timer& timer,
+                          const Objective& objective,
+                          const DeltaLatencyModel* model = nullptr)
+      : design_(&d), predictor_(d, timer, objective, model) {}
+
+  /// Predicted-best location (and optional resize) for `buffer` within the
+  /// search window. Does not modify the design. The returned choice may be
+  /// the current location with predicted_delta 0 when nothing helps.
+  PlacementChoice explore(int buffer, const ExplorerOptions& opts = {}) const;
+
+  /// Applies a choice with ECO semantics (move + resize + legalize +
+  /// reroute). Returns nothing; re-time to observe the realized effect.
+  static void apply(network::Design& d, int buffer,
+                    const PlacementChoice& choice);
+
+ private:
+  double probe(int buffer, const geom::Point& pos, int size_step,
+               std::size_t* count) const;
+
+  const network::Design* design_;
+  MovePredictor predictor_;
+};
+
+}  // namespace skewopt::core

@@ -1,0 +1,775 @@
+#include "core/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "rc/rc.h"
+#include "route/route.h"
+#include "testgen/testgen.h"
+
+namespace skewopt::core {
+
+using network::ClockNode;
+using network::ClockTree;
+using network::Design;
+using network::NodeKind;
+
+const char* analyticName(std::size_t idx) {
+  switch (idx) {
+    case 0: return "flute+elmore";
+    case 1: return "flute+d2m";
+    case 2: return "trunk+elmore";
+    case 3: return "trunk+d2m";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// MoveAnalyzer
+// ---------------------------------------------------------------------------
+
+struct MoveAnalyzer::DriverSpec {
+  bool is_source = false;
+  const tech::Cell* cell = nullptr;  // null iff source
+  geom::Point pos;
+  double in_slew = 0.0;      // at the driver's input pin
+  double source_slew = 0.0;  // used when is_source
+};
+
+struct MoveAnalyzer::ChildSpec {
+  int id = -1;
+  geom::Point pos;
+  double cap = 0.0;
+};
+
+struct MoveAnalyzer::NetEstimates {
+  double load = 0.0;
+  double gate_delay = 0.0;
+  double out_slew = 0.0;
+  std::vector<std::array<double, 2>> wire;  // [child][elmore, d2m]
+  std::vector<double> in_slew;              // per child, Elmore/PERI based
+};
+
+MoveAnalyzer::MoveAnalyzer(const Design& d, const sta::Timer& timer)
+    : design_(&d), timer_(&timer) {
+  refresh();
+}
+
+void MoveAnalyzer::refresh() {
+  timing_ = timer_->analyzeDesign(*design_);
+  // Subtree sink counts for fanout weighting.
+  const ClockTree& tree = design_->tree;
+  subtree_sink_count_.assign(tree.numNodes(), 0);
+  // Nodes are appended under existing parents, so ids are topologically
+  // ordered; accumulate bottom-up.
+  for (std::size_t i = tree.numNodes(); i-- > 0;) {
+    const int id = static_cast<int>(i);
+    if (!tree.isValid(id)) continue;
+    const ClockNode& n = tree.node(id);
+    if (n.kind == NodeKind::Sink) subtree_sink_count_[i] = 1;
+    if (n.parent >= 0)
+      subtree_sink_count_[static_cast<std::size_t>(n.parent)] +=
+          subtree_sink_count_[i];
+  }
+}
+
+MoveAnalyzer::NetEstimates MoveAnalyzer::estimateNet(
+    const DriverSpec& drv, const std::vector<ChildSpec>& children,
+    std::size_t ki, int route_model) const {
+  const std::size_t k = design_->corners[ki];
+  const tech::WireParams& w = design_->tech->wire(k);
+
+  std::vector<geom::Point> pins;
+  pins.reserve(children.size());
+  for (const ChildSpec& c : children) pins.push_back(c.pos);
+  const route::SteinerTree net = (route_model == 0)
+                                     ? route::greedySteiner(drv.pos, pins)
+                                     : route::singleTrunk(drv.pos, pins);
+
+  rc::RcTree rct;
+  std::vector<std::size_t> rc_of(net.size());
+  rc_of[0] = 0;
+  for (std::size_t n = 1; n < net.size(); ++n) {
+    const double len = net.edgeLength(n);
+    rc_of[n] = rct.addNode(rc_of[static_cast<std::size_t>(net.parent[n])],
+                           len * w.res_kohm_per_um,
+                           len * w.cap_ff_per_um / 2.0);
+    rct.addCap(rc_of[static_cast<std::size_t>(net.parent[n])],
+               len * w.cap_ff_per_um / 2.0);
+  }
+  for (std::size_t i = 0; i < children.size(); ++i)
+    rct.addCap(rc_of[net.pin_node[i]], children[i].cap);
+
+  const rc::Moments mom = rc::Moments::compute(rct);
+
+  NetEstimates est;
+  est.load = rct.totalCap();
+  if (drv.is_source) {
+    est.gate_delay = 0.0;
+    est.out_slew = drv.source_slew;
+  } else {
+    est.gate_delay = drv.cell->delay[k].lookup(drv.in_slew, est.load);
+    est.out_slew = drv.cell->out_slew[k].lookup(drv.in_slew, est.load);
+  }
+  est.wire.resize(children.size());
+  est.in_slew.resize(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const std::size_t rcn = rc_of[net.pin_node[i]];
+    const double elm = -mom.m1[rcn];
+    est.wire[i][0] = elm;
+    est.wire[i][1] = rc::d2mFromMoments(mom.m1[rcn], mom.m2[rcn]);
+    est.in_slew[i] =
+        rc::periSlew(est.out_slew, rc::wireSlewFromElmore(elm));
+  }
+  return est;
+}
+
+std::array<double, kNumAnalytic> MoveAnalyzer::downstreamGateDelta(
+    int node, const std::array<double, kNumAnalytic>& in_slew_new,
+    double in_slew_old, std::size_t ki, int depth) const {
+  std::array<double, kNumAnalytic> out{};
+  const ClockTree& tree = design_->tree;
+  const ClockNode& n = tree.node(node);
+  if (n.kind != NodeKind::Buffer) return out;  // sinks: wire handled upstream
+  const std::size_t k = design_->corners[ki];
+  const tech::Cell& cell =
+      design_->tech->cell(static_cast<std::size_t>(n.cell));
+  const double load = timing_[ki].driver_load[static_cast<std::size_t>(node)];
+  const double gate_old = cell.delay[k].lookup(in_slew_old, load);
+  const double oslew_old = cell.out_slew[k].lookup(in_slew_old, load);
+
+  for (std::size_t m = 0; m < kNumAnalytic; ++m)
+    out[m] = cell.delay[k].lookup(in_slew_new[m], load) - gate_old;
+
+  if (depth >= 2 || n.children.empty()) return out;
+
+  // Propagate the slew change one level down (wire step slews recovered
+  // from the golden analysis since the net itself is untouched).
+  std::size_t total = 0;
+  std::array<double, kNumAnalytic> child_acc{};
+  for (const int c : n.children) {
+    const double in_old =
+        timing_[ki].in_slew[static_cast<std::size_t>(c)];
+    const double step2 =
+        std::max(0.0, in_old * in_old - oslew_old * oslew_old);
+    std::array<double, kNumAnalytic> in_new{};
+    for (std::size_t m = 0; m < kNumAnalytic; ++m) {
+      const double os_new = cell.out_slew[k].lookup(in_slew_new[m], load);
+      in_new[m] = std::sqrt(step2 + os_new * os_new);
+    }
+    const std::array<double, kNumAnalytic> sub =
+        downstreamGateDelta(c, in_new, in_old, ki, depth + 1);
+    const std::size_t wgt =
+        std::max<std::size_t>(1, subtree_sink_count_[static_cast<std::size_t>(c)]);
+    for (std::size_t m = 0; m < kNumAnalytic; ++m)
+      child_acc[m] += sub[m] * static_cast<double>(wgt);
+    total += wgt;
+  }
+  if (total > 0)
+    for (std::size_t m = 0; m < kNumAnalytic; ++m)
+      out[m] += child_acc[m] / static_cast<double>(total);
+  return out;
+}
+
+namespace {
+double pinCapOf(const Design& d, int id, std::size_t k, int cell_override) {
+  const ClockNode& n = d.tree.node(id);
+  if (n.kind == NodeKind::Sink) return d.tech->sinkCapFf(k);
+  const int cell = (cell_override >= 0) ? cell_override : n.cell;
+  return d.tech->cell(static_cast<std::size_t>(cell)).pin_cap_ff[k];
+}
+}  // namespace
+
+std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
+  const Design& d = *design_;
+  const ClockTree& tree = d.tree;
+  const std::size_t nk = d.corners.size();
+  std::vector<ImpactGroup> groups;
+
+  auto weightOf = [&](int id) {
+    return static_cast<double>(std::max<std::size_t>(
+        1, subtree_sink_count_[static_cast<std::size_t>(id)]));
+  };
+
+  if (m.type == MoveType::kSizeDisplace ||
+      m.type == MoveType::kChildDisplaceSize) {
+    const int b = m.node;
+    const int p = tree.node(b).parent;
+    const geom::Point new_pos{tree.node(b).pos.x + m.delta.x,
+                              tree.node(b).pos.y + m.delta.y};
+    const int b_cell_new = (m.type == MoveType::kSizeDisplace)
+                               ? tree.node(b).cell + m.size_step
+                               : tree.node(b).cell;
+    const int child_resized =
+        (m.type == MoveType::kChildDisplaceSize) ? m.child : -1;
+    const int child_cell_new =
+        (child_resized >= 0) ? tree.node(child_resized).cell + m.size_step
+                             : -1;
+
+    ImpactGroup primary;
+    primary.root = b;
+    primary.primary = true;
+    primary.delta.assign(nk, {});
+    ImpactGroup sibling;
+    sibling.root = p;
+    sibling.exclude = b;
+    sibling.delta.assign(nk, {});
+    const bool has_siblings = tree.node(p).children.size() > 1;
+
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const std::size_t k = d.corners[ki];
+
+      // Driver spec for p.
+      DriverSpec pd;
+      pd.pos = tree.node(p).pos;
+      if (tree.node(p).kind == NodeKind::Source) {
+        pd.is_source = true;
+        pd.source_slew = timer_->sourceSlew();
+      } else {
+        pd.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(p).cell));
+        pd.in_slew = timing_[ki].in_slew[static_cast<std::size_t>(p)];
+      }
+      // Children of p: old and new (b moved / resized).
+      std::vector<ChildSpec> pk_old, pk_new;
+      std::size_t b_idx = 0;
+      for (std::size_t ci = 0; ci < tree.node(p).children.size(); ++ci) {
+        const int c = tree.node(p).children[ci];
+        ChildSpec cs;
+        cs.id = c;
+        cs.pos = tree.node(c).pos;
+        cs.cap = pinCapOf(d, c, k, -1);
+        pk_old.push_back(cs);
+        if (c == b) {
+          b_idx = ci;
+          cs.pos = new_pos;
+          cs.cap = pinCapOf(d, c, k, b_cell_new);
+        }
+        pk_new.push_back(cs);
+      }
+
+      // Children of b: old and new (type II resizes one child's pin).
+      std::vector<ChildSpec> bk_old, bk_new;
+      for (const int c : tree.node(b).children) {
+        ChildSpec cs;
+        cs.id = c;
+        cs.pos = tree.node(c).pos;
+        cs.cap = pinCapOf(d, c, k, -1);
+        bk_old.push_back(cs);
+        if (c == child_resized) cs.cap = pinCapOf(d, c, k, child_cell_new);
+        bk_new.push_back(cs);
+      }
+
+      const tech::Cell& bcell_old =
+          d.tech->cell(static_cast<std::size_t>(tree.node(b).cell));
+      const tech::Cell& bcell_new =
+          d.tech->cell(static_cast<std::size_t>(b_cell_new));
+
+      for (int rm = 0; rm < 2; ++rm) {
+        const NetEstimates p_old = estimateNet(pd, pk_old, ki, rm);
+        const NetEstimates p_new = estimateNet(pd, pk_new, ki, rm);
+
+        DriverSpec bd_old, bd_new;
+        bd_old.cell = &bcell_old;
+        bd_old.pos = tree.node(b).pos;
+        bd_old.in_slew = p_old.in_slew[b_idx];
+        bd_new.cell = &bcell_new;
+        bd_new.pos = new_pos;
+        bd_new.in_slew = p_new.in_slew[b_idx];
+        const NetEstimates b_old = estimateNet(bd_old, bk_old, ki, rm);
+        const NetEstimates b_new = estimateNet(bd_new, bk_new, ki, rm);
+
+        for (int met = 0; met < 2; ++met) {
+          const std::size_t mi = static_cast<std::size_t>(rm * 2 + met);
+          const double d_chain =
+              (p_new.gate_delay - p_old.gate_delay) +
+              (p_new.wire[b_idx][static_cast<std::size_t>(met)] -
+               p_old.wire[b_idx][static_cast<std::size_t>(met)]) +
+              (b_new.gate_delay - b_old.gate_delay);
+          // Primary: weighted mean over b's children paths.
+          double acc = 0.0, wsum = 0.0;
+          for (std::size_t ci = 0; ci < bk_old.size(); ++ci) {
+            double v = d_chain +
+                       (b_new.wire[ci][static_cast<std::size_t>(met)] -
+                        b_old.wire[ci][static_cast<std::size_t>(met)]);
+            const int cid = bk_old[ci].id;
+            if (tree.node(cid).kind == NodeKind::Buffer) {
+              std::array<double, kNumAnalytic> in_new{};
+              in_new.fill(b_new.in_slew[ci]);
+              v += downstreamGateDelta(cid, in_new, b_old.in_slew[ci], ki,
+                                       1)[mi];
+            }
+            const double wgt = weightOf(cid);
+            acc += v * wgt;
+            wsum += wgt;
+          }
+          primary.delta[ki][mi] = bk_old.empty() ? d_chain : acc / wsum;
+
+          if (has_siblings) {
+            double sacc = 0.0, swsum = 0.0;
+            for (std::size_t ci = 0; ci < pk_old.size(); ++ci) {
+              if (pk_old[ci].id == b) continue;
+              const double v =
+                  (p_new.gate_delay - p_old.gate_delay) +
+                  (p_new.wire[ci][static_cast<std::size_t>(met)] -
+                   p_old.wire[ci][static_cast<std::size_t>(met)]);
+              const double wgt = weightOf(pk_old[ci].id);
+              sacc += v * wgt;
+              swsum += wgt;
+            }
+            sibling.delta[ki][mi] = swsum > 0 ? sacc / swsum : 0.0;
+          }
+        }
+      }
+    }
+    groups.push_back(std::move(primary));
+    if (has_siblings) groups.push_back(std::move(sibling));
+    return groups;
+  }
+
+  // ---- Type III: tree surgery -------------------------------------------
+  const int b = m.node;
+  const int p_old = tree.node(b).parent;
+  const int p_new = m.new_parent;
+
+  ImpactGroup moved;
+  moved.root = b;
+  moved.primary = true;
+  moved.delta.assign(nk, {});
+  ImpactGroup old_grp;
+  old_grp.root = p_old;
+  old_grp.exclude = b;
+  old_grp.delta.assign(nk, {});
+  ImpactGroup new_grp;
+  new_grp.root = p_new;
+  new_grp.delta.assign(nk, {});
+
+  for (std::size_t ki = 0; ki < nk; ++ki) {
+    const std::size_t k = d.corners[ki];
+
+    auto driverSpec = [&](int id) {
+      DriverSpec ds;
+      ds.pos = tree.node(id).pos;
+      if (tree.node(id).kind == NodeKind::Source) {
+        ds.is_source = true;
+        ds.source_slew = timer_->sourceSlew();
+      } else {
+        ds.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(id).cell));
+        ds.in_slew = timing_[ki].in_slew[static_cast<std::size_t>(id)];
+      }
+      return ds;
+    };
+    auto childSpecs = [&](int driver, int skip, int extra) {
+      std::vector<ChildSpec> cs;
+      for (const int c : tree.node(driver).children) {
+        if (c == skip) continue;
+        cs.push_back({c, tree.node(c).pos, pinCapOf(d, c, k, -1)});
+      }
+      if (extra >= 0)
+        cs.push_back({extra, tree.node(extra).pos, pinCapOf(d, extra, k, -1)});
+      return cs;
+    };
+
+    const DriverSpec po_d = driverSpec(p_old);
+    const DriverSpec pn_d = driverSpec(p_new);
+    const std::vector<ChildSpec> po_before = childSpecs(p_old, -1, -1);
+    const std::vector<ChildSpec> po_after = childSpecs(p_old, b, -1);
+    const std::vector<ChildSpec> pn_before = childSpecs(p_new, -1, -1);
+    const std::vector<ChildSpec> pn_after = childSpecs(p_new, -1, b);
+
+    for (int rm = 0; rm < 2; ++rm) {
+      const NetEstimates po_o = estimateNet(po_d, po_before, ki, rm);
+      const NetEstimates po_n = po_after.empty()
+                                    ? NetEstimates{}
+                                    : estimateNet(po_d, po_after, ki, rm);
+      const NetEstimates pn_o = pn_before.empty()
+                                    ? NetEstimates{}
+                                    : estimateNet(pn_d, pn_before, ki, rm);
+      const NetEstimates pn_n = estimateNet(pn_d, pn_after, ki, rm);
+
+      // Index of b in the before/after child lists.
+      std::size_t b_old_idx = 0;
+      for (std::size_t ci = 0; ci < po_before.size(); ++ci)
+        if (po_before[ci].id == b) b_old_idx = ci;
+      const std::size_t b_new_idx = pn_after.size() - 1;
+
+      for (int met = 0; met < 2; ++met) {
+        const std::size_t mi = static_cast<std::size_t>(rm * 2 + met);
+        const double in_old =
+            timing_[ki].in_arrival[static_cast<std::size_t>(p_old)];
+        const double in_new =
+            timing_[ki].in_arrival[static_cast<std::size_t>(p_new)];
+        const double path_old =
+            in_old + po_o.gate_delay +
+            po_o.wire[b_old_idx][static_cast<std::size_t>(met)];
+        const double path_new =
+            in_new + pn_n.gate_delay +
+            pn_n.wire[b_new_idx][static_cast<std::size_t>(met)];
+        double delta_b = path_new - path_old;
+        {
+          std::array<double, kNumAnalytic> in_slew_new{};
+          in_slew_new.fill(pn_n.in_slew[b_new_idx]);
+          delta_b += downstreamGateDelta(b, in_slew_new,
+                                         po_o.in_slew[b_old_idx], ki, 0)[mi];
+        }
+        moved.delta[ki][mi] = delta_b;
+
+        // Remaining children of the old driver speed up.
+        double acc = 0.0, wsum = 0.0;
+        for (std::size_t ci = 0; ci < po_after.size(); ++ci) {
+          // Locate this child in the before list.
+          std::size_t bi = 0;
+          for (std::size_t cj = 0; cj < po_before.size(); ++cj)
+            if (po_before[cj].id == po_after[ci].id) bi = cj;
+          const double v = (po_n.gate_delay - po_o.gate_delay) +
+                           (po_n.wire[ci][static_cast<std::size_t>(met)] -
+                            po_o.wire[bi][static_cast<std::size_t>(met)]);
+          const double wgt = weightOf(po_after[ci].id);
+          acc += v * wgt;
+          wsum += wgt;
+        }
+        old_grp.delta[ki][mi] = wsum > 0 ? acc / wsum : 0.0;
+
+        // Existing children of the new driver slow down.
+        acc = 0.0;
+        wsum = 0.0;
+        for (std::size_t ci = 0; ci < pn_before.size(); ++ci) {
+          const double v = (pn_n.gate_delay - pn_o.gate_delay) +
+                           (pn_n.wire[ci][static_cast<std::size_t>(met)] -
+                            pn_o.wire[ci][static_cast<std::size_t>(met)]);
+          const double wgt = weightOf(pn_before[ci].id);
+          acc += v * wgt;
+          wsum += wgt;
+        }
+        new_grp.delta[ki][mi] = wsum > 0 ? acc / wsum : 0.0;
+      }
+    }
+  }
+  groups.push_back(std::move(moved));
+  groups.push_back(std::move(old_grp));
+  groups.push_back(std::move(new_grp));
+  return groups;
+}
+
+std::array<double, kNumFeatures> MoveAnalyzer::features(
+    const Move& m, const ImpactGroup& primary, std::size_t ki) const {
+  const ClockTree& tree = design_->tree;
+  std::array<double, kNumFeatures> f{};
+  for (std::size_t i = 0; i < kNumAnalytic; ++i) f[i] = primary.delta[ki][i];
+
+  // Bounding box over the perturbed net: driver pin plus fanout cells.
+  geom::BBox box;
+  double fanout = 0.0;
+  if (m.type == MoveType::kReassign) {
+    box.add(tree.node(m.new_parent).pos);
+    for (const int c : tree.node(m.new_parent).children)
+      box.add(tree.node(c).pos);
+    box.add(tree.node(m.node).pos);
+    fanout =
+        static_cast<double>(tree.node(m.new_parent).children.size() + 1);
+  } else {
+    box.add(geom::Point{tree.node(m.node).pos.x + m.delta.x,
+                        tree.node(m.node).pos.y + m.delta.y});
+    for (const int c : tree.node(m.node).children)
+      box.add(tree.node(c).pos);
+    fanout = static_cast<double>(tree.node(m.node).children.size());
+  }
+  f[kNumAnalytic] = fanout;
+  f[kNumAnalytic + 1] = box.rect().area();
+  f[kNumAnalytic + 2] = box.rect().aspect();
+  return f;
+}
+
+// ---------------------------------------------------------------------------
+// Golden deltas & sample collection
+// ---------------------------------------------------------------------------
+
+std::vector<double> goldenDelta(const Design& d, const sta::Timer& timer,
+                                const Move& m) {
+  const std::vector<int> sinks = subtreeSinks(d.tree, m.node);
+  std::vector<sta::CornerTiming> before = timer.analyzeDesign(d);
+  Design copy = d;
+  applyMove(copy, m);
+  std::vector<sta::CornerTiming> after = timer.analyzeDesign(copy);
+  std::vector<double> out(d.corners.size(), 0.0);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    double acc = 0.0;
+    for (const int s : sinks)
+      acc += after[ki].arrival[static_cast<std::size_t>(s)] -
+             before[ki].arrival[static_cast<std::size_t>(s)];
+    out[ki] = sinks.empty() ? 0.0 : acc / static_cast<double>(sinks.size());
+  }
+  return out;
+}
+
+std::vector<MoveSample> collectMoveSamples(const Design& d,
+                                           const sta::Timer& timer,
+                                           const std::vector<Move>& moves) {
+  MoveAnalyzer analyzer(d, timer);
+  const std::vector<sta::CornerTiming>& before = analyzer.baseline();
+  std::vector<MoveSample> samples;
+  samples.reserve(moves.size());
+  for (const Move& m : moves) {
+    MoveSample s;
+    s.move = m;
+    const std::vector<ImpactGroup> groups = analyzer.analyze(m);
+    const ImpactGroup* primary = nullptr;
+    for (const ImpactGroup& g : groups)
+      if (g.primary) primary = &g;
+    if (primary == nullptr) continue;
+    for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+      s.features.push_back(analyzer.features(m, *primary, ki));
+
+    const std::vector<int> sinks = subtreeSinks(d.tree, m.node);
+    Design copy = d;
+    applyMove(copy, m);
+    const std::vector<sta::CornerTiming> after = timer.analyzeDesign(copy);
+    s.golden_delta.assign(d.corners.size(), 0.0);
+    for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+      double acc = 0.0;
+      for (const int snk : sinks)
+        acc += after[ki].arrival[static_cast<std::size_t>(snk)] -
+               before[ki].arrival[static_cast<std::size_t>(snk)];
+      s.golden_delta[ki] =
+          sinks.empty() ? 0.0 : acc / static_cast<double>(sinks.size());
+    }
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLatencyModel
+// ---------------------------------------------------------------------------
+
+std::size_t DeltaLatencyModel::train(const tech::TechModel& tech,
+                                     const std::vector<std::size_t>& corners,
+                                     const TrainOptions& opts) {
+  per_corner_.clear();
+  per_corner_.resize(tech.numCorners());
+
+  sta::Timer timer(tech);
+  geom::Rng rng(opts.seed);
+
+  // Collect (features, golden) per corner across artificial testcases.
+  struct Raw {
+    std::vector<std::array<double, kNumFeatures>> x;
+    std::vector<double> y;
+  };
+  std::vector<Raw> raw(tech.numCorners());
+
+  for (std::size_t c = 0; c < opts.cases; ++c) {
+    const bool last_stage = rng.uniform() < opts.last_stage_fraction;
+    testgen::ArtificialCase ac =
+        testgen::makeArtificialCase(tech, rng, last_stage);
+    ac.design.corners = corners;
+    std::vector<Move> moves = enumerateMoves(ac.design, ac.target);
+    // Deterministic subsample.
+    while (moves.size() > opts.moves_per_case)
+      moves.erase(moves.begin() + static_cast<long>(rng.index(moves.size())));
+    const std::vector<MoveSample> samples =
+        collectMoveSamples(ac.design, timer, moves);
+    for (const MoveSample& s : samples) {
+      for (std::size_t ki = 0; ki < corners.size(); ++ki) {
+        raw[corners[ki]].x.push_back(s.features[ki]);
+        raw[corners[ki]].y.push_back(s.golden_delta[ki]);
+      }
+    }
+  }
+
+  std::size_t per_corner_samples = 0;
+  for (const std::size_t k : corners) {
+    Raw& r = raw[k];
+    if (r.x.size() < 10) continue;
+    per_corner_samples = r.x.size();
+
+    // Hold out a deterministic 15% slice for the Figure 5 artifacts.
+    const std::size_t nhold = std::max<std::size_t>(1, r.x.size() / 7);
+    ml::Dataset train;
+    train.x = ml::Matrix(r.x.size() - nhold, kNumFeatures);
+    std::vector<std::array<double, kNumFeatures>> hold_x;
+    std::vector<double> hold_y;
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < r.x.size(); ++i) {
+      if (i % 7 == 3 && hold_x.size() < nhold) {
+        hold_x.push_back(r.x[i]);
+        hold_y.push_back(r.y[i]);
+        continue;
+      }
+      for (std::size_t j = 0; j < kNumFeatures; ++j)
+        train.x.at(w, j) = r.x[i][j];
+      train.y.push_back(r.y[i]);
+      ++w;
+    }
+    // `w` rows actually written (holdout may be short).
+    if (w < train.x.rows()) {
+      ml::Matrix trimmed(w, kNumFeatures);
+      for (std::size_t i = 0; i < w; ++i)
+        for (std::size_t j = 0; j < kNumFeatures; ++j)
+          trimmed.at(i, j) = train.x.at(i, j);
+      train.x = std::move(trimmed);
+    }
+
+    PerCorner& pc = per_corner_[k];
+    pc.scaler.fit(train.x);
+    ml::Dataset scaled;
+    scaled.x = pc.scaler.transform(train.x);
+    // Residual learning: the model corrects the discrepancy between the
+    // first analytical estimate and the golden delta (the paper: "we
+    // construct machine learning-based models to minimize such
+    // discrepancy"). Predicting the residual instead of the absolute delta
+    // guarantees the model is never worse than analytical when the
+    // residual is unlearnable.
+    scaled.y = train.y;
+    for (std::size_t i = 0; i < scaled.y.size(); ++i)
+      scaled.y[i] -= train.x.at(i, 0);
+    pc.residual_lo = *std::min_element(scaled.y.begin(), scaled.y.end());
+    pc.residual_hi = *std::max_element(scaled.y.begin(), scaled.y.end());
+    switch (opts.family) {
+      case TrainOptions::Family::kAnn:
+        pc.model = std::make_unique<ml::MlpRegressor>(opts.mlp);
+        break;
+      case TrainOptions::Family::kSvr:
+        pc.model = std::make_unique<ml::SvrRbf>(opts.svr);
+        break;
+      case TrainOptions::Family::kHsm: {
+        ml::HsmOptions h;
+        h.mlp = opts.mlp;
+        h.svr = opts.svr;
+        pc.model = std::make_unique<ml::HybridSurrogate>(h);
+        break;
+      }
+    }
+    pc.model->fit(scaled);
+
+    for (std::size_t i = 0; i < hold_x.size(); ++i) {
+      pc.holdout.predicted.push_back(predict(k, hold_x[i]));
+      pc.holdout.golden.push_back(hold_y[i]);
+    }
+  }
+  return per_corner_samples;
+}
+
+bool DeltaLatencyModel::trainedFor(std::size_t corner) const {
+  return corner < per_corner_.size() &&
+         per_corner_[corner].model != nullptr;
+}
+
+double DeltaLatencyModel::predict(
+    std::size_t corner, const std::array<double, kNumFeatures>& feat) const {
+  const PerCorner& pc = per_corner_[corner];
+  if (pc.model == nullptr)
+    throw std::logic_error("DeltaLatencyModel: corner not trained");
+  const std::vector<double> scaled = pc.scaler.transformRow(feat.data());
+  const double residual = std::clamp(pc.model->predict(scaled.data()),
+                                     pc.residual_lo, pc.residual_hi);
+  return feat[0] + residual;
+}
+
+const DeltaLatencyModel::Holdout& DeltaLatencyModel::holdout(
+    std::size_t corner) const {
+  return per_corner_[corner].holdout;
+}
+
+// ---------------------------------------------------------------------------
+// MovePredictor
+// ---------------------------------------------------------------------------
+
+MovePredictor::MovePredictor(const Design& d, const sta::Timer& timer,
+                             const Objective& objective,
+                             const DeltaLatencyModel* model,
+                             std::size_t analytic_fallback)
+    : design_(&d), timer_(&timer), objective_(&objective), model_(model),
+      fallback_(analytic_fallback), analyzer_(d, timer) {
+  refresh();
+}
+
+void MovePredictor::refresh() {
+  analyzer_.refresh();
+  std::vector<std::vector<double>> lat(design_->corners.size());
+  for (std::size_t ki = 0; ki < design_->corners.size(); ++ki)
+    lat[ki] = analyzer_.baseline()[ki].arrival;
+  base_report_ = objective_->evaluateFromLatencies(*design_, lat);
+  pairs_of_sink_.assign(design_->tree.numNodes(), {});
+  for (std::size_t pi = 0; pi < design_->pairs.size(); ++pi) {
+    pairs_of_sink_[static_cast<std::size_t>(design_->pairs[pi].launch)]
+        .push_back(pi);
+    pairs_of_sink_[static_cast<std::size_t>(design_->pairs[pi].capture)]
+        .push_back(pi);
+  }
+}
+
+std::vector<double> MovePredictor::predictedPrimaryDelta(
+    const Move& m) const {
+  const std::vector<ImpactGroup> groups = analyzer_.analyze(m);
+  const ImpactGroup* primary = nullptr;
+  for (const ImpactGroup& g : groups)
+    if (g.primary) primary = &g;
+  std::vector<double> out(design_->corners.size(), 0.0);
+  if (primary == nullptr) return out;
+  for (std::size_t ki = 0; ki < design_->corners.size(); ++ki) {
+    const std::size_t k = design_->corners[ki];
+    if (model_ != nullptr && model_->trainedFor(k)) {
+      out[ki] = model_->predict(k, analyzer_.features(m, *primary, ki));
+    } else {
+      out[ki] = primary->delta[ki][fallback_];
+    }
+  }
+  return out;
+}
+
+double MovePredictor::variationDeltaFromGroups(
+    const std::vector<ImpactGroup>& groups, const Move& m) const {
+  const std::size_t nk = design_->corners.size();
+
+  // Per-sink latency delta at each corner.
+  std::unordered_map<int, std::vector<double>> delta_of;
+  std::set<std::size_t> affected_pairs;
+  for (const ImpactGroup& g : groups) {
+    std::vector<int> sinks = subtreeSinks(design_->tree, g.root);
+    std::vector<int> excl;
+    if (g.exclude >= 0) excl = subtreeSinks(design_->tree, g.exclude);
+    std::set<int> excl_set(excl.begin(), excl.end());
+
+    std::vector<double> dval(nk);
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const std::size_t k = design_->corners[ki];
+      if (g.primary && model_ != nullptr && model_->trainedFor(k))
+        dval[ki] = model_->predict(k, analyzer_.features(m, g, ki));
+      else
+        dval[ki] = g.delta[ki][fallback_];
+    }
+    for (const int s : sinks) {
+      if (excl_set.count(s)) continue;
+      std::vector<double>& acc =
+          delta_of.try_emplace(s, std::vector<double>(nk, 0.0)).first->second;
+      for (std::size_t ki = 0; ki < nk; ++ki) acc[ki] += dval[ki];
+      for (const std::size_t pi : pairs_of_sink_[static_cast<std::size_t>(s)])
+        affected_pairs.insert(pi);
+    }
+  }
+
+  double delta_sum = 0.0;
+  std::vector<double> skew(nk);
+  for (const std::size_t pi : affected_pairs) {
+    const network::SinkPair& p = design_->pairs[pi];
+    const auto itl = delta_of.find(p.launch);
+    const auto itc = delta_of.find(p.capture);
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      double s = base_report_.skew_ps[ki][pi];
+      if (itl != delta_of.end()) s += itl->second[ki];
+      if (itc != delta_of.end()) s -= itc->second[ki];
+      skew[ki] = s;
+    }
+    delta_sum += objective_->pairV(skew) - base_report_.v_pair_ps[pi];
+  }
+  return delta_sum;
+}
+
+double MovePredictor::predictedVariationDelta(const Move& m) const {
+  return variationDeltaFromGroups(analyzer_.analyze(m), m);
+}
+
+}  // namespace skewopt::core

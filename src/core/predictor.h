@@ -1,0 +1,190 @@
+// Delta-latency prediction for local moves (paper Sec. 4.2).
+//
+// For every candidate move the paper first estimates the new routing with
+// two topologies (a FLUTE tree and a single-trunk Steiner tree) and the new
+// wire delays with two metrics (Elmore and D2M), updates the driver and its
+// resized child through Liberty interpolation, propagates slew with PERI,
+// and refreshes gate delays one and two stages downstream. Those four
+// analytical delta-latency estimates — plus the fanout count and the
+// bounding-box area and aspect ratio of the driven pins — feed a per-corner
+// machine-learning model (ANN / SVM-RBF / HSM) that predicts the *actual*
+// post-ECO delta-latency the golden timer would report.
+//
+// MoveAnalyzer produces the analytical estimates and features;
+// DeltaLatencyModel owns the trained per-corner regressors;
+// MovePredictor combines them into predicted skew-variation changes.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "core/moves.h"
+#include "core/objective.h"
+#include "ml/ml.h"
+#include "network/design.h"
+#include "sta/timer.h"
+
+namespace skewopt::core {
+
+/// Index layout of the four analytical estimators.
+///   0: FLUTE x Elmore   1: FLUTE x D2M
+///   2: single-trunk x Elmore   3: single-trunk x D2M
+inline constexpr std::size_t kNumAnalytic = 4;
+const char* analyticName(std::size_t idx);
+
+/// Feature vector layout fed to the ML model (paper Sec. 4.2): the four
+/// analytical estimates, fanout-cell count, bounding-box area, aspect.
+inline constexpr std::size_t kNumFeatures = kNumAnalytic + 3;
+
+/// One group of sinks shifted together by a move, with its per-corner,
+/// per-estimator analytical delta-latency.
+struct ImpactGroup {
+  int root = -1;       ///< sinks under this node move together...
+  int exclude = -1;    ///< ...except sinks under this node (-1: none)
+  bool primary = false;  ///< the group the ML model corrects
+  /// delta[cornerIdx][estimator], ps.
+  std::vector<std::array<double, kNumAnalytic>> delta;
+};
+
+/// Analytical move analysis against a fixed baseline timing.
+class MoveAnalyzer {
+ public:
+  MoveAnalyzer(const network::Design& d, const sta::Timer& timer);
+
+  /// Re-times the baseline after the design changed.
+  void refresh();
+
+  /// Affected sink groups and their analytical delta estimates.
+  std::vector<ImpactGroup> analyze(const Move& m) const;
+
+  /// The kNumFeatures model inputs of a move at active-corner index ki
+  /// (requires the groups from analyze(), to reuse the primary estimates).
+  std::array<double, kNumFeatures> features(const Move& m,
+                                            const ImpactGroup& primary,
+                                            std::size_t ki) const;
+
+  const std::vector<sta::CornerTiming>& baseline() const { return timing_; }
+  const network::Design& design() const { return *design_; }
+
+ private:
+  struct DriverSpec;
+  struct ChildSpec;
+  struct NetEstimates;
+  NetEstimates estimateNet(const DriverSpec& drv,
+                           const std::vector<ChildSpec>& children,
+                           std::size_t ki, int route_model) const;
+  std::array<double, kNumAnalytic> downstreamGateDelta(
+      int node, const std::array<double, kNumAnalytic>& in_slew_new,
+      double in_slew_old, std::size_t ki, int depth) const;
+
+  const network::Design* design_;
+  const sta::Timer* timer_;
+  std::vector<sta::CornerTiming> timing_;
+  std::vector<std::size_t> subtree_sink_count_;
+};
+
+// ---------------------------------------------------------------------------
+
+struct TrainOptions {
+  std::size_t cases = 40;           ///< paper: 150 artificial testcases
+  std::size_t moves_per_case = 40;  ///< paper: ~450 moves per testcase
+  double last_stage_fraction = 0.35;
+  std::uint64_t seed = 5;
+  enum class Family { kHsm, kAnn, kSvr } family = Family::kHsm;
+  ml::MlpOptions mlp;
+  ml::SvrOptions svr;
+};
+
+/// Per-corner delta-latency regressors trained on artificial testcases.
+class DeltaLatencyModel {
+ public:
+  /// Trains one model per corner id in `corners`. Returns the number of
+  /// training samples collected per corner.
+  std::size_t train(const tech::TechModel& tech,
+                    const std::vector<std::size_t>& corners,
+                    const TrainOptions& opts);
+
+  bool trainedFor(std::size_t corner) const;
+
+  /// Corrected delta-latency (ps) at a corner from the feature vector.
+  double predict(std::size_t corner,
+                 const std::array<double, kNumFeatures>& feat) const;
+
+  /// Training-set evaluation artifacts for the Figure 5 bench: predicted
+  /// and golden deltas of a held-out sample set.
+  struct Holdout {
+    std::vector<double> predicted;
+    std::vector<double> golden;
+  };
+  const Holdout& holdout(std::size_t corner) const;
+
+ private:
+  struct PerCorner {
+    ml::StandardScaler scaler;
+    std::unique_ptr<ml::Regressor> model;
+    Holdout holdout;
+    /// Residual-correction clamp (training-set residual range): guards
+    /// against wild extrapolation on out-of-distribution moves.
+    double residual_lo = 0.0, residual_hi = 0.0;
+  };
+  std::vector<PerCorner> per_corner_;  // indexed by corner id
+};
+
+/// Collects (features, golden delta) samples for one design's moves —
+/// shared by the trainer and the Figure 5/6 benches.
+struct MoveSample {
+  Move move;
+  std::vector<std::array<double, kNumFeatures>> features;  // per active corner
+  std::vector<double> golden_delta;                        // per active corner
+};
+std::vector<MoveSample> collectMoveSamples(const network::Design& d,
+                                           const sta::Timer& timer,
+                                           const std::vector<Move>& moves);
+
+/// Golden delta-latency of a move: apply to a copy, retime, and average the
+/// latency change over the sinks of the move's primary subtree. One value
+/// per active corner.
+std::vector<double> goldenDelta(const network::Design& d,
+                                const sta::Timer& timer, const Move& m);
+
+// ---------------------------------------------------------------------------
+
+/// Combines analyzer + model + objective into move scoring.
+class MovePredictor {
+ public:
+  /// `model` may be null: the predictor then falls back to the analytical
+  /// estimator `analytic_fallback` (0..3) — this is the paper's Figure 6
+  /// comparison axis.
+  MovePredictor(const network::Design& d, const sta::Timer& timer,
+                const Objective& objective, const DeltaLatencyModel* model,
+                std::size_t analytic_fallback = 0);
+
+  void refresh();
+
+  /// Predicted per-active-corner delta-latency of the move's primary group
+  /// (ML-corrected when a model is present).
+  std::vector<double> predictedPrimaryDelta(const Move& m) const;
+
+  /// Predicted change of the sum of normalized skew variations (ps;
+  /// negative is an improvement).
+  double predictedVariationDelta(const Move& m) const;
+
+  const MoveAnalyzer& analyzer() const { return analyzer_; }
+
+ private:
+  double variationDeltaFromGroups(const std::vector<ImpactGroup>& groups,
+                                  const Move& m) const;
+
+  const network::Design* design_;
+  const sta::Timer* timer_;
+  const Objective* objective_;
+  const DeltaLatencyModel* model_;
+  std::size_t fallback_;
+  MoveAnalyzer analyzer_;
+  VariationReport base_report_;
+  std::vector<std::vector<std::size_t>> pairs_of_sink_;  // sink id -> pair idx
+};
+
+}  // namespace skewopt::core

@@ -1,0 +1,429 @@
+#include "cts/cts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace skewopt::cts {
+
+using geom::Point;
+using network::ClockNode;
+using network::ClockTree;
+using network::Design;
+using network::NodeKind;
+
+namespace {
+
+/// Geometric cluster hierarchy over sink indices.
+struct Cluster {
+  Point centroid;
+  std::vector<int> sinks;             // leaf payload
+  std::vector<Cluster> children;      // internal payload
+  bool leaf() const { return children.empty(); }
+};
+
+Point centroidOf(const std::vector<Point>& pos, const std::vector<int>& idx) {
+  Point c;
+  for (const int i : idx) {
+    c.x += pos[static_cast<std::size_t>(i)].x;
+    c.y += pos[static_cast<std::size_t>(i)].y;
+  }
+  const double n = static_cast<double>(idx.size());
+  return {c.x / n, c.y / n};
+}
+
+// Splits `idx` at the median along the longer bbox dimension.
+void medianSplit(const std::vector<Point>& pos, std::vector<int> idx,
+                 std::vector<int>* a, std::vector<int>* b) {
+  geom::BBox box;
+  for (const int i : idx) box.add(pos[static_cast<std::size_t>(i)]);
+  const bool by_x = box.rect().width() >= box.rect().height();
+  std::sort(idx.begin(), idx.end(), [&](int l, int r) {
+    const Point& pl = pos[static_cast<std::size_t>(l)];
+    const Point& pr = pos[static_cast<std::size_t>(r)];
+    const double vl = by_x ? pl.x : pl.y;
+    const double vr = by_x ? pr.x : pr.y;
+    return vl != vr ? vl < vr : l < r;
+  });
+  const std::size_t mid = idx.size() / 2;
+  a->assign(idx.begin(), idx.begin() + static_cast<long>(mid));
+  b->assign(idx.begin() + static_cast<long>(mid), idx.end());
+}
+
+// Builds a *depth-balanced* hierarchy: every leaf cluster sits at exactly
+// `depth` more levels, so all sinks see the same number of buffer stages —
+// the dominant term of nominal skew is then wire mismatch, which the
+// snaking balancer can close, rather than whole missing gate stages, which
+// it cannot.
+Cluster buildHierarchy(const std::vector<Point>& pos, std::vector<int> idx,
+                       const CtsOptions& opts, int depth) {
+  Cluster c;
+  c.centroid = centroidOf(pos, idx);
+  if (depth == 0 || idx.size() <= 1) {
+    c.sinks = std::move(idx);
+    return c;
+  }
+  std::vector<std::vector<int>> parts;
+  std::vector<int> lo, hi;
+  medianSplit(pos, idx, &lo, &hi);
+  if (opts.branch_fanout >= 4 && lo.size() > 1 && hi.size() > 1) {
+    std::vector<int> a, b;
+    medianSplit(pos, lo, &a, &b);
+    parts.push_back(std::move(a));
+    parts.push_back(std::move(b));
+    medianSplit(pos, hi, &a, &b);
+    parts.push_back(std::move(a));
+    parts.push_back(std::move(b));
+  } else {
+    parts.push_back(std::move(lo));
+    parts.push_back(std::move(hi));
+  }
+  for (auto& p : parts) {
+    if (p.empty()) continue;
+    c.children.push_back(buildHierarchy(pos, std::move(p), opts, depth - 1));
+  }
+  return c;
+}
+
+// Levels of 4-way splits needed so leaf clusters hold <= leaf_fanout sinks.
+int hierarchyDepth(std::size_t sinks, const CtsOptions& opts) {
+  int depth = 0;
+  double remaining = static_cast<double>(sinks);
+  while (remaining > static_cast<double>(opts.leaf_fanout)) {
+    remaining /= static_cast<double>(std::max<std::size_t>(
+        2, opts.branch_fanout));
+    ++depth;
+  }
+  return depth;
+}
+
+}  // namespace
+
+double CtsEngine::effectiveDriveRes(const tech::Cell& cell,
+                                    std::size_t corner) {
+  const double lo = 4.0, hi = 32.0;
+  const double d_lo = cell.delay[corner].lookup(30.0, lo);
+  const double d_hi = cell.delay[corner].lookup(30.0, hi);
+  return (d_hi - d_lo) / (hi - lo);
+}
+
+CtsResult CtsEngine::synthesize(Design& d,
+                                const std::vector<Point>& sink_pos) const {
+  return synthesizeWithScenario(d, sink_pos, {d.corners.empty()
+                                                  ? std::size_t{0}
+                                                  : d.corners.front()});
+}
+
+CtsResult CtsEngine::synthesizeWithScenario(
+    Design& d, const std::vector<Point>& sink_pos,
+    const std::vector<std::size_t>& bal_corners) const {
+  if (sink_pos.empty())
+    throw std::invalid_argument("CtsEngine: no sinks");
+  if (d.corners.empty())
+    throw std::invalid_argument("CtsEngine: design has no active corners");
+  ClockTree& tree = d.tree;
+  if (tree.numNodes() != 1)
+    throw std::invalid_argument("CtsEngine: tree must be source-only");
+
+  CtsResult result;
+  result.sink_ids.assign(sink_pos.size(), -1);
+
+  // 1-2. Topology: buffers at cluster centroids, sinks under leaf buffers.
+  std::vector<int> all(sink_pos.size());
+  std::iota(all.begin(), all.end(), 0);
+  const Cluster top = buildHierarchy(sink_pos, std::move(all), opts_,
+                                     hierarchyDepth(sink_pos.size(), opts_));
+
+  const int cell = static_cast<int>(opts_.default_cell);
+  // Recursive lambda over the hierarchy.
+  auto emit = [&](auto&& self, const Cluster& c, int parent) -> void {
+    const int buf = tree.addBuffer(parent, c.centroid, cell);
+    if (c.leaf()) {
+      for (const int s : c.sinks)
+        result.sink_ids[static_cast<std::size_t>(s)] =
+            tree.addSink(buf, sink_pos[static_cast<std::size_t>(s)]);
+      return;
+    }
+    for (const Cluster& ch : c.children) self(self, ch, buf);
+  };
+  emit(emit, top, tree.root());
+
+  // 3. Repeater chains (inverter pairs, preserving polarity) on long edges.
+  //    Stage counts are equalized among siblings of a driver so every path
+  //    through the driver crosses the same number of gates — residual
+  //    mismatch is then pure wire, which the snaking balancer can close.
+  const std::size_t node_count_before_chains = tree.numNodes();
+  for (std::size_t i = 0; i < node_count_before_chains; ++i) {
+    const int drv = static_cast<int>(i);
+    if (!tree.isValid(drv)) continue;
+    const std::vector<int> kids = tree.node(drv).children;  // snapshot
+    if (kids.empty()) continue;
+    bool all_sinks = true;
+    for (const int c : kids)
+      if (tree.node(c).kind != NodeKind::Sink) all_sinks = false;
+    if (all_sinks) continue;  // leaf nets stay unbuffered (short edges)
+    std::size_t invs = 0;
+    for (const int c : kids) {
+      const double len =
+          geom::manhattan(tree.node(drv).pos, tree.node(c).pos);
+      const std::size_t segs = static_cast<std::size_t>(
+          std::ceil(len / opts_.max_stage_len_um));
+      std::size_t need = segs > 0 ? segs - 1 : 0;
+      if (need % 2 == 1) ++need;
+      invs = std::max(invs, need);
+    }
+    if (invs == 0) continue;
+    for (const int c : kids) {
+      const Point a = tree.node(drv).pos;
+      const Point b = tree.node(c).pos;
+      int prev = drv;
+      for (std::size_t j = 1; j <= invs; ++j) {
+        const double t =
+            static_cast<double>(j) / static_cast<double>(invs + 1);
+        prev = tree.addBuffer(prev, geom::lerp(a, b, t), cell);
+      }
+      tree.reassignDriver(c, prev);
+      result.inserted_buffers += invs;
+    }
+  }
+
+  d.routing.rebuildAll(tree);
+
+  // 4. Load-driven sizing, then 5. skew balancing toward the 0ps target.
+  sizeBuffers(d);
+  result.balanced_skew_ps = balance(d, result.sink_ids, bal_corners);
+
+  std::string err;
+  if (!tree.validate(&err))
+    throw std::logic_error("CtsEngine produced invalid tree: " + err);
+  return result;
+}
+
+void CtsEngine::sizeBuffers(Design& d) const {
+  const std::size_t k = d.corners.front();
+  ClockTree& tree = d.tree;
+
+  // Bottom-up (deepest first) so child pin caps are final when the parent
+  // is sized.
+  std::vector<int> bufs = tree.buffers();
+  std::sort(bufs.begin(), bufs.end(), [&](int a, int b) {
+    const int la = tree.level(a), lb = tree.level(b);
+    return la != lb ? la > lb : a < b;
+  });
+  for (const int id : bufs) {
+    const route::SteinerTree* net = d.routing.net(id);
+    if (net == nullptr) continue;
+    double load = net->wirelength() * d.tech->wire(k).cap_ff_per_um;
+    for (const int c : tree.node(id).children) {
+      const ClockNode& cn = tree.node(c);
+      load += (cn.kind == NodeKind::Sink)
+                  ? d.tech->sinkCapFf(k)
+                  : d.tech->cell(static_cast<std::size_t>(cn.cell))
+                        .pin_cap_ff[k];
+    }
+    std::size_t pick = d.tech->numCells() - 1;
+    for (std::size_t ci = 0; ci < d.tech->numCells(); ++ci) {
+      if (load <= opts_.load_margin * d.tech->cell(ci).max_cap_ff) {
+        pick = ci;
+        break;
+      }
+    }
+    tree.resize(id, static_cast<int>(pick));
+  }
+}
+
+double CtsEngine::balance(Design& d, const std::vector<int>& sinks,
+                          const std::vector<std::size_t>& bal_corners) const {
+  // Sensitivities and sizing use the first balance corner; the *arrival*
+  // driving the balancing decisions is either that corner's (MCSM) or the
+  // normalized average across all of them (MCMM).
+  const std::size_t k = bal_corners.front();
+  ClockTree& tree = d.tree;
+  const double wire_r = d.tech->wire(k).res_kohm_per_um;
+  const double wire_c = d.tech->wire(k).cap_ff_per_um;
+
+  constexpr double kMaxExtraPerEdge = 900.0;
+  constexpr double kMaxStepPerIter = 150.0;
+  constexpr double kDamping = 0.55;
+
+  auto measureSkew = [&](const sta::CornerTiming& t) {
+    double lo = std::numeric_limits<double>::infinity(), hi = -lo;
+    for (const int s : sinks) {
+      const double a = t.arrival[static_cast<std::size_t>(s)];
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+    }
+    return hi - lo;
+  };
+
+  // Snapshot machinery: snaking that overshoots must never be kept.
+  double best_skew = std::numeric_limits<double>::infinity();
+  network::Routing best_routing = d.routing;
+  std::vector<int> best_cells(tree.numNodes(), -1);
+  auto snapshot = [&]() {
+    best_routing = d.routing;
+    for (std::size_t i = 0; i < tree.numNodes(); ++i)
+      best_cells[i] = tree.isValid(static_cast<int>(i))
+                          ? tree.node(static_cast<int>(i)).cell
+                          : -1;
+  };
+
+  auto blendedTiming = [&]() {
+    sta::CornerTiming t = timer_.analyze(tree, d.routing, bal_corners[0]);
+    if (bal_corners.size() > 1) {
+      // Normalize each corner's arrivals by its mean sink arrival, then
+      // average, so slow corners do not dominate the blend.
+      std::vector<double> blended(t.arrival.size(), 0.0);
+      for (const std::size_t bk : bal_corners) {
+        const sta::CornerTiming tk = timer_.analyze(tree, d.routing, bk);
+        double mean = 0.0;
+        for (const int s : sinks)
+          mean += tk.arrival[static_cast<std::size_t>(s)];
+        mean /= std::max<double>(1.0, static_cast<double>(sinks.size()));
+        const double inv = mean > 1e-9 ? 1.0 / mean : 1.0;
+        for (std::size_t i = 0; i < blended.size(); ++i)
+          blended[i] += tk.arrival[i] * inv;
+      }
+      // Rescale to the first corner's latency range so the ps-valued
+      // deficits below stay physical.
+      double mean0 = 0.0;
+      for (const int s : sinks)
+        mean0 += t.arrival[static_cast<std::size_t>(s)];
+      mean0 /= std::max<double>(1.0, static_cast<double>(sinks.size()));
+      for (std::size_t i = 0; i < blended.size(); ++i)
+        t.arrival[i] = blended[i] * mean0 /
+                       static_cast<double>(bal_corners.size());
+    }
+    return t;
+  };
+
+  for (std::size_t iter = 0; iter < opts_.balance_iterations; ++iter) {
+    sizeBuffers(d);  // re-fit drive strengths to the grown wire loads
+    const sta::CornerTiming t = blendedTiming();
+    const double skew = measureSkew(t);
+    if (skew < best_skew) {
+      best_skew = skew;
+      snapshot();
+    }
+    if (skew <= opts_.skew_target_ps + 2.0) break;
+
+    // Subtree max latency per node.
+    std::vector<double> max_lat(tree.numNodes(),
+                                -std::numeric_limits<double>::infinity());
+    for (const int s : sinks) {
+      const double a = t.arrival[static_cast<std::size_t>(s)];
+      for (int cur = s; cur >= 0; cur = tree.node(cur).parent) {
+        if (a <= max_lat[static_cast<std::size_t>(cur)]) break;
+        max_lat[static_cast<std::size_t>(cur)] = a;
+      }
+    }
+
+    // Snake wire into the faster child branches, damped and bounded.
+    for (std::size_t i = 0; i < tree.numNodes(); ++i) {
+      const int drv = static_cast<int>(i);
+      if (!tree.isValid(drv)) continue;
+      const ClockNode& dn = tree.node(drv);
+      if (dn.children.size() < 2) continue;
+      double target = -std::numeric_limits<double>::infinity();
+      for (const int c : dn.children)
+        target = std::max(target, max_lat[static_cast<std::size_t>(c)]);
+      const double reff =
+          (dn.kind == NodeKind::Buffer)
+              ? effectiveDriveRes(
+                    d.tech->cell(static_cast<std::size_t>(dn.cell)), k)
+              : 0.2;
+      // Load headroom: never snake the driver past ~85% of its max cap.
+      double cap_headroom = std::numeric_limits<double>::infinity();
+      if (dn.kind == NodeKind::Buffer) {
+        const double maxc =
+            d.tech->cell(static_cast<std::size_t>(dn.cell)).max_cap_ff;
+        cap_headroom = std::max(
+            0.0, 0.85 * maxc - t.driver_load[static_cast<std::size_t>(drv)]);
+      }
+      for (std::size_t ci = 0; ci < dn.children.size(); ++ci) {
+        const int c = dn.children[ci];
+        const double deficit = target - max_lat[static_cast<std::size_t>(c)];
+        if (deficit < 2.0) continue;
+        const ClockNode& cn = tree.node(c);
+        const double cpin =
+            (cn.kind == NodeKind::Sink)
+                ? d.tech->sinkCapFf(k)
+                : d.tech->cell(static_cast<std::size_t>(cn.cell))
+                      .pin_cap_ff[k];
+        const double cur_extra = d.routing.extraOf(drv, ci);
+        if (cur_extra >= kMaxExtraPerEdge) continue;
+        // d(delay)/d(extra) of a snaked edge: the snake's own RC (quadratic
+        // in length, so the local slope grows with what is already there)
+        // plus the driver resistance seeing the added cap.
+        const double sens = wire_r * wire_c * cur_extra +
+                            wire_r * (cpin + wire_c * cur_extra / 2.0) +
+                            reff * wire_c + 1e-4;
+        double extra = std::min(kDamping * deficit / sens, kMaxStepPerIter);
+        extra = std::min(extra, kMaxExtraPerEdge - cur_extra);
+        if (cap_headroom < std::numeric_limits<double>::infinity()) {
+          extra = std::min(extra, cap_headroom / wire_c);
+          cap_headroom -= extra * wire_c;
+        }
+        if (extra > 1.0) d.routing.addExtra(drv, ci, extra);
+      }
+    }
+  }
+
+  // Final check, then restore the best configuration seen.
+  {
+    sizeBuffers(d);
+    const sta::CornerTiming t = blendedTiming();
+    const double skew = measureSkew(t);
+    if (skew < best_skew) {
+      best_skew = skew;
+      snapshot();
+    }
+  }
+  d.routing = std::move(best_routing);
+  for (std::size_t i = 0; i < tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (best_cells[i] >= 0 && tree.isValid(id) &&
+        tree.node(id).kind == NodeKind::Buffer &&
+        tree.node(id).cell != best_cells[i])
+      tree.resize(id, best_cells[i]);
+  }
+  return best_skew;
+}
+
+CtsResult CtsEngine::synthesizeBestScenario(
+    Design& d, const std::vector<Point>& sink_pos,
+    const std::function<std::vector<network::SinkPair>(
+        const std::vector<int>&)>& make_pairs) const {
+  if (d.corners.empty())
+    throw std::invalid_argument("synthesizeBestScenario: no active corners");
+
+  // Scenarios: one MCSM balance per active corner, plus the MCMM blend.
+  std::vector<std::vector<std::size_t>> scenarios;
+  for (const std::size_t k : d.corners) scenarios.push_back({k});
+  scenarios.push_back(d.corners);
+
+  double best_score = std::numeric_limits<double>::infinity();
+  Design best = d;
+  CtsResult best_result;
+  std::size_t best_tag = 0;
+  for (std::size_t si = 0; si < scenarios.size(); ++si) {
+    Design candidate = d;  // must still be source-only
+    CtsResult r = synthesizeWithScenario(candidate, sink_pos, scenarios[si]);
+    candidate.pairs = make_pairs(r.sink_ids);
+    const double score = sta::sumNormalizedSkewVariation(candidate, timer_);
+    if (score < best_score) {
+      best_score = score;
+      best = std::move(candidate);
+      best_result = std::move(r);
+      best_tag = (scenarios[si].size() == 1) ? scenarios[si][0]
+                                             : std::numeric_limits<std::size_t>::max();
+    }
+  }
+  d = std::move(best);
+  best_result.chosen_scenario = best_tag;
+  return best_result;
+}
+
+}  // namespace skewopt::cts

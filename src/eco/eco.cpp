@@ -1,0 +1,191 @@
+#include "eco/eco.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+namespace skewopt::eco {
+
+using geom::Point;
+using network::Arc;
+using network::ClockTree;
+using network::Design;
+
+Point Legalizer::snap(const Point& p) const {
+  Point s{geom::snap(p.x, tech_->siteWidthUm()),
+          geom::snap(p.y, tech_->rowHeightUm())};
+  if (!floorplan_->empty() && !floorplan_->contains(s)) {
+    s = floorplan_->clamp(s);
+    s.x = geom::snap(s.x, tech_->siteWidthUm());
+    s.y = geom::snap(s.y, tech_->rowHeightUm());
+  }
+  return s;
+}
+
+double Legalizer::legalize(Design& d, const std::vector<int>& nodes) const {
+  const double site = tech_->siteWidthUm();
+  const double row = tech_->rowHeightUm();
+
+  // Occupancy of (row, site-start) cells by every other live buffer.
+  auto key = [&](const Point& p) {
+    return std::pair<long, long>(std::lround(p.y / row),
+                                 std::lround(p.x / site));
+  };
+  std::set<std::pair<long, long>> occupied;
+  std::set<int> moving(nodes.begin(), nodes.end());
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id) || moving.count(id)) continue;
+    if (d.tree.node(id).kind == network::NodeKind::Buffer)
+      occupied.insert(key(d.tree.node(id).pos));
+  }
+
+  double max_disp = 0.0;
+  for (const int id : nodes) {
+    const Point orig = d.tree.node(id).pos;
+    Point p = snap(orig);
+    // Deterministic spiral probe in site/row offsets.
+    bool placed = false;
+    for (int radius = 0; radius <= 24 && !placed; ++radius) {
+      for (int dy = -radius; dy <= radius && !placed; ++dy) {
+        for (int dx = -radius; dx <= radius && !placed; ++dx) {
+          if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
+          Point cand{p.x + dx * site * 3.0, p.y + dy * row};
+          if (!floorplan_->empty() && !floorplan_->contains(cand)) continue;
+          if (occupied.count(key(cand))) continue;
+          occupied.insert(key(cand));
+          d.tree.moveNode(id, cand);
+          max_disp = std::max(max_disp, geom::manhattan(orig, cand));
+          placed = true;
+        }
+      }
+    }
+    if (!placed) {  // fall back: keep the snapped point even if crowded
+      occupied.insert(key(p));
+      d.tree.moveNode(id, p);
+      max_disp = std::max(max_disp, geom::manhattan(orig, p));
+    }
+  }
+  return max_disp;
+}
+
+ArcSolution EcoEngine::selectSolution(
+    const std::vector<std::size_t>& corners, const std::vector<double>& d_lp,
+    double arc_len_um, const std::vector<double>& slew_in,
+    const std::vector<double>& last_load_ff) const {
+  if (corners.empty() || d_lp.size() != corners.size() ||
+      slew_in.size() != corners.size() ||
+      last_load_ff.size() != corners.size())
+    throw std::invalid_argument("selectSolution: per-corner size mismatch");
+
+  const std::vector<double>& wls = lut_->wirelengths();
+  ArcSolution best;
+  best.err = std::numeric_limits<double>::infinity();
+
+  // c0 (the nominal corner) is by convention the first active corner.
+  std::vector<double> est(corners.size());
+  for (std::size_t p = 0; p < lut_->numSizes(); ++p) {
+    for (std::size_t qi = 0; qi < wls.size(); ++qi) {
+      if (!lut_->comboLegal(p, qi)) continue;  // max-cap legality
+      const double q = wls[qi];
+      // The last pair additionally drives the arc's terminating load.
+      bool last_ok = true;
+      for (std::size_t ki = 0; ki < corners.size() && last_ok; ++ki) {
+        const double wc = q * tech_->wire(corners[ki]).cap_ff_per_um;
+        if (wc + last_load_ff[ki] > 0.9 * tech_->cell(p).max_cap_ff)
+          last_ok = false;
+      }
+      if (!last_ok) continue;
+      const double du0 = lut_->uniformDelay(p, qi, corners.front());
+      const std::size_t uest = static_cast<std::size_t>(
+          std::max(1.0, std::round(d_lp.front() / std::max(du0, 1e-9))));
+      const std::size_t lo = uest > 2 ? uest - 2 : 1;
+      for (std::size_t u = lo; u <= uest + 2; ++u) {
+        // Geometric feasibility: the chain must cover the arc span.
+        if ((2.0 * static_cast<double>(u) + 1.0) * q < arc_len_um - 1e-6)
+          continue;
+        double err = 0.0;
+        for (std::size_t ki = 0; ki < corners.size(); ++ki)
+          est[ki] = lut_->arcDelay(p, qi, u, corners[ki], slew_in[ki],
+                                   last_load_ff[ki]);
+        for (std::size_t ki = 0; ki < corners.size(); ++ki)
+          err += std::abs(est[ki] - d_lp[ki]);
+        for (std::size_t ki = 0; ki < corners.size(); ++ki)
+          for (std::size_t kj = ki + 1; kj < corners.size(); ++kj)
+            err += std::abs((est[ki] - est[kj]) - (d_lp[ki] - d_lp[kj]));
+        err += pair_penalty_ * static_cast<double>(u);
+        err += overshoot_weight_ * std::max(0.0, est.front() - d_lp.front());
+        if (err < best.err) {
+          best.valid = true;
+          best.p = p;
+          best.q_idx = qi;
+          best.u = u;
+          best.err = err;
+          best.est_delay = est;
+        }
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<int> EcoEngine::rebuildArc(Design& d, const Arc& arc,
+                                       const ArcSolution& sol) const {
+  if (!sol.valid) throw std::invalid_argument("rebuildArc: invalid solution");
+  ClockTree& tree = d.tree;
+
+  // 1. Strip the arc's current inverter pairs.
+  for (const int b : arc.interior) tree.removeInteriorBuffer(b);
+  for (const int b : arc.interior) d.routing.eraseNet(b);
+
+  // 2. Uniform re-insertion along the detour path: 2u inverters spaced q,
+  //    total routed span (2u+1)q, snaked as a "U" when that exceeds the
+  //    direct Manhattan run.
+  const double q = lut_->wirelengths()[sol.q_idx];
+  const double span = (2.0 * static_cast<double>(sol.u) + 1.0) * q;
+  const Point a = tree.node(arc.src).pos;
+  const Point b = tree.node(arc.dst).pos;
+  const std::vector<Point> path = route::uShapePath(a, b, span);
+
+  std::vector<int> inserted;
+  int prev = arc.src;
+  for (std::size_t i = 1; i <= 2 * sol.u; ++i) {
+    const Point pos =
+        route::pointAlongPath(path, static_cast<double>(i) * q);
+    prev = tree.addBuffer(prev, pos, static_cast<int>(sol.p));
+    inserted.push_back(prev);
+  }
+  tree.reassignDriver(arc.dst, prev);
+
+  // 3. Legalize the new cells, then ECO-reroute the touched nets.
+  Legalizer legal(*tech_, d.floorplan);
+  legal.legalize(d, inserted);
+  d.routing.rebuildNet(tree, arc.src);
+  for (const int bid : inserted) d.routing.rebuildNet(tree, bid);
+
+  // 4. Force the designed inter-inverter spacing: pad each chain hop up to
+  //    length q with snaking (the router's own jogs may already exceed it —
+  //    that residual is exactly the paper's ECO discrepancy).
+  auto padHop = [&](int driver, int child) {
+    const route::SteinerTree* net = d.routing.net(driver);
+    if (net == nullptr) return;
+    const auto& kids = tree.node(driver).children;
+    for (std::size_t pi = 0; pi < kids.size(); ++pi) {
+      if (kids[pi] != child) continue;
+      const double cur = net->pathLength(pi);
+      if (cur < q - 1e-6) d.routing.addExtra(driver, pi, q - cur);
+      break;
+    }
+  };
+  int hop_prev = arc.src;
+  for (const int bid : inserted) {
+    padHop(hop_prev, bid);
+    hop_prev = bid;
+  }
+  padHop(hop_prev, arc.dst);
+  return inserted;
+}
+
+}  // namespace skewopt::eco

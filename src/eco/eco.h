@@ -1,0 +1,94 @@
+// ECO implementation layer (paper Sec. 4.1, Algorithm 1).
+//
+// The global LP hands each arc a desired delay per corner; this module
+// realizes it physically:
+//   * selectSolution() — Algorithm 1: enumerate (gate size p, inter-inverter
+//     wirelength q, pair count u in [u_est-2, u_est+2]) against the stage
+//     LUTs and pick the combination minimizing the multi-corner error
+//     (absolute per-corner error plus corner-pair delta error);
+//   * rebuildArc()     — strip the arc's inverter pairs, re-insert the
+//     chosen chain uniformly spaced along a (possibly U-shaped) detour
+//     path, legalize, and ECO-reroute;
+//   * Legalizer        — site/row snapping with deterministic overlap
+//     resolution, the source of the placement noise the paper says makes
+//     LP delays and realized delays differ.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "eco/stage_lut.h"
+#include "network/design.h"
+
+namespace skewopt::eco {
+
+/// The (p, q, u) choice of Algorithm 1 for one arc.
+struct ArcSolution {
+  bool valid = false;
+  std::size_t p = 0;       ///< library cell (gate size)
+  std::size_t q_idx = 0;   ///< index into StageDelayLut::wirelengths()
+  std::size_t u = 0;       ///< number of inverter pairs
+  double err = 0.0;        ///< Algorithm-1 error of the chosen solution
+  std::vector<double> est_delay;  ///< per active corner, ps
+};
+
+class Legalizer {
+ public:
+  Legalizer(const tech::TechModel& tech, const geom::Region& floorplan)
+      : tech_(&tech), floorplan_(&floorplan) {}
+
+  /// Snaps a point to the site/row grid and clamps it into the floorplan.
+  geom::Point snap(const geom::Point& p) const;
+
+  /// Places the given buffers on free sites (deterministic spiral probing
+  /// around their current locations, avoiding every other live buffer).
+  /// Returns the maximum displacement applied (um). Does NOT reroute.
+  double legalize(network::Design& d, const std::vector<int>& nodes) const;
+
+ private:
+  const tech::TechModel* tech_;
+  const geom::Region* floorplan_;
+};
+
+class EcoEngine {
+ public:
+  /// `pair_count_penalty_ps` is added to the Algorithm-1 error per inverter
+  /// pair — a tie-break that steers near-equal solutions toward fewer cells
+  /// (keeps the Table 5 cell/power overhead negligible, as the paper
+  /// reports).
+  /// `overshoot_weight` additionally penalizes exceeding the nominal-corner
+  /// target: wire snaking can trim an undershoot after the fact, but an
+  /// overshoot is unrecoverable, so the selection is biased to undershoot.
+  EcoEngine(const tech::TechModel& tech, const StageDelayLut& lut,
+            double pair_count_penalty_ps = 1.5, double overshoot_weight = 2.0)
+      : tech_(&tech), lut_(&lut), pair_penalty_(pair_count_penalty_ps),
+        overshoot_weight_(overshoot_weight) {}
+
+  /// Algorithm 1: chooses (p, q, u) for an arc of Manhattan length
+  /// `arc_len_um`, given the LP's desired delay per active corner `d_lp`,
+  /// the input slew at the arc source and the load terminating the arc
+  /// (both per active corner). Solutions that cannot cover the arc's
+  /// geometric span ((2u+1)q < len) are rejected.
+  ArcSolution selectSolution(const std::vector<std::size_t>& corners,
+                             const std::vector<double>& d_lp,
+                             double arc_len_um,
+                             const std::vector<double>& slew_in,
+                             const std::vector<double>& last_load_ff) const;
+
+  /// Rebuilds one arc per the solution: removes its interior inverter
+  /// pairs, inserts the new chain uniformly along a U-shape detour path,
+  /// legalizes the new cells and rebuilds the affected nets with forced
+  /// inter-inverter spacing. Returns the ids of the inserted buffers.
+  std::vector<int> rebuildArc(network::Design& d, const network::Arc& arc,
+                              const ArcSolution& sol) const;
+
+  const StageDelayLut& lut() const { return *lut_; }
+
+ private:
+  const tech::TechModel* tech_;
+  const StageDelayLut* lut_;
+  double pair_penalty_;
+  double overshoot_weight_;
+};
+
+}  // namespace skewopt::eco

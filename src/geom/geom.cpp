@@ -1,0 +1,40 @@
+#include "geom/geom.h"
+
+namespace skewopt::geom {
+
+double Rect::aspect() const {
+  const double w = width();
+  const double h = height();
+  const double hi = std::max(w, h);
+  if (hi <= 0.0) return 1.0;
+  return std::min(w, h) / hi;
+}
+
+Point Region::clamp(const Point& p) const {
+  if (rects_.empty() || contains(p)) return p;
+  Point best = p;
+  double best_d = -1.0;
+  for (const Rect& r : rects_) {
+    const Point q = r.clamp(p);
+    const double d = manhattan(p, q);
+    if (best_d < 0.0 || d < best_d) {
+      best_d = d;
+      best = q;
+    }
+  }
+  return best;
+}
+
+Point Rng::pointIn(const Region& region) {
+  const auto& rects = region.rects();
+  if (rects.empty()) return {};
+  const double total = region.area();
+  double pick = uniform(0.0, total);
+  for (const Rect& r : rects) {
+    pick -= r.area();
+    if (pick <= 0.0) return pointIn(r);
+  }
+  return pointIn(rects.back());
+}
+
+}  // namespace skewopt::geom

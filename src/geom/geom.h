@@ -1,0 +1,209 @@
+// Basic planar geometry for clock-network optimization.
+//
+// All coordinates are in microns. The clock-network code is purely
+// rectilinear (Manhattan) — wirelength and distances use the L1 metric.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace skewopt::geom {
+
+/// A point in the placement plane, in microns.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Manhattan (L1) distance between two points, in microns.
+inline double manhattan(const Point& a, const Point& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+/// Euclidean distance; used only for reporting, never for wirelength.
+inline double euclidean(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Linear interpolation between two points (t in [0, 1]).
+inline Point lerp(const Point& a, const Point& b, double t) {
+  return {a.x + (b.x - a.x) * t, a.y + (b.y - a.y) * t};
+}
+
+/// Axis-aligned rectangle. Empty iff ux < lx or uy < ly.
+struct Rect {
+  double lx = 0.0;
+  double ly = 0.0;
+  double ux = -1.0;
+  double uy = -1.0;
+
+  static Rect around(const Point& c, double half_w, double half_h) {
+    return {c.x - half_w, c.y - half_h, c.x + half_w, c.y + half_h};
+  }
+
+  bool empty() const { return ux < lx || uy < ly; }
+  double width() const { return empty() ? 0.0 : ux - lx; }
+  double height() const { return empty() ? 0.0 : uy - ly; }
+  double area() const { return width() * height(); }
+  /// Aspect ratio, reported as min(w, h) / max(w, h) in (0, 1].
+  double aspect() const;
+  Point center() const { return {(lx + ux) / 2.0, (ly + uy) / 2.0}; }
+
+  bool contains(const Point& p) const {
+    return !empty() && p.x >= lx && p.x <= ux && p.y >= ly && p.y <= uy;
+  }
+
+  bool intersects(const Rect& o) const {
+    return !empty() && !o.empty() && lx <= o.ux && o.lx <= ux && ly <= o.uy &&
+           o.ly <= uy;
+  }
+
+  Rect expanded(double margin) const {
+    return {lx - margin, ly - margin, ux + margin, uy + margin};
+  }
+
+  /// Clamp a point into this rectangle.
+  Point clamp(const Point& p) const {
+    return {std::clamp(p.x, lx, ux), std::clamp(p.y, ly, uy)};
+  }
+};
+
+/// Running bounding box over a set of points.
+class BBox {
+ public:
+  void add(const Point& p) {
+    if (empty_) {
+      r_ = {p.x, p.y, p.x, p.y};
+      empty_ = false;
+    } else {
+      r_.lx = std::min(r_.lx, p.x);
+      r_.ly = std::min(r_.ly, p.y);
+      r_.ux = std::max(r_.ux, p.x);
+      r_.uy = std::max(r_.uy, p.y);
+    }
+  }
+  void add(const Rect& r) {
+    if (r.empty()) return;
+    add(Point{r.lx, r.ly});
+    add(Point{r.ux, r.uy});
+  }
+  bool empty() const { return empty_; }
+  /// The accumulated rectangle; an empty Rect if no points were added.
+  Rect rect() const { return empty_ ? Rect{} : r_; }
+  /// Half-perimeter wirelength of the box (the HPWL lower bound of an RSMT).
+  double halfPerimeter() const { return empty_ ? 0.0 : r_.width() + r_.height(); }
+
+ private:
+  Rect r_;
+  bool empty_ = true;
+};
+
+/// A rectilinear region expressed as a union of rectangles (e.g. the
+/// L-shaped memory-controller floorplan). Rectangles may overlap.
+class Region {
+ public:
+  Region() = default;
+  explicit Region(std::vector<Rect> rects) : rects_(std::move(rects)) {}
+
+  void add(const Rect& r) { rects_.push_back(r); }
+  const std::vector<Rect>& rects() const { return rects_; }
+  bool empty() const { return rects_.empty(); }
+
+  bool contains(const Point& p) const {
+    for (const Rect& r : rects_)
+      if (r.contains(p)) return true;
+    return false;
+  }
+
+  /// Total area, ignoring overlaps (generators use disjoint rectangles).
+  double area() const {
+    double a = 0.0;
+    for (const Rect& r : rects_) a += r.area();
+    return a;
+  }
+
+  /// Bounding box over all member rectangles.
+  Rect bbox() const {
+    BBox b;
+    for (const Rect& r : rects_) b.add(r);
+    return b.rect();
+  }
+
+  /// Nearest point inside the region (by L1 clamping per rectangle).
+  Point clamp(const Point& p) const;
+
+ private:
+  std::vector<Rect> rects_;
+};
+
+/// Snap a coordinate to a placement grid (site or row pitch).
+inline double snap(double v, double grid) {
+  if (grid <= 0.0) return v;
+  return std::round(v / grid) * grid;
+}
+
+/// Deterministic random number engine used throughout the project so that
+/// every testcase, training set and benchmark is reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : s_(splitmix(seed)) {}
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+  /// Uniform integer in [0, n); n must be > 0.
+  std::size_t index(std::size_t n) {
+    return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
+  }
+  /// Uniform integer in [lo, hi] inclusive.
+  int intIn(int lo, int hi) {
+    return lo + static_cast<int>(index(static_cast<std::size_t>(hi - lo + 1)));
+  }
+  /// Standard normal via Box-Muller.
+  double normal() {
+    const double u1 = std::max(uniform(), 1e-12);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+  /// Uniform point inside a rectangle.
+  Point pointIn(const Rect& r) {
+    return {uniform(r.lx, r.ux), uniform(r.ly, r.uy)};
+  }
+  /// Uniform point inside a region (area-weighted over member rectangles).
+  Point pointIn(const Region& region);
+
+  /// Fork an independent, deterministic sub-stream.
+  Rng fork() { return Rng(next()); }
+
+ private:
+  // xorshift128+ style generator seeded through splitmix64.
+  std::uint64_t next() {
+    std::uint64_t x = s_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    s_ = x;
+    return x * 0x2545F4914F6CDD1DULL;
+  }
+  static std::uint64_t splitmix(std::uint64_t z) {
+    z += 0x9E3779B97F4A7C15ULL;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return (z ^ (z >> 31)) | 1ULL;
+  }
+  std::uint64_t s_;
+};
+
+}  // namespace skewopt::geom

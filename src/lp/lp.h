@@ -1,0 +1,90 @@
+// Linear programming for the global skew-variation optimization.
+//
+// The paper solves the LP of its Eqs. (4)-(11) with a commercial-grade
+// solver; this module is a from-scratch replacement: a bounded-variable
+// primal simplex with
+//   * ranged rows (lo <= a.x <= hi) handled through slack variables,
+//   * a phase-1 that drives the sum of bound infeasibilities to zero,
+//   * Dantzig pricing with a Bland anti-cycling fallback,
+//   * an explicit dense basis inverse with eta updates and periodic
+//     refactorization (problem sizes here are a few thousand rows).
+//
+// The Model API is deliberately close to what callers of a commercial LP
+// library would write, so the global optimizer reads like the paper.
+#pragma once
+
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace skewopt::lp {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Term {
+  int var = -1;
+  double coef = 0.0;
+};
+
+/// An LP in the form: minimize c.x subject to lo_r <= A x <= hi_r and
+/// lb_j <= x_j <= ub_j. Equality rows use lo == hi; one-sided rows use
+/// +/-kInf on the open side.
+class Model {
+ public:
+  int addVar(double lb, double ub, double obj, std::string name = "");
+  void addRow(double lo, double hi, std::vector<Term> terms,
+              std::string name = "");
+
+  int numVars() const { return static_cast<int>(obj_.size()); }
+  int numRows() const { return static_cast<int>(row_lo_.size()); }
+  std::size_t numNonzeros() const { return nnz_; }
+
+  double objCoef(int v) const { return obj_[static_cast<std::size_t>(v)]; }
+  double varLb(int v) const { return var_lb_[static_cast<std::size_t>(v)]; }
+  double varUb(int v) const { return var_ub_[static_cast<std::size_t>(v)]; }
+  double rowLo(int r) const { return row_lo_[static_cast<std::size_t>(r)]; }
+  double rowHi(int r) const { return row_hi_[static_cast<std::size_t>(r)]; }
+  const std::vector<Term>& rowTerms(int r) const {
+    return rows_[static_cast<std::size_t>(r)];
+  }
+  const std::string& varName(int v) const {
+    return var_names_[static_cast<std::size_t>(v)];
+  }
+
+  /// Evaluates a candidate point: objective and worst constraint violation.
+  double objective(const std::vector<double>& x) const;
+  double maxViolation(const std::vector<double>& x) const;
+
+ private:
+  std::vector<double> obj_, var_lb_, var_ub_;
+  std::vector<double> row_lo_, row_hi_;
+  std::vector<std::vector<Term>> rows_;
+  std::vector<std::string> var_names_, row_names_;
+  std::size_t nnz_ = 0;
+};
+
+enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
+
+const char* statusName(Status s);
+
+struct Solution {
+  Status status = Status::IterLimit;
+  double objective = 0.0;
+  std::vector<double> x;  ///< structural variable values
+  int iterations = 0;
+  int phase1_iterations = 0;
+};
+
+struct SolverOptions {
+  int max_iterations = 200000;
+  double tolerance = 1e-7;
+  int refactor_every = 300;
+  /// Switch to Bland's rule after this many consecutive non-improving
+  /// iterations (degeneracy guard).
+  int stall_limit = 500;
+};
+
+/// Solves the model. Deterministic for a given model.
+Solution solve(const Model& model, const SolverOptions& opts = {});
+
+}  // namespace skewopt::lp

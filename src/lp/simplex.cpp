@@ -1,0 +1,534 @@
+// Bounded-variable two-phase primal simplex. See lp.h for the overview.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "lp/lp.h"
+
+namespace skewopt::lp {
+
+int Model::addVar(double lb, double ub, double obj, std::string name) {
+  if (lb > ub) throw std::invalid_argument("Model::addVar: lb > ub");
+  obj_.push_back(obj);
+  var_lb_.push_back(lb);
+  var_ub_.push_back(ub);
+  var_names_.push_back(name.empty() ? "x" + std::to_string(obj_.size() - 1)
+                                    : std::move(name));
+  return static_cast<int>(obj_.size()) - 1;
+}
+
+void Model::addRow(double lo, double hi, std::vector<Term> terms,
+                   std::string name) {
+  if (lo > hi) throw std::invalid_argument("Model::addRow: lo > hi");
+  for (const Term& t : terms)
+    if (t.var < 0 || t.var >= numVars())
+      throw std::out_of_range("Model::addRow: bad var index");
+  nnz_ += terms.size();
+  row_lo_.push_back(lo);
+  row_hi_.push_back(hi);
+  rows_.push_back(std::move(terms));
+  row_names_.push_back(name.empty() ? "r" + std::to_string(rows_.size() - 1)
+                                    : std::move(name));
+}
+
+double Model::objective(const std::vector<double>& x) const {
+  double o = 0.0;
+  for (std::size_t j = 0; j < obj_.size(); ++j) o += obj_[j] * x[j];
+  return o;
+}
+
+double Model::maxViolation(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (std::size_t j = 0; j < obj_.size(); ++j) {
+    if (var_lb_[j] > -kInf) v = std::max(v, var_lb_[j] - x[j]);
+    if (var_ub_[j] < kInf) v = std::max(v, x[j] - var_ub_[j]);
+  }
+  for (int r = 0; r < numRows(); ++r) {
+    double ax = 0.0;
+    for (const Term& t : rows_[static_cast<std::size_t>(r)])
+      ax += t.coef * x[static_cast<std::size_t>(t.var)];
+    if (row_lo_[static_cast<std::size_t>(r)] > -kInf)
+      v = std::max(v, row_lo_[static_cast<std::size_t>(r)] - ax);
+    if (row_hi_[static_cast<std::size_t>(r)] < kInf)
+      v = std::max(v, ax - row_hi_[static_cast<std::size_t>(r)]);
+  }
+  return v;
+}
+
+const char* statusName(Status s) {
+  switch (s) {
+    case Status::Optimal: return "optimal";
+    case Status::Infeasible: return "infeasible";
+    case Status::Unbounded: return "unbounded";
+    case Status::IterLimit: return "iteration-limit";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarState : unsigned char { Basic, AtLower, AtUpper, FreeZero };
+
+class Simplex {
+ public:
+  Simplex(const Model& model, const SolverOptions& opts)
+      : model_(model), opts_(opts), n_(model.numVars()), m_(model.numRows()),
+        total_(n_ + m_) {
+    buildColumns();
+    initBasis();
+  }
+
+  Solution run() {
+    Solution sol;
+    computeBasics();
+    // Phase 1: drive bound infeasibility of basic variables to zero.
+    if (!iterate(/*phase1=*/true, sol)) return sol;
+    sol.phase1_iterations = sol.iterations;
+    if (infeasibility() > 1e-6) {
+      sol.status = Status::Infeasible;
+      extract(sol);
+      return sol;
+    }
+    // Phase 2: optimize the true objective.
+    if (!iterate(/*phase1=*/false, sol)) return sol;
+    sol.status = Status::Optimal;
+    extract(sol);
+    return sol;
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  void buildColumns() {
+    cols_.resize(static_cast<std::size_t>(total_));
+    for (int r = 0; r < m_; ++r)
+      for (const Term& t : model_.rowTerms(r))
+        cols_[static_cast<std::size_t>(t.var)].push_back({r, t.coef});
+    for (int r = 0; r < m_; ++r)
+      cols_[static_cast<std::size_t>(n_ + r)].push_back({r, -1.0});
+
+    lb_.resize(static_cast<std::size_t>(total_));
+    ub_.resize(static_cast<std::size_t>(total_));
+    cost_.assign(static_cast<std::size_t>(total_), 0.0);
+    for (int j = 0; j < n_; ++j) {
+      lb_[static_cast<std::size_t>(j)] = model_.varLb(j);
+      ub_[static_cast<std::size_t>(j)] = model_.varUb(j);
+      cost_[static_cast<std::size_t>(j)] = model_.objCoef(j);
+    }
+    for (int r = 0; r < m_; ++r) {
+      lb_[static_cast<std::size_t>(n_ + r)] = model_.rowLo(r);
+      ub_[static_cast<std::size_t>(n_ + r)] = model_.rowHi(r);
+    }
+  }
+
+  void initBasis() {
+    x_.assign(static_cast<std::size_t>(total_), 0.0);
+    state_.assign(static_cast<std::size_t>(total_), VarState::AtLower);
+    basic_.resize(static_cast<std::size_t>(m_));
+    pos_.assign(static_cast<std::size_t>(total_), -1);
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (lb_[sj] > -kInf) {
+        state_[sj] = VarState::AtLower;
+        x_[sj] = lb_[sj];
+      } else if (ub_[sj] < kInf) {
+        state_[sj] = VarState::AtUpper;
+        x_[sj] = ub_[sj];
+      } else {
+        state_[sj] = VarState::FreeZero;
+        x_[sj] = 0.0;
+      }
+    }
+    // Slack basis: column of slack r is -e_r, so B = -I and Binv = -I.
+    binv_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(m_),
+                 0.0);
+    for (int r = 0; r < m_; ++r) {
+      basic_[static_cast<std::size_t>(r)] = n_ + r;
+      pos_[static_cast<std::size_t>(n_ + r)] = r;
+      state_[static_cast<std::size_t>(n_ + r)] = VarState::Basic;
+      binv(r, r) = -1.0;
+    }
+  }
+
+  double& binv(int i, int j) {
+    return binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double binvAt(int i, int j) const {
+    return binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  // x_B = Binv * (-(A_N x_N)) from current nonbasic values.
+  void computeBasics() {
+    std::vector<double> rhs(static_cast<std::size_t>(m_), 0.0);
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (state_[sj] == VarState::Basic || x_[sj] == 0.0) continue;
+      for (const Term& t : cols_[sj])
+        rhs[static_cast<std::size_t>(t.var)] -= t.coef * x_[sj];
+    }
+    for (int i = 0; i < m_; ++i) {
+      double v = 0.0;
+      for (int r = 0; r < m_; ++r) v += binvAt(i, r) * rhs[static_cast<std::size_t>(r)];
+      x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] = v;
+    }
+  }
+
+  // ---- pricing -----------------------------------------------------------
+
+  double infeasibility() const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+      if (x_[b] < lb_[b]) s += lb_[b] - x_[b];
+      if (x_[b] > ub_[b]) s += x_[b] - ub_[b];
+    }
+    return s;
+  }
+
+  // Phase-dependent basic cost vector into cb_ (phase 1: +/-1 on violated
+  // basics; phase 2: true costs of basics).
+  void basicCosts(bool phase1) {
+    cb_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+      if (phase1) {
+        if (x_[b] < lb_[b] - opts_.tolerance)
+          cb_[static_cast<std::size_t>(i)] = -1.0;
+        else if (x_[b] > ub_[b] + opts_.tolerance)
+          cb_[static_cast<std::size_t>(i)] = 1.0;
+      } else {
+        cb_[static_cast<std::size_t>(i)] = cost_[b];
+      }
+    }
+  }
+
+  // y = cb^T * Binv
+  void computeY() {
+    y_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const double c = cb_[static_cast<std::size_t>(i)];
+      if (c == 0.0) continue;
+      const double* row = &binv_[static_cast<std::size_t>(i) *
+                                 static_cast<std::size_t>(m_)];
+      for (int j = 0; j < m_; ++j) y_[static_cast<std::size_t>(j)] += c * row[j];
+    }
+  }
+
+  double reducedCost(int j, bool phase1) const {
+    double d = phase1 ? 0.0 : cost_[static_cast<std::size_t>(j)];
+    for (const Term& t : cols_[static_cast<std::size_t>(j)])
+      d -= y_[static_cast<std::size_t>(t.var)] * t.coef;
+    return d;
+  }
+
+  // w = Binv * a_e
+  void ftran(int e) {
+    w_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (const Term& t : cols_[static_cast<std::size_t>(e)]) {
+      const double cf = t.coef;
+      const int r = t.var;
+      for (int i = 0; i < m_; ++i)
+        w_[static_cast<std::size_t>(i)] += cf * binvAt(i, r);
+    }
+  }
+
+  // ---- pivoting ----------------------------------------------------------
+
+  void refactorize() {
+    // Dense Gauss-Jordan inversion of the basis matrix.
+    const std::size_t mm = static_cast<std::size_t>(m_);
+    std::vector<double> a(mm * mm, 0.0);
+    for (int i = 0; i < m_; ++i)
+      for (const Term& t : cols_[static_cast<std::size_t>(
+               basic_[static_cast<std::size_t>(i)])])
+        a[static_cast<std::size_t>(t.var) * mm + static_cast<std::size_t>(i)] =
+            t.coef;
+    std::vector<double> inv(mm * mm, 0.0);
+    for (std::size_t i = 0; i < mm; ++i) inv[i * mm + i] = 1.0;
+    for (std::size_t col = 0; col < mm; ++col) {
+      std::size_t piv = col;
+      double best = std::abs(a[col * mm + col]);
+      for (std::size_t r = col + 1; r < mm; ++r) {
+        const double v = std::abs(a[r * mm + col]);
+        if (v > best) {
+          best = v;
+          piv = r;
+        }
+      }
+      if (best < 1e-12)
+        throw std::runtime_error("simplex: singular basis during refactor");
+      if (piv != col) {
+        for (std::size_t j = 0; j < mm; ++j) {
+          std::swap(a[piv * mm + j], a[col * mm + j]);
+          std::swap(inv[piv * mm + j], inv[col * mm + j]);
+        }
+      }
+      const double s = 1.0 / a[col * mm + col];
+      for (std::size_t j = 0; j < mm; ++j) {
+        a[col * mm + j] *= s;
+        inv[col * mm + j] *= s;
+      }
+      for (std::size_t r = 0; r < mm; ++r) {
+        if (r == col) continue;
+        const double f = a[r * mm + col];
+        if (f == 0.0) continue;
+        for (std::size_t j = 0; j < mm; ++j) {
+          a[r * mm + j] -= f * a[col * mm + j];
+          inv[r * mm + j] -= f * inv[col * mm + j];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+    computeBasics();
+  }
+
+  void updateBinv(int r) {
+    const double piv = w_[static_cast<std::size_t>(r)];
+    double* rowr =
+        &binv_[static_cast<std::size_t>(r) * static_cast<std::size_t>(m_)];
+    const double s = 1.0 / piv;
+    for (int j = 0; j < m_; ++j) rowr[j] *= s;
+    for (int i = 0; i < m_; ++i) {
+      if (i == r) continue;
+      const double f = w_[static_cast<std::size_t>(i)];
+      if (f == 0.0) continue;
+      double* rowi =
+          &binv_[static_cast<std::size_t>(i) * static_cast<std::size_t>(m_)];
+      for (int j = 0; j < m_; ++j) rowi[j] -= f * rowr[j];
+    }
+  }
+
+  // ---- main loop ---------------------------------------------------------
+
+  // Returns false if the overall solve must stop (status set in sol).
+  bool iterate(bool phase1, Solution& sol) {
+    const double tol = opts_.tolerance;
+    int stall = 0;
+    bool bland = false;
+    double last_obj = currentObjective(phase1);
+    int since_refactor = 0;
+
+    while (true) {
+      if (sol.iterations >= opts_.max_iterations) {
+        sol.status = Status::IterLimit;
+        extract(sol);
+        return false;
+      }
+      if (phase1 && infeasibility() <= tol) return true;
+
+      basicCosts(phase1);
+      computeY();
+
+      // --- entering variable ---
+      int enter = -1;
+      double enter_dir = 0.0;
+      double best_score = tol;
+      for (int j = 0; j < total_; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        if (state_[sj] == VarState::Basic) continue;
+        if (lb_[sj] == ub_[sj]) continue;  // fixed variable
+        const double d = reducedCost(j, phase1);
+        double dir = 0.0;
+        if ((state_[sj] == VarState::AtLower ||
+             state_[sj] == VarState::FreeZero) &&
+            d < -best_score)
+          dir = 1.0;
+        else if ((state_[sj] == VarState::AtUpper ||
+                  state_[sj] == VarState::FreeZero) &&
+                 d > best_score)
+          dir = -1.0;
+        if (dir != 0.0) {
+          enter = j;
+          enter_dir = dir;
+          if (bland) break;          // Bland: first eligible index
+          best_score = std::abs(d);  // Dantzig: most violating
+        }
+      }
+      if (enter < 0) {
+        if (phase1) {
+          // No direction reduces infeasibility: phase-1 optimum reached.
+          return infeasibility() <= tol
+                     ? true
+                     : (sol.status = Status::Infeasible, extract(sol), false);
+        }
+        return true;  // phase-2 optimal
+      }
+
+      // --- ratio test ---
+      ftran(enter);
+      const std::size_t se = static_cast<std::size_t>(enter);
+      double t_max = kInf;
+      int leave_pos = -1;
+      double leave_to = 0.0;  // bound value the leaving variable lands on
+      // Entering variable's own opposite bound.
+      if (lb_[se] > -kInf && ub_[se] < kInf) t_max = ub_[se] - lb_[se];
+
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w_[static_cast<std::size_t>(i)];
+        if (std::abs(wi) < 1e-10) continue;
+        const std::size_t b =
+            static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+        // x_b moves by -enter_dir * t * wi.
+        const double rate = -enter_dir * wi;  // d x_b / d t
+        const bool below = x_[b] < lb_[b] - tol;
+        const bool above = x_[b] > ub_[b] + tol;
+        double limit = kInf, to = 0.0;
+        if (phase1 && below) {
+          if (rate > 0.0) {  // moving up toward lb
+            limit = (lb_[b] - x_[b]) / rate;
+            to = lb_[b];
+          }
+        } else if (phase1 && above) {
+          if (rate < 0.0) {  // moving down toward ub
+            limit = (ub_[b] - x_[b]) / rate;
+            to = ub_[b];
+          }
+        } else {
+          if (rate > 0.0 && ub_[b] < kInf) {
+            limit = (ub_[b] - x_[b]) / rate;
+            to = ub_[b];
+          } else if (rate < 0.0 && lb_[b] > -kInf) {
+            limit = (lb_[b] - x_[b]) / rate;
+            to = lb_[b];
+          }
+        }
+        if (limit < -tol) limit = 0.0;  // tiny negative from roundoff
+        limit = std::max(limit, 0.0);
+        if (limit < t_max - 1e-12 ||
+            (limit < t_max + 1e-12 && leave_pos >= 0 && bland &&
+             basic_[static_cast<std::size_t>(i)] <
+                 basic_[static_cast<std::size_t>(leave_pos)])) {
+          t_max = limit;
+          leave_pos = i;
+          leave_to = to;
+        }
+      }
+
+      if (t_max == kInf) {
+        sol.status = phase1 ? Status::Infeasible : Status::Unbounded;
+        extract(sol);
+        return false;
+      }
+
+      // --- apply step ---
+      ++sol.iterations;
+      ++since_refactor;
+      if (leave_pos < 0) {
+        // Bound flip: entering travels to its opposite bound.
+        x_[se] += enter_dir * t_max;
+        for (int i = 0; i < m_; ++i)
+          x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+              enter_dir * t_max * w_[static_cast<std::size_t>(i)];
+        state_[se] = (enter_dir > 0.0) ? VarState::AtUpper : VarState::AtLower;
+      } else {
+        const std::size_t bl = static_cast<std::size_t>(
+            basic_[static_cast<std::size_t>(leave_pos)]);
+        x_[se] += enter_dir * t_max;
+        for (int i = 0; i < m_; ++i)
+          x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+              enter_dir * t_max * w_[static_cast<std::size_t>(i)];
+        x_[bl] = leave_to;  // land exactly on its bound
+        state_[bl] = (lb_[bl] > -kInf && leave_to <= lb_[bl] + tol)
+                         ? VarState::AtLower
+                         : VarState::AtUpper;
+        pos_[bl] = -1;
+        basic_[static_cast<std::size_t>(leave_pos)] = enter;
+        pos_[se] = leave_pos;
+        state_[se] = VarState::Basic;
+        updateBinv(leave_pos);
+      }
+
+      // Refactorize only when the eta-updated inverse has actually drifted
+      // (checked via the cheap O(nnz) primal residual A x - s = 0), not on
+      // a fixed schedule — Gauss-Jordan is O(m^3) and dominates otherwise.
+      if (since_refactor >= opts_.refactor_every) {
+        since_refactor = 0;
+        if (primalResidual() > 1e-7) refactorize();
+      }
+
+      const double obj = currentObjective(phase1);
+      if (obj < last_obj - tol) {
+        stall = 0;
+        bland = false;
+        last_obj = obj;
+      } else if (++stall > opts_.stall_limit) {
+        bland = true;  // degeneracy guard
+      }
+    }
+  }
+
+  // Max |A x - s| over rows, using the sparse columns: O(nnz).
+  double primalResidual() const {
+    std::vector<double> res(static_cast<std::size_t>(m_), 0.0);
+    for (int j = 0; j < total_; ++j) {
+      const double v = x_[static_cast<std::size_t>(j)];
+      if (v == 0.0) continue;
+      for (const Term& t : cols_[static_cast<std::size_t>(j)])
+        res[static_cast<std::size_t>(t.var)] += t.coef * v;
+    }
+    double worst = 0.0;
+    for (const double r : res) worst = std::max(worst, std::abs(r));
+    return worst;
+  }
+
+  double currentObjective(bool phase1) const {
+    if (phase1) return infeasibility();
+    double o = 0.0;
+    for (int j = 0; j < total_; ++j)
+      o += cost_[static_cast<std::size_t>(j)] * x_[static_cast<std::size_t>(j)];
+    return o;
+  }
+
+  void extract(Solution& sol) const {
+    sol.x.assign(x_.begin(), x_.begin() + n_);
+    sol.objective = model_.objective(sol.x);
+  }
+
+  const Model& model_;
+  SolverOptions opts_;
+  int n_, m_, total_;
+  std::vector<std::vector<Term>> cols_;  // column-wise matrix incl. slacks
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<double> x_;
+  std::vector<VarState> state_;
+  std::vector<int> basic_, pos_;
+  std::vector<double> binv_, cb_, y_, w_;
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SolverOptions& opts) {
+  if (model.numRows() == 0) {
+    // Pure bound problem: each variable sits on its cheaper bound.
+    Solution sol;
+    sol.status = Status::Optimal;
+    sol.x.resize(static_cast<std::size_t>(model.numVars()));
+    for (int j = 0; j < model.numVars(); ++j) {
+      const double c = model.objCoef(j);
+      const double lb = model.varLb(j), ub = model.varUb(j);
+      double v;
+      if (c > 0.0)
+        v = lb;
+      else if (c < 0.0)
+        v = ub;
+      else
+        v = (lb > -kInf) ? lb : (ub < kInf ? ub : 0.0);
+      if (v == -kInf || v == kInf) {
+        sol.status = Status::Unbounded;
+        v = 0.0;
+      }
+      sol.x[static_cast<std::size_t>(j)] = v;
+    }
+    sol.objective = model.objective(sol.x);
+    return sol;
+  }
+  Simplex s(model, opts);
+  return s.run();
+}
+
+}  // namespace skewopt::lp

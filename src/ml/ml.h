@@ -1,0 +1,223 @@
+// Machine-learning substrate for the delta-latency predictor.
+//
+// The paper trains, per corner, three model families in MATLAB: an
+// Artificial Neural Network, an SVM regressor with an RBF kernel, and
+// Hybrid Surrogate Modeling (HSM) [Kahng/Lin/Nath, DATE 2013] which blends
+// metamodels weighted by their validation accuracy. This module provides
+// from-scratch equivalents:
+//
+//  * MlpRegressor     — feed-forward tanh network trained with Adam and
+//                       early stopping on a validation split.
+//  * SvrRbf           — epsilon-SVR, RBF kernel, solved in the (bias-free,
+//                       target-centered) dual by exact coordinate descent
+//                       with soft-thresholding.
+//  * HybridSurrogate  — HSM-style inverse-error-weighted blend of the two.
+//
+// Inputs must be standardized with StandardScaler before training; the
+// regressors are deterministic for a fixed seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "geom/geom.h"
+
+namespace skewopt::ml {
+
+/// Dense row-major matrix, sized once.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+  const double* row(std::size_t r) const { return &data_[r * cols_]; }
+  double* row(std::size_t r) { return &data_[r * cols_]; }
+  std::vector<double>& data() { return data_; }
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+struct Dataset {
+  Matrix x;
+  std::vector<double> y;
+  std::size_t size() const { return x.rows(); }
+};
+
+/// Per-feature standardization (zero mean, unit variance).
+class StandardScaler {
+ public:
+  void fit(const Matrix& x);
+  Matrix transform(const Matrix& x) const;
+  std::vector<double> transformRow(const double* row) const;
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& scale() const { return scale_; }
+
+ private:
+  std::vector<double> mean_, scale_;
+};
+
+/// Common regressor interface (inputs are pre-scaled feature rows).
+class Regressor {
+ public:
+  virtual ~Regressor() = default;
+  virtual void fit(const Dataset& train) = 0;
+  virtual double predict(const double* row) const = 0;
+  std::vector<double> predictAll(const Matrix& x) const;
+};
+
+// ---------------------------------------------------------------------------
+
+struct MlpOptions {
+  std::vector<std::size_t> hidden = {32, 16};
+  std::size_t epochs = 400;
+  std::size_t batch = 32;
+  double learning_rate = 2e-3;
+  double l2 = 1e-5;
+  double val_fraction = 0.15;
+  std::size_t patience = 40;  ///< early-stopping patience (epochs)
+  std::uint64_t seed = 7;
+};
+
+class MlpRegressor : public Regressor {
+ public:
+  explicit MlpRegressor(MlpOptions opts = {}) : opts_(std::move(opts)) {}
+  void fit(const Dataset& train) override;
+  double predict(const double* row) const override;
+
+ private:
+  struct Layer {
+    std::size_t in = 0, out = 0;
+    std::vector<double> w, b;       // weights out x in, biases out
+    std::vector<double> mw, vw, mb, vb;  // Adam moments
+  };
+  void forward(const double* row, std::vector<std::vector<double>>* acts) const;
+
+  MlpOptions opts_;
+  std::vector<Layer> layers_;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct SvrOptions {
+  double c = 10.0;
+  double epsilon = 0.05;     ///< in units of the centered/scaled target
+  double gamma = 0.0;        ///< RBF width; 0 = auto (1 / num features)
+  std::size_t max_sweeps = 200;
+  double tolerance = 1e-4;
+  std::size_t max_samples = 2500;  ///< subsample cap (kernel matrix is n^2)
+  std::uint64_t seed = 11;
+};
+
+class SvrRbf : public Regressor {
+ public:
+  explicit SvrRbf(SvrOptions opts = {}) : opts_(std::move(opts)) {}
+  void fit(const Dataset& train) override;
+  double predict(const double* row) const override;
+  std::size_t numSupportVectors() const;
+
+ private:
+  double kernel(const double* a, const double* b) const;
+  SvrOptions opts_;
+  Matrix sv_;                  // retained training rows
+  std::vector<double> beta_;   // dual coefficients
+  double gamma_ = 1.0;
+  double y_mean_ = 0.0, y_scale_ = 1.0;
+};
+
+// ---------------------------------------------------------------------------
+
+struct HsmOptions {
+  MlpOptions mlp;
+  SvrOptions svr;
+  double val_fraction = 0.2;
+  std::uint64_t seed = 13;
+};
+
+/// HSM: trains both families, weights them by inverse validation RMSE.
+class HybridSurrogate : public Regressor {
+ public:
+  explicit HybridSurrogate(HsmOptions opts = {}) : opts_(std::move(opts)) {}
+  void fit(const Dataset& train) override;
+  double predict(const double* row) const override;
+  double mlpWeight() const { return w_mlp_; }
+
+ private:
+  HsmOptions opts_;
+  std::unique_ptr<MlpRegressor> mlp_;
+  std::unique_ptr<SvrRbf> svr_;
+  double w_mlp_ = 0.5;
+};
+
+// ---------------------------------------------------------------------------
+
+/// Trivial baseline used in tests: predicts the training mean.
+class MeanRegressor : public Regressor {
+ public:
+  void fit(const Dataset& train) override;
+  double predict(const double*) const override { return mean_; }
+
+ private:
+  double mean_ = 0.0;
+};
+
+// ---- metrics & utilities --------------------------------------------------
+
+double rmse(const std::vector<double>& pred, const std::vector<double>& truth);
+double meanAbsError(const std::vector<double>& pred,
+                    const std::vector<double>& truth);
+/// Mean absolute percentage error with a floor on |truth| to avoid blowups.
+double mape(const std::vector<double>& pred, const std::vector<double>& truth,
+            double floor_abs = 1.0);
+
+/// Deterministic train/validation split.
+void splitDataset(const Dataset& all, double val_fraction, std::uint64_t seed,
+                  Dataset* train, Dataset* val);
+
+/// K-fold cross-validated RMSE of a regressor factory.
+template <typename MakeRegressor>
+double kfoldRmse(const Dataset& all, std::size_t folds, MakeRegressor make) {
+  const std::size_t n = all.size();
+  if (n < folds || folds < 2) return 0.0;
+  double total_sq = 0.0;
+  std::size_t count = 0;
+  for (std::size_t f = 0; f < folds; ++f) {
+    Dataset train, test;
+    const std::size_t d = all.x.cols();
+    std::vector<std::size_t> tr, te;
+    for (std::size_t i = 0; i < n; ++i)
+      (i % folds == f ? te : tr).push_back(i);
+    train.x = Matrix(tr.size(), d);
+    test.x = Matrix(te.size(), d);
+    for (std::size_t i = 0; i < tr.size(); ++i) {
+      for (std::size_t j = 0; j < d; ++j)
+        train.x.at(i, j) = all.x.at(tr[i], j);
+      train.y.push_back(all.y[tr[i]]);
+    }
+    for (std::size_t i = 0; i < te.size(); ++i) {
+      for (std::size_t j = 0; j < d; ++j) test.x.at(i, j) = all.x.at(te[i], j);
+      test.y.push_back(all.y[te[i]]);
+    }
+    auto reg = make();
+    reg->fit(train);
+    const std::vector<double> pred = reg->predictAll(test.x);
+    for (std::size_t i = 0; i < pred.size(); ++i) {
+      const double e = pred[i] - test.y[i];
+      total_sq += e * e;
+      ++count;
+    }
+  }
+  return count ? std::sqrt(total_sq / static_cast<double>(count)) : 0.0;
+}
+
+}  // namespace skewopt::ml

@@ -1,0 +1,131 @@
+// epsilon-SVR with an RBF kernel.
+//
+// Trained in the bias-free dual (targets are centered, and the RBF kernel
+// is universal, so the explicit bias term of classical SVR is unnecessary):
+//
+//   min over beta in [-C, C]^n:
+//       1/2 beta' K beta - beta' y + epsilon * |beta|_1
+//
+// solved by exact cyclic coordinate descent: each coordinate update is a
+// soft-threshold followed by a box clip, which is the global minimizer of
+// the one-dimensional subproblem, so the objective decreases monotonically.
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "ml/ml.h"
+
+namespace skewopt::ml {
+
+double SvrRbf::kernel(const double* a, const double* b) const {
+  double s = 0.0;
+  for (std::size_t j = 0; j < sv_.cols(); ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return std::exp(-gamma_ * s);
+}
+
+void SvrRbf::fit(const Dataset& train) {
+  if (train.size() == 0) throw std::invalid_argument("SvrRbf: empty data");
+  const std::size_t d = train.x.cols();
+  gamma_ = (opts_.gamma > 0.0) ? opts_.gamma : 1.0 / static_cast<double>(d);
+
+  // Deterministic subsample if the kernel matrix would be too large.
+  std::size_t n = train.size();
+  std::vector<std::size_t> keep(n);
+  std::iota(keep.begin(), keep.end(), std::size_t{0});
+  if (n > opts_.max_samples) {
+    geom::Rng rng(opts_.seed);
+    for (std::size_t i = n; i-- > 1;) std::swap(keep[i], keep[rng.index(i + 1)]);
+    keep.resize(opts_.max_samples);
+    std::sort(keep.begin(), keep.end());
+    n = opts_.max_samples;
+  }
+
+  sv_ = Matrix(n, d);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < d; ++j) sv_.at(i, j) = train.x.at(keep[i], j);
+    y[i] = train.y[keep[i]];
+  }
+  y_mean_ = std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(n);
+  double var = 0.0;
+  for (double& v : y) {
+    v -= y_mean_;
+    var += v * v;
+  }
+  y_scale_ = std::sqrt(var / static_cast<double>(n));
+  if (y_scale_ < 1e-12) y_scale_ = 1.0;
+  for (double& v : y) v /= y_scale_;
+
+  // Dense kernel matrix (bounded by max_samples^2).
+  Matrix k(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    k.at(i, i) = 1.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = kernel(sv_.row(i), sv_.row(j));
+      k.at(i, j) = v;
+      k.at(j, i) = v;
+    }
+  }
+
+  beta_.assign(n, 0.0);
+  std::vector<double> f(n, 0.0);  // f_i = (K beta)_i, maintained incrementally
+  for (std::size_t sweep = 0; sweep < opts_.max_sweeps; ++sweep) {
+    double max_change = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      // One-dimensional objective in t = beta_i:
+      //   1/2 K_ii t^2 + r t + epsilon |t|,   r = f_i - K_ii beta_i - y_i
+      const double kii = k.at(i, i);
+      const double r = f[i] - kii * beta_[i] - y[i];
+      double t;
+      if (r > opts_.epsilon)
+        t = -(r - opts_.epsilon) / kii;
+      else if (r < -opts_.epsilon)
+        t = -(r + opts_.epsilon) / kii;
+      else
+        t = 0.0;
+      t = std::clamp(t, -opts_.c, opts_.c);
+      const double delta = t - beta_[i];
+      if (std::abs(delta) > 1e-14) {
+        beta_[i] = t;
+        const double* krow = k.row(i);
+        for (std::size_t j = 0; j < n; ++j) f[j] += delta * krow[j];
+        max_change = std::max(max_change, std::abs(delta));
+      }
+    }
+    if (max_change < opts_.tolerance) break;
+  }
+
+  // Compact: drop non-support vectors to speed up prediction.
+  std::size_t nsv = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (std::abs(beta_[i]) > 1e-10) ++nsv;
+  if (nsv < n) {
+    Matrix sv2(nsv, d);
+    std::vector<double> b2;
+    b2.reserve(nsv);
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (std::abs(beta_[i]) <= 1e-10) continue;
+      for (std::size_t j = 0; j < d; ++j) sv2.at(w, j) = sv_.at(i, j);
+      b2.push_back(beta_[i]);
+      ++w;
+    }
+    sv_ = std::move(sv2);
+    beta_ = std::move(b2);
+  }
+}
+
+double SvrRbf::predict(const double* row) const {
+  double s = 0.0;
+  for (std::size_t i = 0; i < sv_.rows(); ++i)
+    s += beta_[i] * kernel(sv_.row(i), row);
+  return s * y_scale_ + y_mean_;
+}
+
+std::size_t SvrRbf::numSupportVectors() const { return sv_.rows(); }
+
+}  // namespace skewopt::ml

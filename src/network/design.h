@@ -1,0 +1,51 @@
+// The unit of work every optimizer operates on: a technology view, a clock
+// tree with its routing, and the set of sequentially adjacent sink pairs
+// whose skew variation is being minimized.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "network/clock_tree.h"
+#include "network/routing.h"
+#include "tech/tech.h"
+
+namespace skewopt::network {
+
+/// A launch/capture flip-flop pair with at least one datapath between them
+/// (the paper only optimizes skew between *sequentially adjacent* sinks to
+/// avoid global-skew pessimism). `weight` encodes timing criticality and is
+/// used to pick the top critical pairs, mirroring the paper's "union of top
+/// 10K critical sink pairs".
+struct SinkPair {
+  int launch = -1;
+  int capture = -1;
+  double weight = 1.0;
+};
+
+struct Design {
+  std::string name;
+  const tech::TechModel* tech = nullptr;
+  ClockTree tree;
+  Routing routing;
+  std::vector<SinkPair> pairs;
+
+  /// Corner ids (into tech) active for this design — the paper's testcases
+  /// each sign off at three of the four corners (Table 4).
+  std::vector<std::size_t> corners;
+
+  /// Floorplan outline, for legalization clamping and reports.
+  geom::Region floorplan;
+
+  /// Total placement-cell count of the surrounding block (reported in
+  /// Table 4; the clock tree itself only contributes tree.numBuffers()).
+  std::size_t block_cells = 0;
+  double utilization = 0.0;
+
+  Design(std::string design_name, const tech::TechModel* t,
+         const geom::Point& src)
+      : name(std::move(design_name)), tech(t), tree(src) {}
+};
+
+}  // namespace skewopt::network

@@ -1,0 +1,113 @@
+#include "network/eco_export.h"
+
+#include <cmath>
+#include <ostream>
+#include <unordered_map>
+
+namespace skewopt::network {
+
+namespace {
+
+/// Name -> node id over the live nodes. Names are unique within a tree
+/// (auto-generated from creation ids) and survive file round-trips, unlike
+/// node ids, which loading remaps.
+std::unordered_map<std::string, int> nameIndex(const Design& d) {
+  std::unordered_map<std::string, int> idx;
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (d.tree.isValid(id)) idx.emplace(d.tree.node(id).name, id);
+  }
+  return idx;
+}
+
+}  // namespace
+
+EcoDiffStats writeEcoScript(const Design& before, const Design& after,
+                            std::ostream& os) {
+  EcoDiffStats stats;
+  os << "# skewopt ECO script: " << before.name << " -> optimized\n";
+  const std::unordered_map<std::string, int> b_idx = nameIndex(before);
+  const std::unordered_map<std::string, int> a_idx = nameIndex(after);
+
+  // Removals first (so a P&R tool frees the sites before insertions).
+  for (const auto& [name, id] : b_idx) {
+    if (before.tree.node(id).kind != NodeKind::Buffer) continue;
+    if (!a_idx.count(name)) {
+      os << "remove_buffer " << name << "\n";
+      ++stats.removed_buffers;
+    }
+  }
+
+  // Insertions in BFS order of `after`, so drivers are declared before the
+  // buffers they drive even when both are new.
+  std::vector<int> order = {after.tree.root()};
+  for (std::size_t qi = 0; qi < order.size(); ++qi)
+    for (const int c : after.tree.node(order[qi]).children)
+      order.push_back(c);
+  for (const int id : order) {
+    const ClockNode& n = after.tree.node(id);
+    if (n.kind != NodeKind::Buffer || b_idx.count(n.name)) continue;
+    os << "insert_buffer " << n.name << " cell " << n.cell << " at "
+       << n.pos.x << ' ' << n.pos.y << " driven_by "
+       << after.tree.node(n.parent).name << "\n";
+    ++stats.inserted_buffers;
+  }
+
+  // Edits on surviving nodes.
+  for (const auto& [name, aid] : a_idx) {
+    const auto it = b_idx.find(name);
+    if (it == b_idx.end()) continue;
+    const ClockNode& b = before.tree.node(it->second);
+    const ClockNode& a = after.tree.node(aid);
+    if (a.kind == NodeKind::Buffer && a.cell != b.cell) {
+      os << "size_cell " << name << " " << b.cell << " -> " << a.cell
+         << "\n";
+      ++stats.resized;
+    }
+    if (a.pos.x != b.pos.x || a.pos.y != b.pos.y) {
+      os << "move_cell " << name << " " << b.pos.x << ' ' << b.pos.y
+         << " -> " << a.pos.x << ' ' << a.pos.y << "\n";
+      ++stats.moved;
+    }
+    if (a.parent >= 0 && b.parent >= 0 &&
+        after.tree.node(a.parent).name != before.tree.node(b.parent).name) {
+      os << "reconnect " << name << " from "
+         << before.tree.node(b.parent).name << " to "
+         << after.tree.node(a.parent).name << "\n";
+      ++stats.reconnected;
+    }
+  }
+
+  // Routing detours: forced extra wirelength differences per (driver,
+  // child), matched by child name since pin indices shuffle with edits.
+  for (const auto& [name, aid] : a_idx) {
+    const ClockNode& an = after.tree.node(aid);
+    const auto bit = b_idx.find(name);
+    for (std::size_t pin = 0; pin < an.children.size(); ++pin) {
+      const double a_extra = after.routing.extraOf(aid, pin);
+      double b_extra = 0.0;
+      if (bit != b_idx.end()) {
+        const ClockNode& bn = before.tree.node(bit->second);
+        const std::string& child_name =
+            after.tree.node(an.children[pin]).name;
+        for (std::size_t bp = 0; bp < bn.children.size(); ++bp) {
+          if (before.tree.node(bn.children[bp]).name == child_name) {
+            b_extra = before.routing.extraOf(bit->second, bp);
+            break;
+          }
+        }
+      }
+      const double delta = a_extra - b_extra;
+      if (std::abs(delta) > 1.0) {
+        os << "add_route_detour " << name << " pin " << pin << " " << delta
+           << "\n";
+        ++stats.detours;
+      }
+    }
+  }
+
+  os << "# " << stats.total() << " ECO commands\n";
+  return stats;
+}
+
+}  // namespace skewopt::network

@@ -1,0 +1,50 @@
+// ECO change-list export.
+//
+// The paper's framework runs next to a commercial P&R tool and hands it
+// ECO changes (buffer insertion/removal/sizing/displacement, routing
+// detours) to implement. This module is that interface's stand-in: it
+// diffs two design states (before vs after optimization) and emits the
+// change list as a neutral, line-oriented ECO script a P&R integration
+// would translate into its own commands (e.g. ICC's size_cell /
+// move_cell / insert_buffer / disconnect_net).
+//
+// Node identity across the two states: nodes existing in both trees keep
+// their ids (the optimizers never reuse ids); new nodes appear only in
+// `after`; removed nodes are invalid in `after`.
+//
+// Emitted commands:
+//   remove_buffer  <name>
+//   insert_buffer  <name> <cell> <x> <y> driven_by <parent-name>
+//   size_cell      <name> <old-cell> -> <new-cell>
+//   move_cell      <name> <old-x> <old-y> -> <new-x> <new-y>
+//   reconnect      <name> from <old-parent> to <new-parent>
+//   add_route_detour <driver-name> pin <idx> <extra-um>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/design.h"
+
+namespace skewopt::network {
+
+struct EcoDiffStats {
+  std::size_t removed_buffers = 0;
+  std::size_t inserted_buffers = 0;
+  std::size_t resized = 0;
+  std::size_t moved = 0;
+  std::size_t reconnected = 0;
+  std::size_t detours = 0;
+  std::size_t total() const {
+    return removed_buffers + inserted_buffers + resized + moved +
+           reconnected + detours;
+  }
+};
+
+/// Writes the ECO script transforming `before` into `after`; returns the
+/// change counts. Both designs must stem from the same original (shared
+/// node ids), which every optimizer in this library preserves.
+EcoDiffStats writeEcoScript(const Design& before, const Design& after,
+                            std::ostream& os);
+
+}  // namespace skewopt::network

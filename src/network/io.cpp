@@ -1,0 +1,219 @@
+#include "network/io.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace skewopt::network {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == ' ' || c == '\t' || c == '\n') c = '_';
+  return out.empty() ? "_" : out;
+}
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("design file: " + what);
+}
+
+std::istringstream lineOf(std::istream& is, const char* expect_key) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string key;
+    ls >> key;
+    if (key != expect_key) fail("expected '" + std::string(expect_key) +
+                                "', got '" + key + "'");
+    return ls;
+  }
+  fail("unexpected end of file, expected '" + std::string(expect_key) + "'");
+}
+
+}  // namespace
+
+void writeDesign(const Design& d, std::ostream& os) {
+  // Full round-trip precision: the deterministic router hashes raw
+  // coordinate bits, so truncated coordinates would reconstruct different
+  // jogs and change timing.
+  os.precision(17);
+  os << "skewopt-design v1\n";
+  os << "name " << sanitize(d.name) << "\n";
+  os << "corners";
+  for (const std::size_t k : d.corners) os << ' ' << k;
+  os << "\n";
+  os << "floorplan " << d.floorplan.rects().size() << "\n";
+  for (const geom::Rect& r : d.floorplan.rects())
+    os << "rect " << r.lx << ' ' << r.ly << ' ' << r.ux << ' ' << r.uy
+       << "\n";
+  os << "blockcells " << d.block_cells << " utilization " << d.utilization
+     << "\n";
+  const ClockNode& src = d.tree.node(d.tree.root());
+  os << "source " << src.pos.x << ' ' << src.pos.y << ' '
+     << sanitize(src.name) << "\n";
+
+  // Live non-source nodes in BFS order so parents precede children even
+  // after tree surgery reshuffled the id order. A queue (not a stack)
+  // preserves each driver's children order, which the router's
+  // deterministic jogs and the extras' pin indices depend on.
+  std::vector<int> order;
+  std::vector<int> queue = {d.tree.root()};
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int v = queue[qi];
+    if (v != d.tree.root()) order.push_back(v);
+    for (const int c : d.tree.node(v).children) queue.push_back(c);
+  }
+  os << "nodes " << order.size() << "\n";
+  for (const int id : order) {
+    const ClockNode& n = d.tree.node(id);
+    os << "node " << id << ' ' << (n.kind == NodeKind::Buffer ? 'B' : 'S')
+       << ' ' << n.parent << ' ' << n.pos.x << ' ' << n.pos.y << ' '
+       << n.cell << ' ' << sanitize(n.name) << "\n";
+  }
+
+  os << "pairs " << d.pairs.size() << "\n";
+  for (const SinkPair& p : d.pairs)
+    os << "pair " << p.launch << ' ' << p.capture << ' ' << p.weight << "\n";
+
+  // Forced extras = current extras minus what a fresh deterministic
+  // rebuild would produce (the router's own jogs).
+  Routing scratch;
+  scratch.rebuildAll(d.tree);
+  std::vector<std::tuple<int, std::size_t, double>> extras;
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id)) continue;
+    const std::size_t nkids = d.tree.node(id).children.size();
+    for (std::size_t pin = 0; pin < nkids; ++pin) {
+      const double forced =
+          d.routing.extraOf(id, pin) - scratch.extraOf(id, pin);
+      if (forced > 1e-9) extras.push_back({id, pin, forced});
+    }
+  }
+  os << "extras " << extras.size() << "\n";
+  for (const auto& [id, pin, um] : extras)
+    os << "extra " << id << ' ' << pin << ' ' << um << "\n";
+  os << "end\n";
+}
+
+void saveDesign(const Design& d, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) fail("cannot open for writing: " + path);
+  writeDesign(d, os);
+}
+
+Design readDesign(const tech::TechModel& tech, std::istream& is) {
+  {
+    std::string line;
+    if (!std::getline(is, line) || line.rfind("skewopt-design v1", 0) != 0)
+      fail("missing 'skewopt-design v1' header");
+  }
+  std::string name;
+  lineOf(is, "name") >> name;
+
+  std::vector<std::size_t> corners;
+  {
+    std::istringstream ls = lineOf(is, "corners");
+    std::size_t k;
+    while (ls >> k) {
+      if (k >= tech.numCorners()) fail("corner id out of range");
+      corners.push_back(k);
+    }
+    if (corners.empty()) fail("no corners");
+  }
+
+  std::size_t nrects = 0;
+  lineOf(is, "floorplan") >> nrects;
+  geom::Region fp;
+  for (std::size_t i = 0; i < nrects; ++i) {
+    geom::Rect r;
+    lineOf(is, "rect") >> r.lx >> r.ly >> r.ux >> r.uy;
+    fp.add(r);
+  }
+
+  std::size_t block_cells = 0;
+  double util = 0.0;
+  {
+    std::istringstream ls = lineOf(is, "blockcells");
+    std::string key;
+    ls >> block_cells >> key >> util;
+    if (key != "utilization") fail("expected 'utilization'");
+  }
+
+  geom::Point src_pos;
+  std::string src_name;
+  lineOf(is, "source") >> src_pos.x >> src_pos.y >> src_name;
+
+  Design d(name, &tech, src_pos);
+  d.corners = corners;
+  d.floorplan = fp;
+  d.block_cells = block_cells;
+  d.utilization = util;
+
+  std::size_t nnodes = 0;
+  lineOf(is, "nodes") >> nnodes;
+  std::map<int, int> remap;  // file id -> new id
+  remap[0] = d.tree.root();
+  for (std::size_t i = 0; i < nnodes; ++i) {
+    int file_id = -1, parent = -1, cell = -1;
+    char kind = '?';
+    geom::Point pos;
+    std::string node_name;
+    lineOf(is, "node") >> file_id >> kind >> parent >> pos.x >> pos.y >>
+        cell >> node_name;
+    const auto it = remap.find(parent);
+    if (it == remap.end()) fail("node references unknown parent");
+    int new_id;
+    if (kind == 'B')
+      new_id = d.tree.addBuffer(it->second, pos, cell, node_name);
+    else if (kind == 'S')
+      new_id = d.tree.addSink(it->second, pos, node_name);
+    else
+      fail("unknown node kind");
+    if (!remap.emplace(file_id, new_id).second) fail("duplicate node id");
+  }
+
+  std::size_t npairs = 0;
+  lineOf(is, "pairs") >> npairs;
+  for (std::size_t i = 0; i < npairs; ++i) {
+    int launch = -1, capture = -1;
+    double weight = 1.0;
+    lineOf(is, "pair") >> launch >> capture >> weight;
+    const auto il = remap.find(launch);
+    const auto ic = remap.find(capture);
+    if (il == remap.end() || ic == remap.end())
+      fail("pair references unknown node");
+    d.pairs.push_back({il->second, ic->second, weight});
+  }
+
+  d.routing.rebuildAll(d.tree);
+
+  std::size_t nextras = 0;
+  lineOf(is, "extras") >> nextras;
+  for (std::size_t i = 0; i < nextras; ++i) {
+    int driver = -1;
+    std::size_t pin = 0;
+    double um = 0.0;
+    lineOf(is, "extra") >> driver >> pin >> um;
+    const auto it = remap.find(driver);
+    if (it == remap.end()) fail("extra references unknown driver");
+    d.routing.addExtra(it->second, pin, um);
+  }
+  lineOf(is, "end");
+
+  std::string err;
+  if (!d.tree.validate(&err)) fail("loaded tree invalid: " + err);
+  return d;
+}
+
+Design loadDesign(const tech::TechModel& tech, const std::string& path) {
+  std::ifstream is(path);
+  if (!is) fail("cannot open for reading: " + path);
+  return readDesign(tech, is);
+}
+
+}  // namespace skewopt::network

@@ -1,0 +1,46 @@
+// Design persistence: a line-oriented text format that round-trips the
+// full optimization state — floorplan, tree topology and placement, cell
+// assignment, sink pairs, active corners, and the forced snaking extras
+// that skew balancing and ECOs add on top of the deterministic router.
+//
+// The golden router is deterministic for a placement, so only the *forced*
+// extra wirelength (total extra minus the router's own jogs) is stored;
+// loading rebuilds the routes and re-applies the forced extras, giving a
+// bit-identical timing view.
+//
+// Format (verson line first, '#' comments allowed):
+//   skewopt-design v1
+//   name <string>
+//   corners <k0> <k1> ...
+//   floorplan <nrects>
+//   rect <lx> <ly> <ux> <uy>
+//   blockcells <n>  utilization <u>
+//   source <x> <y> <name>
+//   nodes <count>
+//   node <id> B|S <parent-id> <x> <y> <cell> <name>
+//   pairs <count>
+//   pair <launch-id> <capture-id> <weight>
+//   extras <count>
+//   extra <driver-id> <pin-index> <um>
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "network/design.h"
+
+namespace skewopt::network {
+
+/// Serializes the design. Node ids in the file are the design's live node
+/// ids (dead nodes are skipped).
+void writeDesign(const Design& d, std::ostream& os);
+void saveDesign(const Design& d, const std::string& path);
+
+/// Deserializes into a fresh design bound to `tech`. Node ids are remapped
+/// to a dense range; pairs and extras follow the remapping. Throws
+/// std::runtime_error on malformed input.
+Design readDesign(const tech::TechModel& tech, std::istream& is);
+Design loadDesign(const tech::TechModel& tech, const std::string& path);
+
+}  // namespace skewopt::network

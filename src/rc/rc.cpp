@@ -1,0 +1,84 @@
+#include "rc/rc.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace skewopt::rc {
+
+std::size_t RcTree::addNode(std::size_t parent, double res_kohm,
+                            double cap_ff) {
+  if (parent >= nodes_.size())
+    throw std::out_of_range("RcTree::addNode: bad parent");
+  nodes_.push_back({static_cast<int>(parent), res_kohm, cap_ff});
+  return nodes_.size() - 1;
+}
+
+double RcTree::totalCap() const {
+  double c = 0.0;
+  for (const Node& n : nodes_) c += n.cap;
+  return c;
+}
+
+// Moment computation by the standard two-pass path-tracing scheme.
+// Because addNode only ever appends under an existing node, node indices are
+// already in topological (parent-before-child) order.
+Moments Moments::compute(const RcTree& tree) {
+  const std::size_t n = tree.size();
+  Moments m;
+  m.m1.assign(n, 0.0);
+  m.m2.assign(n, 0.0);
+
+  // Pass 1: m1. Downstream cap below each node, then accumulate R * Cdown.
+  std::vector<double> cdown(n);
+  for (std::size_t i = 0; i < n; ++i) cdown[i] = tree.cap(i);
+  for (std::size_t i = n; i-- > 1;) cdown[tree.parent(i)] += cdown[i];
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t p = static_cast<std::size_t>(tree.parent(i));
+    m.m1[i] = m.m1[p] - tree.res(i) * cdown[i];
+  }
+
+  // Pass 2: m2 uses the "moment weights" m1 * C in place of C.
+  std::vector<double> wdown(n);
+  for (std::size_t i = 0; i < n; ++i) wdown[i] = m.m1[i] * tree.cap(i);
+  for (std::size_t i = n; i-- > 1;) wdown[tree.parent(i)] += wdown[i];
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t p = static_cast<std::size_t>(tree.parent(i));
+    m.m2[i] = m.m2[p] - tree.res(i) * wdown[i];
+  }
+  return m;
+}
+
+std::vector<double> elmoreDelays(const RcTree& tree) {
+  Moments m = Moments::compute(tree);
+  std::vector<double> d(m.m1.size());
+  for (std::size_t i = 0; i < d.size(); ++i) d[i] = -m.m1[i];
+  return d;
+}
+
+double d2mFromMoments(double m1, double m2) {
+  if (m2 <= 0.0) return -m1;  // degenerate: fall back to Elmore
+  // D2M = (m1^2 / sqrt(m2)) * ln(2)
+  return (m1 * m1 / std::sqrt(m2)) * 0.6931471805599453;
+}
+
+std::vector<double> d2mDelays(const RcTree& tree) {
+  Moments m = Moments::compute(tree);
+  std::vector<double> d(m.m1.size());
+  for (std::size_t i = 0; i < d.size(); ++i)
+    d[i] = d2mFromMoments(m.m1[i], m.m2[i]);
+  return d;
+}
+
+double periSlew(double slew_in_ps, double step_slew_ps) {
+  return std::sqrt(slew_in_ps * slew_in_ps + step_slew_ps * step_slew_ps);
+}
+
+double uniformWireElmore(double len_um, double res_per_um, double cap_per_um,
+                         double load_ff) {
+  const double r = res_per_um * len_um;
+  const double c = cap_per_um * len_um;
+  return r * (c / 2.0 + load_ff);
+}
+
+}  // namespace skewopt::rc

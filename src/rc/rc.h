@@ -1,0 +1,83 @@
+// RC interconnect analysis: Elmore delay, circuit moments, the D2M
+// two-moment delay metric [Alpert/Devgan/Kashyap, ISPD 2000], and the PERI
+// slew-extension rule [Kashyap et al., TAU 2002].
+//
+// The paper's delta-latency predictor estimates wire delay with both Elmore
+// and D2M on two candidate route topologies; the golden timer uses Elmore
+// with PERI slew propagation. Both consumers share this module.
+//
+// Units: res kOhm, cap fF, time ps (kOhm * fF = ps).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace skewopt::rc {
+
+/// A distributed RC tree. Node 0 is always the driving point (root); every
+/// other node hangs off a parent through a series resistance and carries a
+/// grounded capacitance (wire cap plus any receiver pin cap).
+class RcTree {
+ public:
+  RcTree() { nodes_.push_back({-1, 0.0, 0.0}); }
+
+  /// Adds a node under `parent`, returns its index. `res` is the series
+  /// resistance from parent to the new node; `cap` its grounded capacitance.
+  std::size_t addNode(std::size_t parent, double res_kohm, double cap_ff);
+
+  /// Adds extra grounded capacitance at an existing node (e.g. a pin cap).
+  void addCap(std::size_t node, double cap_ff) { nodes_[node].cap += cap_ff; }
+
+  std::size_t size() const { return nodes_.size(); }
+  double cap(std::size_t n) const { return nodes_[n].cap; }
+  double res(std::size_t n) const { return nodes_[n].res; }
+  int parent(std::size_t n) const { return nodes_[n].parent; }
+
+  /// Total capacitance of the tree — the load seen by an ideal driver.
+  double totalCap() const;
+
+ private:
+  struct Node {
+    int parent;
+    double res;  // series resistance to parent
+    double cap;  // grounded capacitance at this node
+  };
+  std::vector<Node> nodes_;
+  friend struct Moments;
+};
+
+/// First and second moments of the impulse response at every node.
+/// m1[n] is the (negated) Elmore delay; m2 feeds the D2M metric.
+struct Moments {
+  std::vector<double> m1;
+  std::vector<double> m2;
+
+  static Moments compute(const RcTree& tree);
+};
+
+/// Elmore delay from the driving point to every node, in ps.
+std::vector<double> elmoreDelays(const RcTree& tree);
+
+/// D2M delay metric at one node given its moments: D2M = m1^2/sqrt(m2) * ln2.
+double d2mFromMoments(double m1, double m2);
+
+/// D2M delay from the driving point to every node, in ps.
+std::vector<double> d2mDelays(const RcTree& tree);
+
+/// Step-response wire output slew estimate from the Elmore delay of the
+/// node (the classical ln(9) * Elmore 20-80%-style approximation).
+inline double wireSlewFromElmore(double elmore_ps) {
+  return 2.1972245773362196 * elmore_ps;  // ln(9)
+}
+
+/// PERI rule: extends a step-input slew metric to a ramp input.
+/// out^2 = in^2 + step_out^2.
+double periSlew(double slew_in_ps, double step_slew_ps);
+
+/// Convenience: builds a 2-node RC for a uniform wire of length `len_um`
+/// driven at one end with an optional lumped load at the far end, and
+/// returns its Elmore delay. Uses the standard pi-equivalent (R*C/2 + R*Cl).
+double uniformWireElmore(double len_um, double res_per_um, double cap_per_um,
+                         double load_ff);
+
+}  // namespace skewopt::rc

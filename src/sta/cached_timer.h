@@ -1,0 +1,70 @@
+// Memoizing wrapper around the golden timer.
+//
+// The optimizers evaluate the objective (a full multi-corner propagation)
+// many times on an unchanged design — e.g. Algorithm 2 re-times the same
+// state while scoring candidate chunks, and the global sweep re-times each
+// trial several times. The ClockTree edit stamp plus the Routing version
+// uniquely identify a timing state, so results can be reused for free
+// without any invalidation logic in the callers.
+#pragma once
+
+#include <map>
+
+#include "sta/timer.h"
+
+namespace skewopt::sta {
+
+class CachedTimer {
+ public:
+  explicit CachedTimer(const tech::TechModel& tech) : timer_(tech) {}
+
+  const CornerTiming& analyze(const network::ClockTree& tree,
+                              const network::Routing& routing,
+                              std::size_t corner) {
+    const Key key{tree.editStamp(), routing.version(), corner};
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+    if (cache_.size() > kMaxEntries) cache_.clear();
+    return cache_.emplace(key, timer_.analyze(tree, routing, corner))
+        .first->second;
+  }
+
+  std::vector<CornerTiming> analyzeDesign(const network::Design& d) {
+    std::vector<CornerTiming> out;
+    out.reserve(d.corners.size());
+    for (const std::size_t k : d.corners)
+      out.push_back(analyze(d.tree, d.routing, k));
+    return out;
+  }
+
+  const Timer& timer() const { return timer_; }
+  std::size_t hits() const { return hits_; }
+  std::size_t misses() const { return misses_; }
+
+ private:
+  // NOTE: the stamp pair is only unique per (tree, routing) object pair;
+  // use one CachedTimer per design being iterated, not shared across
+  // designs.
+  struct Key {
+    std::uint64_t tree_stamp;
+    std::uint64_t routing_version;
+    std::size_t corner;
+    bool operator<(const Key& o) const {
+      if (tree_stamp != o.tree_stamp) return tree_stamp < o.tree_stamp;
+      if (routing_version != o.routing_version)
+        return routing_version < o.routing_version;
+      return corner < o.corner;
+    }
+  };
+  static constexpr std::size_t kMaxEntries = 64;
+
+  Timer timer_;
+  std::map<Key, CornerTiming> cache_;
+  std::size_t hits_ = 0, misses_ = 0;
+};
+
+}  // namespace skewopt::sta

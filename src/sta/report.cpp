@@ -1,0 +1,108 @@
+#include "sta/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <vector>
+
+namespace skewopt::sta {
+
+namespace {
+
+struct PairView {
+  std::size_t index;
+  double value;
+};
+
+std::vector<PairView> topBy(std::vector<PairView> v, std::size_t n) {
+  std::sort(v.begin(), v.end(), [](const PairView& a, const PairView& b) {
+    return std::abs(a.value) > std::abs(b.value);
+  });
+  if (v.size() > n) v.resize(n);
+  return v;
+}
+
+}  // namespace
+
+void writeTimingReport(std::ostream& os, const network::Design& d,
+                       const Timer& timer, const ReportOptions& opts) {
+  const std::vector<CornerTiming> timing = timer.analyzeDesign(d);
+  const std::vector<int> sinks = d.tree.sinks();
+  os << "==== clock timing report: " << d.name << " ====\n";
+  os << "sinks " << sinks.size() << ", buffers " << d.tree.numBuffers()
+     << ", routed wire " << std::fixed << std::setprecision(0)
+     << d.routing.totalWirelength() << " um, pairs " << d.pairs.size()
+     << "\n";
+
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    const tech::Corner& c = d.tech->corner(d.corners[ki]);
+    double lo = 1e300, hi = -1e300, sum = 0.0;
+    for (const int s : sinks) {
+      const double a = timing[ki].arrival[static_cast<std::size_t>(s)];
+      lo = std::min(lo, a);
+      hi = std::max(hi, a);
+      sum += a;
+    }
+    const double mean = sinks.empty() ? 0.0 : sum / static_cast<double>(sinks.size());
+    os << "\ncorner " << c.name << " (" << std::setprecision(2)
+       << c.voltage << "V " << std::setprecision(0) << c.temp_c
+       << "C): latency min/mean/max = " << std::setprecision(1) << lo << "/"
+       << mean << "/" << hi << " ps, global skew " << (hi - lo) << " ps\n";
+
+    // Latency histogram.
+    const std::size_t bins = opts.histogram_bins;
+    std::vector<int> hist(bins, 0);
+    for (const int s : sinks) {
+      const double a = timing[ki].arrival[static_cast<std::size_t>(s)];
+      std::size_t b = static_cast<std::size_t>((a - lo) / (hi - lo + 1e-12) *
+                                               static_cast<double>(bins));
+      b = std::min(b, bins - 1);
+      ++hist[b];
+    }
+    for (std::size_t b = 0; b < bins; ++b) {
+      os << "  [" << std::setw(7) << std::setprecision(1)
+         << lo + static_cast<double>(b) * (hi - lo) / static_cast<double>(bins)
+         << " - " << std::setw(7)
+         << lo + static_cast<double>(b + 1) * (hi - lo) /
+                     static_cast<double>(bins)
+         << ") ";
+      const int stars =
+          hist[b] * 40 / std::max<int>(1, static_cast<int>(sinks.size()));
+      for (int i = 0; i < stars; ++i) os << '#';
+      os << ' ' << hist[b] << "\n";
+    }
+
+    if (opts.per_sink_latency) {
+      os << "  per-sink latency (ps):\n";
+      for (const int s : sinks)
+        os << "    " << d.tree.node(s).name << " "
+           << std::setprecision(2)
+           << timing[ki].arrival[static_cast<std::size_t>(s)] << "\n";
+    }
+
+    // Worst skew pairs at this corner.
+    std::vector<PairView> views;
+    for (std::size_t pi = 0; pi < d.pairs.size(); ++pi) {
+      const network::SinkPair& p = d.pairs[pi];
+      views.push_back(
+          {pi, timing[ki].arrival[static_cast<std::size_t>(p.launch)] -
+                   timing[ki].arrival[static_cast<std::size_t>(p.capture)]});
+    }
+    os << "  worst skew pairs:\n";
+    for (const PairView& v : topBy(views, opts.worst_pairs)) {
+      const network::SinkPair& p = d.pairs[v.index];
+      os << "    " << d.tree.node(p.launch).name << " -> "
+         << d.tree.node(p.capture).name << " : " << std::setprecision(1)
+         << v.value << " ps\n";
+    }
+  }
+
+  // Worst normalized variation pairs (the paper's objective terms).
+  const double total = sumNormalizedSkewVariation(d, timer);
+  os << "\nsum of normalized skew variations: " << std::setprecision(1)
+     << total << " ps over " << d.pairs.size() << " pairs\n";
+  os << "==== end report ====\n";
+}
+
+}  // namespace skewopt::sta

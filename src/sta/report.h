@@ -1,0 +1,25 @@
+// Human-readable timing and skew reports — the PrimeTime-style output a
+// clock designer reads after each optimization step. Used by the CLI and
+// the examples; all data comes from the golden timer.
+#pragma once
+
+#include <iosfwd>
+
+#include "network/design.h"
+#include "sta/timer.h"
+
+namespace skewopt::sta {
+
+struct ReportOptions {
+  std::size_t worst_pairs = 10;   ///< pairs listed in the skew section
+  std::size_t histogram_bins = 10;
+  bool per_sink_latency = false;  ///< full latency table (verbose)
+};
+
+/// Full multi-corner clock report: latency summary and histogram per
+/// corner, the worst skew pairs per corner, and the worst normalized
+/// variation pairs.
+void writeTimingReport(std::ostream& os, const network::Design& d,
+                       const Timer& timer, const ReportOptions& opts = {});
+
+}  // namespace skewopt::sta

@@ -1,0 +1,263 @@
+#include "sta/timer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "rc/rc.h"
+
+namespace skewopt::sta {
+
+using network::ClockNode;
+using network::ClockTree;
+using network::NodeKind;
+using network::Routing;
+
+namespace {
+
+/// Input pin capacitance of a tree node at a corner.
+double pinCap(const tech::TechModel& tech, const ClockTree& tree, int id,
+              std::size_t corner) {
+  const ClockNode& n = tree.node(id);
+  if (n.kind == NodeKind::Sink) return tech.sinkCapFf(corner);
+  return tech.cell(static_cast<std::size_t>(n.cell)).pin_cap_ff[corner];
+}
+
+/// Builds the RC view of a routed net: wire R/C from the Steiner tree
+/// (pi model per edge) plus receiver pin caps. Returns the RC tree and the
+/// rc-node index of every child pin.
+rc::RcTree buildNetRc(const tech::TechModel& tech, const ClockTree& tree,
+                      int driver, const route::SteinerTree& net,
+                      std::size_t corner, std::vector<std::size_t>* pin_rc) {
+  const tech::WireParams& w = tech.wire(corner);
+  rc::RcTree rct;  // rc node 0 = driving point = steiner node 0
+  std::vector<std::size_t> rc_of(net.size());
+  rc_of[0] = 0;
+  for (std::size_t n = 1; n < net.size(); ++n) {
+    const double len = net.edgeLength(n);
+    const double res = len * w.res_kohm_per_um;
+    const double cap = len * w.cap_ff_per_um;
+    rc_of[n] = rct.addNode(rc_of[static_cast<std::size_t>(net.parent[n])],
+                           res, cap / 2.0);
+    rct.addCap(rc_of[static_cast<std::size_t>(net.parent[n])], cap / 2.0);
+  }
+  const auto& children = tree.node(driver).children;
+  assert(children.size() == net.pin_node.size());
+  pin_rc->resize(children.size());
+  for (std::size_t i = 0; i < children.size(); ++i) {
+    const std::size_t rcn = rc_of[net.pin_node[i]];
+    rct.addCap(rcn, pinCap(tech, tree, children[i], corner));
+    (*pin_rc)[i] = rcn;
+  }
+  return rct;
+}
+
+}  // namespace
+
+CornerTiming Timer::analyze(const ClockTree& tree, const Routing& routing,
+                            std::size_t corner) const {
+  const std::size_t n = tree.numNodes();
+  CornerTiming t;
+  t.corner = corner;
+  t.arrival.assign(n, 0.0);
+  t.slew.assign(n, 0.0);
+  t.in_arrival.assign(n, 0.0);
+  t.in_slew.assign(n, 0.0);
+  t.driver_load.assign(n, 0.0);
+  propagateFrom(tree, routing, corner, tree.root(), &t);
+  return t;
+}
+
+void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
+                          std::size_t corner, int start,
+                          CornerTiming* tp) const {
+  CornerTiming& t = *tp;
+  // Grow state arrays for nodes created since `t` was computed.
+  const std::size_t n = tree.numNodes();
+  if (t.arrival.size() < n) {
+    t.arrival.resize(n, 0.0);
+    t.slew.resize(n, 0.0);
+    t.in_arrival.resize(n, 0.0);
+    t.in_slew.resize(n, 0.0);
+    t.driver_load.resize(n, 0.0);
+  }
+
+  // BFS from `start`; parents are always processed before children, so a
+  // buffer's input slew is known by the time its own net is evaluated.
+  std::vector<int> queue = {start};
+  if (start == tree.root()) {
+    t.slew[0] = source_slew_ps_;
+    t.arrival[0] = 0.0;
+  }
+  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+    const int d = queue[qi];
+    const ClockNode& dn = tree.node(d);
+
+    if (dn.kind == NodeKind::Buffer) {
+      // Convert input-pin arrival into output arrival through the cell.
+      const tech::Cell& cell = tech_->cell(static_cast<std::size_t>(dn.cell));
+      const double load = t.driver_load[static_cast<std::size_t>(d)];
+      const double si = t.in_slew[static_cast<std::size_t>(d)];
+      t.arrival[static_cast<std::size_t>(d)] =
+          t.in_arrival[static_cast<std::size_t>(d)] +
+          cell.delay[corner].lookup(si, load);
+      t.slew[static_cast<std::size_t>(d)] =
+          cell.out_slew[corner].lookup(si, load);
+    }
+    if (dn.children.empty()) continue;
+
+    const route::SteinerTree* net = routing.net(d);
+    if (net == nullptr)
+      throw std::logic_error("Timer: driver " + std::to_string(d) +
+                             " has children but no routed net");
+
+    // The driver's gate delay above needs its load; compute it first for
+    // children processing. (Load is filled lazily: a buffer's load was set
+    // when the queue reached it below; for correctness we compute it here
+    // before any child uses it.)
+    std::vector<std::size_t> pin_rc;
+    rc::RcTree rct = buildNetRc(*tech_, tree, d, *net, corner, &pin_rc);
+
+    // NOTE: the driver's own delay was computed before its load if d is a
+    // buffer; fix up by recomputing with the true load now.
+    if (dn.kind == NodeKind::Buffer) {
+      const tech::Cell& cell = tech_->cell(static_cast<std::size_t>(dn.cell));
+      const double load = rct.totalCap();
+      const double si = t.in_slew[static_cast<std::size_t>(d)];
+      t.driver_load[static_cast<std::size_t>(d)] = load;
+      t.arrival[static_cast<std::size_t>(d)] =
+          t.in_arrival[static_cast<std::size_t>(d)] +
+          cell.delay[corner].lookup(si, load);
+      t.slew[static_cast<std::size_t>(d)] =
+          cell.out_slew[corner].lookup(si, load);
+    } else {
+      t.driver_load[static_cast<std::size_t>(d)] = rct.totalCap();
+    }
+
+    const std::vector<double> elmore = rc::elmoreDelays(rct);
+    for (std::size_t i = 0; i < dn.children.size(); ++i) {
+      const int c = dn.children[i];
+      const double wire_delay = elmore[pin_rc[i]];
+      const double step_slew = rc::wireSlewFromElmore(wire_delay);
+      const double in_arr =
+          t.arrival[static_cast<std::size_t>(d)] + wire_delay;
+      const double in_slew =
+          rc::periSlew(t.slew[static_cast<std::size_t>(d)], step_slew);
+      t.in_arrival[static_cast<std::size_t>(c)] = in_arr;
+      t.in_slew[static_cast<std::size_t>(c)] = in_slew;
+      if (tree.node(c).kind == NodeKind::Sink) {
+        t.arrival[static_cast<std::size_t>(c)] = in_arr;
+        t.slew[static_cast<std::size_t>(c)] = in_slew;
+      } else {
+        queue.push_back(c);
+      }
+    }
+  }
+}
+
+std::vector<CornerTiming> Timer::analyzeDesign(
+    const network::Design& d) const {
+  std::vector<CornerTiming> out;
+  out.reserve(d.corners.size());
+  for (const std::size_t k : d.corners)
+    out.push_back(analyze(d.tree, d.routing, k));
+  return out;
+}
+
+std::vector<double> Timer::sinkLatencies(const ClockTree& tree,
+                                         const Routing& routing,
+                                         std::size_t corner,
+                                         const std::vector<int>& sinks) const {
+  const CornerTiming t = analyze(tree, routing, corner);
+  std::vector<double> lat;
+  lat.reserve(sinks.size());
+  for (const int s : sinks) lat.push_back(t.arrival[static_cast<std::size_t>(s)]);
+  return lat;
+}
+
+double Timer::worstLoadRatio(const ClockTree& tree, const Routing& routing,
+                             std::size_t corner) const {
+  const CornerTiming t = analyze(tree, routing, corner);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!tree.isValid(id)) continue;
+    const ClockNode& n = tree.node(id);
+    if (n.kind != NodeKind::Buffer || n.children.empty()) continue;
+    const double cap = tech_->cell(static_cast<std::size_t>(n.cell)).max_cap_ff;
+    worst = std::max(worst, t.driver_load[i] / cap);
+  }
+  return worst;
+}
+
+double clockTreePowerMw(const network::Design& d, std::size_t corner) {
+  const tech::TechModel& tech = *d.tech;
+  const tech::Corner& c = tech.corner(corner);
+  const double f_ghz = tech.clockFreqGhz();
+
+  // Switching: every routed wire segment and every input pin toggles once
+  // per clock edge pair: E = C * V^2 per cycle.
+  double cap_ff = d.routing.totalWirelength() * tech.wire(corner).cap_ff_per_um;
+  double internal_uw = 0.0;
+  double leakage_nw = 0.0;
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id)) continue;
+    const ClockNode& n = d.tree.node(id);
+    if (n.kind == NodeKind::Buffer) {
+      const tech::Cell& cell = tech.cell(static_cast<std::size_t>(n.cell));
+      cap_ff += cell.pin_cap_ff[corner];
+      internal_uw += cell.internal_energy_fj[corner] * f_ghz;  // fJ*GHz = uW
+      leakage_nw += cell.leakage_nw[corner];
+    } else if (n.kind == NodeKind::Sink) {
+      cap_ff += tech.sinkCapFf(corner);
+    }
+  }
+  const double switching_uw = cap_ff * c.voltage * c.voltage * f_ghz;
+  return (switching_uw + internal_uw + leakage_nw * 1e-3) * 1e-3;  // mW
+}
+
+double sumNormalizedSkewVariation(const network::Design& d,
+                                  const Timer& timer) {
+  const std::vector<CornerTiming> t = timer.analyzeDesign(d);
+  const std::size_t nk = d.corners.size();
+  std::vector<double> sum_abs(nk, 0.0);
+  std::vector<std::vector<double>> skew(nk,
+                                        std::vector<double>(d.pairs.size()));
+  for (std::size_t pi = 0; pi < d.pairs.size(); ++pi) {
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      skew[ki][pi] =
+          t[ki].arrival[static_cast<std::size_t>(d.pairs[pi].launch)] -
+          t[ki].arrival[static_cast<std::size_t>(d.pairs[pi].capture)];
+      sum_abs[ki] += std::abs(skew[ki][pi]);
+    }
+  }
+  std::vector<double> alpha(nk, 1.0);
+  for (std::size_t ki = 1; ki < nk; ++ki)
+    alpha[ki] = sum_abs[ki] > 1e-9 ? sum_abs[0] / sum_abs[ki] : 1.0;
+  double total = 0.0;
+  for (std::size_t pi = 0; pi < d.pairs.size(); ++pi) {
+    double v = 0.0;
+    for (std::size_t a = 0; a < nk; ++a)
+      for (std::size_t b = a + 1; b < nk; ++b)
+        v = std::max(v, std::abs(alpha[a] * skew[a][pi] -
+                                 alpha[b] * skew[b][pi]));
+    total += v;
+  }
+  return total;
+}
+
+double clockCellAreaUm2(const network::Design& d) {
+  double a = 0.0;
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id)) continue;
+    const ClockNode& n = d.tree.node(id);
+    if (n.kind == NodeKind::Buffer)
+      a += d.tech->cell(static_cast<std::size_t>(n.cell)).area_um2;
+  }
+  return a;
+}
+
+}  // namespace skewopt::sta

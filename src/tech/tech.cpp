@@ -1,0 +1,166 @@
+#include "tech/tech.h"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace skewopt::tech {
+
+DelayTable::DelayTable(std::vector<double> slews, std::vector<double> loads,
+                       std::vector<double> values)
+    : slews_(std::move(slews)), loads_(std::move(loads)),
+      values_(std::move(values)) {
+  if (slews_.size() < 2 || loads_.size() < 2)
+    throw std::invalid_argument("DelayTable axes need at least 2 points");
+  if (values_.size() != slews_.size() * loads_.size())
+    throw std::invalid_argument("DelayTable value count mismatch");
+}
+
+namespace {
+// Index of the interval [axis[i], axis[i+1]] used for v, clamped so that
+// values outside the axis extrapolate with the boundary interval's slope.
+std::size_t intervalIndex(const std::vector<double>& axis, double v) {
+  if (v <= axis.front()) return 0;
+  if (v >= axis[axis.size() - 2]) return axis.size() - 2;
+  std::size_t lo = 0, hi = axis.size() - 2;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (axis[mid] <= v)
+      lo = mid;
+    else
+      hi = mid - 1;
+  }
+  return lo;
+}
+}  // namespace
+
+double DelayTable::lookup(double slew_ps, double load_ff) const {
+  const std::size_t si = intervalIndex(slews_, slew_ps);
+  const std::size_t li = intervalIndex(loads_, load_ff);
+  const double ts =
+      (slew_ps - slews_[si]) / (slews_[si + 1] - slews_[si]);
+  const double tl =
+      (load_ff - loads_[li]) / (loads_[li + 1] - loads_[li]);
+  const double v00 = at(si, li), v01 = at(si, li + 1);
+  const double v10 = at(si + 1, li), v11 = at(si + 1, li + 1);
+  const double a = v00 + (v01 - v00) * tl;
+  const double b = v10 + (v11 - v10) * tl;
+  return a + (b - a) * ts;
+}
+
+namespace {
+
+// Alpha-power-law gate speed model. Returns the delay multiplier of a corner
+// (before normalization to c0). SS devices have higher Vth and a process
+// slow-down; delay grows as V / (V - Vth)^1.3; resistance-like temperature
+// dependence adds a mild slope.
+double rawGateDerate(const Corner& c) {
+  const double vth = (c.process == Process::SS) ? 0.50 : 0.38;
+  const double proc = (c.process == Process::SS) ? 1.15 : 0.85;
+  const double overdrive = c.voltage - vth;
+  assert(overdrive > 0.0);
+  const double alpha = c.voltage / std::pow(overdrive, 1.3);
+  const double temp = 1.0 + 0.0006 * (c.temp_c - 25.0);
+  return proc * alpha * temp;
+}
+
+WireParams wireAt(const Corner& c) {
+  // Nominal clock-layer parasitics at 25C / typical BEOL.
+  constexpr double kResNom = 0.0015;  // kOhm/um (1.5 Ohm/um)
+  constexpr double kCapNom = 0.18;    // fF/um
+  WireParams w;
+  w.res_kohm_per_um = kResNom * (1.0 + 0.0035 * (c.temp_c - 25.0));
+  w.cap_ff_per_um = kCapNom * ((c.beol == Beol::CMAX) ? 1.08 : 0.85);
+  return w;
+}
+
+// Builds the two NLDM tables (delay, output slew) of an inverter of the
+// given drive at a corner with gate derate g (already normalized to c0).
+void characterizeCell(Cell& cell, std::size_t k, double g) {
+  const std::vector<double> slews = {5, 10, 20, 40, 80, 160, 320};
+  const std::vector<double> loads = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  const double rdrv = 2.8 / cell.drive;  // kOhm
+  const double t_int = 6.0 + 0.8 * std::log2(cell.drive + 1.0);  // ps
+  const double s_int = 4.0;                                      // ps
+
+  std::vector<double> dvals, svals;
+  dvals.reserve(slews.size() * loads.size());
+  svals.reserve(slews.size() * loads.size());
+  for (const double s : slews) {
+    for (const double c : loads) {
+      // Base linear RC behavior plus a mild cross nonlinearity so that table
+      // interpolation genuinely differs from any closed-form model a
+      // predictor might assume.
+      const double d = g * (t_int + rdrv * c) + 0.18 * s +
+                       g * 0.03 * rdrv * c * std::sqrt(s / 50.0);
+      const double os = g * (s_int + 2.2 * rdrv * c) + 0.10 * s;
+      dvals.push_back(d);
+      svals.push_back(os);
+    }
+  }
+  cell.delay[k] = DelayTable(slews, loads, dvals);
+  cell.out_slew[k] = DelayTable(slews, loads, svals);
+}
+
+}  // namespace
+
+TechModel TechModel::make28nm(double gate_derate_compression) {
+  if (gate_derate_compression < 0.0 || gate_derate_compression >= 1.0)
+    throw std::invalid_argument("make28nm: compression must be in [0, 1)");
+  TechModel t;
+  t.corners_ = {
+      {"c0", Process::SS, 0.90, -25.0, Beol::CMAX},
+      {"c1", Process::SS, 0.75, -25.0, Beol::CMAX},
+      {"c2", Process::FF, 1.10, 125.0, Beol::CMIN},
+      {"c3", Process::FF, 1.32, 125.0, Beol::CMIN},
+  };
+  const std::size_t K = t.corners_.size();
+
+  const double g0 = rawGateDerate(t.corners_[0]);
+  t.gate_derate_.resize(K);
+  t.wire_.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    const double g = rawGateDerate(t.corners_[k]) / g0;
+    // Corner-desensitized library option (paper future work (iii)).
+    t.gate_derate_[k] = g + gate_derate_compression * (1.0 - g);
+    t.wire_[k] = wireAt(t.corners_[k]);
+  }
+
+  const double drives[] = {1.0, 2.0, 4.0, 8.0, 16.0};
+  for (const double drive : drives) {
+    Cell c;
+    c.name = "INVX" + std::to_string(static_cast<int>(drive));
+    c.drive = drive;
+    c.area_um2 = 0.6 + 0.35 * drive;
+    c.max_cap_ff = 22.0 * drive;
+    c.pin_cap_ff.resize(K);
+    c.delay.resize(K);
+    c.out_slew.resize(K);
+    c.leakage_nw.resize(K);
+    c.internal_energy_fj.resize(K);
+    for (std::size_t k = 0; k < K; ++k) {
+      const Corner& crn = t.corners_[k];
+      // Gate cap barely moves across corners; FF silicon is slightly hotter.
+      c.pin_cap_ff[k] = 0.9 * drive * (crn.process == Process::FF ? 1.05 : 1.0);
+      characterizeCell(c, k, t.gate_derate_[k]);
+      // Leakage is dominated by temperature and process (FF/125C worst).
+      const double leak_base = 0.4 * drive;
+      const double leak_temp = std::exp(0.018 * (crn.temp_c - 25.0));
+      const double leak_proc = (crn.process == Process::FF) ? 3.0 : 1.0;
+      c.leakage_nw[k] = leak_base * leak_temp * leak_proc;
+      // Internal (short-circuit + parasitic) energy per toggle.
+      c.internal_energy_fj[k] =
+          0.45 * drive * crn.voltage * crn.voltage;
+    }
+    t.cells_.push_back(std::move(c));
+  }
+
+  t.sink_cap_ff_.resize(K);
+  for (std::size_t k = 0; k < K; ++k) {
+    t.sink_cap_ff_[k] =
+        1.2 * (t.corners_[k].process == Process::FF ? 1.05 : 1.0);
+  }
+  return t;
+}
+
+}  // namespace skewopt::tech

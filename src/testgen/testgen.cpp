@@ -1,0 +1,293 @@
+#include "testgen/testgen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace skewopt::testgen {
+
+using geom::Point;
+using geom::Rect;
+using geom::Region;
+using geom::Rng;
+using network::Design;
+using network::SinkPair;
+
+namespace {
+
+/// Clustered flip-flop placement inside one rectangle: a few register banks
+/// with Gaussian spread, as register placement looks post-P&R.
+void placeClusteredSinks(Rng& rng, const Rect& block, std::size_t count,
+                         std::vector<Point>* out) {
+  const std::size_t nclusters = std::max<std::size_t>(4, count / 16);
+  std::vector<Point> centers;
+  centers.reserve(nclusters);
+  const Rect inner = block.expanded(-40.0);
+  for (std::size_t i = 0; i < nclusters; ++i)
+    centers.push_back(rng.pointIn(inner));
+  for (std::size_t i = 0; i < count; ++i) {
+    const Point& c = centers[rng.index(nclusters)];
+    Point p{rng.normal(c.x, 60.0), rng.normal(c.y, 60.0)};
+    out->push_back(block.clamp(p));
+  }
+}
+
+/// Local datapath pairs: each sink pairs with its nearest neighbors inside
+/// the same group. Weight models timing criticality (longer datapaths and a
+/// random slack component are more critical).
+void addLocalPairs(Rng& rng, const std::vector<Point>& pos,
+                   const std::vector<int>& sink_ids,
+                   const std::vector<std::size_t>& group_of,
+                   std::size_t neighbors, std::vector<SinkPair>* pairs,
+                   std::set<std::pair<int, int>>* seen) {
+  const std::size_t n = pos.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // nearest `neighbors` in the same group
+    std::vector<std::pair<double, std::size_t>> cand;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i || group_of[j] != group_of[i]) continue;
+      cand.push_back({geom::manhattan(pos[i], pos[j]), j});
+    }
+    const std::size_t k = std::min(neighbors, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + static_cast<long>(k),
+                      cand.end());
+    for (std::size_t m = 0; m < k; ++m) {
+      const std::size_t j = cand[m].second;
+      const auto key = std::minmax(sink_ids[i], sink_ids[j]);
+      if (!seen->insert({key.first, key.second}).second) continue;
+      SinkPair p;
+      p.launch = sink_ids[i];
+      p.capture = sink_ids[j];
+      p.weight = rng.uniform(0.2, 1.0) + cand[m].first / 2000.0;
+      pairs->push_back(p);
+    }
+  }
+}
+
+void capPairs(Rng& rng, std::size_t max_pairs, std::vector<SinkPair>* pairs) {
+  (void)rng;
+  if (pairs->size() <= max_pairs) return;
+  std::sort(pairs->begin(), pairs->end(),
+            [](const SinkPair& a, const SinkPair& b) {
+              return a.weight > b.weight;
+            });
+  pairs->resize(max_pairs);
+}
+
+}  // namespace
+
+Design makeCls1(const tech::TechModel& tech, const std::string& variant,
+                TestcaseOptions opts) {
+  const bool v1 = (variant == "v1");
+  if (!v1 && variant != "v2")
+    throw std::invalid_argument("makeCls1: variant must be v1 or v2");
+  Rng rng(opts.seed + (v1 ? 0x11 : 0x22));
+
+  // Four identical 650x650 ILM blocks; v1 floorplans them 2x2, v2 in a row.
+  constexpr double kBlock = 650.0;
+  constexpr double kGap = 80.0;
+  std::vector<Rect> blocks;
+  if (v1) {
+    for (int by = 0; by < 2; ++by)
+      for (int bx = 0; bx < 2; ++bx)
+        blocks.push_back({bx * (kBlock + kGap), by * (kBlock + kGap),
+                          bx * (kBlock + kGap) + kBlock,
+                          by * (kBlock + kGap) + kBlock});
+  } else {
+    for (int bx = 0; bx < 4; ++bx)
+      blocks.push_back({bx * (kBlock + kGap), 0.0,
+                        bx * (kBlock + kGap) + kBlock, kBlock});
+  }
+  geom::BBox fp;
+  for (const Rect& b : blocks) fp.add(b);
+  const Point src{fp.rect().center().x, fp.rect().ly - 30.0};
+
+  Design d("CLS1" + variant, &tech, src);
+  d.corners = {0, 1, 3};  // paper Table 4: setup c0,c1; hold c3
+  d.floorplan = Region{std::vector<Rect>(blocks)};
+
+  std::vector<Point> pos;
+  std::vector<std::size_t> group_of;
+  const std::size_t per_block = opts.sinks / blocks.size();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const std::size_t count =
+        (b + 1 == blocks.size()) ? opts.sinks - per_block * (blocks.size() - 1)
+                                 : per_block;
+    placeClusteredSinks(rng, blocks[b], count, &pos);
+    group_of.insert(group_of.end(), count, b);
+  }
+
+  // Pair construction is deterministic per sink-id vector so the Sec. 5.1
+  // scenario selection can call it once per candidate tree.
+  auto make_pairs = [&, pair_seed = opts.seed ^ 0xFA1Cull](
+                        const std::vector<int>& sink_ids) {
+    Rng prng(pair_seed);
+    std::vector<SinkPair> pairs;
+    std::set<std::pair<int, int>> seen;
+    addLocalPairs(prng, pos, sink_ids, group_of, v1 ? 3 : 4, &pairs, &seen);
+    // A small fraction of cross-block datapaths (inter-core interfaces).
+    const std::size_t cross = opts.sinks / 12;
+    for (std::size_t i = 0; i < cross; ++i) {
+      const std::size_t a = prng.index(pos.size());
+      std::size_t b = prng.index(pos.size());
+      if (group_of[a] == group_of[b]) continue;
+      const auto key = std::minmax(sink_ids[a], sink_ids[b]);
+      if (!seen.insert({key.first, key.second}).second) continue;
+      SinkPair p;
+      p.launch = sink_ids[a];
+      p.capture = sink_ids[b];
+      p.weight =
+          prng.uniform(0.5, 1.2) + geom::manhattan(pos[a], pos[b]) / 2000.0;
+      pairs.push_back(p);
+    }
+    capPairs(prng, opts.max_pairs, &pairs);
+    return pairs;
+  };
+
+  cts::CtsEngine cts_engine(tech, opts.cts);
+  if (opts.select_best_scenario) {
+    cts_engine.synthesizeBestScenario(d, pos, make_pairs);
+  } else {
+    const cts::CtsResult r = cts_engine.synthesize(d, pos);
+    d.pairs = make_pairs(r.sink_ids);
+  }
+
+  // Block-level metrics scaled from the paper's Table 4 (#cells ~ 11x FFs,
+  // utilization ~60%).
+  d.block_cells = opts.sinks * 11;
+  d.utilization = v1 ? 0.62 : 0.60;
+  return d;
+}
+
+Design makeCls2(const tech::TechModel& tech, TestcaseOptions opts) {
+  Rng rng(opts.seed + 0x33);
+
+  // L-shaped floorplan: controller in the corner square, interface logic in
+  // the two arms, separated from the controller by ~1mm of standard-cell
+  // area, as in the paper's Figure 7(b).
+  constexpr double kArm = 700.0;    // arm thickness
+  constexpr double kLen = 2200.0;   // arm length
+  const Rect ctrl{0.0, 0.0, kArm, kArm};
+  const Rect arm_right{kArm, 0.0, kLen, kArm};   // bottom arm of the L
+  const Rect arm_top{0.0, kArm, kArm, kLen};     // vertical arm of the L
+  const Point src{kArm / 2.0, kArm / 2.0};
+
+  Design d("CLS2v1", &tech, src);
+  d.corners = {0, 1, 2};  // paper Table 4: setup c0,c1; hold c2
+  d.floorplan = Region{{ctrl, arm_right, arm_top}};
+
+  std::vector<Point> pos;
+  std::vector<std::size_t> group_of;  // 0 = controller, 1/2 = interface arms
+  const std::size_t n_ctrl = opts.sinks / 2;
+  const std::size_t n_arm = (opts.sinks - n_ctrl) / 2;
+  placeClusteredSinks(rng, ctrl, n_ctrl, &pos);
+  group_of.insert(group_of.end(), n_ctrl, 0);
+  // Interface FFs sit toward the far ends of the arms (large separation).
+  const Rect far_right{kLen - 900.0, 0.0, kLen, kArm};
+  const Rect far_top{0.0, kLen - 900.0, kArm, kLen};
+  placeClusteredSinks(rng, far_right, n_arm, &pos);
+  group_of.insert(group_of.end(), n_arm, 1);
+  placeClusteredSinks(rng, far_top, opts.sinks - n_ctrl - n_arm, &pos);
+  group_of.insert(group_of.end(), opts.sinks - n_ctrl - n_arm, 2);
+
+  auto make_pairs = [&, pair_seed = opts.seed ^ 0xFA2Cull](
+                        const std::vector<int>& sink_ids) {
+    Rng prng(pair_seed);
+    std::vector<SinkPair> pairs;
+    std::set<std::pair<int, int>> seen;
+    addLocalPairs(prng, pos, sink_ids, group_of, 3, &pairs, &seen);
+    // Control/data signals between the controller and the interface logic:
+    // every interface FF talks to one or two controller FFs ~1mm away.
+    // These long pairs are the ones whose buffered paths accumulate
+    // cross-corner variation.
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+      if (group_of[i] == 0) continue;
+      const std::size_t links = 1 + prng.index(2);
+      for (std::size_t l = 0; l < links; ++l) {
+        const std::size_t j = prng.index(n_ctrl);  // controller sinks first
+        const auto key = std::minmax(sink_ids[i], sink_ids[j]);
+        if (!seen.insert({key.first, key.second}).second) continue;
+        SinkPair p;
+        p.launch = sink_ids[i];
+        p.capture = sink_ids[j];
+        p.weight =
+            prng.uniform(0.8, 1.5) + geom::manhattan(pos[i], pos[j]) / 2000.0;
+        pairs.push_back(p);
+      }
+    }
+    capPairs(prng, opts.max_pairs, &pairs);
+    return pairs;
+  };
+
+  cts::CtsEngine cts_engine(tech, opts.cts);
+  if (opts.select_best_scenario) {
+    cts_engine.synthesizeBestScenario(d, pos, make_pairs);
+  } else {
+    const cts::CtsResult r = cts_engine.synthesize(d, pos);
+    d.pairs = make_pairs(r.sink_ids);
+  }
+
+  d.block_cells = opts.sinks * 7;  // paper: 1.79M cells / 270K FFs
+  d.utilization = 0.58;
+  return d;
+}
+
+Design makeTestcase(const tech::TechModel& tech, const std::string& name,
+                    TestcaseOptions opts) {
+  if (name == "CLS1v1") return makeCls1(tech, "v1", opts);
+  if (name == "CLS1v2") return makeCls1(tech, "v2", opts);
+  if (name == "CLS2v1") return makeCls2(tech, opts);
+  throw std::invalid_argument("unknown testcase " + name);
+}
+
+ArtificialCase makeArtificialCase(const tech::TechModel& tech, geom::Rng& rng,
+                                  bool last_stage) {
+  // Bounding box of the driven pins per the paper: area 1000-8000 um^2 at
+  // block scale with aspect ratio 0.5-1. Clock stages at our scaled
+  // geometry span larger boxes, so stretch the area range (log-uniformly,
+  // up to 40x) so training covers every stage size the real testcases
+  // exhibit — the paper's generalization argument requires the training
+  // ranges to span what real designs see.
+  const double area =
+      rng.uniform(1000.0, 8000.0) * std::exp(rng.uniform(0.0, 3.7));
+  const double ar = rng.uniform(0.5, 1.0);
+  const double h = std::sqrt(area * ar);
+  const double w = area / h;
+  const Rect box{200.0, 200.0, 200.0 + w, 200.0 + h};
+
+  const Point src{20.0, 20.0};
+  ArtificialCase ac{Design("artificial", &tech, src), -1};
+  Design& d = ac.design;
+  d.corners = {0, 1, 2, 3};
+  d.floorplan = Region{{Rect{0.0, 0.0, 400.0 + w, 400.0 + h}}};
+
+  // source -> root buffer -> target buffer -> fanout (buffers or sinks).
+  const int root_cell = static_cast<int>(tech.numCells() - 2);
+  const int root =
+      d.tree.addBuffer(d.tree.root(), {80.0, 80.0}, root_cell);
+  const int target_cell = 1 + static_cast<int>(rng.index(tech.numCells() - 1));
+  ac.target = d.tree.addBuffer(root, box.center(), target_cell);
+
+  const std::size_t fanout =
+      last_stage ? 20 + rng.index(21) : 1 + rng.index(5);
+  for (std::size_t i = 0; i < fanout; ++i) {
+    const Point p = rng.pointIn(box);
+    if (last_stage) {
+      d.tree.addSink(ac.target, p);
+    } else {
+      const int child_cell = static_cast<int>(rng.index(tech.numCells() - 1));
+      const int child = d.tree.addBuffer(ac.target, p, child_cell);
+      // Two stages downstream: each child buffer drives a few sinks.
+      const std::size_t leaves = 2 + rng.index(4);
+      for (std::size_t s = 0; s < leaves; ++s) {
+        Point q{rng.normal(p.x, 35.0), rng.normal(p.y, 35.0)};
+        d.tree.addSink(child, d.floorplan.clamp(q));
+      }
+    }
+  }
+  d.routing.rebuildAll(d.tree);
+  return ac;
+}
+
+}  // namespace skewopt::testgen

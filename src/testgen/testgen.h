@@ -1,0 +1,72 @@
+// Testcase generation.
+//
+// The paper evaluates on proprietary blocks generated with the methodology
+// of [Chan et al., GLSVLSI 2014]: two application-processor-like designs
+// (CLS1v1/CLS1v2: four identical 650x650um interface-logic-module blocks)
+// and a memory controller (CLS2v1: an L-shaped floorplan, controller at the
+// center, interface logic in the arms, with ~1mm launch-capture separations
+// that force heavily buffered clock paths). This module rebuilds those
+// *structures* at a configurable (default: scaled-down) sink count:
+//
+//   * clustered flip-flop placement inside each block,
+//   * sequentially adjacent sink pairs with datapath locality (plus the
+//     long cross-region pairs that make CLS2 interesting),
+//   * a baseline clock tree from the CTS engine,
+//   * the per-testcase corner subsets of the paper's Table 4
+//     (CLS1: c0,c1,c3; CLS2: c0,c1,c2).
+//
+// It also generates the "artificial testcases" of the paper's Sec. 4.2 used
+// to train the delta-latency models: a driven subtree with fanout 1-5
+// (20-40 for last-stage buffers), bounding-box area 1000-8000 um^2 scaled
+// up to clock-stage dimensions, and randomly placed fanout cells.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cts/cts.h"
+#include "network/design.h"
+
+namespace skewopt::testgen {
+
+struct TestcaseOptions {
+  std::size_t sinks = 400;          ///< total flip-flops (paper: 36K-270K)
+  std::size_t max_pairs = 4000;     ///< cap on generated sink pairs
+  std::uint64_t seed = 1;
+  /// Paper Sec. 5.1: synthesize once per MCSM scenario plus MCMM and keep
+  /// the tree with the minimum sum of skew variations (slower: one CTS run
+  /// per active corner plus one).
+  bool select_best_scenario = false;
+  cts::CtsOptions cts;
+};
+
+/// CLS1 (application processor): four 650x650um ILM blocks. `variant` is
+/// "v1" (2x2 floorplan) or "v2" (1x4 row floorplan, different clustering).
+network::Design makeCls1(const tech::TechModel& tech,
+                         const std::string& variant, TestcaseOptions opts);
+
+/// CLS2v1 (memory controller): L-shaped block, controller at the center,
+/// interface logic in the arms; interface<->controller pairs span ~1mm.
+network::Design makeCls2(const tech::TechModel& tech, TestcaseOptions opts);
+
+/// Builds one of the three paper testcases by name ("CLS1v1", "CLS1v2",
+/// "CLS2v1").
+network::Design makeTestcase(const tech::TechModel& tech,
+                             const std::string& name, TestcaseOptions opts);
+
+// ---------------------------------------------------------------------------
+
+/// One artificial ML-training case: a small complete design whose `target`
+/// buffer is the one local moves will perturb. When `last_stage` is true the
+/// target drives 20-40 sinks directly; otherwise it drives 1-5 buffers that
+/// each drive a few sinks (providing the two downstream stages the
+/// predictor's truncated update models).
+struct ArtificialCase {
+  network::Design design;
+  int target = -1;
+};
+
+ArtificialCase makeArtificialCase(const tech::TechModel& tech, geom::Rng& rng,
+                                  bool last_stage);
+
+}  // namespace skewopt::testgen

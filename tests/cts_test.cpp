@@ -1,0 +1,207 @@
+#include "cts/cts.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+namespace skewopt::cts {
+namespace {
+
+using network::Design;
+
+class CtsTest : public ::testing::Test {
+ protected:
+  Design makeDesign(std::size_t nsinks, std::uint64_t seed,
+                    std::vector<geom::Point>* pos) {
+    geom::Rng rng(seed);
+    const geom::Rect block{0, 0, 700, 700};
+    Design d("t", &tech_, {350, -20});
+    d.corners = {0, 1, 3};
+    d.floorplan = geom::Region{{block}};
+    for (std::size_t i = 0; i < nsinks; ++i)
+      pos->push_back(rng.pointIn(block));
+    return d;
+  }
+
+  tech::TechModel tech_ = tech::TechModel::make28nm();
+  sta::Timer timer_{tech_};
+};
+
+TEST_F(CtsTest, ProducesValidCompleteTree) {
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(90, 1, &pos);
+  CtsEngine engine(tech_);
+  const CtsResult r = engine.synthesize(d, pos);
+  std::string err;
+  EXPECT_TRUE(d.tree.validate(&err)) << err;
+  ASSERT_EQ(r.sink_ids.size(), pos.size());
+  std::set<int> unique(r.sink_ids.begin(), r.sink_ids.end());
+  EXPECT_EQ(unique.size(), pos.size());
+  for (std::size_t i = 0; i < pos.size(); ++i) {
+    EXPECT_EQ(d.tree.node(r.sink_ids[i]).kind, network::NodeKind::Sink);
+    EXPECT_DOUBLE_EQ(d.tree.node(r.sink_ids[i]).pos.x, pos[i].x);
+  }
+  EXPECT_GT(d.tree.numBuffers(), 4u);
+  EXPECT_GT(d.routing.numNets(), 0u);
+}
+
+TEST_F(CtsTest, DepthBalancedSinks) {
+  // Every sink must see the same number of buffer stages — the property
+  // that lets wire snaking close the residual skew.
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(120, 2, &pos);
+  CtsEngine engine(tech_);
+  const CtsResult r = engine.synthesize(d, pos);
+  std::set<int> levels;
+  for (const int s : r.sink_ids) levels.insert(d.tree.level(s));
+  EXPECT_EQ(levels.size(), 1u) << "sink stage depths differ";
+}
+
+TEST_F(CtsTest, BalancesNominalSkew) {
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(100, 3, &pos);
+  CtsEngine engine(tech_);
+  const CtsResult r = engine.synthesize(d, pos);
+  // The balancer reports its achieved skew; verify against the timer.
+  const sta::CornerTiming t = timer_.analyze(d.tree, d.routing, 0);
+  double lo = 1e18, hi = -1e18;
+  for (const int s : r.sink_ids) {
+    lo = std::min(lo, t.arrival[static_cast<std::size_t>(s)]);
+    hi = std::max(hi, t.arrival[static_cast<std::size_t>(s)]);
+  }
+  EXPECT_NEAR(hi - lo, r.balanced_skew_ps, 1e-6);
+  // Must be far tighter than an unbalanced tree's hundreds of ps.
+  EXPECT_LT(r.balanced_skew_ps, 120.0);
+}
+
+TEST_F(CtsTest, NoMaxCapViolations) {
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(140, 4, &pos);
+  CtsEngine engine(tech_);
+  engine.synthesize(d, pos);
+  EXPECT_LE(timer_.worstLoadRatio(d.tree, d.routing, 0), 1.05);
+}
+
+TEST_F(CtsTest, RepeaterChainsOnLongSpans) {
+  // A spread-out design must receive interior repeaters.
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(60, 5, &pos);
+  CtsOptions o;
+  o.max_stage_len_um = 80.0;
+  CtsEngine engine(tech_, o);
+  const CtsResult r = engine.synthesize(d, pos);
+  EXPECT_GT(r.inserted_buffers, 0u);
+  // Chains come in inverter pairs.
+  EXPECT_EQ(r.inserted_buffers % 2, 0u);
+}
+
+TEST_F(CtsTest, SiblingStageCountsEqualized) {
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(80, 6, &pos);
+  CtsEngine engine(tech_);
+  engine.synthesize(d, pos);
+  // For every driver, all child chains that lead to buffers must carry the
+  // same number of interior buffers (the equalization property).
+  const std::vector<network::Arc> arcs = d.tree.extractArcs();
+  std::map<int, std::set<std::size_t>> interior_counts_by_src;
+  for (const network::Arc& a : arcs) {
+    if (d.tree.node(a.dst).kind == network::NodeKind::Sink) continue;
+    interior_counts_by_src[a.src].insert(a.interior.size());
+  }
+  for (const auto& [src, counts] : interior_counts_by_src)
+    EXPECT_EQ(counts.size(), 1u) << "driver " << src;
+}
+
+TEST_F(CtsTest, BestScenarioSelectionNeverWorseThanDefault) {
+  // Paper Sec. 5.1: CTS runs MCMM and per-mode MCSM scenarios and keeps
+  // the tree with the minimum sum of skew variations.
+  std::vector<geom::Point> pos;
+  Design base = makeDesign(90, 21, &pos);
+  CtsEngine engine(tech_);
+
+  // Pairs built from sink ids: a simple neighbor chain.
+  auto make_pairs = [](const std::vector<int>& ids) {
+    std::vector<network::SinkPair> pairs;
+    for (std::size_t i = 0; i + 1 < ids.size(); i += 2)
+      pairs.push_back({ids[i], ids[i + 1], 1.0});
+    return pairs;
+  };
+
+  Design defaulted = base;
+  const CtsResult rd = engine.synthesize(defaulted, pos);
+  defaulted.pairs = make_pairs(rd.sink_ids);
+  const double score_default =
+      sta::sumNormalizedSkewVariation(defaulted, timer_);
+
+  Design best = base;
+  const CtsResult rb = engine.synthesizeBestScenario(best, pos, make_pairs);
+  const double score_best = sta::sumNormalizedSkewVariation(best, timer_);
+
+  EXPECT_LE(score_best, score_default + 1e-6);
+  EXPECT_FALSE(best.pairs.empty());
+  std::string err;
+  EXPECT_TRUE(best.tree.validate(&err)) << err;
+  // The chosen scenario is either one of the active corners or MCMM.
+  const bool is_corner =
+      std::find(base.corners.begin(), base.corners.end(),
+                rb.chosen_scenario) != base.corners.end();
+  EXPECT_TRUE(is_corner ||
+              rb.chosen_scenario == std::numeric_limits<std::size_t>::max());
+}
+
+TEST_F(CtsTest, DeterministicForSeed) {
+  std::vector<geom::Point> p1, p2;
+  Design d1 = makeDesign(70, 7, &p1);
+  Design d2 = makeDesign(70, 7, &p2);
+  CtsEngine engine(tech_);
+  const CtsResult r1 = engine.synthesize(d1, p1);
+  const CtsResult r2 = engine.synthesize(d2, p2);
+  EXPECT_EQ(d1.tree.numNodes(), d2.tree.numNodes());
+  EXPECT_DOUBLE_EQ(r1.balanced_skew_ps, r2.balanced_skew_ps);
+}
+
+TEST_F(CtsTest, EffectiveDriveResDecreasesWithDrive) {
+  double prev = 1e18;
+  for (std::size_t i = 0; i < tech_.numCells(); ++i) {
+    const double r = CtsEngine::effectiveDriveRes(tech_.cell(i), 0);
+    EXPECT_LT(r, prev);
+    EXPECT_GT(r, 0.0);
+    prev = r;
+  }
+}
+
+TEST_F(CtsTest, RejectsBadInputs) {
+  std::vector<geom::Point> pos;
+  Design d = makeDesign(10, 8, &pos);
+  CtsEngine engine(tech_);
+  std::vector<geom::Point> empty;
+  EXPECT_THROW(engine.synthesize(d, empty), std::invalid_argument);
+  Design no_corners("x", &tech_, {0, 0});
+  EXPECT_THROW(engine.synthesize(no_corners, pos), std::invalid_argument);
+}
+
+// Parameterized: skew stays bounded across sizes and seeds.
+class CtsSkewProp
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+TEST_P(CtsSkewProp, BalancedSkewBounded) {
+  const auto [nsinks, seed] = GetParam();
+  tech::TechModel tech = tech::TechModel::make28nm();
+  geom::Rng rng(static_cast<std::uint64_t>(seed));
+  const geom::Rect block{0, 0, 650, 650};
+  network::Design d("t", &tech, {325, -20});
+  d.corners = {0, 1, 2};
+  d.floorplan = geom::Region{{block}};
+  std::vector<geom::Point> pos;
+  for (int i = 0; i < nsinks; ++i) pos.push_back(rng.pointIn(block));
+  CtsEngine engine(tech);
+  const CtsResult r = engine.synthesize(d, pos);
+  EXPECT_LT(r.balanced_skew_ps, 150.0)
+      << nsinks << " sinks, seed " << seed;
+}
+INSTANTIATE_TEST_SUITE_P(Sweep, CtsSkewProp,
+                         ::testing::Combine(::testing::Values(40, 100, 180),
+                                            ::testing::Values(11, 12)));
+
+}  // namespace
+}  // namespace skewopt::cts

@@ -1,0 +1,267 @@
+#include "eco/eco.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sta/timer.h"
+
+namespace skewopt::eco {
+namespace {
+
+using network::Design;
+
+class EcoTest : public ::testing::Test {
+ protected:
+  static const StageDelayLut& lut() {
+    static StageDelayLut shared(sharedTech());
+    return shared;
+  }
+  static const tech::TechModel& sharedTech() {
+    static tech::TechModel t = tech::TechModel::make28nm();
+    return t;
+  }
+};
+
+TEST_F(EcoTest, UniformDelayIncreasesWithWirelength) {
+  for (std::size_t p = 0; p < lut().numSizes(); ++p) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      double prev = 0.0;
+      for (std::size_t qi = 0; qi < lut().wirelengths().size(); qi += 5) {
+        const double d = lut().uniformDelay(p, qi, k);
+        EXPECT_GT(d, prev);
+        prev = d;
+      }
+    }
+  }
+}
+
+TEST_F(EcoTest, StrongerCellsFasterAtLongWire) {
+  const std::size_t qi = lut().wirelengths().size() - 1;  // 200 um
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_LT(lut().uniformDelay(4, qi, k), lut().uniformDelay(0, qi, k));
+}
+
+TEST_F(EcoTest, CornerOrderingOfStageDelay) {
+  // Stage delay at c1 (slow ss) > c0 > c2 > c3 for gate-dominated stages.
+  const double d0 = lut().uniformDelay(2, 0, 0);
+  const double d1 = lut().uniformDelay(2, 0, 1);
+  const double d2 = lut().uniformDelay(2, 0, 2);
+  const double d3 = lut().uniformDelay(2, 0, 3);
+  EXPECT_GT(d1, d0);
+  EXPECT_LT(d2, d0);
+  EXPECT_LT(d3, d2);
+}
+
+TEST_F(EcoTest, ArcDelayComposition) {
+  // u pairs at the settled slew: arcDelay ~ first + (u-2)*uniform + last.
+  const std::size_t p = 2, qi = 8, k = 0;
+  const double slew = 40.0, load = 6.0;
+  const double d3 = lut().arcDelay(p, qi, 3, k, slew, load);
+  const double d5 = lut().arcDelay(p, qi, 5, k, slew, load);
+  EXPECT_NEAR(d5 - d3, 2.0 * lut().uniformDelay(p, qi, k), 1e-9);
+  EXPECT_THROW(lut().arcDelay(p, qi, 0, k, slew, load),
+               std::invalid_argument);
+}
+
+TEST_F(EcoTest, MinAchievableDelayIsALowerBound) {
+  for (const double len : {120.0, 480.0, 1100.0}) {
+    for (std::size_t k = 0; k < 4; ++k) {
+      const double dmin = lut().minAchievableDelay(len, k);
+      EXPECT_GT(dmin, 0.0);
+      // Any concrete covering configuration must be >= the bound.
+      for (std::size_t p = 0; p < lut().numSizes(); p += 2) {
+        for (std::size_t qi = 4; qi < lut().wirelengths().size(); qi += 9) {
+          const double q = lut().wirelengths()[qi];
+          const std::size_t u = std::max<std::size_t>(
+              1, static_cast<std::size_t>(std::ceil((len / q - 1.0) / 2.0)));
+          EXPECT_GE(static_cast<double>(u) * lut().uniformDelay(p, qi, k),
+                    dmin - 1e-9);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(EcoTest, RatioBoundsEnvelopeScatter) {
+  // The fitted W_min/W_max curves must contain every characterized sample
+  // (the Figure 2 red curves contain all circles).
+  for (const auto& [a, b] : {std::pair<std::size_t, std::size_t>{1, 0},
+                            {2, 0}, {3, 0}, {2, 1}}) {
+    const RatioBound& up = lut().ratioBound(a, b, true);
+    const RatioBound& lo = lut().ratioBound(a, b, false);
+    for (const RatioSample& s : lut().ratioScatter(a, b)) {
+      EXPECT_LE(s.ratio, up.eval(s.delay_per_um_c0) + 1e-9);
+      EXPECT_GE(s.ratio, lo.eval(s.delay_per_um_c0) - 1e-9);
+    }
+  }
+}
+
+TEST_F(EcoTest, RatioBoundsAreNontrivial) {
+  // The envelope must be a band, not the whole axis: for (c1, c0), ratios
+  // concentrate above 1 (c1 slower), bounded away from 0 and 10.
+  const RatioBound& up = lut().ratioBound(1, 0, true);
+  const RatioBound& lo = lut().ratioBound(1, 0, false);
+  const double mid = (up.u_lo + up.u_hi) / 2.0;
+  EXPECT_GT(lo.eval(mid), 0.7);
+  EXPECT_LT(up.eval(mid), 3.0);
+  EXPECT_GT(up.eval(mid), lo.eval(mid));
+}
+
+TEST_F(EcoTest, ComboLegalityMatchesMaxCap) {
+  // Weak cells cannot legally drive long inter-inverter spans.
+  const StageDelayLut& l = lut();
+  EXPECT_FALSE(l.comboLegal(0, l.wirelengths().size() - 1));  // X1 @ 200um
+  EXPECT_TRUE(l.comboLegal(4, l.wirelengths().size() - 1));   // X16 @ 200um
+  EXPECT_TRUE(l.comboLegal(0, 0));                            // X1 @ 10um
+  // Legality is monotone: if (p, q) is legal, (p, q' < q) is too.
+  for (std::size_t p = 0; p < l.numSizes(); ++p) {
+    bool was_legal = true;
+    for (std::size_t qi = 0; qi < l.wirelengths().size(); ++qi) {
+      const bool legal = l.comboLegal(p, qi);
+      if (!was_legal) {
+        EXPECT_FALSE(legal) << p << " " << qi;
+      }
+      was_legal = legal;
+    }
+  }
+}
+
+TEST_F(EcoTest, SelectSolutionNeverPicksIllegalCombo) {
+  const std::vector<std::size_t> corners = {0, 1};
+  std::vector<double> want = {120.0, 180.0};
+  std::vector<double> slews = {30.0, 45.0}, loads = {2.0, 2.0};
+  EcoEngine eco(sharedTech(), lut());
+  const ArcSolution sol =
+      eco.selectSolution(corners, want, 300.0, slews, loads);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_TRUE(lut().comboLegal(sol.p, sol.q_idx));
+}
+
+TEST_F(EcoTest, SelectSolutionHitsAchievableTarget) {
+  // Ask for exactly what (p=2, q=60um, u=4) produces: Algorithm 1 must find
+  // a config with small error.
+  const std::vector<std::size_t> corners = {0, 1, 3};
+  const std::size_t p = 2, qi = 10;
+  const double q = lut().wirelengths()[qi];
+  std::vector<double> want, slews, loads;
+  for (const std::size_t k : corners) {
+    slews.push_back(35.0);
+    loads.push_back(5.0);
+    want.push_back(lut().arcDelay(p, qi, 4, k, 35.0, 5.0));
+  }
+  EcoEngine eco(sharedTech(), lut(), /*pair_count_penalty_ps=*/0.0);
+  const ArcSolution sol =
+      eco.selectSolution(corners, want, 4.0 * q, slews, loads);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_LT(sol.err, 1.0);
+  EXPECT_EQ(sol.u, 4u);
+}
+
+TEST_F(EcoTest, SelectSolutionRespectsGeometry) {
+  // A 2000um arc cannot be covered by tiny (q, u) combos; whatever comes
+  // back must span it.
+  const std::vector<std::size_t> corners = {0, 2};
+  std::vector<double> want = {400.0, 200.0};
+  std::vector<double> slews = {30.0, 30.0}, loads = {3.0, 3.0};
+  EcoEngine eco(sharedTech(), lut());
+  const ArcSolution sol = eco.selectSolution(corners, want, 2000.0, slews, loads);
+  ASSERT_TRUE(sol.valid);
+  EXPECT_GE((2.0 * static_cast<double>(sol.u) + 1.0) *
+                lut().wirelengths()[sol.q_idx],
+            2000.0 - 1e-6);
+}
+
+TEST_F(EcoTest, RebuildArcRealizesSolution) {
+  // Build src -> (2 interior) -> dst, rebuild the arc with a chosen
+  // solution, and check tree validity + realized delay in the right range.
+  const tech::TechModel& tech = sharedTech();
+  Design d("t", &tech, {0, 0});
+  d.corners = {0, 1};
+  d.floorplan = geom::Region{{geom::Rect{-50, -200, 1200, 400}}};
+  const int anchor = d.tree.addBuffer(0, {20, 0}, 3);
+  d.tree.addSink(anchor, {20, 40});  // second child: anchor is a branch point
+  int prev = anchor;
+  prev = d.tree.addBuffer(prev, {200, 0}, 2);
+  prev = d.tree.addBuffer(prev, {400, 0}, 2);
+  const int dst = d.tree.addBuffer(prev, {600, 0}, 3);
+  d.tree.addSink(dst, {650, 0});
+  d.tree.addSink(dst, {650, 30});  // dst branches too, terminating the arc
+  d.routing.rebuildAll(d.tree);
+
+  const std::vector<network::Arc> arcs = d.tree.extractArcs();
+  const network::Arc* arc = nullptr;
+  for (const network::Arc& a : arcs)
+    if (a.src == anchor && a.dst == dst) arc = &a;
+  ASSERT_NE(arc, nullptr);
+  ASSERT_EQ(arc->interior.size(), 2u);
+
+  sta::Timer timer(tech);
+  const sta::CornerTiming t0 = timer.analyze(d.tree, d.routing, 0);
+  const double before =
+      t0.arrival[static_cast<std::size_t>(dst)] -
+      t0.arrival[static_cast<std::size_t>(anchor)];
+
+  // Ask for ~35% more delay at both corners (detour-style ECO).
+  EcoEngine eco(tech, lut());
+  std::vector<double> want, slews, loads;
+  for (std::size_t ki = 0; ki < 2; ++ki) {
+    const sta::CornerTiming tk = timer.analyze(d.tree, d.routing, d.corners[ki]);
+    want.push_back(1.35 * (tk.arrival[static_cast<std::size_t>(dst)] -
+                           tk.arrival[static_cast<std::size_t>(anchor)]));
+    slews.push_back(tk.slew[static_cast<std::size_t>(anchor)]);
+    loads.push_back(tech.cell(3).pin_cap_ff[d.corners[ki]]);
+  }
+  const ArcSolution sol =
+      eco.selectSolution(d.corners, want, arc->direct_len_um, slews, loads);
+  ASSERT_TRUE(sol.valid);
+  const std::vector<int> inserted = eco.rebuildArc(d, *arc, sol);
+  EXPECT_EQ(inserted.size(), 2 * sol.u);
+
+  std::string err;
+  ASSERT_TRUE(d.tree.validate(&err)) << err;
+  const sta::CornerTiming t1 = timer.analyze(d.tree, d.routing, 0);
+  const double after =
+      t1.arrival[static_cast<std::size_t>(dst)] -
+      t1.arrival[static_cast<std::size_t>(anchor)];
+  // Realized delay moved toward the target (ECO noise allowed).
+  EXPECT_GT(after, before * 1.10);
+  EXPECT_LT(after, want[0] * 1.35);
+}
+
+TEST_F(EcoTest, LegalizerSnapsAndSeparates) {
+  const tech::TechModel& tech = sharedTech();
+  Design d("t", &tech, {0, 0});
+  d.corners = {0};
+  d.floorplan = geom::Region{{geom::Rect{0, 0, 100, 100}}};
+  // Three buffers dropped on (almost) the same spot.
+  std::vector<int> ids;
+  for (int i = 0; i < 3; ++i)
+    ids.push_back(d.tree.addBuffer(0, {50.03, 50.04}, 1));
+  Legalizer legal(tech, d.floorplan);
+  legal.legalize(d, ids);
+  std::set<std::pair<long, long>> spots;
+  for (const int id : ids) {
+    const geom::Point p = d.tree.node(id).pos;
+    // On grid and inside the floorplan.
+    EXPECT_NEAR(std::remainder(p.x, tech.siteWidthUm()), 0.0, 1e-6);
+    EXPECT_NEAR(std::remainder(p.y, tech.rowHeightUm()), 0.0, 1e-6);
+    EXPECT_TRUE(d.floorplan.contains(p));
+    spots.insert({std::lround(p.x * 100), std::lround(p.y * 100)});
+  }
+  EXPECT_EQ(spots.size(), ids.size()) << "overlap not resolved";
+}
+
+TEST_F(EcoTest, LegalizerClampsIntoFloorplan) {
+  const tech::TechModel& tech = sharedTech();
+  Design d("t", &tech, {0, 0});
+  d.corners = {0};
+  d.floorplan = geom::Region{{geom::Rect{0, 0, 50, 50}}};
+  const int id = d.tree.addBuffer(0, {200, 300}, 1);
+  Legalizer legal(tech, d.floorplan);
+  legal.legalize(d, {id});
+  EXPECT_TRUE(d.floorplan.contains(d.tree.node(id).pos));
+}
+
+}  // namespace
+}  // namespace skewopt::eco

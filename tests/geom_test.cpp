@@ -1,0 +1,178 @@
+#include "geom/geom.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace skewopt::geom {
+namespace {
+
+TEST(Point, ManhattanBasics) {
+  EXPECT_DOUBLE_EQ(manhattan({0, 0}, {3, 4}), 7.0);
+  EXPECT_DOUBLE_EQ(manhattan({-1, -1}, {1, 1}), 4.0);
+  EXPECT_DOUBLE_EQ(manhattan({2, 2}, {2, 2}), 0.0);
+}
+
+TEST(Point, ManhattanDominatesEuclidean) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const Point a = rng.pointIn(Rect{-100, -100, 100, 100});
+    const Point b = rng.pointIn(Rect{-100, -100, 100, 100});
+    EXPECT_GE(manhattan(a, b) + 1e-12, euclidean(a, b));
+    EXPECT_LE(manhattan(a, b), std::sqrt(2.0) * euclidean(a, b) + 1e-9);
+  }
+}
+
+TEST(Point, LerpEndpointsAndMidpoint) {
+  const Point a{0, 0}, b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  const Point mid = lerp(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(mid.x, 5.0);
+  EXPECT_DOUBLE_EQ(mid.y, 10.0);
+}
+
+TEST(Rect, BasicsAndEmptiness) {
+  Rect r{0, 0, 10, 5};
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.area(), 50.0);
+  EXPECT_DOUBLE_EQ(r.width(), 10.0);
+  EXPECT_DOUBLE_EQ(r.height(), 5.0);
+  EXPECT_DOUBLE_EQ(r.aspect(), 0.5);
+  EXPECT_TRUE(Rect{}.empty());
+  EXPECT_DOUBLE_EQ(Rect{}.area(), 0.0);
+}
+
+TEST(Rect, ContainsAndClamp) {
+  const Rect r{0, 0, 10, 10};
+  EXPECT_TRUE(r.contains({5, 5}));
+  EXPECT_TRUE(r.contains({0, 0}));
+  EXPECT_TRUE(r.contains({10, 10}));
+  EXPECT_FALSE(r.contains({10.01, 5}));
+  const Point c = r.clamp({-3, 15});
+  EXPECT_DOUBLE_EQ(c.x, 0.0);
+  EXPECT_DOUBLE_EQ(c.y, 10.0);
+}
+
+TEST(Rect, IntersectsSymmetric) {
+  const Rect a{0, 0, 10, 10}, b{5, 5, 15, 15}, c{11, 11, 20, 20};
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_TRUE(b.intersects(a));
+  EXPECT_FALSE(a.intersects(c));
+}
+
+TEST(Rect, AroundCenter) {
+  const Rect r = Rect::around({5, 5}, 2, 3);
+  EXPECT_DOUBLE_EQ(r.lx, 3.0);
+  EXPECT_DOUBLE_EQ(r.uy, 8.0);
+  EXPECT_DOUBLE_EQ(r.center().x, 5.0);
+}
+
+TEST(BBox, GrowsOverPoints) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.add(Point{1, 2});
+  b.add(Point{-3, 7});
+  b.add(Point{0, 0});
+  const Rect r = b.rect();
+  EXPECT_DOUBLE_EQ(r.lx, -3.0);
+  EXPECT_DOUBLE_EQ(r.ly, 0.0);
+  EXPECT_DOUBLE_EQ(r.ux, 1.0);
+  EXPECT_DOUBLE_EQ(r.uy, 7.0);
+  EXPECT_DOUBLE_EQ(b.halfPerimeter(), 4.0 + 7.0);
+}
+
+TEST(Region, LShapeContainsAndArea) {
+  Region l({Rect{0, 0, 10, 4}, Rect{0, 4, 4, 10}});
+  EXPECT_TRUE(l.contains({8, 2}));
+  EXPECT_TRUE(l.contains({2, 8}));
+  EXPECT_FALSE(l.contains({8, 8}));
+  EXPECT_DOUBLE_EQ(l.area(), 40.0 + 24.0);
+  EXPECT_DOUBLE_EQ(l.bbox().area(), 100.0);
+}
+
+TEST(Region, ClampPicksNearestRect) {
+  Region l({Rect{0, 0, 10, 4}, Rect{0, 4, 4, 10}});
+  const Point in = l.clamp({2, 2});
+  EXPECT_DOUBLE_EQ(in.x, 2.0);  // already inside: unchanged
+  const Point out = l.clamp({9, 9});
+  EXPECT_TRUE(l.contains(out));
+}
+
+TEST(Snap, GridRounding) {
+  EXPECT_DOUBLE_EQ(snap(1.04, 0.1), 1.0);
+  EXPECT_DOUBLE_EQ(snap(1.06, 0.1), 1.1);
+  EXPECT_DOUBLE_EQ(snap(7.3, 0.0), 7.3);  // zero grid = no snapping
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 32; ++i) {
+    const double va = a.uniform();
+    EXPECT_DOUBLE_EQ(va, b.uniform());
+    EXPECT_GE(va, 0.0);
+    EXPECT_LT(va, 1.0);
+  }
+  // Different seeds diverge quickly.
+  int diff = 0;
+  Rng a2(42);
+  for (int i = 0; i < 16; ++i)
+    if (a2.uniform() != c.uniform()) ++diff;
+  EXPECT_GT(diff, 8);
+}
+
+TEST(Rng, UniformRangeAndIndex) {
+  Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.uniform(-2.0, 5.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 5.0);
+    EXPECT_LT(rng.index(13), 13u);
+    const int iv = rng.intIn(3, 9);
+    EXPECT_GE(iv, 3);
+    EXPECT_LE(iv, 9);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughly) {
+  Rng rng(11);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, PointInRegionStaysInside) {
+  Region l({Rect{0, 0, 10, 4}, Rect{0, 4, 4, 10}});
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) EXPECT_TRUE(l.contains(rng.pointIn(l)));
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(5);
+  Rng b = a.fork();
+  EXPECT_NE(a.uniform(), b.uniform());
+}
+
+// Property sweep: aspect ratio always in (0, 1].
+class RectAspectProp : public ::testing::TestWithParam<int> {};
+TEST_P(RectAspectProp, AspectInUnitInterval) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int i = 0; i < 100; ++i) {
+    BBox b;
+    b.add(rng.pointIn(Rect{0, 0, 100, 100}));
+    b.add(rng.pointIn(Rect{0, 0, 100, 100}));
+    const double a = b.rect().aspect();
+    EXPECT_GT(a, 0.0 - 1e-12);
+    EXPECT_LE(a, 1.0);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, RectAspectProp, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace skewopt::geom

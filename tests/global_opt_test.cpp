@@ -1,0 +1,146 @@
+#include "core/global_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "testgen/testgen.h"
+
+namespace skewopt::core {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+const eco::StageDelayLut& sharedLut() {
+  static eco::StageDelayLut lut(sharedTech());
+  return lut;
+}
+
+network::Design makeDesign(std::size_t sinks = 80, std::uint64_t seed = 1,
+                           std::size_t max_pairs = 90) {
+  testgen::TestcaseOptions o;
+  o.sinks = sinks;
+  o.seed = seed;
+  // The evaluation universe is the top-critical pair set (paper footnote
+  // 9); the LP covers the same set, so cap generation accordingly.
+  o.max_pairs = max_pairs;
+  return testgen::makeCls1(sharedTech(), "v1", o);
+}
+
+TEST(ArcRoutedLength, AtLeastDirect) {
+  const network::Design d = makeDesign(60);
+  for (const network::Arc& a : d.tree.extractArcs())
+    EXPECT_GE(arcRoutedLength(d, a) + 1e-6, a.direct_len_um);
+}
+
+class GlobalOptTest : public ::testing::Test {
+ protected:
+  sta::Timer timer_{sharedTech()};
+};
+
+TEST_F(GlobalOptTest, LpFeasibleAndBelowOriginal) {
+  network::Design d = makeDesign();
+  const Objective objective(d, timer_);
+  GlobalOptions o;
+  GlobalOptimizer opt(sharedTech(), sharedLut(), o);
+  const GlobalResult r = opt.run(d, objective);
+  // Delta = 0 is always feasible, so the min-sum-V LP must be solvable and
+  // its optimum no larger than the original sum over the selected pairs.
+  EXPECT_GT(r.lp_rows, 0u);
+  EXPECT_LE(r.lp_min_sum_ps, r.lp_orig_sum_ps + 1e-6);
+  EXPECT_GE(r.lp_min_sum_ps, -1e-6);
+}
+
+TEST_F(GlobalOptTest, NeverDegradesObjective) {
+  network::Design d = makeDesign();
+  const Objective objective(d, timer_);
+  const double before = objective.evaluate(d, timer_).sum_variation_ps;
+  GlobalOptions o;
+  GlobalOptimizer opt(sharedTech(), sharedLut(), o);
+  const GlobalResult r = opt.run(d, objective);
+  const double after = objective.evaluate(d, timer_).sum_variation_ps;
+  EXPECT_LE(after, before + 1e-6);
+  EXPECT_NEAR(r.sum_after_ps, after, 1e-6);
+  EXPECT_NEAR(r.sum_before_ps, before, 1e-6);
+}
+
+TEST_F(GlobalOptTest, ReducesVariationAcrossSeeds) {
+  // Individual instances can reject every ECO candidate (realization
+  // noise), so assert statistically over seeds: most improve, and the
+  // average reduction is substantial.
+  std::size_t improved = 0;
+  double total_before = 0.0, total_after = 0.0;
+  for (const std::uint64_t seed : {1, 2, 3}) {
+    network::Design d = makeDesign(100, seed);
+    const Objective objective(d, timer_);
+    GlobalOptimizer opt(sharedTech(), sharedLut());
+    const GlobalResult r = opt.run(d, objective);
+    if (r.improved) {
+      ++improved;
+      EXPECT_GT(r.arcs_changed, 0u);
+    }
+    total_before += r.sum_before_ps;
+    total_after += r.sum_after_ps;
+  }
+  EXPECT_GE(improved, 2u);
+  EXPECT_LT(total_after, 0.85 * total_before);
+}
+
+TEST_F(GlobalOptTest, LocalSkewPreserved) {
+  network::Design d = makeDesign(100, 3);
+  const Objective objective(d, timer_);
+  const VariationReport before = objective.evaluate(d, timer_);
+  GlobalOptions o;
+  GlobalOptimizer opt(sharedTech(), sharedLut(), o);
+  opt.run(d, objective);
+  const VariationReport after = objective.evaluate(d, timer_);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    EXPECT_LE(after.local_skew_ps[ki],
+              before.local_skew_ps[ki] * o.local_skew_tolerance +
+                  o.local_skew_allowance_ps + 1e-9)
+        << "corner index " << ki;
+}
+
+TEST_F(GlobalOptTest, TreeStaysValidAndDrivable) {
+  network::Design d = makeDesign(100, 4);
+  const Objective objective(d, timer_);
+  GlobalOptimizer opt(sharedTech(), sharedLut());
+  opt.run(d, objective);
+  std::string err;
+  EXPECT_TRUE(d.tree.validate(&err)) << err;
+  // No max-cap violations introduced (paper footnote 8).
+  for (const std::size_t k : d.corners)
+    EXPECT_LE(timer_.worstLoadRatio(d.tree, d.routing, k), 1.10);
+}
+
+TEST_F(GlobalOptTest, CandidateSweepRecorded) {
+  network::Design d = makeDesign(80, 5);
+  const Objective objective(d, timer_);
+  GlobalOptions o;
+  o.u_sweep = {0.1, 0.5};
+  GlobalOptimizer opt(sharedTech(), sharedLut(), o);
+  const GlobalResult r = opt.run(d, objective);
+  EXPECT_LE(r.candidates.size(), 2u);
+  EXPECT_GE(r.candidates.size(), 1u);
+  for (const auto& [u, realized] : r.candidates) {
+    EXPECT_GE(u, r.lp_min_sum_ps - 1e-6);
+    EXPECT_LE(u, r.lp_orig_sum_ps + 1e-6);
+  }
+}
+
+TEST_F(GlobalOptTest, EmptyPairsIsNoOp) {
+  network::Design d = makeDesign(40, 6);
+  d.pairs.clear();
+  const network::Design snapshot = d;
+  // Alphas need pairs; construct objective from a paired twin instead.
+  network::Design paired = makeDesign(40, 6);
+  const Objective objective(paired, timer_);
+  GlobalOptimizer opt(sharedTech(), sharedLut());
+  const GlobalResult r = opt.run(d, objective);
+  EXPECT_FALSE(r.improved);
+  EXPECT_EQ(d.tree.numNodes(), snapshot.tree.numNodes());
+}
+
+}  // namespace
+}  // namespace skewopt::core

@@ -1,0 +1,130 @@
+// Cross-module integration tests: the full Figure 1 flow on real (scaled)
+// testcases, with the Table 5 acceptance properties.
+#include <gtest/gtest.h>
+
+#include "core/flow.h"
+#include "testgen/testgen.h"
+
+namespace skewopt::core {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+const eco::StageDelayLut& sharedLut() {
+  static eco::StageDelayLut lut(sharedTech());
+  return lut;
+}
+
+testgen::TestcaseOptions quickTestcase(std::size_t sinks, std::uint64_t seed) {
+  testgen::TestcaseOptions o;
+  o.sinks = sinks;
+  o.seed = seed;
+  o.max_pairs = 80;  // evaluation universe == LP universe (footnote 9)
+  return o;
+}
+
+FlowOptions quickOptions() {
+  FlowOptions f;
+  f.global.u_sweep = {0.1, 0.4};
+  f.local.max_iterations = 4;
+  return f;
+}
+
+class FlowTest : public ::testing::Test {
+ protected:
+  sta::Timer timer_{sharedTech()};
+};
+
+TEST_F(FlowTest, GlobalLocalImprovesBothTestcaseFamilies) {
+  for (const char* name : {"CLS1v1", "CLS2v1"}) {
+    network::Design d =
+        testgen::makeTestcase(sharedTech(), name, quickTestcase(80, 1));
+    Flow flow(sharedTech(), sharedLut(), quickOptions());
+    const FlowResult r = flow.run(d, FlowMode::kGlobalLocal, nullptr);
+    EXPECT_LT(r.after.sum_variation_ps, r.before.sum_variation_ps) << name;
+    std::string err;
+    EXPECT_TRUE(d.tree.validate(&err)) << name << ": " << err;
+  }
+}
+
+TEST_F(FlowTest, CombinedAtLeastAsGoodAsGlobalAlone) {
+  network::Design d_global =
+      testgen::makeCls1(sharedTech(), "v1", quickTestcase(80, 9));
+  network::Design d_both = d_global;
+  Flow flow(sharedTech(), sharedLut(), quickOptions());
+  const FlowResult rg = flow.run(d_global, FlowMode::kGlobal, nullptr);
+  const FlowResult rb = flow.run(d_both, FlowMode::kGlobalLocal, nullptr);
+  EXPECT_LE(rb.after.sum_variation_ps, rg.after.sum_variation_ps + 1e-6);
+}
+
+TEST_F(FlowTest, Table5ShapeGlobalStrongerThanLocal) {
+  // The paper's Table 5 headline shape: global alone reduces more than
+  // local alone (local moves only touch a subset of pairs).
+  network::Design d_g =
+      testgen::makeCls1(sharedTech(), "v1", quickTestcase(100, 10));
+  network::Design d_l = d_g;
+  Flow flow(sharedTech(), sharedLut(), quickOptions());
+  const FlowResult rg = flow.run(d_g, FlowMode::kGlobal, nullptr);
+  const FlowResult rl = flow.run(d_l, FlowMode::kLocal, nullptr);
+  const double red_g = 1.0 - rg.after.sum_variation_ps / rg.before.sum_variation_ps;
+  const double red_l = 1.0 - rl.after.sum_variation_ps / rl.before.sum_variation_ps;
+  EXPECT_GT(red_g, red_l);
+}
+
+TEST_F(FlowTest, OverheadColumnsStayNegligible) {
+  network::Design d =
+      testgen::makeCls1(sharedTech(), "v1", quickTestcase(80, 11));
+  Flow flow(sharedTech(), sharedLut(), quickOptions());
+  const FlowResult r = flow.run(d, FlowMode::kGlobalLocal, nullptr);
+  // Paper: "negligible area and power overhead". Allow a generous margin
+  // for the scaled testcases, but catch runaway buffer insertion.
+  EXPECT_LT(static_cast<double>(r.after.clock_cells),
+            1.8 * static_cast<double>(r.before.clock_cells));
+  EXPECT_LT(r.after.power_mw, 1.8 * r.before.power_mw);
+  // And no material local-skew degradation (Table 5's skew columns); the
+  // bound mirrors the optimizers' own acceptance envelope.
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    EXPECT_LE(r.after.local_skew_ps[ki],
+              r.before.local_skew_ps[ki] * 1.05 + 12.0 + 1e-9);
+}
+
+TEST_F(FlowTest, MetricsAreConsistent) {
+  testgen::TestcaseOptions o;
+  o.sinks = 60;
+  network::Design d = testgen::makeCls1(sharedTech(), "v2", o);
+  const Objective objective(d, timer_);
+  const DesignMetrics m = computeMetrics(d, objective, timer_);
+  EXPECT_GT(m.sum_variation_ps, 0.0);
+  EXPECT_EQ(m.local_skew_ps.size(), d.corners.size());
+  EXPECT_EQ(m.clock_cells, d.tree.numBuffers());
+  EXPECT_GT(m.power_mw, 0.0);
+  EXPECT_GT(m.area_um2, 0.0);
+}
+
+TEST_F(FlowTest, CombinedAtLeastAsGoodAsLocalAlone) {
+  // The paper's Table 5 ordering: the combined flow ends at least as low as
+  // local optimization alone (with a small realization-noise tolerance).
+  network::Design base =
+      testgen::makeCls1(sharedTech(), "v1", quickTestcase(100, 12));
+
+  Flow flow(sharedTech(), sharedLut(), quickOptions());
+  network::Design d_local = base;
+  const FlowResult rl = flow.run(d_local, FlowMode::kLocal, nullptr);
+
+  network::Design d_both = base;
+  const FlowResult rb = flow.run(d_both, FlowMode::kGlobalLocal, nullptr);
+
+  EXPECT_LE(rb.after.sum_variation_ps,
+            rl.after.sum_variation_ps * 1.05 + 25.0);
+}
+
+TEST_F(FlowTest, FlowModeNames) {
+  EXPECT_STREQ(flowModeName(FlowMode::kGlobal), "global");
+  EXPECT_STREQ(flowModeName(FlowMode::kLocal), "local");
+  EXPECT_STREQ(flowModeName(FlowMode::kGlobalLocal), "global-local");
+}
+
+}  // namespace
+}  // namespace skewopt::core

@@ -1,0 +1,142 @@
+#include "network/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flow.h"
+#include "core/moves.h"
+#include "testgen/testgen.h"
+
+namespace skewopt::network {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+Design roundtrip(const Design& d) {
+  std::stringstream ss;
+  writeDesign(d, ss);
+  return readDesign(sharedTech(), ss);
+}
+
+TEST(DesignIo, RoundTripPreservesStructure) {
+  testgen::TestcaseOptions o;
+  o.sinks = 60;
+  o.max_pairs = 60;
+  const Design d = testgen::makeCls1(sharedTech(), "v1", o);
+  const Design r = roundtrip(d);
+
+  EXPECT_EQ(r.name, d.name);
+  EXPECT_EQ(r.corners, d.corners);
+  EXPECT_EQ(r.tree.sinks().size(), d.tree.sinks().size());
+  EXPECT_EQ(r.tree.numBuffers(), d.tree.numBuffers());
+  EXPECT_EQ(r.pairs.size(), d.pairs.size());
+  EXPECT_EQ(r.floorplan.rects().size(), d.floorplan.rects().size());
+  EXPECT_EQ(r.block_cells, d.block_cells);
+  EXPECT_DOUBLE_EQ(r.utilization, d.utilization);
+  std::string err;
+  EXPECT_TRUE(r.tree.validate(&err)) << err;
+}
+
+TEST(DesignIo, RoundTripIsTimingExact) {
+  // The reconstructed design must time identically at every corner — the
+  // router's deterministic jogs and the forced snaking extras both have to
+  // survive serialization bit-exactly.
+  testgen::TestcaseOptions o;
+  o.sinks = 70;
+  o.max_pairs = 70;
+  const Design d = testgen::makeCls1(sharedTech(), "v2", o);
+  const Design r = roundtrip(d);
+
+  const sta::Timer timer(sharedTech());
+  const core::Objective obj_d(d, timer);
+  const core::VariationReport rep_d = obj_d.evaluate(d, timer);
+  const core::Objective obj_r(r, timer);
+  const core::VariationReport rep_r = obj_r.evaluate(r, timer);
+  EXPECT_NEAR(rep_r.sum_variation_ps, rep_d.sum_variation_ps, 1e-6);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    EXPECT_NEAR(rep_r.local_skew_ps[ki], rep_d.local_skew_ps[ki], 1e-6);
+  EXPECT_NEAR(r.routing.totalWirelength(), d.routing.totalWirelength(),
+              1e-6);
+}
+
+TEST(DesignIo, RoundTripAfterEdits) {
+  // Surgery reshuffles parent/child id ordering; IO must still reload.
+  testgen::TestcaseOptions o;
+  o.sinks = 50;
+  o.max_pairs = 50;
+  Design d = testgen::makeCls1(sharedTech(), "v1", o);
+  const std::vector<core::Move> moves = core::enumerateAllMoves(d);
+  geom::Rng rng(5);
+  for (int i = 0; i < 10 && !moves.empty(); ++i)
+    core::applyMove(d, moves[rng.index(moves.size())]);
+
+  const Design r = roundtrip(d);
+  const sta::Timer timer(sharedTech());
+  const std::vector<sta::CornerTiming> td = timer.analyzeDesign(d);
+  const std::vector<sta::CornerTiming> tr = timer.analyzeDesign(r);
+  // Latency multisets must match (ids are remapped, so compare sorted).
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    std::vector<double> ld, lr;
+    for (const int s : d.tree.sinks())
+      ld.push_back(td[ki].arrival[static_cast<std::size_t>(s)]);
+    for (const int s : r.tree.sinks())
+      lr.push_back(tr[ki].arrival[static_cast<std::size_t>(s)]);
+    std::sort(ld.begin(), ld.end());
+    std::sort(lr.begin(), lr.end());
+    ASSERT_EQ(ld.size(), lr.size());
+    for (std::size_t i = 0; i < ld.size(); ++i)
+      EXPECT_NEAR(ld[i], lr[i], 1e-6);
+  }
+}
+
+TEST(DesignIo, FileRoundTrip) {
+  testgen::TestcaseOptions o;
+  o.sinks = 40;
+  const Design d = testgen::makeCls2(sharedTech(), o);
+  const std::string path = ::testing::TempDir() + "io_test_design.skv";
+  saveDesign(d, path);
+  const Design r = loadDesign(sharedTech(), path);
+  EXPECT_EQ(r.name, "CLS2v1");
+  EXPECT_EQ(r.tree.sinks().size(), d.tree.sinks().size());
+}
+
+TEST(DesignIo, RejectsMalformedInput) {
+  std::stringstream empty;
+  EXPECT_THROW(readDesign(sharedTech(), empty), std::runtime_error);
+
+  std::stringstream bad_header("not-a-design\n");
+  EXPECT_THROW(readDesign(sharedTech(), bad_header), std::runtime_error);
+
+  std::stringstream bad_corner(
+      "skewopt-design v1\nname t\ncorners 99\n");
+  EXPECT_THROW(readDesign(sharedTech(), bad_corner), std::runtime_error);
+
+  std::stringstream bad_parent(
+      "skewopt-design v1\nname t\ncorners 0\nfloorplan 0\n"
+      "blockcells 0 utilization 0\nsource 0 0 clk\nnodes 1\n"
+      "node 5 B 99 1 1 0 b\n");
+  EXPECT_THROW(readDesign(sharedTech(), bad_parent), std::runtime_error);
+}
+
+TEST(DesignIo, CommentsAndNamesWithSpaces) {
+  Design d("my design", &sharedTech(), {0, 0});
+  d.corners = {0};
+  d.floorplan = geom::Region{{geom::Rect{0, 0, 10, 10}}};
+  const int b = d.tree.addBuffer(0, {1, 1}, 0, "buf one");
+  d.tree.addSink(b, {2, 2});
+  d.routing.rebuildAll(d.tree);
+  std::stringstream ss;
+  writeDesign(d, ss);
+  std::stringstream with_comments("# a comment\n" + ss.str());
+  // Comments before the version header are not allowed, but the name with
+  // a space must have been sanitized on write.
+  const Design r = readDesign(sharedTech(), ss);
+  EXPECT_EQ(r.name, "my_design");
+}
+
+}  // namespace
+}  // namespace skewopt::network

@@ -1,0 +1,150 @@
+#include "core/local_opt.h"
+
+#include <gtest/gtest.h>
+
+#include "testgen/testgen.h"
+
+namespace skewopt::core {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+network::Design makeDesign(std::size_t sinks = 70, std::uint64_t seed = 1) {
+  testgen::TestcaseOptions o;
+  o.sinks = sinks;
+  o.seed = seed;
+  return testgen::makeCls1(sharedTech(), "v1", o);
+}
+
+class LocalOptTest : public ::testing::Test {
+ protected:
+  sta::Timer timer_{sharedTech()};
+};
+
+TEST_F(LocalOptTest, NeverDegradesObjective) {
+  network::Design d = makeDesign();
+  const Objective objective(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 4;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult r = opt.run(d, objective, nullptr);
+  EXPECT_LE(r.sum_after_ps, r.sum_before_ps + 1e-6);
+  EXPECT_NEAR(objective.evaluate(d, timer_).sum_variation_ps, r.sum_after_ps,
+              1e-6);
+}
+
+TEST_F(LocalOptTest, HistoryMonotoneAndTyped) {
+  network::Design d = makeDesign(80, 2);
+  const Objective objective(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 6;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult r = opt.run(d, objective, nullptr);
+  double prev = r.sum_before_ps;
+  for (const LocalIteration& it : r.history) {
+    EXPECT_LT(it.sum_after_ps, prev);  // every committed move improved
+    EXPECT_NEAR(it.sum_after_ps - prev, it.realized_delta_ps, 1e-6);
+    EXPECT_LT(it.predicted_delta_ps, 0.0);  // only predicted-improving tried
+    prev = it.sum_after_ps;
+  }
+  EXPECT_NEAR(prev, r.sum_after_ps, 1e-6);
+  EXPECT_GT(r.golden_evaluations, 0u);
+}
+
+TEST_F(LocalOptTest, FindsImprovementsOnRealTestcase) {
+  network::Design d = makeDesign(80, 3);
+  const Objective objective(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 5;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult r = opt.run(d, objective, nullptr);
+  EXPECT_TRUE(r.improved);
+  EXPECT_FALSE(r.history.empty());
+}
+
+TEST_F(LocalOptTest, LocalSkewGuarded) {
+  network::Design d = makeDesign(80, 4);
+  const Objective objective(d, timer_);
+  const VariationReport before = objective.evaluate(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 6;
+  LocalOptimizer opt(sharedTech(), o);
+  opt.run(d, objective, nullptr);
+  const VariationReport after = objective.evaluate(d, timer_);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    EXPECT_LE(after.local_skew_ps[ki],
+              before.local_skew_ps[ki] * o.local_skew_tolerance + 1.0 + 1e-9);
+}
+
+TEST_F(LocalOptTest, TreeValidAfterOptimization) {
+  network::Design d = makeDesign(60, 5);
+  const Objective objective(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 4;
+  LocalOptimizer opt(sharedTech(), o);
+  opt.run(d, objective, nullptr);
+  std::string err;
+  EXPECT_TRUE(d.tree.validate(&err)) << err;
+}
+
+TEST_F(LocalOptTest, RandomBaselineWeaker) {
+  // The Figure 8 claim: guided local optimization beats random moves given
+  // the same golden-evaluation budget.
+  network::Design guided = makeDesign(80, 6);
+  network::Design random = guided;
+  const Objective objective(guided, timer_);
+  LocalOptions o;
+  o.max_iterations = 5;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult rg = opt.run(guided, objective, nullptr);
+  const LocalResult rr = opt.runRandom(random, objective, 77);
+  EXPECT_LE(rg.sum_after_ps, rr.sum_after_ps + 1e-6)
+      << "random search should not beat the predictor-guided flow";
+}
+
+TEST_F(LocalOptTest, RandomRunNeverDegrades) {
+  network::Design d = makeDesign(60, 7);
+  const Objective objective(d, timer_);
+  LocalOptions o;
+  o.max_iterations = 4;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult r = opt.runRandom(d, objective, 5);
+  EXPECT_LE(r.sum_after_ps, r.sum_before_ps + 1e-6);
+}
+
+TEST_F(LocalOptTest, ParallelTrialsBitIdenticalToSerial) {
+  // The paper implements the top-R moves in R threads; our parallel path
+  // must commit exactly what the serial path commits.
+  network::Design serial = makeDesign(70, 9);
+  network::Design parallel = serial;
+  const Objective objective(serial, timer_);
+  LocalOptions o;
+  o.max_iterations = 3;
+  o.parallel_trials = false;
+  const LocalResult rs = LocalOptimizer(sharedTech(), o).run(serial, objective, nullptr);
+  o.parallel_trials = true;
+  const LocalResult rp =
+      LocalOptimizer(sharedTech(), o).run(parallel, objective, nullptr);
+  EXPECT_DOUBLE_EQ(rs.sum_after_ps, rp.sum_after_ps);
+  EXPECT_EQ(rs.history.size(), rp.history.size());
+  EXPECT_EQ(rs.golden_evaluations, rp.golden_evaluations);
+  EXPECT_EQ(serial.tree.numNodes(), parallel.tree.numNodes());
+}
+
+TEST_F(LocalOptTest, ZeroIterationsIsNoOp) {
+  network::Design d = makeDesign(50, 8);
+  const Objective objective(d, timer_);
+  const double before = objective.evaluate(d, timer_).sum_variation_ps;
+  LocalOptions o;
+  o.max_iterations = 0;
+  LocalOptimizer opt(sharedTech(), o);
+  const LocalResult r = opt.run(d, objective, nullptr);
+  EXPECT_DOUBLE_EQ(r.sum_after_ps, before);
+  EXPECT_TRUE(r.history.empty());
+}
+
+}  // namespace
+}  // namespace skewopt::core

@@ -1,0 +1,319 @@
+#include "lp/lp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geom.h"
+
+namespace skewopt::lp {
+namespace {
+
+TEST(Model, BuildAndEvaluate) {
+  Model m;
+  const int x = m.addVar(0, 10, 1.0, "x");
+  const int y = m.addVar(-kInf, kInf, -2.0, "y");
+  m.addRow(-kInf, 5.0, {{x, 1.0}, {y, 1.0}});
+  EXPECT_EQ(m.numVars(), 2);
+  EXPECT_EQ(m.numRows(), 1);
+  EXPECT_EQ(m.numNonzeros(), 2u);
+  EXPECT_DOUBLE_EQ(m.objective({3.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(m.maxViolation({3.0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.maxViolation({4.0, 2.0}), 1.0);
+  EXPECT_THROW(m.addVar(3, 2, 0.0), std::invalid_argument);
+  EXPECT_THROW(m.addRow(0, -1, {}), std::invalid_argument);
+  EXPECT_THROW(m.addRow(0, 1, {{7, 1.0}}), std::out_of_range);
+}
+
+TEST(Simplex, PureBoundsProblem) {
+  Model m;
+  m.addVar(1, 4, 2.0);    // min at lb
+  m.addVar(-3, 9, -1.0);  // min at ub
+  m.addVar(0, 5, 0.0);    // free choice, lands on a bound
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(s.x[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.x[1], 9.0);
+  EXPECT_DOUBLE_EQ(s.objective, 2.0 - 9.0);
+}
+
+TEST(Simplex, TextbookTwoVar) {
+  // max x + y s.t. x + 2y <= 4, 3x + y <= 6, x,y >= 0 -> (1.6, 1.2), obj 2.8
+  Model m;
+  const int x = m.addVar(0, kInf, -1.0);
+  const int y = m.addVar(0, kInf, -1.0);
+  m.addRow(-kInf, 4, {{x, 1}, {y, 2}});
+  m.addRow(-kInf, 6, {{x, 3}, {y, 1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 1.6, 1e-6);
+  EXPECT_NEAR(s.x[1], 1.2, 1e-6);
+  EXPECT_NEAR(s.objective, -2.8, 1e-6);
+}
+
+TEST(Simplex, EqualityRow) {
+  // min x + y s.t. x + y = 3, x in [0,2], y in [0,2] -> obj 3.
+  Model m;
+  const int x = m.addVar(0, 2, 1.0);
+  const int y = m.addVar(0, 2, 1.0);
+  m.addRow(3, 3, {{x, 1}, {y, 1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-7);
+  EXPECT_NEAR(s.x[0] + s.x[1], 3.0, 1e-7);
+}
+
+TEST(Simplex, RangedRow) {
+  // min x s.t. 2 <= x + y <= 5, 0 <= x,y <= 4.
+  Model m;
+  const int x = m.addVar(0, 4, 1.0);
+  const int y = m.addVar(0, 4, 0.0);
+  m.addRow(2, 5, {{x, 1}, {y, 1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-7);  // y alone satisfies the range
+  EXPECT_DOUBLE_EQ(m.maxViolation(s.x), 0.0);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const int x = m.addVar(0, 1, 1.0);
+  m.addRow(5, kInf, {{x, 1.0}});  // x >= 5 impossible
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, InfeasibleConflictingRows) {
+  Model m;
+  const int x = m.addVar(-kInf, kInf, 0.0);
+  const int y = m.addVar(-kInf, kInf, 1.0);
+  m.addRow(4, kInf, {{x, 1}, {y, 1}});
+  m.addRow(-kInf, 2, {{x, 1}, {y, 1}});
+  EXPECT_EQ(solve(m).status, Status::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Model m;
+  m.addVar(0, kInf, -1.0);  // min -x, x unbounded above
+  const int y = m.addVar(0, 1, 0.0);
+  m.addRow(-kInf, 10, {{y, 1.0}});
+  EXPECT_EQ(solve(m).status, Status::Unbounded);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min |style| objective: y free; x - y = 1, min x with x >= 0 -> x=0,y=-1.
+  Model m;
+  const int x = m.addVar(0, kInf, 1.0);
+  const int y = m.addVar(-kInf, kInf, 0.0);
+  m.addRow(1, 1, {{x, 1}, {y, -1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 0.0, 1e-7);
+  EXPECT_NEAR(s.x[1], -1.0, 1e-7);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const int x = m.addVar(2, 2, 1.0);  // fixed
+  const int y = m.addVar(0, kInf, 1.0);
+  m.addRow(5, kInf, {{x, 1}, {y, 1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_DOUBLE_EQ(s.x[0], 2.0);
+  EXPECT_NEAR(s.x[1], 3.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Many redundant constraints through the same vertex.
+  Model m;
+  const int x = m.addVar(0, kInf, -1.0);
+  const int y = m.addVar(0, kInf, -1.0);
+  for (int i = 1; i <= 6; ++i)
+    m.addRow(-kInf, 2.0 * i, {{x, static_cast<double>(i)}, {y, static_cast<double>(i)}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0] + s.x[1], 2.0, 1e-6);
+}
+
+TEST(Simplex, AbsValueSplitPattern) {
+  // The global optimizer's |Delta| encoding: min d+ + d- with d+ - d- = t.
+  for (const double target : {-3.0, 0.0, 4.5}) {
+    Model m;
+    const int dp = m.addVar(0, kInf, 1.0);
+    const int dm = m.addVar(0, kInf, 1.0);
+    m.addRow(target, target, {{dp, 1}, {dm, -1}});
+    const Solution s = solve(m);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_NEAR(s.objective, std::abs(target), 1e-7);
+  }
+}
+
+TEST(Simplex, MinimaxPattern) {
+  // The paper's V >= +/- expr encoding: min V with V >= x-3, V >= 3-x at
+  // fixed x=5 -> V = 2.
+  Model m;
+  const int v = m.addVar(0, kInf, 1.0);
+  const int x = m.addVar(5, 5, 0.0);
+  m.addRow(-3, kInf, {{v, 1}, {x, -1}});
+  m.addRow(3, kInf, {{v, 1}, {x, 1}});
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-7);
+}
+
+// ---------------------------------------------------------------------------
+// Property test: LPs with a known optimum by construction (KKT/Farkas):
+// pick x*, pick an active set, set c = -sum(lambda_i * a_i) over active
+// rows with lambda > 0 (plus bound multipliers). Then x* is optimal and the
+// solver's objective must match c.x* exactly.
+// ---------------------------------------------------------------------------
+
+class KnownOptimumProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnownOptimumProp, SolverReachesConstructedOptimum) {
+  geom::Rng rng(static_cast<std::uint64_t>(GetParam()) * 1013 + 7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 3 + static_cast<int>(rng.index(5));
+    const int rows = 2 + static_cast<int>(rng.index(5));
+
+    std::vector<double> xstar(static_cast<std::size_t>(n));
+    for (double& v : xstar) v = rng.uniform(-3.0, 3.0);
+
+    Model m;
+    std::vector<double> c(static_cast<std::size_t>(n), 0.0);
+
+    // Row constraints: a.x <= a.x* + slack (slack 0 => active).
+    struct RowSpec {
+      std::vector<double> a;
+      bool active;
+    };
+    std::vector<RowSpec> specs;
+    for (int r = 0; r < rows; ++r) {
+      RowSpec rs;
+      rs.a.resize(static_cast<std::size_t>(n));
+      for (double& v : rs.a) v = rng.uniform(-2.0, 2.0);
+      rs.active = rng.uniform() < 0.5;
+      specs.push_back(rs);
+    }
+    // Objective from active-row multipliers: c = -sum lambda a (so that the
+    // gradient of c.x is blocked by the active constraints at x*).
+    bool any_active = false;
+    for (const RowSpec& rs : specs) {
+      if (!rs.active) continue;
+      any_active = true;
+      const double lambda = rng.uniform(0.2, 2.0);
+      for (int j = 0; j < n; ++j)
+        c[static_cast<std::size_t>(j)] -= lambda * rs.a[static_cast<std::size_t>(j)];
+    }
+    // A couple of active *bound* multipliers for spice: variable j at its
+    // lower bound with c_j > 0 contribution.
+    std::vector<double> lb(static_cast<std::size_t>(n), -10.0);
+    std::vector<double> ub(static_cast<std::size_t>(n), 10.0);
+    for (int j = 0; j < n; ++j) {
+      if (rng.uniform() < 0.3) {
+        lb[static_cast<std::size_t>(j)] = xstar[static_cast<std::size_t>(j)];
+        c[static_cast<std::size_t>(j)] += rng.uniform(0.2, 1.5);
+        any_active = true;
+      }
+    }
+    if (!any_active) {
+      // Make x* an unconstrained-in-the-box optimum: c = 0.
+      std::fill(c.begin(), c.end(), 0.0);
+    }
+
+    for (int j = 0; j < n; ++j)
+      m.addVar(lb[static_cast<std::size_t>(j)], ub[static_cast<std::size_t>(j)],
+               c[static_cast<std::size_t>(j)]);
+    for (const RowSpec& rs : specs) {
+      double ax = 0.0;
+      for (int j = 0; j < n; ++j)
+        ax += rs.a[static_cast<std::size_t>(j)] * xstar[static_cast<std::size_t>(j)];
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j)
+        terms.push_back({j, rs.a[static_cast<std::size_t>(j)]});
+      m.addRow(-kInf, rs.active ? ax : ax + rng.uniform(0.5, 3.0),
+               std::move(terms));
+    }
+
+    const Solution s = solve(m);
+    ASSERT_EQ(s.status, Status::Optimal) << "trial " << trial;
+    double cx = 0.0;
+    for (int j = 0; j < n; ++j)
+      cx += c[static_cast<std::size_t>(j)] * xstar[static_cast<std::size_t>(j)];
+    EXPECT_NEAR(s.objective, cx, 1e-5) << "trial " << trial;
+    EXPECT_LT(m.maxViolation(s.x), 1e-6);
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, KnownOptimumProp, ::testing::Range(0, 10));
+
+// Random feasible LPs: whatever the solver returns as Optimal must be
+// feasible and no worse than a crowd of random feasible points.
+class FeasibleDominanceProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(FeasibleDominanceProp, OptimalBeatsSampledPoints) {
+  geom::Rng rng(static_cast<std::uint64_t>(GetParam()) * 271 + 3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4;
+    Model m;
+    std::vector<double> c(n);
+    for (int j = 0; j < n; ++j) {
+      c[static_cast<std::size_t>(j)] = rng.uniform(-1, 1);
+      m.addVar(0.0, 5.0, c[static_cast<std::size_t>(j)]);
+    }
+    // Rows are satisfied by x = 0 (rhs >= 0), so the LP is feasible.
+    std::vector<std::vector<double>> rows;
+    for (int r = 0; r < 5; ++r) {
+      std::vector<double> a(n);
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) {
+        a[static_cast<std::size_t>(j)] = rng.uniform(-1, 1);
+        terms.push_back({j, a[static_cast<std::size_t>(j)]});
+      }
+      m.addRow(-kInf, rng.uniform(0.0, 4.0), std::move(terms));
+      rows.push_back(a);
+    }
+    const Solution s = solve(m);
+    ASSERT_EQ(s.status, Status::Optimal);
+    EXPECT_LT(m.maxViolation(s.x), 1e-6);
+    // Sampled feasible points never beat the reported optimum.
+    for (int pt = 0; pt < 200; ++pt) {
+      std::vector<double> x(n);
+      for (int j = 0; j < n; ++j) x[static_cast<std::size_t>(j)] = rng.uniform(0, 5);
+      if (m.maxViolation(x) > 0.0) continue;
+      EXPECT_GE(m.objective(x) + 1e-6, s.objective);
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, FeasibleDominanceProp, ::testing::Range(0, 8));
+
+TEST(Simplex, ModeratelySizedSparseProblem) {
+  // A transportation-style LP: 40 supplies x 12 demands.
+  geom::Rng rng(99);
+  Model m;
+  const int ns = 40, nd = 12;
+  std::vector<int> var(static_cast<std::size_t>(ns * nd));
+  for (int i = 0; i < ns; ++i)
+    for (int j = 0; j < nd; ++j)
+      var[static_cast<std::size_t>(i * nd + j)] =
+          m.addVar(0, kInf, rng.uniform(1.0, 5.0));
+  for (int i = 0; i < ns; ++i) {
+    std::vector<Term> t;
+    for (int j = 0; j < nd; ++j) t.push_back({var[static_cast<std::size_t>(i * nd + j)], 1.0});
+    m.addRow(-kInf, 10.0, std::move(t));  // supply cap
+  }
+  for (int j = 0; j < nd; ++j) {
+    std::vector<Term> t;
+    for (int i = 0; i < ns; ++i) t.push_back({var[static_cast<std::size_t>(i * nd + j)], 1.0});
+    m.addRow(8.0, kInf, std::move(t));  // demand floor
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_LT(m.maxViolation(s.x), 1e-6);
+  EXPECT_GT(s.objective, 0.0);
+  // Total shipped is exactly total demand at optimality (costs positive).
+  double shipped = 0.0;
+  for (const double v : s.x) shipped += v;
+  EXPECT_NEAR(shipped, 8.0 * nd, 1e-5);
+}
+
+}  // namespace
+}  // namespace skewopt::lp

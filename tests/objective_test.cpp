@@ -1,0 +1,139 @@
+#include "core/objective.h"
+
+#include <gtest/gtest.h>
+
+#include "testgen/testgen.h"
+
+namespace skewopt::core {
+namespace {
+
+class ObjectiveTest : public ::testing::Test {
+ protected:
+  static network::Design makeDesign() {
+    testgen::TestcaseOptions o;
+    o.sinks = 60;
+    return testgen::makeCls1(sharedTech(), "v1", o);
+  }
+  static const tech::TechModel& sharedTech() {
+    static tech::TechModel t = tech::TechModel::make28nm();
+    return t;
+  }
+  sta::Timer timer_{sharedTech()};
+};
+
+TEST_F(ObjectiveTest, AlphaNominalIsOne) {
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  ASSERT_EQ(obj.alphas().size(), d.corners.size());
+  EXPECT_DOUBLE_EQ(obj.alphas()[0], 1.0);
+  // Alphas normalize other corners toward c0's skew scale: positive and of
+  // order one.
+  for (std::size_t ki = 1; ki < obj.alphas().size(); ++ki) {
+    EXPECT_GT(obj.alphas()[ki], 0.2);
+    EXPECT_LT(obj.alphas()[ki], 5.0);
+  }
+}
+
+TEST_F(ObjectiveTest, AlphaActuallyNormalizes) {
+  // By construction of alpha, sum(|skew_c0|) == alpha_k * sum(|skew_ck|).
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const std::vector<sta::CornerTiming> t = timer_.analyzeDesign(d);
+  std::vector<double> sums(d.corners.size(), 0.0);
+  for (const network::SinkPair& p : d.pairs)
+    for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+      sums[ki] += std::abs(
+          t[ki].arrival[static_cast<std::size_t>(p.launch)] -
+          t[ki].arrival[static_cast<std::size_t>(p.capture)]);
+  for (std::size_t ki = 1; ki < d.corners.size(); ++ki)
+    EXPECT_NEAR(sums[0], obj.alphas()[ki] * sums[ki], 1e-6 * sums[0]);
+}
+
+TEST_F(ObjectiveTest, PairVIsMaxOverCornerPairs) {
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const std::vector<double>& a = obj.alphas();
+  const std::vector<double> skew = {10.0, 25.0, -5.0};
+  double expect = 0.0;
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = i + 1; j < 3; ++j)
+      expect = std::max(expect, std::abs(a[i] * skew[i] - a[j] * skew[j]));
+  EXPECT_DOUBLE_EQ(obj.pairV(skew), expect);
+  // Identical normalized skews => zero variation.
+  EXPECT_NEAR(obj.pairV({7.0, 7.0 / a[1], 7.0 / a[2]}), 0.0, 1e-9);
+}
+
+TEST_F(ObjectiveTest, EvaluateConsistentWithLatencies) {
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const VariationReport r1 = obj.evaluate(d, timer_);
+  const std::vector<sta::CornerTiming> t = timer_.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(t.size());
+  for (std::size_t ki = 0; ki < t.size(); ++ki) lat[ki] = t[ki].arrival;
+  const VariationReport r2 = obj.evaluateFromLatencies(d, lat);
+  EXPECT_DOUBLE_EQ(r1.sum_variation_ps, r2.sum_variation_ps);
+  EXPECT_EQ(r1.v_pair_ps, r2.v_pair_ps);
+  EXPECT_EQ(r1.local_skew_ps, r2.local_skew_ps);
+}
+
+TEST_F(ObjectiveTest, ReportInternallyConsistent) {
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const VariationReport r = obj.evaluate(d, timer_);
+  ASSERT_EQ(r.v_pair_ps.size(), d.pairs.size());
+  double sum = 0.0;
+  for (const double v : r.v_pair_ps) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, r.sum_variation_ps, 1e-6);
+  // Local skew is the max |skew| over pairs per corner.
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    double mx = 0.0;
+    for (const double s : r.skew_ps[ki]) mx = std::max(mx, std::abs(s));
+    EXPECT_DOUBLE_EQ(mx, r.local_skew_ps[ki]);
+  }
+}
+
+TEST_F(ObjectiveTest, UniformLatencyShiftLeavesVariationUnchanged) {
+  // Adding a constant to every latency at one corner cancels in skew.
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const std::vector<sta::CornerTiming> t = timer_.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(t.size());
+  for (std::size_t ki = 0; ki < t.size(); ++ki) lat[ki] = t[ki].arrival;
+  const double base = obj.evaluateFromLatencies(d, lat).sum_variation_ps;
+  for (double& v : lat[1]) v += 123.0;
+  EXPECT_NEAR(obj.evaluateFromLatencies(d, lat).sum_variation_ps, base,
+              1e-6);
+}
+
+TEST_F(ObjectiveTest, SkewPerturbationRaisesVariation) {
+  // Slowing one sink's latency at one corner only must raise the sum.
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  const std::vector<sta::CornerTiming> t = timer_.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(t.size());
+  for (std::size_t ki = 0; ki < t.size(); ++ki) lat[ki] = t[ki].arrival;
+  const double base = obj.evaluateFromLatencies(d, lat).sum_variation_ps;
+  lat[1][static_cast<std::size_t>(d.pairs.front().launch)] += 400.0;
+  EXPECT_GT(obj.evaluateFromLatencies(d, lat).sum_variation_ps, base);
+}
+
+TEST_F(ObjectiveTest, MatchesStandaloneVariationHelper) {
+  // sta::sumNormalizedSkewVariation (used by CTS scenario selection)
+  // recomputes alphas from the current state; at the Objective's
+  // construction point both must agree exactly.
+  const network::Design d = makeDesign();
+  const Objective obj(d, timer_);
+  EXPECT_NEAR(obj.evaluate(d, timer_).sum_variation_ps,
+              sta::sumNormalizedSkewVariation(d, timer_), 1e-6);
+}
+
+TEST_F(ObjectiveTest, RequiresActiveCorners) {
+  network::Design d("x", &sharedTech(), {0, 0});
+  EXPECT_THROW(Objective(d, timer_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skewopt::core

@@ -1,0 +1,137 @@
+#include "rc/rc.h"
+
+#include <gtest/gtest.h>
+
+#include "geom/geom.h"
+
+namespace skewopt::rc {
+namespace {
+
+TEST(RcTree, SingleLumpElmore) {
+  RcTree t;
+  const std::size_t n = t.addNode(0, 2.0, 5.0);  // 2 kOhm into 5 fF
+  const std::vector<double> d = elmoreDelays(t);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[n], 10.0);  // R*C = 10 ps
+}
+
+TEST(RcTree, ChainElmoreHandComputed) {
+  // root -R1=1-> a(2fF) -R2=3-> b(4fF)
+  RcTree t;
+  const std::size_t a = t.addNode(0, 1.0, 2.0);
+  const std::size_t b = t.addNode(a, 3.0, 4.0);
+  const std::vector<double> d = elmoreDelays(t);
+  // Elmore(a) = R1*(2+4) = 6; Elmore(b) = 6 + R2*4 = 18.
+  EXPECT_DOUBLE_EQ(d[a], 6.0);
+  EXPECT_DOUBLE_EQ(d[b], 18.0);
+}
+
+TEST(RcTree, BranchingElmoreSharedResistance) {
+  // root -R=2-> s(1fF) with two children: x(3fF via 1k), y(5fF via 4k).
+  RcTree t;
+  const std::size_t s = t.addNode(0, 2.0, 1.0);
+  const std::size_t x = t.addNode(s, 1.0, 3.0);
+  const std::size_t y = t.addNode(s, 4.0, 5.0);
+  const std::vector<double> d = elmoreDelays(t);
+  const double ds = 2.0 * (1 + 3 + 5);
+  EXPECT_DOUBLE_EQ(d[s], ds);
+  EXPECT_DOUBLE_EQ(d[x], ds + 1.0 * 3.0);
+  EXPECT_DOUBLE_EQ(d[y], ds + 4.0 * 5.0);
+}
+
+TEST(RcTree, AddCapIncreasesUpstreamDelay) {
+  RcTree t;
+  const std::size_t a = t.addNode(0, 1.0, 1.0);
+  const std::size_t b = t.addNode(a, 1.0, 1.0);
+  const double before = elmoreDelays(t)[b];
+  t.addCap(b, 10.0);
+  EXPECT_GT(elmoreDelays(t)[b], before);
+  EXPECT_DOUBLE_EQ(t.totalCap(), 12.0);
+}
+
+TEST(Moments, FirstMomentIsNegElmore) {
+  RcTree t;
+  const std::size_t a = t.addNode(0, 2.0, 3.0);
+  const std::size_t b = t.addNode(a, 1.0, 7.0);
+  const Moments m = Moments::compute(t);
+  const std::vector<double> d = elmoreDelays(t);
+  EXPECT_DOUBLE_EQ(-m.m1[a], d[a]);
+  EXPECT_DOUBLE_EQ(-m.m1[b], d[b]);
+  EXPECT_GT(m.m2[b], 0.0);  // second moment positive for RC trees
+}
+
+TEST(D2m, SingleLumpMatchesTheory) {
+  // One-pole RC: m1 = -RC, m2 = (RC)^2, D2M = RC * ln2 (the exact median of
+  // the single-pole response).
+  RcTree t;
+  const std::size_t n = t.addNode(0, 2.0, 5.0);
+  const std::vector<double> d = d2mDelays(t);
+  EXPECT_NEAR(d[n], 10.0 * 0.6931471805599453, 1e-9);
+}
+
+TEST(D2m, NeverExceedsElmoreOnTrees) {
+  // D2M <= Elmore is the metric's design property on RC trees.
+  geom::Rng rng(9);
+  for (int trial = 0; trial < 50; ++trial) {
+    RcTree t;
+    std::vector<std::size_t> nodes = {0};
+    for (int i = 0; i < 12; ++i)
+      nodes.push_back(t.addNode(nodes[rng.index(nodes.size())],
+                                rng.uniform(0.1, 3.0),
+                                rng.uniform(0.5, 10.0)));
+    const std::vector<double> e = elmoreDelays(t);
+    const std::vector<double> d = d2mDelays(t);
+    for (std::size_t n = 1; n < t.size(); ++n)
+      EXPECT_LE(d[n], e[n] + 1e-9) << "trial " << trial << " node " << n;
+  }
+}
+
+TEST(Peri, ExtendsSlewQuadratically) {
+  EXPECT_DOUBLE_EQ(periSlew(0.0, 8.0), 8.0);
+  EXPECT_DOUBLE_EQ(periSlew(6.0, 8.0), 10.0);
+  EXPECT_DOUBLE_EQ(periSlew(5.0, 0.0), 5.0);
+}
+
+TEST(Peri, WireSlewLn9) {
+  EXPECT_NEAR(wireSlewFromElmore(10.0), 21.972245773362196, 1e-9);
+}
+
+TEST(UniformWire, PiModelFormula) {
+  // 100um at 0.002 kOhm/um & 0.2 fF/um into 10 fF:
+  // R = 0.2 kOhm, C = 20 fF, delay = 0.2 * (10 + 10) = 4 ps.
+  EXPECT_DOUBLE_EQ(uniformWireElmore(100.0, 0.002, 0.2, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(uniformWireElmore(0.0, 0.002, 0.2, 10.0), 0.0);
+}
+
+TEST(UniformWire, QuadraticInLength) {
+  const double d1 = uniformWireElmore(100.0, 0.002, 0.2, 0.0);
+  const double d2 = uniformWireElmore(200.0, 0.002, 0.2, 0.0);
+  EXPECT_NEAR(d2 / d1, 4.0, 1e-9);  // pure-wire delay is quadratic
+}
+
+TEST(RcTree, RejectsBadParent) {
+  RcTree t;
+  EXPECT_THROW(t.addNode(5, 1.0, 1.0), std::out_of_range);
+}
+
+// Property: Elmore delay is monotone under any cap increase anywhere on the
+// node's root path side (adding cap anywhere never decreases any delay).
+class ElmoreMonotoneProp : public ::testing::TestWithParam<int> {};
+TEST_P(ElmoreMonotoneProp, CapIncreaseNeverSpeedsUp) {
+  geom::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 1);
+  RcTree t;
+  std::vector<std::size_t> nodes = {0};
+  for (int i = 0; i < 10; ++i)
+    nodes.push_back(t.addNode(nodes[rng.index(nodes.size())],
+                              rng.uniform(0.1, 2.0), rng.uniform(0.5, 6.0)));
+  const std::vector<double> before = elmoreDelays(t);
+  const std::size_t bump = nodes[rng.index(nodes.size())];
+  t.addCap(bump, 5.0);
+  const std::vector<double> after = elmoreDelays(t);
+  for (std::size_t n = 0; n < t.size(); ++n)
+    EXPECT_GE(after[n] + 1e-12, before[n]);
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, ElmoreMonotoneProp, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace skewopt::rc

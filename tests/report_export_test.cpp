@@ -1,0 +1,162 @@
+// Tests for the reporting and ECO-export utilities.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/flow.h"
+#include "network/eco_export.h"
+#include "network/io.h"
+#include "sta/report.h"
+#include "testgen/testgen.h"
+
+namespace skewopt {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+network::Design makeDesign(std::uint64_t seed = 1) {
+  testgen::TestcaseOptions o;
+  o.sinks = 60;
+  o.max_pairs = 60;
+  o.seed = seed;
+  return testgen::makeCls1(sharedTech(), "v1", o);
+}
+
+TEST(TimingReport, ContainsEveryCornerAndSummary) {
+  const network::Design d = makeDesign();
+  const sta::Timer timer(sharedTech());
+  std::ostringstream os;
+  sta::writeTimingReport(os, d, timer);
+  const std::string r = os.str();
+  for (const std::size_t k : d.corners)
+    EXPECT_NE(r.find("corner " + sharedTech().corner(k).name),
+              std::string::npos);
+  EXPECT_NE(r.find("sum of normalized skew variations"), std::string::npos);
+  EXPECT_NE(r.find("worst skew pairs"), std::string::npos);
+  EXPECT_NE(r.find("global skew"), std::string::npos);
+}
+
+TEST(TimingReport, VerboseListsEverySink) {
+  const network::Design d = makeDesign(2);
+  const sta::Timer timer(sharedTech());
+  sta::ReportOptions o;
+  o.per_sink_latency = true;
+  std::ostringstream os;
+  sta::writeTimingReport(os, d, timer, o);
+  const std::string r = os.str();
+  for (const int s : d.tree.sinks())
+    EXPECT_NE(r.find(d.tree.node(s).name), std::string::npos);
+}
+
+TEST(EcoExport, IdenticalDesignsEmitNothing) {
+  const network::Design d = makeDesign(3);
+  std::ostringstream os;
+  const network::EcoDiffStats s = network::writeEcoScript(d, d, os);
+  EXPECT_EQ(s.total(), 0u);
+}
+
+TEST(EcoExport, CapturesEveryMoveKind) {
+  network::Design before = makeDesign(4);
+  network::Design after = before;
+
+  // One of each primitive edit.
+  const std::vector<int> bufs = after.tree.buffers();
+  const int moved = bufs[2];
+  const geom::Point p = after.tree.node(moved).pos;
+  after.tree.moveNode(moved, {p.x + 20, p.y});
+  const int resized = bufs[3];
+  after.tree.resize(resized, (after.tree.node(resized).cell + 1) %
+                                 static_cast<int>(sharedTech().numCells()));
+  const int inserted =
+      after.tree.addBuffer(bufs[0], {100, 100}, 1, "eco_new_buf");
+  (void)inserted;
+  after.routing.rebuildAll(after.tree);
+  after.routing.addExtra(bufs[1], 0, 44.0);
+
+  std::ostringstream os;
+  const network::EcoDiffStats s = network::writeEcoScript(before, after, os);
+  const std::string script = os.str();
+  EXPECT_EQ(s.moved, 1u);
+  EXPECT_EQ(s.resized, 1u);
+  EXPECT_EQ(s.inserted_buffers, 1u);
+  EXPECT_GE(s.detours, 1u);
+  EXPECT_NE(script.find("move_cell " + after.tree.node(moved).name),
+            std::string::npos);
+  EXPECT_NE(script.find("size_cell " + after.tree.node(resized).name),
+            std::string::npos);
+  EXPECT_NE(script.find("insert_buffer eco_new_buf"), std::string::npos);
+  EXPECT_NE(script.find("add_route_detour"), std::string::npos);
+}
+
+TEST(EcoExport, RemovalAndReconnect) {
+  network::Design before = makeDesign(5);
+  network::Design after = before;
+  // Remove an interior buffer if one exists; otherwise reassign a sink.
+  int interior = -1;
+  for (const int b : after.tree.buffers())
+    if (after.tree.node(b).children.size() == 1) interior = b;
+  ASSERT_GE(interior, 0);
+  const std::string interior_name = after.tree.node(interior).name;
+  after.tree.removeInteriorBuffer(interior);
+  after.routing.eraseNet(interior);
+  after.routing.rebuildAll(after.tree);
+
+  std::ostringstream os;
+  const network::EcoDiffStats s = network::writeEcoScript(before, after, os);
+  EXPECT_EQ(s.removed_buffers, 1u);
+  EXPECT_GE(s.reconnected, 1u);  // the spliced child changed drivers
+  EXPECT_NE(os.str().find("remove_buffer " + interior_name),
+            std::string::npos);
+}
+
+TEST(EcoExport, SurvivesFileRoundTripOfBothSides) {
+  // Ids get remapped by save/load; the diff matches by name and must stay
+  // meaningful (no sinks reported as insertions).
+  network::Design before = makeDesign(6);
+  network::Design after = before;
+  const std::vector<core::Move> moves = core::enumerateAllMoves(after);
+  for (int i = 0; i < 5 && i < static_cast<int>(moves.size()); ++i)
+    core::applyMove(after, moves[static_cast<std::size_t>(i) * 7]);
+
+  std::stringstream sb, sa;
+  network::writeDesign(before, sb);
+  network::writeDesign(after, sa);
+  const network::Design rb = network::readDesign(sharedTech(), sb);
+  const network::Design ra = network::readDesign(sharedTech(), sa);
+
+  std::ostringstream direct, reloaded;
+  const network::EcoDiffStats s1 =
+      network::writeEcoScript(before, after, direct);
+  const network::EcoDiffStats s2 =
+      network::writeEcoScript(rb, ra, reloaded);
+  EXPECT_EQ(s1.moved, s2.moved);
+  EXPECT_EQ(s1.resized, s2.resized);
+  EXPECT_EQ(s1.inserted_buffers, s2.inserted_buffers);
+  EXPECT_EQ(s1.reconnected, s2.reconnected);
+  EXPECT_EQ(reloaded.str().find("insert_buffer ff_"), std::string::npos)
+      << "sinks must never appear as inserted buffers";
+}
+
+TEST(EcoExport, FullFlowProducesActionableScript) {
+  network::Design before = makeDesign(7);
+  network::Design after = before;
+  const eco::StageDelayLut lut(sharedTech());
+  core::FlowOptions fo;
+  fo.local.max_iterations = 2;
+  core::Flow flow(sharedTech(), lut, fo);
+  flow.run(after, core::FlowMode::kGlobalLocal, nullptr);
+
+  std::ostringstream os;
+  const network::EcoDiffStats s = network::writeEcoScript(before, after, os);
+  // An accepted optimization must translate into a non-empty ECO script.
+  if (after.tree.numNodes() != before.tree.numNodes()) {
+    EXPECT_GT(s.inserted_buffers + s.removed_buffers, 0u);
+  }
+  EXPECT_GT(s.total(), 0u);
+}
+
+}  // namespace
+}  // namespace skewopt

@@ -1,0 +1,159 @@
+#include "tech/tech.h"
+
+#include <gtest/gtest.h>
+
+namespace skewopt::tech {
+namespace {
+
+class TechTest : public ::testing::Test {
+ protected:
+  TechModel t = TechModel::make28nm();
+};
+
+TEST_F(TechTest, Table3CornerSet) {
+  ASSERT_EQ(t.numCorners(), 4u);
+  EXPECT_EQ(t.corner(0).name, "c0");
+  EXPECT_EQ(t.corner(0).process, Process::SS);
+  EXPECT_DOUBLE_EQ(t.corner(0).voltage, 0.90);
+  EXPECT_DOUBLE_EQ(t.corner(0).temp_c, -25.0);
+  EXPECT_EQ(t.corner(0).beol, Beol::CMAX);
+  EXPECT_DOUBLE_EQ(t.corner(1).voltage, 0.75);
+  EXPECT_EQ(t.corner(2).process, Process::FF);
+  EXPECT_DOUBLE_EQ(t.corner(2).voltage, 1.10);
+  EXPECT_EQ(t.corner(2).beol, Beol::CMIN);
+  EXPECT_DOUBLE_EQ(t.corner(3).voltage, 1.32);
+  EXPECT_DOUBLE_EQ(t.corner(3).temp_c, 125.0);
+}
+
+TEST_F(TechTest, GateDerateOrdering) {
+  // c0 is the reference; the low-voltage SS corner is slowest, the
+  // overdriven FF corner fastest.
+  EXPECT_DOUBLE_EQ(t.gateDerate(0), 1.0);
+  EXPECT_GT(t.gateDerate(1), 1.3);  // c1 markedly slower than c0
+  EXPECT_LT(t.gateDerate(2), 0.7);  // c2 markedly faster
+  EXPECT_LT(t.gateDerate(3), t.gateDerate(2));  // c3 fastest of all
+}
+
+TEST_F(TechTest, WireCornersMoveDifferentlyThanGates) {
+  // BEOL Cmin shrinks cap; high temperature raises resistance. The wire RC
+  // product must NOT track the gate derate — that asymmetry creates the
+  // cross-corner skew variation the paper optimizes.
+  const double rc0 = t.wire(0).res_kohm_per_um * t.wire(0).cap_ff_per_um;
+  const double rc2 = t.wire(2).res_kohm_per_um * t.wire(2).cap_ff_per_um;
+  const double wire_ratio = rc2 / rc0;
+  const double gate_ratio = t.gateDerate(2) / t.gateDerate(0);
+  EXPECT_GT(wire_ratio, gate_ratio * 1.5);
+  // Same-temperature same-BEOL corners share wire parasitics.
+  EXPECT_DOUBLE_EQ(t.wire(0).res_kohm_per_um, t.wire(1).res_kohm_per_um);
+  EXPECT_DOUBLE_EQ(t.wire(0).cap_ff_per_um, t.wire(1).cap_ff_per_um);
+}
+
+TEST_F(TechTest, LibraryHasFiveSizesWithMonotoneDrive) {
+  ASSERT_EQ(t.numCells(), 5u);
+  for (std::size_t i = 1; i < t.numCells(); ++i) {
+    EXPECT_GT(t.cell(i).drive, t.cell(i - 1).drive);
+    EXPECT_GT(t.cell(i).area_um2, t.cell(i - 1).area_um2);
+    EXPECT_GT(t.cell(i).max_cap_ff, t.cell(i - 1).max_cap_ff);
+    EXPECT_GT(t.cell(i).pin_cap_ff[0], t.cell(i - 1).pin_cap_ff[0]);
+  }
+}
+
+TEST_F(TechTest, StrongerCellIsFasterUnderLoad) {
+  for (std::size_t k = 0; k < t.numCorners(); ++k) {
+    const double weak = t.cell(0).delay[k].lookup(30.0, 40.0);
+    const double strong = t.cell(4).delay[k].lookup(30.0, 40.0);
+    EXPECT_LT(strong, weak) << "corner " << k;
+  }
+}
+
+TEST_F(TechTest, DelayMonotoneInSlewAndLoad) {
+  const Cell& c = t.cell(2);
+  for (std::size_t k = 0; k < t.numCorners(); ++k) {
+    double prev = -1.0;
+    for (double load = 1.0; load <= 200.0; load *= 2.0) {
+      const double d = c.delay[k].lookup(25.0, load);
+      EXPECT_GT(d, prev);
+      prev = d;
+    }
+    EXPECT_LT(c.delay[k].lookup(10.0, 30.0), c.delay[k].lookup(100.0, 30.0));
+  }
+}
+
+TEST_F(TechTest, LeakageWorstAtFastHotCorner) {
+  const Cell& c = t.cell(3);
+  EXPECT_GT(c.leakage_nw[3], c.leakage_nw[0] * 5.0);
+  EXPECT_GT(c.leakage_nw[2], c.leakage_nw[1]);
+}
+
+TEST_F(TechTest, InternalEnergyScalesWithVoltageSquared) {
+  const Cell& c = t.cell(1);
+  const double e0 = c.internal_energy_fj[0];  // 0.90V
+  const double e3 = c.internal_energy_fj[3];  // 1.32V
+  EXPECT_NEAR(e3 / e0, (1.32 * 1.32) / (0.90 * 0.90), 1e-9);
+}
+
+TEST(DelayTable, ExactAtGridPoints) {
+  DelayTable dt({10, 20}, {1, 2, 4}, {5, 6, 8, 7, 9, 12});
+  EXPECT_DOUBLE_EQ(dt.lookup(10, 1), 5.0);
+  EXPECT_DOUBLE_EQ(dt.lookup(10, 4), 8.0);
+  EXPECT_DOUBLE_EQ(dt.lookup(20, 2), 9.0);
+}
+
+TEST(DelayTable, BilinearBetweenGridPoints) {
+  DelayTable dt({10, 20}, {1, 2}, {5, 6, 7, 9});
+  // Midpoint of all four corners: mean.
+  EXPECT_DOUBLE_EQ(dt.lookup(15, 1.5), (5 + 6 + 7 + 9) / 4.0);
+  // Pure slew interpolation at load 1.
+  EXPECT_DOUBLE_EQ(dt.lookup(15, 1), 6.0);
+}
+
+TEST(DelayTable, LinearExtrapolationOutsideGrid) {
+  DelayTable dt({10, 20}, {1, 2}, {5, 6, 7, 9});
+  // Beyond the load axis, the last interval's slope continues.
+  EXPECT_DOUBLE_EQ(dt.lookup(10, 3), 7.0);   // 5 + (6-5)*2
+  EXPECT_DOUBLE_EQ(dt.lookup(10, 0), 4.0);   // 5 - (6-5)
+  EXPECT_DOUBLE_EQ(dt.lookup(30, 1), 9.0);   // 5 + (7-5)*2
+}
+
+TEST(DelayTable, RejectsMalformedAxes) {
+  EXPECT_THROW(DelayTable({1}, {1, 2}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(DelayTable({1, 2}, {1, 2}, {1, 2, 3}),
+               std::invalid_argument);
+}
+
+TEST_F(TechTest, SinkCapPositiveAtEveryCorner) {
+  for (std::size_t k = 0; k < t.numCorners(); ++k) {
+    EXPECT_GT(t.sinkCapFf(k), 0.5);
+    EXPECT_LT(t.sinkCapFf(k), 5.0);
+  }
+}
+
+TEST_F(TechTest, PlacementGrids) {
+  EXPECT_GT(t.siteWidthUm(), 0.0);
+  EXPECT_GT(t.rowHeightUm(), t.siteWidthUm());
+}
+
+// Parameterized: every (cell, corner) table is monotone in load at several
+// slews — the property NLDM-based timers rely on.
+class TableMonotoneProp
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+TEST_P(TableMonotoneProp, MonotoneInLoad) {
+  const TechModel t = TechModel::make28nm();
+  const auto [ci, k] = GetParam();
+  const Cell& c = t.cell(static_cast<std::size_t>(ci));
+  for (double slew : {5.0, 40.0, 300.0}) {
+    double prev = -1e9;
+    for (double load = 0.5; load < 300.0; load *= 1.7) {
+      const double d =
+          c.delay[static_cast<std::size_t>(k)].lookup(slew, load);
+      EXPECT_GE(d, prev);
+      prev = d;
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(AllCellsCorners, TableMonotoneProp,
+                         ::testing::Combine(::testing::Range(0, 5),
+                                            ::testing::Range(0, 4)));
+
+}  // namespace
+}  // namespace skewopt::tech

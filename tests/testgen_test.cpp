@@ -1,0 +1,171 @@
+#include "testgen/testgen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace skewopt::testgen {
+namespace {
+
+class TestgenTest : public ::testing::Test {
+ protected:
+  tech::TechModel tech_ = tech::TechModel::make28nm();
+};
+
+TEST_F(TestgenTest, Cls1v1StructureMatchesTable4) {
+  TestcaseOptions o;
+  o.sinks = 80;
+  const network::Design d = makeCls1(tech_, "v1", o);
+  EXPECT_EQ(d.name, "CLS1v1");
+  EXPECT_EQ(d.corners, (std::vector<std::size_t>{0, 1, 3}));
+  EXPECT_EQ(d.tree.sinks().size(), 80u);
+  EXPECT_EQ(d.floorplan.rects().size(), 4u);  // four ILM blocks
+  for (const geom::Rect& r : d.floorplan.rects()) {
+    EXPECT_DOUBLE_EQ(r.width(), 650.0);
+    EXPECT_DOUBLE_EQ(r.height(), 650.0);
+  }
+  EXPECT_EQ(d.block_cells, 80u * 11u);
+  EXPECT_NEAR(d.utilization, 0.62, 1e-9);
+  std::string err;
+  EXPECT_TRUE(d.tree.validate(&err)) << err;
+}
+
+TEST_F(TestgenTest, Cls1VariantsDiffer) {
+  TestcaseOptions o;
+  o.sinks = 60;
+  const network::Design v1 = makeCls1(tech_, "v1", o);
+  const network::Design v2 = makeCls1(tech_, "v2", o);
+  // v1 floorplans 2x2, v2 in a row: different bounding boxes.
+  EXPECT_NE(v1.floorplan.bbox().width(), v2.floorplan.bbox().width());
+  EXPECT_THROW(makeCls1(tech_, "v3", o), std::invalid_argument);
+}
+
+TEST_F(TestgenTest, PairsAreValidAndDeduped) {
+  TestcaseOptions o;
+  o.sinks = 70;
+  const network::Design d = makeCls1(tech_, "v1", o);
+  EXPECT_GT(d.pairs.size(), 50u);
+  std::set<std::pair<int, int>> seen;
+  for (const network::SinkPair& p : d.pairs) {
+    EXPECT_NE(p.launch, p.capture);
+    EXPECT_EQ(d.tree.node(p.launch).kind, network::NodeKind::Sink);
+    EXPECT_EQ(d.tree.node(p.capture).kind, network::NodeKind::Sink);
+    EXPECT_GT(p.weight, 0.0);
+    const auto key = std::minmax(p.launch, p.capture);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST_F(TestgenTest, Cls2HasLongCrossRegionPairs) {
+  TestcaseOptions o;
+  o.sinks = 90;
+  const network::Design d = makeCls2(tech_, o);
+  EXPECT_EQ(d.corners, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(d.floorplan.rects().size(), 3u);  // controller + two arms
+  // The signature of the memory controller: some pairs span ~1mm.
+  double max_span = 0.0;
+  for (const network::SinkPair& p : d.pairs)
+    max_span = std::max(max_span,
+                        geom::manhattan(d.tree.node(p.launch).pos,
+                                        d.tree.node(p.capture).pos));
+  EXPECT_GT(max_span, 900.0);
+}
+
+TEST_F(TestgenTest, SinksStayInsideFloorplan) {
+  TestcaseOptions o;
+  o.sinks = 60;
+  for (const char* name : {"CLS1v1", "CLS1v2", "CLS2v1"}) {
+    const network::Design d = makeTestcase(tech_, name, o);
+    for (const int s : d.tree.sinks())
+      EXPECT_TRUE(d.floorplan.contains(d.tree.node(s).pos))
+          << name << " sink " << s;
+  }
+  EXPECT_THROW(makeTestcase(tech_, "bogus", o), std::invalid_argument);
+}
+
+TEST_F(TestgenTest, DeterministicBySeed) {
+  TestcaseOptions o;
+  o.sinks = 50;
+  o.seed = 123;
+  const network::Design a = makeCls1(tech_, "v1", o);
+  const network::Design b = makeCls1(tech_, "v1", o);
+  EXPECT_EQ(a.tree.numNodes(), b.tree.numNodes());
+  EXPECT_EQ(a.pairs.size(), b.pairs.size());
+  o.seed = 124;
+  const network::Design c = makeCls1(tech_, "v1", o);
+  EXPECT_NE(a.tree.node(a.tree.sinks()[0]).pos.x,
+            c.tree.node(c.tree.sinks()[0]).pos.x);
+}
+
+TEST_F(TestgenTest, MaxPairsCapKeepsMostCritical) {
+  TestcaseOptions o;
+  o.sinks = 80;
+  o.max_pairs = 40;
+  const network::Design d = makeCls1(tech_, "v1", o);
+  EXPECT_LE(d.pairs.size(), 40u);
+  // Capping keeps the heaviest pairs: all kept weights >= some floor.
+  double min_kept = 1e18;
+  for (const network::SinkPair& p : d.pairs)
+    min_kept = std::min(min_kept, p.weight);
+  EXPECT_GT(min_kept, 0.2);
+}
+
+TEST_F(TestgenTest, BestScenarioOptionImprovesOrMatches) {
+  TestcaseOptions base;
+  base.sinks = 60;
+  base.max_pairs = 60;
+  const network::Design plain = makeCls1(tech_, "v1", base);
+  TestcaseOptions best = base;
+  best.select_best_scenario = true;
+  const network::Design chosen = makeCls1(tech_, "v1", best);
+  const sta::Timer timer(tech_);
+  EXPECT_LE(sta::sumNormalizedSkewVariation(chosen, timer),
+            sta::sumNormalizedSkewVariation(plain, timer) + 1e-6);
+  // Same structural inputs regardless of scenario.
+  EXPECT_EQ(chosen.tree.sinks().size(), plain.tree.sinks().size());
+  EXPECT_EQ(chosen.pairs.size(), plain.pairs.size());
+}
+
+TEST_F(TestgenTest, ArtificialCaseLastStage) {
+  geom::Rng rng(5);
+  const ArtificialCase ac = makeArtificialCase(tech_, rng, true);
+  ASSERT_GE(ac.target, 0);
+  const auto& kids = ac.design.tree.node(ac.target).children;
+  EXPECT_GE(kids.size(), 20u);
+  EXPECT_LE(kids.size(), 40u);
+  for (const int c : kids)
+    EXPECT_EQ(ac.design.tree.node(c).kind, network::NodeKind::Sink);
+  std::string err;
+  EXPECT_TRUE(ac.design.tree.validate(&err)) << err;
+  EXPECT_GT(ac.design.routing.numNets(), 0u);
+}
+
+TEST_F(TestgenTest, ArtificialCaseMidStageHasTwoDownstreamLevels) {
+  geom::Rng rng(6);
+  const ArtificialCase ac = makeArtificialCase(tech_, rng, false);
+  const auto& kids = ac.design.tree.node(ac.target).children;
+  EXPECT_GE(kids.size(), 1u);
+  EXPECT_LE(kids.size(), 5u);
+  bool has_grandchildren = false;
+  for (const int c : kids)
+    if (!ac.design.tree.node(c).children.empty()) has_grandchildren = true;
+  EXPECT_TRUE(has_grandchildren);
+}
+
+TEST_F(TestgenTest, ArtificialCasesSpanPaperParameterRanges) {
+  // Fanout 1-5 / 20-40 and bbox aspect 0.5-1 per the paper's Sec 4.2.
+  geom::Rng rng(7);
+  for (int i = 0; i < 20; ++i) {
+    const bool last = (i % 3 == 0);
+    const ArtificialCase ac = makeArtificialCase(tech_, rng, last);
+    geom::BBox box;
+    for (const int c : ac.design.tree.node(ac.target).children)
+      box.add(ac.design.tree.node(c).pos);
+    if (ac.design.tree.node(ac.target).children.size() >= 2) {
+      EXPECT_GT(box.rect().aspect(), 0.05);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace skewopt::testgen
