@@ -4,7 +4,9 @@
 // simplex, and move prediction.
 #include <benchmark/benchmark.h>
 
+#include "core/local_opt.h"
 #include "core/predictor.h"
+#include "sta/incremental.h"
 #include "eco/stage_lut.h"
 #include "lp/lp.h"
 #include "rc/rc.h"
@@ -129,6 +131,63 @@ void BM_MovePrediction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MovePrediction);
+
+// Golden trial evaluation: Arg(0) is the seed path (deep-copy the design
+// and the full multi-corner timing per trial), Arg(1) the scoped-overlay
+// path (apply/retime-in-place/rollback/undo) the trial engine now uses.
+void BM_GoldenTrialIncremental(benchmark::State& state) {
+  const network::Design& d0 = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  const core::Objective objective(d0, timer);
+  const std::vector<core::Move> moves = core::enumerateAllMoves(d0);
+  network::Design d = d0;
+  sta::IncrementalTimer base(sharedTech(), d);
+  sta::ScopedRetime overlay(base);
+  core::TrialEval eval;
+  core::UndoRecord undo;
+  std::size_t i = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    const core::Move& m = moves[i % moves.size()];
+    if (state.range(0) == 0) {
+      network::Design trial = d;
+      sta::IncrementalTimer inc = base;
+      const std::vector<int> dirty = core::applyMoveTracked(trial, m);
+      inc.update(trial, dirty);
+      acc += objective.evaluateFromLatencies(trial, inc.latencies())
+                 .sum_variation_ps;
+    } else {
+      core::applyMoveUndoable(d, m, &undo);
+      overlay.retime(d, undo.dirty);
+      objective.evaluateTrial(d, base.timings(), &eval);
+      acc += eval.sum_variation_ps;
+      overlay.rollback();
+      core::undoMove(d, undo);
+    }
+    ++i;
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_GoldenTrialIncremental)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+// One full local-optimization round, serial vs pooled trial evaluation.
+void BM_LocalOptRound(benchmark::State& state) {
+  const network::Design& d0 = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  const core::Objective objective(d0, timer);
+  core::LocalOptions o;
+  o.max_iterations = 1;
+  o.r = 8;
+  o.parallel_trials = state.range(0) != 0;
+  const core::LocalOptimizer opt(sharedTech(), o);
+  for (auto _ : state) {
+    network::Design d = d0;
+    const core::LocalResult r = opt.run(d, objective, nullptr);
+    benchmark::DoNotOptimize(r.sum_after_ps);
+  }
+}
+BENCHMARK(BM_LocalOptRound)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,11 +1,12 @@
 #include "core/local_opt.h"
 
-#include "sta/incremental.h"
-
 #include <algorithm>
 #include <cmath>
-#include <numeric>
-#include <thread>
+#include <memory>
+#include <optional>
+
+#include "sta/incremental.h"
+#include "support/thread_pool.h"
 
 namespace skewopt::core {
 
@@ -13,8 +14,8 @@ using network::Design;
 
 namespace {
 
-/// Golden trial: returns the realized objective report of applying `m` to a
-/// copy of `d`.
+/// Golden trial for the random baseline: returns the realized objective
+/// report of applying `m` to a copy of `d`.
 struct Trial {
   Design design;
   VariationReport report;
@@ -28,26 +29,39 @@ Trial goldenTrial(const Design& d, const sta::Timer& timer,
   return t;
 }
 
-/// Incremental golden trial: instead of a full multi-corner re-analysis,
-/// retime only the move's dirty subtrees from the round's base timing
-/// (bit-identical results; see IncrementalTimer tests).
-Trial goldenTrialIncremental(const Design& d,
-                             const sta::IncrementalTimer& base,
-                             const Objective& objective, const Move& m) {
-  Trial t{d, {}};
-  sta::IncrementalTimer inc = base;
-  const std::vector<int> dirty = applyMoveTracked(t.design, m);
-  inc.update(t.design, dirty);
-  t.report = objective.evaluateFromLatencies(t.design, inc.latencies());
-  return t;
-}
-
-bool skewOk(const VariationReport& before, const VariationReport& after,
-            double tol) {
-  for (std::size_t ki = 0; ki < before.local_skew_ps.size(); ++ki)
-    if (after.local_skew_ps[ki] > before.local_skew_ps[ki] * tol + 1.0)
+bool skewOk(const std::vector<double>& before_local_skew,
+            const std::vector<double>& after_local_skew, double tol) {
+  for (std::size_t ki = 0; ki < before_local_skew.size(); ++ki)
+    if (after_local_skew[ki] > before_local_skew[ki] * tol + 1.0)
       return false;
   return true;
+}
+
+/// One trial worker's persistent state: a design replica kept in lockstep
+/// with the optimizer's design, the replica's own incremental multi-corner
+/// timing, and the scoped-retime scratch reused by every trial the worker
+/// runs. Created once per run and updated in place on each commit — the
+/// only full design copies of the whole optimization.
+struct WorkerContext {
+  Design replica;
+  sta::IncrementalTimer timing;
+  sta::ScopedRetime overlay;
+  UndoRecord undo;  // scratch reused by every trial this worker runs
+
+  WorkerContext(const Design& d, const sta::IncrementalTimer& base)
+      : replica(d), timing(base), overlay(timing) {}
+};
+
+/// Copy-free golden trial: apply the move to the worker's replica, retime
+/// only its dirty subtrees in place, read the objective, roll everything
+/// back. Bit-identical to evaluating a full copy (asserted by tests).
+void goldenTrialScoped(WorkerContext& ctx, const Objective& objective,
+                       const Move& m, TrialEval* out) {
+  applyMoveUndoable(ctx.replica, m, &ctx.undo);
+  ctx.overlay.retime(ctx.replica, ctx.undo.dirty);
+  objective.evaluateTrial(ctx.replica, ctx.timing.timings(), out);
+  ctx.overlay.rollback();
+  undoMove(ctx.replica, ctx.undo);
 }
 
 }  // namespace
@@ -56,23 +70,45 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
                                 const DeltaLatencyModel* model,
                                 std::size_t analytic_fallback) const {
   LocalResult res;
-  VariationReport current = objective.evaluate(d, timer_);
-  const VariationReport initial = current;
-  res.sum_before_ps = current.sum_variation_ps;
-  res.sum_after_ps = current.sum_variation_ps;
+  // The round's base timing: one full multi-corner STA here, then only
+  // incremental subtree updates after each committed move.
+  sta::IncrementalTimer base_timing(*tech_, d);
+  const VariationReport initial =
+      objective.evaluateFromTimings(d, base_timing.timings());
+  double current_sum = initial.sum_variation_ps;
+  res.sum_before_ps = current_sum;
+  res.sum_after_ps = current_sum;
+  if (opts_.max_iterations == 0) return res;
+
+  MovePredictor predictor(d, timer_, objective, model, analytic_fallback,
+                          &base_timing.timings());
+
+  support::ThreadPool& pool = support::ThreadPool::shared();
+  const std::size_t max_workers =
+      std::max<std::size_t>(1, opts_.threads ? opts_.threads : pool.size());
+  std::vector<std::unique_ptr<WorkerContext>> workers;
+  auto ensureWorkers = [&](std::size_t n) {
+    while (workers.size() < n)
+      workers.push_back(std::make_unique<WorkerContext>(d, base_timing));
+  };
+  std::vector<TrialEval> reports;  // slots reused across chunks and rounds
 
   for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
-    MovePredictor predictor(d, timer_, objective, model, analytic_fallback);
+    if (round > 0) predictor.refresh(base_timing.timings());
     std::vector<Move> moves = enumerateAllMoves(d, opts_.enumerate);
     res.candidate_moves = moves.size();
 
-    std::vector<std::pair<double, std::size_t>> scored;
-    scored.reserve(moves.size());
-    for (std::size_t i = 0; i < moves.size(); ++i)
-      scored.push_back({predictor.predictedVariationDelta(moves[i]), i});
+    std::vector<std::pair<double, std::size_t>> scored(moves.size());
+    if (opts_.parallel_trials && moves.size() > 1) {
+      pool.parallelFor(moves.size(), [&](std::size_t i) {
+        scored[i] = {predictor.predictedVariationDelta(moves[i]), i};
+      });
+    } else {
+      for (std::size_t i = 0; i < moves.size(); ++i)
+        scored[i] = {predictor.predictedVariationDelta(moves[i]), i};
+    }
     std::sort(scored.begin(), scored.end());
 
-    const sta::IncrementalTimer base_timing(*tech_, d);
     bool committed = false;
     for (std::size_t chunk = 0;
          chunk < opts_.max_chunks_per_round && !committed; ++chunk) {
@@ -87,57 +123,56 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
         if (scored[i].first > -opts_.min_predicted_gain_ps) break;
         todo.push_back(i);
       }
-      std::vector<Trial> trials(todo.size(), Trial{d, {}});
-      if (opts_.parallel_trials && todo.size() > 1) {
-        std::vector<std::thread> workers;
-        workers.reserve(todo.size());
-        for (std::size_t t = 0; t < todo.size(); ++t) {
-          workers.emplace_back([&, t] {
-            trials[t] = goldenTrialIncremental(
-                d, base_timing, objective, moves[scored[todo[t]].second]);
-          });
-        }
-        for (std::thread& w : workers) w.join();
-      } else {
-        for (std::size_t t = 0; t < todo.size(); ++t)
-          trials[t] = goldenTrialIncremental(d, base_timing, objective,
-                                             moves[scored[todo[t]].second]);
-      }
+      if (reports.size() < todo.size()) reports.resize(todo.size());
+      const std::size_t slices =
+          (opts_.parallel_trials && todo.size() > 1)
+              ? std::min(max_workers, todo.size())
+              : 1;
+      ensureWorkers(slices);
+      pool.runSlices(slices, [&](std::size_t s) {
+        for (std::size_t t = s; t < todo.size(); t += slices)
+          goldenTrialScoped(*workers[s], objective,
+                            moves[scored[todo[t]].second], &reports[t]);
+      });
       res.golden_evaluations += todo.size();
 
       // Pick the best realized improvement (lowest index on ties, so the
       // parallel and serial paths commit identically).
-      double best_sum = current.sum_variation_ps;
-      std::size_t best_idx = 0;
-      Trial best_trial{d, {}};
-      bool have_best = false;
+      double best_sum = current_sum;
+      std::size_t best_t = todo.size();
       for (std::size_t t = 0; t < todo.size(); ++t) {
-        Trial& trial = trials[t];
-        if (trial.report.sum_variation_ps < best_sum &&
-            skewOk(initial, trial.report, opts_.local_skew_tolerance)) {
-          best_sum = trial.report.sum_variation_ps;
-          best_trial = std::move(trial);
-          best_idx = todo[t];
-          have_best = true;
+        if (reports[t].sum_variation_ps < best_sum &&
+            skewOk(initial.local_skew_ps, reports[t].local_skew_ps,
+                   opts_.local_skew_tolerance)) {
+          best_sum = reports[t].sum_variation_ps;
+          best_t = t;
         }
       }
-      if (have_best) {
+      if (best_t < todo.size()) {
+        const std::size_t best_idx = todo[best_t];
+        const Move& mv = moves[scored[best_idx].second];
         LocalIteration it;
         it.round = round;
-        it.type = moves[scored[best_idx].second].type;
+        it.type = mv.type;
         it.predicted_delta_ps = scored[best_idx].first;
-        it.realized_delta_ps =
-            best_trial.report.sum_variation_ps - current.sum_variation_ps;
-        it.sum_after_ps = best_trial.report.sum_variation_ps;
+        it.realized_delta_ps = reports[best_t].sum_variation_ps - current_sum;
+        it.sum_after_ps = reports[best_t].sum_variation_ps;
         res.history.push_back(it);
-        d = std::move(best_trial.design);
-        current = std::move(best_trial.report);
+        // Commit: re-apply the move to the design and every replica and
+        // retime just the dirty subtrees — no full STA, no design copies.
+        const std::vector<int> dirty = applyMoveTracked(d, mv);
+        base_timing.update(d, dirty);
+        for (const std::unique_ptr<WorkerContext>& w : workers) {
+          const std::vector<int> wdirty = applyMoveTracked(w->replica, mv);
+          w->timing.update(w->replica, wdirty);
+        }
+        current_sum = reports[best_t].sum_variation_ps;
         committed = true;
       }
     }
     if (!committed) break;  // predictor shows no further reduction
   }
-  res.sum_after_ps = current.sum_variation_ps;
+  res.sum_after_ps = current_sum;
   res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;
   return res;
 }
@@ -156,31 +191,30 @@ LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
     res.candidate_moves = moves.size();
 
     double best_sum = current.sum_variation_ps;
-    Trial best_trial{d, {}};
+    std::optional<Trial> best_trial;  // no design copies until a winner
     MoveType best_type = MoveType::kSizeDisplace;
-    bool have_best = false;
     for (std::size_t i = 0; i < opts_.r; ++i) {
       const Move& m = moves[rng.index(moves.size())];
       Trial t = goldenTrial(d, timer_, objective, m);
       ++res.golden_evaluations;
       if (t.report.sum_variation_ps < best_sum &&
-          skewOk(initial, t.report, opts_.local_skew_tolerance)) {
+          skewOk(initial.local_skew_ps, t.report.local_skew_ps,
+                 opts_.local_skew_tolerance)) {
         best_sum = t.report.sum_variation_ps;
-        best_trial = std::move(t);
+        best_trial.emplace(std::move(t));
         best_type = m.type;
-        have_best = true;
       }
     }
-    if (!have_best) continue;  // a random round may simply find nothing
+    if (!best_trial) continue;  // a random round may simply find nothing
     LocalIteration it;
     it.round = round;
     it.type = best_type;
     it.realized_delta_ps =
-        best_trial.report.sum_variation_ps - current.sum_variation_ps;
-    it.sum_after_ps = best_trial.report.sum_variation_ps;
+        best_trial->report.sum_variation_ps - current.sum_variation_ps;
+    it.sum_after_ps = best_trial->report.sum_variation_ps;
     res.history.push_back(it);
-    d = std::move(best_trial.design);
-    current = std::move(best_trial.report);
+    d = std::move(best_trial->design);
+    current = std::move(best_trial->report);
   }
   res.sum_after_ps = current.sum_variation_ps;
   res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;

@@ -23,10 +23,17 @@ struct LocalOptions {
   std::size_t max_chunks_per_round = 20;  ///< give up a round after this many R-chunks
   double min_predicted_gain_ps = 0.5;
   double local_skew_tolerance = 1.03;
-  /// Evaluate each chunk's R golden trials in parallel threads, as the
-  /// paper does ("pick the top R moves to implement in R individual
-  /// threads"). Results are bit-identical to the serial path.
+  /// Evaluate each chunk's R golden trials on the shared thread pool, as
+  /// the paper does ("pick the top R moves to implement in R individual
+  /// threads"), and score enumerated moves on the same pool. Each worker
+  /// owns one persistent design replica plus a scoped-retime scratch timer
+  /// reused across all chunks and rounds — no per-trial copies. Results
+  /// are bit-identical to the serial path.
   bool parallel_trials = true;
+  /// Trial-worker count; 0 = one per shared-pool thread. Setting this above
+  /// the core count still interleaves real concurrency (the TSan test uses
+  /// it to exercise races on single-core hosts).
+  std::size_t threads = 0;
   MoveEnumOptions enumerate;
 };
 

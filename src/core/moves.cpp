@@ -161,6 +161,74 @@ std::vector<int> applyMoveTracked(Design& d, const Move& m) {
   return {};
 }
 
+void applyMoveUndoable(Design& d, const Move& m, UndoRecord* up) {
+  const ClockTree& tree = d.tree;
+  UndoRecord& u = *up;
+  u.node_count = 0;
+  u.net_count = 0;
+  u.reassigned = -1;
+  u.old_parent = -1;
+  u.old_child_index = 0;
+  auto saveNode = [&](int id) {
+    u.nodes[u.node_count++] = {id, tree.node(id).pos, tree.node(id).cell};
+  };
+  auto saveNet = [&](int driver) {
+    UndoRecord::NetState& ns = u.nets[u.net_count++];
+    ns.driver = driver;
+    if (const route::SteinerTree* net = d.routing.net(driver)) {
+      ns.had_net = true;
+      ns.net = *net;  // copy-assign into the slot, reusing its buffers
+    } else {
+      ns.had_net = false;
+    }
+  };
+  switch (m.type) {
+    case MoveType::kSizeDisplace:
+    case MoveType::kChildDisplaceSize: {
+      saveNode(m.node);
+      if (m.type == MoveType::kChildDisplaceSize) saveNode(m.child);
+      // rebuildAround touches the parent's net and the node's own net.
+      saveNet(tree.node(m.node).parent);
+      saveNet(m.node);
+      break;
+    }
+    case MoveType::kReassign: {
+      u.reassigned = m.node;
+      u.old_parent = tree.node(m.node).parent;
+      const auto& kids = tree.node(u.old_parent).children;
+      u.old_child_index = static_cast<std::size_t>(
+          std::find(kids.begin(), kids.end(), m.node) - kids.begin());
+      saveNet(u.old_parent);
+      saveNet(m.new_parent);
+      break;
+    }
+  }
+  u.dirty = applyMoveTracked(d, m);
+}
+
+UndoRecord applyMoveUndoable(Design& d, const Move& m) {
+  UndoRecord u;
+  applyMoveUndoable(d, m, &u);
+  return u;
+}
+
+void undoMove(Design& d, const UndoRecord& u) {
+  if (u.reassigned >= 0)
+    d.tree.reassignDriverAt(u.reassigned, u.old_parent, u.old_child_index);
+  for (std::size_t i = u.node_count; i-- > 0;) {
+    const UndoRecord::NodeState& ns = u.nodes[i];
+    d.tree.moveNode(ns.id, ns.pos);
+    if (d.tree.node(ns.id).cell != ns.cell) d.tree.resize(ns.id, ns.cell);
+  }
+  for (std::size_t i = 0; i < u.net_count; ++i) {
+    const UndoRecord::NetState& ns = u.nets[i];
+    if (ns.had_net)
+      d.routing.restoreNet(ns.driver, ns.net);
+    else
+      d.routing.eraseNet(ns.driver);
+  }
+}
+
 std::vector<int> subtreeSinks(const ClockTree& tree, int node) {
   std::vector<int> sinks;
   std::vector<int> stack = {node};

@@ -12,6 +12,8 @@
 // the tree, legalize the touched cell, and ECO-reroute the affected nets.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <string>
 #include <vector>
 
@@ -59,6 +61,43 @@ void applyMove(network::Design& d, const Move& m);
 /// the drivers whose nets were rebuilt (every timing change is inside their
 /// subtrees).
 std::vector<int> applyMoveTracked(network::Design& d, const Move& m);
+
+/// Everything undoMove needs to restore the design bit-identically after a
+/// trial: node geometry/sizing, the moved node's original child slot, and
+/// the exact routed nets the move's ECO reroute replaced.
+struct UndoRecord {
+  struct NodeState {
+    int id = -1;
+    geom::Point pos;
+    int cell = -1;
+  };
+  struct NetState {
+    int driver = -1;
+    bool had_net = false;
+    route::SteinerTree net;
+  };
+  /// A move edits at most two nodes and two nets; fixed slots let a record
+  /// reused across trials keep its net buffers (no per-trial allocation).
+  std::array<NodeState, 2> nodes;
+  std::size_t node_count = 0;
+  std::array<NetState, 2> nets;
+  std::size_t net_count = 0;
+  int reassigned = -1;   ///< type III: the re-parented node, else -1
+  int old_parent = -1;
+  std::size_t old_child_index = 0;
+  /// Dirty drivers of the *applied* move (applyMoveTracked's return), for
+  /// IncrementalTimer::update / ScopedRetime::retime.
+  std::vector<int> dirty;
+};
+
+/// applyMoveTracked capturing an UndoRecord first. undoMove(d, record)
+/// restores the design exactly (tree, placement, sizing, routed nets) —
+/// the copy-free trial protocol of the local optimizer.
+UndoRecord applyMoveUndoable(network::Design& d, const Move& m);
+/// Scratch-reusing variant: `u` is reset and refilled in place, so a
+/// worker's persistent record makes the trial loop allocation-free.
+void applyMoveUndoable(network::Design& d, const Move& m, UndoRecord* u);
+void undoMove(network::Design& d, const UndoRecord& u);
 
 /// Sinks in the subtree rooted at `node`.
 std::vector<int> subtreeSinks(const network::ClockTree& tree, int node);

@@ -36,8 +36,13 @@ double Objective::pairV(const std::vector<double>& skew) const {
   return v;
 }
 
-VariationReport Objective::evaluateFromLatencies(
-    const Design& d, const std::vector<std::vector<double>>& lat) const {
+namespace {
+
+/// Shared body of the evaluate* variants; `arrival(ki, node)` returns the
+/// latency of `node` at active-corner index `ki`.
+template <typename ArrivalFn>
+VariationReport evaluateWith(const Objective& objective, const Design& d,
+                             const ArrivalFn& arrival) {
   const std::size_t nk = d.corners.size();
   VariationReport r;
   r.local_skew_ps.assign(nk, 0.0);
@@ -47,15 +52,50 @@ VariationReport Objective::evaluateFromLatencies(
   for (std::size_t pi = 0; pi < d.pairs.size(); ++pi) {
     const network::SinkPair& p = d.pairs[pi];
     for (std::size_t ki = 0; ki < nk; ++ki) {
-      skew[ki] = lat[ki][static_cast<std::size_t>(p.launch)] -
-                 lat[ki][static_cast<std::size_t>(p.capture)];
+      skew[ki] = arrival(ki, static_cast<std::size_t>(p.launch)) -
+                 arrival(ki, static_cast<std::size_t>(p.capture));
       r.skew_ps[ki][pi] = skew[ki];
       r.local_skew_ps[ki] = std::max(r.local_skew_ps[ki], std::abs(skew[ki]));
     }
-    r.v_pair_ps[pi] = pairV(skew);
+    r.v_pair_ps[pi] = objective.pairV(skew);
     r.sum_variation_ps += r.v_pair_ps[pi];
   }
   return r;
+}
+
+}  // namespace
+
+VariationReport Objective::evaluateFromLatencies(
+    const Design& d, const std::vector<std::vector<double>>& lat) const {
+  return evaluateWith(*this, d, [&lat](std::size_t ki, std::size_t node) {
+    return lat[ki][node];
+  });
+}
+
+VariationReport Objective::evaluateFromTimings(
+    const Design& d, const std::vector<sta::CornerTiming>& timing) const {
+  return evaluateWith(*this, d, [&timing](std::size_t ki, std::size_t node) {
+    return timing[ki].arrival[node];
+  });
+}
+
+void Objective::evaluateTrial(const Design& d,
+                              const std::vector<sta::CornerTiming>& timing,
+                              TrialEval* out) const {
+  const std::size_t nk = d.corners.size();
+  out->sum_variation_ps = 0.0;
+  out->local_skew_ps.assign(nk, 0.0);
+  out->skew_scratch.resize(nk);
+  for (const network::SinkPair& p : d.pairs) {
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const double s =
+          timing[ki].arrival[static_cast<std::size_t>(p.launch)] -
+          timing[ki].arrival[static_cast<std::size_t>(p.capture)];
+      out->skew_scratch[ki] = s;
+      out->local_skew_ps[ki] = std::max(out->local_skew_ps[ki], std::abs(s));
+    }
+    out->sum_variation_ps += pairV(out->skew_scratch);
+  }
 }
 
 VariationReport Objective::evaluate(const Design& d,

@@ -31,6 +31,15 @@ struct VariationReport {
   double sum_variation_ps = 0.0;
 };
 
+/// The slice of a VariationReport trial selection actually reads: the
+/// objective sum plus per-corner worst |skew| (for the local-skew guard).
+/// Reused across evaluations so the hot trial loop allocates nothing.
+struct TrialEval {
+  double sum_variation_ps = 0.0;
+  std::vector<double> local_skew_ps;  ///< per active corner, max |skew|
+  std::vector<double> skew_scratch;   ///< per-corner scratch, internal
+};
+
 class Objective {
  public:
   /// Captures the pair list and computes the alphas from the design's
@@ -50,6 +59,20 @@ class Objective {
   VariationReport evaluateFromLatencies(
       const network::Design& d,
       const std::vector<std::vector<double>>& lat) const;
+
+  /// Same report read directly from per-corner timing states (e.g. an
+  /// IncrementalTimer's), avoiding the latency-matrix copy per evaluation
+  /// — the local optimizer's copy-free trial path.
+  VariationReport evaluateFromTimings(
+      const network::Design& d,
+      const std::vector<sta::CornerTiming>& timing) const;
+
+  /// Trial-selection evaluation into reusable storage: identical sums and
+  /// local skews to evaluateFromTimings, without building the per-pair
+  /// skew matrix (allocation-free once `out` is warm).
+  void evaluateTrial(const network::Design& d,
+                     const std::vector<sta::CornerTiming>& timing,
+                     TrialEval* out) const;
 
   /// V of one pair given its skew at each active corner.
   double pairV(const std::vector<double>& skew_per_corner) const;

@@ -53,13 +53,26 @@ struct MoveAnalyzer::NetEstimates {
   std::vector<double> in_slew;              // per child, Elmore/PERI based
 };
 
-MoveAnalyzer::MoveAnalyzer(const Design& d, const sta::Timer& timer)
+MoveAnalyzer::MoveAnalyzer(const Design& d, const sta::Timer& timer,
+                           const std::vector<sta::CornerTiming>* baseline)
     : design_(&d), timer_(&timer) {
-  refresh();
+  if (baseline != nullptr)
+    refresh(*baseline);
+  else
+    refresh();
 }
 
 void MoveAnalyzer::refresh() {
   timing_ = timer_->analyzeDesign(*design_);
+  refreshSinkCounts();
+}
+
+void MoveAnalyzer::refresh(const std::vector<sta::CornerTiming>& baseline) {
+  timing_ = baseline;
+  refreshSinkCounts();
+}
+
+void MoveAnalyzer::refreshSinkCounts() {
   // Subtree sink counts for fanout weighting.
   const ClockTree& tree = design_->tree;
   subtree_sink_count_.assign(tree.numNodes(), 0);
@@ -680,18 +693,25 @@ const DeltaLatencyModel::Holdout& DeltaLatencyModel::holdout(
 MovePredictor::MovePredictor(const Design& d, const sta::Timer& timer,
                              const Objective& objective,
                              const DeltaLatencyModel* model,
-                             std::size_t analytic_fallback)
+                             std::size_t analytic_fallback,
+                             const std::vector<sta::CornerTiming>* baseline)
     : design_(&d), timer_(&timer), objective_(&objective), model_(model),
-      fallback_(analytic_fallback), analyzer_(d, timer) {
-  refresh();
+      fallback_(analytic_fallback), analyzer_(d, timer, baseline) {
+  rebuildBase();
 }
 
 void MovePredictor::refresh() {
   analyzer_.refresh();
-  std::vector<std::vector<double>> lat(design_->corners.size());
-  for (std::size_t ki = 0; ki < design_->corners.size(); ++ki)
-    lat[ki] = analyzer_.baseline()[ki].arrival;
-  base_report_ = objective_->evaluateFromLatencies(*design_, lat);
+  rebuildBase();
+}
+
+void MovePredictor::refresh(const std::vector<sta::CornerTiming>& baseline) {
+  analyzer_.refresh(baseline);
+  rebuildBase();
+}
+
+void MovePredictor::rebuildBase() {
+  base_report_ = objective_->evaluateFromTimings(*design_, analyzer_.baseline());
   pairs_of_sink_.assign(design_->tree.numNodes(), {});
   for (std::size_t pi = 0; pi < design_->pairs.size(); ++pi) {
     pairs_of_sink_[static_cast<std::size_t>(design_->pairs[pi].launch)]

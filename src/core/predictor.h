@@ -51,10 +51,19 @@ struct ImpactGroup {
 /// Analytical move analysis against a fixed baseline timing.
 class MoveAnalyzer {
  public:
-  MoveAnalyzer(const network::Design& d, const sta::Timer& timer);
+  /// When `baseline` is non-null its timing states are adopted instead of
+  /// running a fresh full analysis — callers that already maintain the
+  /// design's multi-corner timing (the local optimizer's per-round
+  /// IncrementalTimer) pass it here so each round costs one STA, not two.
+  MoveAnalyzer(const network::Design& d, const sta::Timer& timer,
+               const std::vector<sta::CornerTiming>* baseline = nullptr);
 
   /// Re-times the baseline after the design changed.
   void refresh();
+
+  /// Adopts an externally computed baseline (must match the design's
+  /// active corners) instead of re-analyzing.
+  void refresh(const std::vector<sta::CornerTiming>& baseline);
 
   /// Affected sink groups and their analytical delta estimates.
   std::vector<ImpactGroup> analyze(const Move& m) const;
@@ -69,6 +78,8 @@ class MoveAnalyzer {
   const network::Design& design() const { return *design_; }
 
  private:
+  void refreshSinkCounts();
+
   struct DriverSpec;
   struct ChildSpec;
   struct NetEstimates;
@@ -156,12 +167,17 @@ class MovePredictor {
  public:
   /// `model` may be null: the predictor then falls back to the analytical
   /// estimator `analytic_fallback` (0..3) — this is the paper's Figure 6
-  /// comparison axis.
+  /// comparison axis. A non-null `baseline` is adopted as the current
+  /// timing instead of running a full analysis (see MoveAnalyzer).
   MovePredictor(const network::Design& d, const sta::Timer& timer,
                 const Objective& objective, const DeltaLatencyModel* model,
-                std::size_t analytic_fallback = 0);
+                std::size_t analytic_fallback = 0,
+                const std::vector<sta::CornerTiming>* baseline = nullptr);
 
   void refresh();
+
+  /// refresh() adopting an externally computed baseline timing.
+  void refresh(const std::vector<sta::CornerTiming>& baseline);
 
   /// Predicted per-active-corner delta-latency of the move's primary group
   /// (ML-corrected when a model is present).
@@ -174,6 +190,7 @@ class MovePredictor {
   const MoveAnalyzer& analyzer() const { return analyzer_; }
 
  private:
+  void rebuildBase();
   double variationDeltaFromGroups(const std::vector<ImpactGroup>& groups,
                                   const Move& m) const;
 

@@ -28,19 +28,30 @@ double Legalizer::legalize(Design& d, const std::vector<int>& nodes) const {
   const double site = tech_->siteWidthUm();
   const double row = tech_->rowHeightUm();
 
-  // Occupancy of (row, site-start) cells by every other live buffer.
+  // Occupancy of (row, site-start) cells by every other live buffer. A
+  // sorted vector, not a std::set: legalize runs on every trial move, and
+  // one allocation beats a red-black node per buffer.
   auto key = [&](const Point& p) {
     return std::pair<long, long>(std::lround(p.y / row),
                                  std::lround(p.x / site));
   };
-  std::set<std::pair<long, long>> occupied;
-  std::set<int> moving(nodes.begin(), nodes.end());
+  std::vector<std::pair<long, long>> occupied;
+  auto isMoving = [&](int id) {
+    return std::find(nodes.begin(), nodes.end(), id) != nodes.end();
+  };
   for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
     const int id = static_cast<int>(i);
-    if (!d.tree.isValid(id) || moving.count(id)) continue;
+    if (!d.tree.isValid(id) || isMoving(id)) continue;
     if (d.tree.node(id).kind == network::NodeKind::Buffer)
-      occupied.insert(key(d.tree.node(id).pos));
+      occupied.push_back(key(d.tree.node(id).pos));
   }
+  std::sort(occupied.begin(), occupied.end());
+  auto isOccupied = [&](const std::pair<long, long>& k) {
+    return std::binary_search(occupied.begin(), occupied.end(), k);
+  };
+  auto markOccupied = [&](const std::pair<long, long>& k) {
+    occupied.insert(std::upper_bound(occupied.begin(), occupied.end(), k), k);
+  };
 
   double max_disp = 0.0;
   for (const int id : nodes) {
@@ -54,8 +65,8 @@ double Legalizer::legalize(Design& d, const std::vector<int>& nodes) const {
           if (std::max(std::abs(dx), std::abs(dy)) != radius) continue;
           Point cand{p.x + dx * site * 3.0, p.y + dy * row};
           if (!floorplan_->empty() && !floorplan_->contains(cand)) continue;
-          if (occupied.count(key(cand))) continue;
-          occupied.insert(key(cand));
+          if (isOccupied(key(cand))) continue;
+          markOccupied(key(cand));
           d.tree.moveNode(id, cand);
           max_disp = std::max(max_disp, geom::manhattan(orig, cand));
           placed = true;
@@ -63,7 +74,7 @@ double Legalizer::legalize(Design& d, const std::vector<int>& nodes) const {
       }
     }
     if (!placed) {  // fall back: keep the snapped point even if crowded
-      occupied.insert(key(p));
+      markOccupied(key(p));
       d.tree.moveNode(id, p);
       max_disp = std::max(max_disp, geom::manhattan(orig, p));
     }

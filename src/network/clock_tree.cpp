@@ -110,6 +110,21 @@ void ClockTree::reassignDriver(int id, int new_parent) {
   mut(new_parent).children.push_back(id);
 }
 
+void ClockTree::reassignDriverAt(int id, int new_parent, std::size_t index) {
+  checked(id);
+  checked(new_parent);
+  if (nodes_[static_cast<std::size_t>(id)].kind == NodeKind::Source)
+    throw std::invalid_argument("reassignDriver: cannot reparent the source");
+  if (isAncestorOrSelf(id, new_parent))
+    throw std::invalid_argument(
+        "reassignDriver: new parent is inside the moved subtree");
+  detach(id);
+  nodes_[static_cast<std::size_t>(id)].parent = new_parent;
+  auto& kids = mut(new_parent).children;
+  kids.insert(kids.begin() + static_cast<long>(std::min(index, kids.size())),
+              id);
+}
+
 void ClockTree::removeInteriorBuffer(int id) {
   ClockNode& n = mut(id);
   if (n.kind != NodeKind::Buffer)

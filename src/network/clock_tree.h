@@ -89,6 +89,11 @@ class ClockTree {
   /// subtree of `id`.
   void reassignDriver(int id, int new_parent);
 
+  /// reassignDriver placing `id` at child position `index` of `new_parent`
+  /// (clamped to the child count). Trial rollback uses this to restore the
+  /// exact original child order, which routed-net pin order depends on.
+  void reassignDriverAt(int id, int new_parent, std::size_t index);
+
   /// Removes a single-child interior buffer, splicing its child to its
   /// parent (ECO buffer removal).
   void removeInteriorBuffer(int id);

@@ -39,6 +39,13 @@ class Routing {
     nets_.erase(driver);
   }
 
+  /// Reinstates a previously captured net snapshot verbatim (trial
+  /// rollback), including any forced-extra snaking the rebuild dropped.
+  void restoreNet(int driver, const route::SteinerTree& net) {
+    ++version_;
+    nets_[driver] = net;
+  }
+
   /// Net of a driver, or nullptr if the driver has no children.
   const route::SteinerTree* net(int driver) const;
 

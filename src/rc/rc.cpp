@@ -56,6 +56,18 @@ std::vector<double> elmoreDelays(const RcTree& tree) {
   return d;
 }
 
+void elmoreDelaysInto(const RcTree& tree, std::vector<double>& delays,
+                      std::vector<double>& cdown) {
+  const std::size_t n = tree.size();
+  delays.assign(n, 0.0);
+  cdown.resize(n);
+  for (std::size_t i = 0; i < n; ++i) cdown[i] = tree.cap(i);
+  for (std::size_t i = n; i-- > 1;) cdown[tree.parent(i)] += cdown[i];
+  for (std::size_t i = 1; i < n; ++i)
+    delays[i] = delays[static_cast<std::size_t>(tree.parent(i))] +
+                tree.res(i) * cdown[i];
+}
+
 double d2mFromMoments(double m1, double m2) {
   if (m2 <= 0.0) return -m1;  // degenerate: fall back to Elmore
   // D2M = (m1^2 / sqrt(m2)) * ln(2)

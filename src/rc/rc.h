@@ -28,6 +28,13 @@ class RcTree {
   /// Adds extra grounded capacitance at an existing node (e.g. a pin cap).
   void addCap(std::size_t node, double cap_ff) { nodes_[node].cap += cap_ff; }
 
+  /// Resets to the bare driving point, keeping the node storage — lets hot
+  /// loops rebuild nets without reallocating.
+  void clear() {
+    nodes_.resize(1);
+    nodes_[0] = {-1, 0.0, 0.0};
+  }
+
   std::size_t size() const { return nodes_.size(); }
   double cap(std::size_t n) const { return nodes_[n].cap; }
   double res(std::size_t n) const { return nodes_[n].res; }
@@ -57,6 +64,11 @@ struct Moments {
 
 /// Elmore delay from the driving point to every node, in ps.
 std::vector<double> elmoreDelays(const RcTree& tree);
+
+/// Elmore delays into reusable buffers, computing only the first moment
+/// (no m2 pass). Bit-identical to elmoreDelays; `cdown` is caller scratch.
+void elmoreDelaysInto(const RcTree& tree, std::vector<double>& delays,
+                      std::vector<double>& cdown);
 
 /// D2M delay metric at one node given its moments: D2M = m1^2/sqrt(m2) * ln2.
 double d2mFromMoments(double m1, double m2);

@@ -17,13 +17,20 @@
 // (or whose child's pin cap changed) is in the dirty set — or is a
 // descendant of one that is. Results are bit-identical to a full re-analysis
 // (asserted by tests).
+//
+// For trial evaluation (apply a move, look at the timing, take it back),
+// ScopedRetime below retimes the dirty subtrees *in place* and rolls the
+// overwritten entries back — no copy of the full corner arrays per trial.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "sta/timer.h"
 
 namespace skewopt::sta {
+
+class ScopedRetime;
 
 class IncrementalTimer {
  public:
@@ -41,10 +48,12 @@ class IncrementalTimer {
     for (std::size_t ki = 0; ki < corners_.size(); ++ki)
       for (const int r : roots)
         timer_.propagateFrom(d.tree, d.routing, corners_[ki], r,
-                             &timing_[ki]);
+                             &timing_[ki], &scratch_);
   }
 
   const CornerTiming& timing(std::size_t ki) const { return timing_[ki]; }
+  /// All active-corner timing states, in design-corner order.
+  const std::vector<CornerTiming>& timings() const { return timing_; }
   std::size_t numCorners() const { return corners_.size(); }
   const Timer& timer() const { return timer_; }
 
@@ -56,11 +65,19 @@ class IncrementalTimer {
     return lat;
   }
 
- private:
   /// Drops dirty drivers that sit inside another dirty driver's subtree.
   static std::vector<int> minimalRoots(const network::ClockTree& tree,
-                                       std::vector<int> dirty) {
+                                       const std::vector<int>& dirty) {
     std::vector<int> roots;
+    minimalRootsInto(tree, dirty, roots);
+    return roots;
+  }
+
+  /// minimalRoots into a reused output vector (allocation-free when warm).
+  static void minimalRootsInto(const network::ClockTree& tree,
+                               const std::vector<int>& dirty,
+                               std::vector<int>& roots) {
+    roots.clear();
     for (const int d : dirty) {
       if (!tree.isValid(d)) continue;
       bool covered = false;
@@ -73,12 +90,105 @@ class IncrementalTimer {
       }
       if (!covered) roots.push_back(d);
     }
-    return roots;
   }
+
+ private:
+  friend class ScopedRetime;
 
   Timer timer_;
   std::vector<std::size_t> corners_;
   std::vector<CornerTiming> timing_;
+  PropagateScratch scratch_;  // reused across updates
+};
+
+/// Copy-free trial retiming: re-times a move's dirty subtrees directly
+/// inside a base IncrementalTimer, saving the overwritten entries into
+/// reusable scratch buffers, and restores them bit-identically on
+/// rollback() (or destruction). One ScopedRetime is meant to live as a
+/// worker's persistent scratch and be cycled retime()/rollback() once per
+/// trial — the buffers are reused, so steady-state trials allocate nothing.
+///
+/// Contract: retime() is called with the *edited* design and the same
+/// dirty-driver set IncrementalTimer::update would take; the edit must not
+/// have added tree nodes (local moves never do), and the base timer must be
+/// rolled back before it is read as the clean base, updated, or retimed
+/// again.
+class ScopedRetime {
+ public:
+  explicit ScopedRetime(IncrementalTimer& base) : base_(&base) {}
+  ~ScopedRetime() { rollback(); }
+  ScopedRetime(const ScopedRetime&) = delete;
+  ScopedRetime& operator=(const ScopedRetime&) = delete;
+
+  void retime(const network::Design& d, const std::vector<int>& dirty) {
+    rollback();
+    IncrementalTimer::minimalRootsInto(d.tree, dirty, roots_);
+
+    // Every entry propagateFrom can write lives in the union of the dirty
+    // roots' subtrees (minimalRoots guarantees the subtrees are disjoint).
+    touched_.clear();
+    for (const int r : roots_) {
+      stack_.push_back(r);
+      while (!stack_.empty()) {
+        const int v = stack_.back();
+        stack_.pop_back();
+        touched_.push_back(v);
+        for (const int c : d.tree.node(v).children) stack_.push_back(c);
+      }
+    }
+
+    const std::size_t nk = base_->timing_.size();
+    saved_.resize(touched_.size() * nk * 5);
+    std::size_t w = 0;
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const CornerTiming& t = base_->timing_[ki];
+      for (const int v : touched_) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        saved_[w++] = t.arrival[i];
+        saved_[w++] = t.slew[i];
+        saved_[w++] = t.in_arrival[i];
+        saved_[w++] = t.in_slew[i];
+        saved_[w++] = t.driver_load[i];
+      }
+    }
+
+    for (std::size_t ki = 0; ki < nk; ++ki)
+      for (const int r : roots_)
+        base_->timer_.propagateFrom(d.tree, d.routing, base_->corners_[ki],
+                                    r, &base_->timing_[ki], &scratch_);
+    active_ = true;
+  }
+
+  /// Restores the base timing exactly as it was before retime(); no-op if
+  /// nothing is overlaid.
+  void rollback() {
+    if (!active_) return;
+    const std::size_t nk = base_->timing_.size();
+    std::size_t w = 0;
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      CornerTiming& t = base_->timing_[ki];
+      for (const int v : touched_) {
+        const std::size_t i = static_cast<std::size_t>(v);
+        t.arrival[i] = saved_[w++];
+        t.slew[i] = saved_[w++];
+        t.in_arrival[i] = saved_[w++];
+        t.in_slew[i] = saved_[w++];
+        t.driver_load[i] = saved_[w++];
+      }
+    }
+    active_ = false;
+  }
+
+  const IncrementalTimer& base() const { return *base_; }
+
+ private:
+  IncrementalTimer* base_;
+  bool active_ = false;
+  std::vector<int> roots_;
+  std::vector<int> stack_;    // DFS scratch
+  std::vector<int> touched_;  // nodes whose entries are saved
+  std::vector<double> saved_;  // [corner][touched][5] overwritten values
+  PropagateScratch scratch_;  // propagation buffers reused across trials
 };
 
 }  // namespace skewopt::sta

@@ -24,15 +24,17 @@ double pinCap(const tech::TechModel& tech, const ClockTree& tree, int id,
   return tech.cell(static_cast<std::size_t>(n.cell)).pin_cap_ff[corner];
 }
 
-/// Builds the RC view of a routed net: wire R/C from the Steiner tree
-/// (pi model per edge) plus receiver pin caps. Returns the RC tree and the
-/// rc-node index of every child pin.
-rc::RcTree buildNetRc(const tech::TechModel& tech, const ClockTree& tree,
-                      int driver, const route::SteinerTree& net,
-                      std::size_t corner, std::vector<std::size_t>* pin_rc) {
+/// Builds the RC view of a routed net into caller scratch: wire R/C from
+/// the Steiner tree (pi model per edge) plus receiver pin caps. `rct` is
+/// rebuilt in place (rc node 0 = driving point = steiner node 0) and
+/// `pin_rc` receives the rc-node index of every child pin.
+void buildNetRc(const tech::TechModel& tech, const ClockTree& tree,
+                int driver, const route::SteinerTree& net, std::size_t corner,
+                rc::RcTree& rct, std::vector<std::size_t>& pin_rc,
+                std::vector<std::size_t>& rc_of) {
   const tech::WireParams& w = tech.wire(corner);
-  rc::RcTree rct;  // rc node 0 = driving point = steiner node 0
-  std::vector<std::size_t> rc_of(net.size());
+  rct.clear();
+  rc_of.assign(net.size(), 0);
   rc_of[0] = 0;
   for (std::size_t n = 1; n < net.size(); ++n) {
     const double len = net.edgeLength(n);
@@ -44,13 +46,12 @@ rc::RcTree buildNetRc(const tech::TechModel& tech, const ClockTree& tree,
   }
   const auto& children = tree.node(driver).children;
   assert(children.size() == net.pin_node.size());
-  pin_rc->resize(children.size());
+  pin_rc.resize(children.size());
   for (std::size_t i = 0; i < children.size(); ++i) {
     const std::size_t rcn = rc_of[net.pin_node[i]];
     rct.addCap(rcn, pinCap(tech, tree, children[i], corner));
-    (*pin_rc)[i] = rcn;
+    pin_rc[i] = rcn;
   }
-  return rct;
 }
 
 }  // namespace
@@ -70,8 +71,8 @@ CornerTiming Timer::analyze(const ClockTree& tree, const Routing& routing,
 }
 
 void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
-                          std::size_t corner, int start,
-                          CornerTiming* tp) const {
+                          std::size_t corner, int start, CornerTiming* tp,
+                          PropagateScratch* scratch) const {
   CornerTiming& t = *tp;
   // Grow state arrays for nodes created since `t` was computed.
   const std::size_t n = tree.numNodes();
@@ -82,17 +83,33 @@ void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
     t.in_slew.resize(n, 0.0);
     t.driver_load.resize(n, 0.0);
   }
+  PropagateScratch local;
+  PropagateScratch& s = scratch ? *scratch : local;
 
   // BFS from `start`; parents are always processed before children, so a
   // buffer's input slew is known by the time its own net is evaluated.
-  std::vector<int> queue = {start};
+  s.queue.clear();
+  s.queue.push_back(start);
   if (start == tree.root()) {
     t.slew[0] = source_slew_ps_;
     t.arrival[0] = 0.0;
   }
-  for (std::size_t qi = 0; qi < queue.size(); ++qi) {
-    const int d = queue[qi];
+  for (std::size_t qi = 0; qi < s.queue.size(); ++qi) {
+    const int d = s.queue[qi];
     const ClockNode& dn = tree.node(d);
+
+    // Net load first (one RC build), then a single NLDM lookup at the true
+    // load: the driver's own delay and slew are computed exactly once.
+    if (!dn.children.empty()) {
+      const route::SteinerTree* net = routing.net(d);
+      if (net == nullptr)
+        throw std::logic_error("Timer: driver " + std::to_string(d) +
+                               " has children but no routed net");
+      buildNetRc(*tech_, tree, d, *net, corner, s.rct, s.pin_rc, s.rc_of);
+      t.driver_load[static_cast<std::size_t>(d)] = s.rct.totalCap();
+    } else {
+      t.driver_load[static_cast<std::size_t>(d)] = 0.0;
+    }
 
     if (dn.kind == NodeKind::Buffer) {
       // Convert input-pin arrival into output arrival through the cell.
@@ -107,38 +124,10 @@ void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
     }
     if (dn.children.empty()) continue;
 
-    const route::SteinerTree* net = routing.net(d);
-    if (net == nullptr)
-      throw std::logic_error("Timer: driver " + std::to_string(d) +
-                             " has children but no routed net");
-
-    // The driver's gate delay above needs its load; compute it first for
-    // children processing. (Load is filled lazily: a buffer's load was set
-    // when the queue reached it below; for correctness we compute it here
-    // before any child uses it.)
-    std::vector<std::size_t> pin_rc;
-    rc::RcTree rct = buildNetRc(*tech_, tree, d, *net, corner, &pin_rc);
-
-    // NOTE: the driver's own delay was computed before its load if d is a
-    // buffer; fix up by recomputing with the true load now.
-    if (dn.kind == NodeKind::Buffer) {
-      const tech::Cell& cell = tech_->cell(static_cast<std::size_t>(dn.cell));
-      const double load = rct.totalCap();
-      const double si = t.in_slew[static_cast<std::size_t>(d)];
-      t.driver_load[static_cast<std::size_t>(d)] = load;
-      t.arrival[static_cast<std::size_t>(d)] =
-          t.in_arrival[static_cast<std::size_t>(d)] +
-          cell.delay[corner].lookup(si, load);
-      t.slew[static_cast<std::size_t>(d)] =
-          cell.out_slew[corner].lookup(si, load);
-    } else {
-      t.driver_load[static_cast<std::size_t>(d)] = rct.totalCap();
-    }
-
-    const std::vector<double> elmore = rc::elmoreDelays(rct);
+    rc::elmoreDelaysInto(s.rct, s.elmore, s.cdown);
     for (std::size_t i = 0; i < dn.children.size(); ++i) {
       const int c = dn.children[i];
-      const double wire_delay = elmore[pin_rc[i]];
+      const double wire_delay = s.elmore[s.pin_rc[i]];
       const double step_slew = rc::wireSlewFromElmore(wire_delay);
       const double in_arr =
           t.arrival[static_cast<std::size_t>(d)] + wire_delay;
@@ -150,7 +139,7 @@ void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
         t.arrival[static_cast<std::size_t>(c)] = in_arr;
         t.slew[static_cast<std::size_t>(c)] = in_slew;
       } else {
-        queue.push_back(c);
+        s.queue.push_back(c);
       }
     }
   }

@@ -22,6 +22,7 @@
 #include "network/clock_tree.h"
 #include "network/design.h"
 #include "network/routing.h"
+#include "rc/rc.h"
 #include "tech/tech.h"
 
 namespace skewopt::sta {
@@ -34,6 +35,20 @@ struct CornerTiming {
   std::vector<double> in_arrival;     ///< ps, at each node's input pin
   std::vector<double> in_slew;        ///< ps, at each node's input pin
   std::vector<double> driver_load;    ///< fF, net+pin load per driving node
+};
+
+/// Reusable buffers for propagateFrom's BFS walk: the per-net RC view,
+/// Elmore buffers, and the queue itself. One instance per concurrent
+/// caller; propagateFrom falls back to a function-local one when none is
+/// passed. Keeping a scratch alive across calls (IncrementalTimer,
+/// ScopedRetime) makes the hot trial loop allocation-free.
+struct PropagateScratch {
+  std::vector<int> queue;
+  std::vector<std::size_t> pin_rc;
+  std::vector<std::size_t> rc_of;
+  rc::RcTree rct;
+  std::vector<double> elmore;
+  std::vector<double> cdown;
 };
 
 class Timer {
@@ -54,7 +69,8 @@ class Timer {
   /// IncrementalTimer.
   void propagateFrom(const network::ClockTree& tree,
                      const network::Routing& routing, std::size_t corner,
-                     int start, CornerTiming* t) const;
+                     int start, CornerTiming* t,
+                     PropagateScratch* scratch = nullptr) const;
 
   /// Propagation at every active corner of a design.
   std::vector<CornerTiming> analyzeDesign(const network::Design& d) const;

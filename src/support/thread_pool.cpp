@@ -1,0 +1,102 @@
+#include "support/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+
+namespace skewopt::support {
+
+void WaitGroup::add(std::size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  count_ += n;
+}
+
+void WaitGroup::done() {
+  std::lock_guard<std::mutex> lk(mu_);
+  if (count_ > 0 && --count_ == 0) cv_.notify_all();
+}
+
+void WaitGroup::wait() {
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_.wait(lk, [&] { return count_ == 0; });
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 2;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop requested and queue drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();
+  }
+}
+
+void ThreadPool::runSlices(std::size_t slices,
+                           const std::function<void(std::size_t)>& fn) {
+  if (slices == 0) return;
+  std::mutex err_mu;
+  std::exception_ptr err;
+  auto guarded = [&](std::size_t s) {
+    try {
+      fn(s);
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(err_mu);
+      if (!err) err = std::current_exception();
+    }
+  };
+  WaitGroup wg;
+  wg.add(slices - 1);
+  for (std::size_t s = 1; s < slices; ++s)
+    submit([&guarded, &wg, s] {
+      guarded(s);
+      wg.done();
+    });
+  guarded(0);
+  wg.wait();
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::parallelFor(std::size_t n,
+                             const std::function<void(std::size_t)>& fn) {
+  const std::size_t slices = std::min(n, size() + 1);
+  runSlices(slices, [&](std::size_t s) {
+    for (std::size_t i = s; i < n; i += slices) fn(i);
+  });
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace skewopt::support

@@ -1,0 +1,82 @@
+// Fixed-size thread pool shared by the optimizers' hot paths.
+//
+// The local optimizer golden-evaluates chunks of R candidate moves per
+// round (the paper's "R individual threads") and scores thousands of
+// enumerated moves before that; spawning fresh std::threads per chunk costs
+// more than the work itself on small designs. This pool is created once,
+// lazily sized to hardware_concurrency, and reused across every chunk,
+// round, and run.
+//
+// Two dispatch primitives:
+//   * runSlices(S, fn)  — invokes fn(0..S-1); slice 0 runs on the calling
+//     thread, the rest on the pool. Callers that keep per-worker state
+//     (design replicas, scratch timers) key it by slice index: a slice is
+//     executed by exactly one thread at a time. Blocks until every slice
+//     finished; the first exception thrown by any slice is rethrown.
+//   * parallelFor(n, fn) — strided element-wise loop over [0, n) built on
+//     runSlices, for stateless per-index work (e.g. move scoring).
+//
+// runSlices/parallelFor must not be called from inside a pool job (a slice
+// that dispatches again can deadlock waiting for its own worker).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace skewopt::support {
+
+/// Go-style completion latch: add() outstanding jobs, done() from workers,
+/// wait() blocks until the count returns to zero.
+class WaitGroup {
+ public:
+  void add(std::size_t n = 1);
+  void done();
+  void wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_ = 0;
+};
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 sizes the pool to hardware_concurrency.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one job. Jobs must manage their own completion signalling
+  /// (see WaitGroup); exceptions escaping a bare submitted job terminate.
+  void submit(std::function<void()> job);
+
+  /// See file comment. `slices` == 0 is a no-op.
+  void runSlices(std::size_t slices,
+                 const std::function<void(std::size_t)>& fn);
+
+  /// Element-wise parallel loop over [0, n): fn(i) for every i, spread
+  /// stride-wise over size() + 1 threads (the caller works too).
+  void parallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// The process-wide pool, constructed on first use.
+  static ThreadPool& shared();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace skewopt::support

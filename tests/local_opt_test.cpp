@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "core/moves.h"
+#include "sta/incremental.h"
 #include "testgen/testgen.h"
 
 namespace skewopt::core {
@@ -132,6 +136,92 @@ TEST_F(LocalOptTest, ParallelTrialsBitIdenticalToSerial) {
   EXPECT_EQ(rs.history.size(), rp.history.size());
   EXPECT_EQ(rs.golden_evaluations, rp.golden_evaluations);
   EXPECT_EQ(serial.tree.numNodes(), parallel.tree.numNodes());
+}
+
+TEST_F(LocalOptTest, SerialAndParallelCommitIdenticalHistories) {
+  // Beyond the aggregate check above: every committed move must match
+  // entry-for-entry, even when more trial workers than cores interleave.
+  network::Design serial = makeDesign(70, 11);
+  network::Design parallel = serial;
+  const Objective objective(serial, timer_);
+  LocalOptions o;
+  o.max_iterations = 4;
+  o.parallel_trials = false;
+  const LocalResult rs =
+      LocalOptimizer(sharedTech(), o).run(serial, objective, nullptr);
+  o.parallel_trials = true;
+  o.threads = 4;  // force real interleaving even on single-core hosts
+  const LocalResult rp =
+      LocalOptimizer(sharedTech(), o).run(parallel, objective, nullptr);
+  ASSERT_EQ(rs.history.size(), rp.history.size());
+  for (std::size_t i = 0; i < rs.history.size(); ++i) {
+    EXPECT_EQ(rs.history[i].round, rp.history[i].round);
+    EXPECT_EQ(rs.history[i].type, rp.history[i].type);
+    EXPECT_DOUBLE_EQ(rs.history[i].predicted_delta_ps,
+                     rp.history[i].predicted_delta_ps);
+    EXPECT_DOUBLE_EQ(rs.history[i].realized_delta_ps,
+                     rp.history[i].realized_delta_ps);
+    EXPECT_DOUBLE_EQ(rs.history[i].sum_after_ps, rp.history[i].sum_after_ps);
+  }
+  EXPECT_DOUBLE_EQ(rs.sum_after_ps, rp.sum_after_ps);
+  EXPECT_EQ(rs.golden_evaluations, rp.golden_evaluations);
+}
+
+void expectTimingsEqual(const std::vector<sta::CornerTiming>& a,
+                        const std::vector<sta::CornerTiming>& b,
+                        const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t ki = 0; ki < a.size(); ++ki) {
+    ASSERT_EQ(a[ki].arrival.size(), b[ki].arrival.size()) << what;
+    for (std::size_t i = 0; i < a[ki].arrival.size(); ++i) {
+      EXPECT_EQ(a[ki].arrival[i], b[ki].arrival[i])
+          << what << " arrival corner " << ki << " node " << i;
+      EXPECT_EQ(a[ki].slew[i], b[ki].slew[i])
+          << what << " slew corner " << ki << " node " << i;
+      EXPECT_EQ(a[ki].in_arrival[i], b[ki].in_arrival[i])
+          << what << " in_arrival corner " << ki << " node " << i;
+      EXPECT_EQ(a[ki].in_slew[i], b[ki].in_slew[i])
+          << what << " in_slew corner " << ki << " node " << i;
+      EXPECT_EQ(a[ki].driver_load[i], b[ki].driver_load[i])
+          << what << " driver_load corner " << ki << " node " << i;
+    }
+  }
+}
+
+TEST_F(LocalOptTest, ScopedRetimeRollbackBitIdentical) {
+  // The overlay must equal a fresh full analysis of the edited design, and
+  // rollback + undo must restore timing and design bit-identically — the
+  // invariant the copy-free trial engine rests on.
+  const network::Design original = makeDesign(70, 12);
+  const std::vector<sta::CornerTiming> fresh_original =
+      sta::IncrementalTimer(sharedTech(), original).timings();
+
+  std::vector<Move> moves = enumerateAllMoves(original, {});
+  ASSERT_FALSE(moves.empty());
+  // A spread of candidates covering all three move types.
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < moves.size(); i += moves.size() / 7 + 1)
+    picks.push_back(i);
+
+  network::Design d = original;
+  sta::IncrementalTimer base(sharedTech(), d);
+  sta::ScopedRetime overlay(base);
+  for (const std::size_t pi : picks) {
+    const Move& m = moves[pi];
+    const UndoRecord undo = applyMoveUndoable(d, m);
+    overlay.retime(d, undo.dirty);
+    const std::vector<sta::CornerTiming> fresh_edited =
+        sta::IncrementalTimer(sharedTech(), d).timings();
+    expectTimingsEqual(base.timings(), fresh_edited, "overlay vs fresh");
+    overlay.rollback();
+    undoMove(d, undo);
+    expectTimingsEqual(base.timings(), fresh_original, "rollback vs base");
+  }
+  // After every trial was undone the design itself is back to the original.
+  std::string err;
+  ASSERT_TRUE(d.tree.validate(&err)) << err;
+  expectTimingsEqual(sta::IncrementalTimer(sharedTech(), d).timings(),
+                     fresh_original, "undone design vs original");
 }
 
 TEST_F(LocalOptTest, ZeroIterationsIsNoOp) {
