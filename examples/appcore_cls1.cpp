@@ -61,8 +61,16 @@ int main(int argc, char** argv) {
   core::GlobalOptimizer gopt(tech, lut);
   const core::GlobalResult gr = gopt.run(d, objective);
   report = objective.evaluate(d, timer);
-  std::printf("\nafter global (LP %zux%zu, U*=%.0fps, %zu arcs rebuilt):\n",
-              gr.lp_rows, gr.lp_vars, gr.chosen_u_ps, gr.arcs_changed);
+  std::printf("\nafter global (LP %zux%zu, U*=%.0fps, %zu arcs rebuilt, "
+              "warm-start %d/%d):\n",
+              gr.lp_rows, gr.lp_vars, gr.chosen_u_ps, gr.arcs_changed,
+              gr.lp_warm_hits, gr.lp_warm_hits + gr.lp_warm_misses);
+  for (const core::LpSolveStats& st : gr.lp_solves)
+    std::printf("  LP %s U=%-7.0f %4d iters, %2d refactor, %s, "
+                "solve %.1f ms, realize %.1f ms\n",
+                st.u_ps == 0.0 ? "min-V" : "sweep", st.u_ps, st.iterations,
+                st.refactorizations, st.warm_started ? "warm" : "cold",
+                st.solve_ms, st.realize_ms);
   std::printf("  sum variation %.0f ps (%.1f%% cumulative reduction)\n",
               report.sum_variation_ps,
               100.0 * (1.0 - report.sum_variation_ps / gr.sum_before_ps));

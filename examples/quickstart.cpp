@@ -59,6 +59,15 @@ int main() {
               "%zu arcs re-engineered\n",
               result.global.lp_rows, result.global.lp_vars,
               result.global.lp_iterations, result.global.arcs_changed);
+  for (const core::LpSolveStats& st : result.global.lp_solves)
+    std::printf("    LP %s U=%-7.0f %4d iters, %2d refactor, %s, "
+                "solve %.1f ms, realize %.1f ms\n",
+                st.u_ps == 0.0 ? "min-V" : "sweep", st.u_ps, st.iterations,
+                st.refactorizations,
+                st.warm_started ? "warm" : "cold", st.solve_ms,
+                st.realize_ms);
+  std::printf("    warm-start: %d hit(s), %d miss(es)\n",
+              result.global.lp_warm_hits, result.global.lp_warm_misses);
   std::printf("  local : %zu committed moves, %zu golden evaluations\n",
               result.local.history.size(), result.local.golden_evaluations);
   std::printf("  sum variation %.1f -> %.1f ps (%.1f%% reduction)\n",

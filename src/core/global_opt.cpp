@@ -1,6 +1,8 @@
 #include "core/global_opt.h"
 
 #include "cts/cts.h"
+#include "support/stopwatch.h"
+#include "support/thread_pool.h"
 
 #include <algorithm>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
 
 namespace skewopt::core {
@@ -394,12 +397,26 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
                            /*min_sum_v=*/true, 0.0);
   res.lp_rows = static_cast<std::size_t>(min_lp.model.numRows());
   res.lp_vars = static_cast<std::size_t>(min_lp.model.numVars());
+  support::Stopwatch lp_sw;
   const lp::Solution vsol = lp::solve(min_lp.model, opts_.lp);
+  res.lp_solves.push_back({0.0, vsol.iterations, vsol.refactorizations,
+                           vsol.warm_started,
+                           vsol.status == lp::Status::Optimal, lp_sw.ms(),
+                           0.0});
   if (vsol.status != lp::Status::Optimal) return res;
   res.lp_min_sum_ps = vsol.objective;
   res.lp_iterations = vsol.iterations;
 
   // Pass 2: sweep U, realize each LP with the ECO flow, keep the best.
+  //
+  // The sweep model is built once — it differs from the pass-1 model only
+  // in objective and in the budget row (5), appended last — and re-bounded
+  // per sweep point. The LPs are solved serially so each re-enters from
+  // the previous optimal basis (only that one bound moved); realization
+  // (ECO + golden re-time), the expensive part, then fans out across sweep
+  // points on the shared pool. The best-candidate pick below walks the
+  // results in sweep order with the serial acceptance logic, so the
+  // parallel path is bit-identical to the serial one.
   eco::EcoEngine eco_engine(*tech_, *lut_, opts_.eco_pair_penalty_ps,
                             opts_.eco_overshoot_weight);
   const std::size_t nk = d.corners.size();
@@ -407,41 +424,90 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
   Design best = d;
   bool improved = false;
 
+  BuiltLp sweep_lp = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
+                             /*min_sum_v=*/false, res.lp_orig_sum_ps);
+  const int budget_row = sweep_lp.model.numRows() - 1;
+  lp::Basis chain;
+  if (opts_.warm_start_sweep && !vsol.basis.empty()) {
+    // Extend the pass-1 basis with the budget slack: its unit column keeps
+    // the basis nonsingular, and the pass-1 vertex satisfies (5) for every
+    // swept U >= the minimum sum, so phase 1 exits immediately.
+    chain = vsol.basis;
+    chain.status.push_back(lp::BasisStatus::Basic);
+  }
+
+  struct SweepPoint {
+    double u = 0.0;
+    bool solved = false;
+    std::vector<double> x;  ///< LP solution (empty unless solved)
+    std::size_t stats_ix = 0;
+    std::optional<Design> trial;
+    VariationReport after;
+    std::size_t changed = 0;
+  };
+  std::vector<SweepPoint> points;
+
   for (const double t : opts_.u_sweep) {
     const double u =
         res.lp_min_sum_ps + t * (res.lp_orig_sum_ps - res.lp_min_sum_ps);
     if (u >= res.lp_orig_sum_ps) continue;
-    BuiltLp run_lp = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
-                             /*min_sum_v=*/false, u);
-    const lp::Solution sol = lp::solve(run_lp.model, opts_.lp);
-    if (sol.status != lp::Status::Optimal) {
-      res.candidates.push_back({u, -1.0});
-      continue;
+    sweep_lp.model.setRowBounds(budget_row, -lp::kInf, u);
+    lp_sw.reset();
+    const lp::Solution sol = lp::solve(sweep_lp.model, opts_.lp,
+                                       chain.empty() ? nullptr : &chain);
+    if (!chain.empty()) {
+      if (sol.warm_started)
+        ++res.lp_warm_hits;
+      else
+        ++res.lp_warm_misses;
     }
+    SweepPoint pt;
+    pt.u = u;
+    pt.stats_ix = res.lp_solves.size();
+    res.lp_solves.push_back({u, sol.iterations, sol.refactorizations,
+                             sol.warm_started,
+                             sol.status == lp::Status::Optimal, lp_sw.ms(),
+                             0.0});
+    if (sol.status == lp::Status::Optimal) {
+      pt.solved = true;
+      pt.x = sol.x;
+      if (opts_.warm_start_sweep) chain = sol.basis;
+    }
+    points.push_back(std::move(pt));
+  }
 
+  // Upstream arcs first so that downstream rebuilds see stable parents;
+  // the order is a function of the original design only, so it is shared
+  // by every sweep point.
+  std::vector<std::size_t> slots(ctx.slot_arc.size());
+  std::iota(slots.begin(), slots.end(), std::size_t{0});
+  std::sort(slots.begin(), slots.end(), [&](std::size_t a, std::size_t b) {
+    const int la = d.tree.level(
+        ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[a])].src);
+    const int lb = d.tree.level(
+        ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[b])].src);
+    return la != lb ? la < lb : a < b;
+  });
+
+  // Realizes one LP solution: per-point Design replica, Algorithm-1 ECO
+  // per arc, golden re-time, local-skew repair, full evaluation. Reads
+  // only shared const state (d, ctx, timing, engines), so sweep points are
+  // independent.
+  const auto realize = [&](SweepPoint& pt) {
+    const std::vector<double>& x = pt.x;
     Design trial = d;
     std::size_t changed = 0;
     // Slews/loads are refreshed from the trial design as upstream rebuilds
     // land, so downstream arc solutions see post-ECO conditions.
     std::vector<sta::CornerTiming> trial_timing = timing;
-    // Upstream arcs first so that downstream rebuilds see stable parents.
-    std::vector<std::size_t> slots(ctx.slot_arc.size());
-    std::iota(slots.begin(), slots.end(), std::size_t{0});
-    std::sort(slots.begin(), slots.end(), [&](std::size_t a, std::size_t b) {
-      const int la = d.tree.level(
-          ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[a])].src);
-      const int lb = d.tree.level(
-          ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[b])].src);
-      return la != lb ? la < lb : a < b;
-    });
     for (const std::size_t s : slots) {
       const Arc& arc = ctx.arcs[static_cast<std::size_t>(ctx.slot_arc[s])];
-      std::vector<double> desired(nk), chain(nk), slews(nk), loads(nk);
+      std::vector<double> desired(nk), chain_ps(nk), slews(nk), loads(nk);
       double maxdev = 0.0;
       for (std::size_t ki = 0; ki < nk; ++ki) {
-        const int v = run_lp.varBase(s, ki, nk);
-        const double delta = sol.x[static_cast<std::size_t>(v)] -
-                             sol.x[static_cast<std::size_t>(v + 1)];
+        const int v = sweep_lp.varBase(s, ki, nk);
+        const double delta = x[static_cast<std::size_t>(v)] -
+                             x[static_cast<std::size_t>(v + 1)];
         desired[ki] = ctx.delay[s][ki] + delta;
         maxdev = std::max(maxdev, std::abs(delta));
         slews[ki] = trial_timing[ki].slew[static_cast<std::size_t>(arc.src)];
@@ -456,11 +522,11 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
         const double dst_gate =
             trial_timing[ki].arrival[static_cast<std::size_t>(arc.dst)] -
             trial_timing[ki].in_arrival[static_cast<std::size_t>(arc.dst)];
-        chain[ki] = std::max(1.0, desired[ki] - dst_gate);
+        chain_ps[ki] = std::max(1.0, desired[ki] - dst_gate);
       }
       if (maxdev < opts_.min_delta_ps) continue;
       eco::ArcSolution asol = eco_engine.selectSolution(
-          d.corners, chain, ctx.direct_len[s], slews, loads);
+          d.corners, chain_ps, ctx.direct_len[s], slews, loads);
       if (!asol.valid) continue;
       // Second pass: the new chain changes the slew into dst, which moves
       // dst's own gate delay; re-target the chain against the *predicted*
@@ -479,10 +545,10 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
           const double dload =
               trial_timing[ki].driver_load[static_cast<std::size_t>(arc.dst)];
           const double gate_pred = dcell.delay[k].lookup(slew_pred, dload);
-          chain[ki] = std::max(1.0, desired[ki] - gate_pred);
+          chain_ps[ki] = std::max(1.0, desired[ki] - gate_pred);
         }
-        asol = eco_engine.selectSolution(d.corners, chain, ctx.direct_len[s],
-                                         slews, loads);
+        asol = eco_engine.selectSolution(d.corners, chain_ps,
+                                         ctx.direct_len[s], slews, loads);
         if (!asol.valid) continue;
       }
       const std::vector<int> inserted = eco_engine.rebuildArc(trial, arc, asol);
@@ -497,7 +563,7 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
                        "eco arc %d->%d ki %zu: orig %.0f desired %.0f chain "
                        "%.0f est %.0f realized %.0f (p=%zu q=%.0f u=%zu err %.1f)\n",
                        arc.src, arc.dst, ki, ctx.delay[s][ki], desired[ki],
-                       chain[ki], asol.est_delay[ki], realized, asol.p,
+                       chain_ps[ki], asol.est_delay[ki], realized, asol.p,
                        lut_->wirelengths()[asol.q_idx], asol.u, asol.err);
         }
       }
@@ -544,22 +610,46 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
     if (!trial.tree.validate(&err))
       throw std::logic_error("global ECO broke the tree: " + err);
     repairLocalSkew(trial, objective, before);
-    const VariationReport after = objective.evaluate(trial, timer_);
-    res.candidates.push_back({u, after.sum_variation_ps});
+    pt.after = objective.evaluate(trial, timer_);
+    pt.trial.emplace(std::move(trial));
+    pt.changed = changed;
+  };
 
+  std::vector<SweepPoint*> todo;
+  for (SweepPoint& pt : points)
+    if (pt.solved) todo.push_back(&pt);
+  const auto realizeOne = [&](std::size_t i) {
+    support::Stopwatch sw;
+    realize(*todo[i]);
+    res.lp_solves[todo[i]->stats_ix].realize_ms = sw.ms();
+  };
+  if (opts_.parallel_realize && todo.size() > 1) {
+    support::ThreadPool::shared().runSlices(todo.size(), realizeOne);
+  } else {
+    for (std::size_t i = 0; i < todo.size(); ++i) realizeOne(i);
+  }
+
+  // Deterministic pick: walk the sweep points in index order with the
+  // serial acceptance logic (strict improvement, earlier point wins ties).
+  for (SweepPoint& pt : points) {
+    if (!pt.solved) {
+      res.candidates.push_back({pt.u, -1.0});
+      continue;
+    }
+    res.candidates.push_back({pt.u, pt.after.sum_variation_ps});
     // Accept only if the realized local skew did not materially degrade.
     bool skew_ok = true;
     for (std::size_t ki = 0; ki < nk; ++ki)
-      if (after.local_skew_ps[ki] >
+      if (pt.after.local_skew_ps[ki] >
           before.local_skew_ps[ki] * opts_.local_skew_tolerance +
               opts_.local_skew_allowance_ps)
         skew_ok = false;
-    if (skew_ok && after.sum_variation_ps < best_sum) {
-      best_sum = after.sum_variation_ps;
-      best = std::move(trial);
+    if (skew_ok && pt.after.sum_variation_ps < best_sum) {
+      best_sum = pt.after.sum_variation_ps;
+      best = std::move(*pt.trial);
       improved = true;
-      res.chosen_u_ps = u;
-      res.arcs_changed = changed;
+      res.chosen_u_ps = pt.u;
+      res.arcs_changed = pt.changed;
     }
   }
 
@@ -569,6 +659,30 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
     res.improved = true;
   }
   return res;
+}
+
+GlobalLpProbe GlobalOptimizer::extractGlobalLp(const Design& d,
+                                               const Objective& objective) const {
+  GlobalLpProbe probe;
+  if (d.pairs.empty()) return probe;
+  const std::vector<sta::CornerTiming> timing = timer_.analyzeDesign(d);
+  std::vector<std::vector<double>> lat(timing.size());
+  for (std::size_t ki = 0; ki < timing.size(); ++ki)
+    lat[ki] = timing[ki].arrival;
+  const VariationReport before = objective.evaluateFromLatencies(d, lat);
+  const LpContext ctx = buildContext(d, timing, before, opts_.max_pairs_lp,
+                                     opts_.min_arc_delay_ps);
+  if (ctx.slot_arc.empty()) return probe;
+  for (const std::size_t pi : ctx.opt_pairs)
+    probe.orig_sum_ps += before.v_pair_ps[pi];
+  probe.min_v = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
+                        /*min_sum_v=*/true, 0.0)
+                    .model;
+  BuiltLp sweep = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
+                          /*min_sum_v=*/false, probe.orig_sum_ps);
+  probe.budget_row = sweep.model.numRows() - 1;
+  probe.sweep = std::move(sweep.model);
+  return probe;
 }
 
 }  // namespace skewopt::core

@@ -61,7 +61,28 @@ struct GlobalOptions {
   /// trim-recoverable undershoot.
   double eco_pair_penalty_ps = 8.0;
   double eco_overshoot_weight = 2.0;
+  /// Re-enter each U-sweep LP from the previous optimal basis (the sweep
+  /// changes one row bound per step, so a warm re-solve is a handful of
+  /// iterations). Off forces every LP to solve cold.
+  bool warm_start_sweep = true;
+  /// Realize the sweep candidates (ECO + golden re-time) concurrently on
+  /// the shared ThreadPool, one Design replica per sweep point. The
+  /// best-candidate pick stays in sweep order and is bit-identical to the
+  /// serial path.
+  bool parallel_realize = true;
   lp::SolverOptions lp;
+};
+
+/// Per-LP-solve statistics of one global run (pass 1 first, then one entry
+/// per attempted sweep point).
+struct LpSolveStats {
+  double u_ps = 0.0;  ///< budget U (0 for the pass-1 min-sum-V solve)
+  int iterations = 0;
+  int refactorizations = 0;
+  bool warm_started = false;
+  bool optimal = false;
+  double solve_ms = 0.0;    ///< LP wall time
+  double realize_ms = 0.0;  ///< ECO + re-time wall time (0 when LP failed)
 };
 
 struct GlobalResult {
@@ -78,6 +99,22 @@ struct GlobalResult {
   bool improved = false;
   /// (U, realized full-objective sum) per sweep candidate; -1 if ECO failed.
   std::vector<std::pair<double, double>> candidates;
+  /// One entry per LP solved (pass 1, then each sweep point).
+  std::vector<LpSolveStats> lp_solves;
+  int lp_warm_hits = 0;    ///< sweep solves that accepted a warm basis
+  int lp_warm_misses = 0;  ///< sweep solves that fell back to a cold start
+};
+
+/// Bench/test probe: the exact LPs run() would solve on a design — the
+/// pass-1 min-sum-V model and the sweep model, whose budget row (5) is
+/// appended last so it can be re-bounded per sweep point with
+/// Model::setRowBounds. The pass-1 optimal basis extends to the sweep
+/// model by appending one Basic entry for the budget slack.
+struct GlobalLpProbe {
+  lp::Model min_v;
+  lp::Model sweep;
+  int budget_row = -1;
+  double orig_sum_ps = 0.0;  ///< original sum over the selected pairs
 };
 
 class GlobalOptimizer {
@@ -89,6 +126,11 @@ class GlobalOptimizer {
   /// Optimizes the design in place (keeps the original when no sweep
   /// candidate realizes an improvement).
   GlobalResult run(network::Design& d, const Objective& objective) const;
+
+  /// Builds the global LPs for `d` without running the sweep (see
+  /// GlobalLpProbe). Used by the LP benchmarks and warm-start tests.
+  GlobalLpProbe extractGlobalLp(const network::Design& d,
+                                const Objective& objective) const;
 
  private:
   void repairLocalSkew(network::Design& trial, const Objective& objective,

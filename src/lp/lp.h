@@ -5,9 +5,17 @@
 // primal simplex with
 //   * ranged rows (lo <= a.x <= hi) handled through slack variables,
 //   * a phase-1 that drives the sum of bound infeasibilities to zero,
-//   * Dantzig pricing with a Bland anti-cycling fallback,
-//   * an explicit dense basis inverse with eta updates and periodic
-//     refactorization (problem sizes here are a few thousand rows).
+//   * a sparse revised implementation (the default): CSC column storage,
+//     sparse LU basis factorization with Markowitz-style pivoting,
+//     product-form eta updates with drift-triggered refactorization,
+//     sparse ftran/btran, and Devex pricing with a Bland anti-cycling
+//     fallback,
+//   * a warm-start API: solve() accepts the Basis of a previous solve and
+//     re-enters from it — the U-sweep of the global optimizer changes one
+//     row bound per step, so each re-solve is a handful of iterations,
+//   * the original dense-inverse simplex kept as a reference
+//     implementation (Algorithm::kDense) for differential tests and the
+//     cold-dense-vs-warm-sparse benchmarks.
 //
 // The Model API is deliberately close to what callers of a commercial LP
 // library would write, so the global optimizer reads like the paper.
@@ -28,12 +36,17 @@ struct Term {
 
 /// An LP in the form: minimize c.x subject to lo_r <= A x <= hi_r and
 /// lb_j <= x_j <= ub_j. Equality rows use lo == hi; one-sided rows use
-/// +/-kInf on the open side.
+/// +/-kInf on the open side. Duplicate-variable terms in a row are
+/// coalesced and zero coefficients dropped, so numNonzeros() is exact.
 class Model {
  public:
   int addVar(double lb, double ub, double obj, std::string name = "");
   void addRow(double lo, double hi, std::vector<Term> terms,
               std::string name = "");
+
+  /// Re-bounds an existing row (the U-sweep retightens Eq. (5) in place
+  /// instead of rebuilding the whole model).
+  void setRowBounds(int r, double lo, double hi);
 
   int numVars() const { return static_cast<int>(obj_.size()); }
   int numRows() const { return static_cast<int>(row_lo_.size()); }
@@ -67,24 +80,75 @@ enum class Status { Optimal, Infeasible, Unbounded, IterLimit };
 
 const char* statusName(Status s);
 
+/// Status of one variable in a simplex basis. Indices 0..numVars()-1 are
+/// the structural variables, numVars()..numVars()+numRows()-1 the row
+/// slacks.
+enum class BasisStatus : unsigned char { Basic, AtLower, AtUpper, FreeZero };
+
+/// A basis snapshot: one status per structural variable and row slack.
+/// Returned by the sparse solver in Solution::basis and accepted back as a
+/// warm start. A basis from a model with one fewer row can be extended by
+/// appending a Basic entry for the new row's slack (the slack column is a
+/// unit column, so the extended basis stays nonsingular) — this is how the
+/// first U-sweep LP warm-starts from the min-sum-V pass.
+struct Basis {
+  std::vector<BasisStatus> status;
+  bool empty() const { return status.empty(); }
+};
+
 struct Solution {
   Status status = Status::IterLimit;
   double objective = 0.0;
   std::vector<double> x;  ///< structural variable values
   int iterations = 0;
   int phase1_iterations = 0;
+  int refactorizations = 0;  ///< sparse LU (re)factorizations performed
+  /// True when a supplied warm-start basis was accepted (valid shape and
+  /// factorizable, possibly after slack repair); false on cold starts and
+  /// on fallbacks from an unusable warm basis.
+  bool warm_started = false;
+  /// Final basis (sparse solver only) — feed to the next solve's
+  /// `warm_start` to re-enter from this vertex.
+  Basis basis;
 };
 
 struct SolverOptions {
+  /// kSparse: the revised simplex (default). kDense: the legacy explicit
+  /// dense-inverse simplex, kept for differential testing and benchmarks;
+  /// it ignores warm starts and returns no basis.
+  enum class Algorithm : unsigned char { kSparse, kDense };
+  /// Entering-variable rule of the sparse path. Devex approximates
+  /// steepest-edge with reference weights; Dantzig is the classic
+  /// most-negative reduced cost.
+  enum class Pricing : unsigned char { kDevex, kDantzig };
+
   int max_iterations = 200000;
   double tolerance = 1e-7;
-  int refactor_every = 300;
+  /// Dense path: eta-update count between drift checks. Sparse path: hard
+  /// cap on accumulated eta vectors before a forced refactorization
+  /// (drift-triggered refactorizations can come earlier).
+  int refactor_every = 120;
   /// Switch to Bland's rule after this many consecutive non-improving
   /// iterations (degeneracy guard).
   int stall_limit = 500;
+  Algorithm algorithm = Algorithm::kSparse;
+  Pricing pricing = Pricing::kDevex;
 };
 
-/// Solves the model. Deterministic for a given model.
-Solution solve(const Model& model, const SolverOptions& opts = {});
+/// Solves the model. Deterministic for a given (model, options, warm
+/// start). `warm_start` may be null (cold start) or a Basis from a prior
+/// solve of a structurally compatible model; an unusable basis silently
+/// falls back to a cold start (see Solution::warm_started).
+Solution solve(const Model& model, const SolverOptions& opts = {},
+               const Basis* warm_start = nullptr);
+
+namespace detail {
+/// The two implementations behind solve(); exposed for differential tests.
+Solution solveDense(const Model& model, const SolverOptions& opts);
+Solution solveSparse(const Model& model, const SolverOptions& opts,
+                     const Basis* warm_start);
+/// Row-free fast path shared by both; true if it produced the solution.
+bool solveBoundsOnly(const Model& model, Solution* out);
+}  // namespace detail
 
 }  // namespace skewopt::lp

@@ -1,0 +1,913 @@
+// Sparse revised simplex — the default implementation behind lp::solve().
+//
+// The global optimizer's LPs (Eqs. 4-11) are extremely sparse: a few terms
+// per row, thousands of rows. The legacy solver (simplex.cpp) keeps an
+// explicit dense m x m basis inverse with O(m^2) eta updates and O(m^3)
+// Gauss-Jordan refactorization; this one keeps the constraint matrix in
+// CSC form and the basis as a sparse LU factorization:
+//
+//   * factorization: right-looking Gaussian elimination with
+//     Markowitz-style pivoting — row/column singletons are eliminated
+//     first (zero fill; slack-heavy bases triangularize almost entirely),
+//     then the residual bump picks minimum-count columns with a relative
+//     stability threshold;
+//   * updates: product-form eta vectors per basis change, with
+//     refactorization triggered by primal-residual drift or an eta cap —
+//     never on a fixed schedule alone;
+//   * solves: sparse ftran (B w = a) and btran (B^T y = c) through the
+//     LU triangles plus the eta file;
+//   * pricing: Devex reference weights (approximate steepest edge) with
+//     the same Bland anti-cycling fallback as the dense path.
+//
+// A warm start re-enters from a caller-supplied Basis: the basis is
+// refactorized directly (rank-deficient bases are repaired with slacks,
+// unusable ones fall back to a cold start) and phase 1 only runs as far
+// as the start point is infeasible. Re-solving after a single row-bound
+// change — the U-sweep — typically costs a handful of iterations.
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "lp/lp.h"
+
+namespace skewopt::lp {
+namespace detail {
+namespace {
+
+enum class VarState : unsigned char { Basic, AtLower, AtUpper, FreeZero };
+
+struct Entry {
+  int idx = -1;
+  double val = 0.0;
+};
+
+/// Sparse LU factorization of one basis matrix B (columns indexed by basis
+/// position, rows by constraint row), with the triangular solves. The
+/// factorization records the elimination itself: per pivot step k the
+/// pivot (row p_k, position q_k, value v_k), the L multipliers applied to
+/// later-pivoted rows, and the U row (entries in later-pivoted positions).
+class BasisLu {
+ public:
+  /// Factorizes the m x m matrix whose position-j column is cols[j].
+  /// Returns the positions left unpivoted (rank deficiency; pair them
+  /// with unpivotedRows() to repair the basis), empty on success.
+  std::vector<int> factorize(int m, const std::vector<std::vector<Entry>>& cols);
+
+  /// Solves B w = b. In: b indexed by row. Out: w indexed by position.
+  void ftran(std::vector<double>& v) const;
+
+  /// Solves B^T y = c. In: c indexed by position. Out: y indexed by row.
+  void btran(std::vector<double>& v) const;
+
+  const std::vector<int>& unpivotedRows() const { return unpivoted_rows_; }
+
+ private:
+  struct Pivot {
+    int row = -1, col = -1;
+    double val = 0.0;
+  };
+  int m_ = 0;
+  std::vector<Pivot> pivots_;               ///< in elimination order
+  std::vector<std::vector<Entry>> lcol_;    ///< per step: (row, multiplier)
+  std::vector<std::vector<Entry>> urow_;    ///< per step: (position, value)
+  std::vector<int> unpivoted_rows_;
+  mutable std::vector<double> scratch_;
+};
+
+std::vector<int> BasisLu::factorize(int m,
+                                    const std::vector<std::vector<Entry>>& cols) {
+  m_ = m;
+  pivots_.clear();
+  lcol_.clear();
+  urow_.clear();
+  unpivoted_rows_.clear();
+  pivots_.reserve(static_cast<std::size_t>(m));
+
+  const std::size_t sm = static_cast<std::size_t>(m);
+  // Active matrix, row-major; removed entries are marked val == 0 and the
+  // counts track the live ones. colrows may hold stale row ids (validated
+  // against the row on use).
+  std::vector<std::vector<Entry>> arow(sm);
+  std::vector<std::vector<int>> colrows(sm);
+  std::vector<int> rcount(sm, 0), ccount(sm, 0);
+  std::vector<char> rdone(sm, 0), cdone(sm, 0);
+  for (int j = 0; j < m; ++j) {
+    for (const Entry& e : cols[static_cast<std::size_t>(j)]) {
+      if (e.val == 0.0) continue;
+      arow[static_cast<std::size_t>(e.idx)].push_back({j, e.val});
+      colrows[static_cast<std::size_t>(j)].push_back(e.idx);
+      ++rcount[static_cast<std::size_t>(e.idx)];
+      ++ccount[static_cast<std::size_t>(j)];
+    }
+  }
+
+  std::vector<int> col_single, row_single;
+  for (int j = 0; j < m; ++j)
+    if (ccount[static_cast<std::size_t>(j)] == 1) col_single.push_back(j);
+  for (int r = 0; r < m; ++r)
+    if (rcount[static_cast<std::size_t>(r)] == 1) row_single.push_back(r);
+
+  // where[col] -> index of col's live entry in the row being updated.
+  std::vector<int> where(sm, -1);
+  constexpr double kAbsTol = 1e-12;   // entries below this cannot pivot
+  constexpr double kDropTol = 1e-13;  // cancelled fill is removed
+  constexpr double kRelTol = 0.05;    // within-column stability threshold
+
+  auto liveEntry = [&](int r, int c) -> Entry* {
+    for (Entry& e : arow[static_cast<std::size_t>(r)])
+      if (e.idx == c && e.val != 0.0) return &e;
+    return nullptr;
+  };
+
+  for (int step = 0; step < m; ++step) {
+    int pr = -1, pc = -1;
+    // 1) Column singletons: pivot with zero fill.
+    while (pr < 0 && !col_single.empty()) {
+      const int c = col_single.back();
+      col_single.pop_back();
+      if (cdone[static_cast<std::size_t>(c)] ||
+          ccount[static_cast<std::size_t>(c)] != 1)
+        continue;
+      for (const int r : colrows[static_cast<std::size_t>(c)]) {
+        if (rdone[static_cast<std::size_t>(r)]) continue;
+        const Entry* e = liveEntry(r, c);
+        if (e != nullptr && std::abs(e->val) >= kAbsTol) {
+          pr = r;
+          pc = c;
+          break;
+        }
+      }
+    }
+    // 2) Row singletons: also zero fill in U (the row IS the pivot).
+    while (pr < 0 && !row_single.empty()) {
+      const int r = row_single.back();
+      row_single.pop_back();
+      if (rdone[static_cast<std::size_t>(r)] ||
+          rcount[static_cast<std::size_t>(r)] != 1)
+        continue;
+      for (const Entry& e : arow[static_cast<std::size_t>(r)]) {
+        if (e.val == 0.0 || cdone[static_cast<std::size_t>(e.idx)]) continue;
+        if (std::abs(e.val) >= kAbsTol) {
+          pr = r;
+          pc = e.idx;
+        }
+        break;  // the single live entry either pivots or the row is stuck
+      }
+    }
+    // 3) Markowitz fallback: minimum-count column, then the stable entry
+    //    of minimum row count within it.
+    if (pr < 0) {
+      int best_c = -1;
+      for (int j = 0; j < m; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        if (cdone[sj] || ccount[sj] == 0) continue;
+        if (best_c < 0 || ccount[sj] < ccount[static_cast<std::size_t>(best_c)])
+          best_c = j;
+      }
+      while (best_c >= 0 && pr < 0) {
+        double colmax = 0.0;
+        for (const int r : colrows[static_cast<std::size_t>(best_c)]) {
+          if (rdone[static_cast<std::size_t>(r)]) continue;
+          const Entry* e = liveEntry(r, best_c);
+          if (e != nullptr) colmax = std::max(colmax, std::abs(e->val));
+        }
+        int best_r = -1;
+        for (const int r : colrows[static_cast<std::size_t>(best_c)]) {
+          if (rdone[static_cast<std::size_t>(r)]) continue;
+          const Entry* e = liveEntry(r, best_c);
+          if (e == nullptr) continue;
+          if (std::abs(e->val) < kAbsTol ||
+              std::abs(e->val) < kRelTol * colmax)
+            continue;
+          if (best_r < 0 || rcount[static_cast<std::size_t>(r)] <
+                                rcount[static_cast<std::size_t>(best_r)])
+            best_r = r;
+        }
+        if (best_r >= 0) {
+          pr = best_r;
+          pc = best_c;
+        } else {
+          // Numerically dead column: retire it as unpivotable.
+          cdone[static_cast<std::size_t>(best_c)] = 1;
+          best_c = -1;
+          for (int j = 0; j < m; ++j) {
+            const std::size_t sj = static_cast<std::size_t>(j);
+            if (cdone[sj] || ccount[sj] == 0) continue;
+            if (best_c < 0 ||
+                ccount[sj] < ccount[static_cast<std::size_t>(best_c)])
+              best_c = j;
+          }
+        }
+      }
+    }
+    if (pr < 0) break;  // rank deficient: remaining rows/cols unpivoted
+
+    const double pv = liveEntry(pr, pc)->val;
+    pivots_.push_back({pr, pc, pv});
+    // U row: the pivot row's live entries in not-yet-pivoted positions.
+    std::vector<Entry> prow;
+    for (const Entry& e : arow[static_cast<std::size_t>(pr)])
+      if (e.val != 0.0 && e.idx != pc && !cdone[static_cast<std::size_t>(e.idx)])
+        prow.push_back(e);
+
+    // Eliminate pc from every other live row.
+    std::vector<Entry> lk;
+    for (const int r : colrows[static_cast<std::size_t>(pc)]) {
+      const std::size_t sr = static_cast<std::size_t>(r);
+      if (r == pr || rdone[sr]) continue;
+      Entry* e = liveEntry(r, pc);
+      if (e == nullptr) continue;
+      const double f = e->val / pv;
+      lk.push_back({r, f});
+      e->val = 0.0;
+      --rcount[sr];
+      for (std::size_t i = 0; i < arow[sr].size(); ++i)
+        if (arow[sr][i].val != 0.0)
+          where[static_cast<std::size_t>(arow[sr][i].idx)] =
+              static_cast<int>(i);
+      for (const Entry& pe : prow) {
+        const std::size_t spc = static_cast<std::size_t>(pe.idx);
+        const double delta = -f * pe.val;
+        const int at = where[spc];
+        if (at >= 0) {
+          Entry& tgt = arow[sr][static_cast<std::size_t>(at)];
+          tgt.val += delta;
+          if (std::abs(tgt.val) < kDropTol) {
+            tgt.val = 0.0;
+            --rcount[sr];
+            --ccount[spc];
+            if (ccount[spc] == 1 && !cdone[spc])
+              col_single.push_back(pe.idx);
+          }
+        } else {
+          arow[sr].push_back({pe.idx, delta});
+          colrows[spc].push_back(r);
+          ++rcount[sr];
+          ++ccount[spc];
+        }
+      }
+      for (const Entry& re : arow[sr])
+        where[static_cast<std::size_t>(re.idx)] = -1;
+      if (rcount[sr] == 1) row_single.push_back(r);
+    }
+    lcol_.push_back(std::move(lk));
+    urow_.push_back(std::move(prow));
+
+    // Retire the pivot row and column; surviving columns of the pivot row
+    // lose one live entry each.
+    rdone[static_cast<std::size_t>(pr)] = 1;
+    cdone[static_cast<std::size_t>(pc)] = 1;
+    for (const Entry& e : arow[static_cast<std::size_t>(pr)]) {
+      const std::size_t sc = static_cast<std::size_t>(e.idx);
+      if (e.val == 0.0 || e.idx == pc || cdone[sc]) continue;
+      --ccount[sc];
+      if (ccount[sc] == 1) col_single.push_back(e.idx);
+    }
+  }
+
+  if (pivots_.size() < static_cast<std::size_t>(m)) {
+    // cdone is also set for numerically dead columns, so derive the real
+    // unpivoted set from the recorded pivots; same for rows.
+    std::vector<char> rpiv(sm, 0), cpiv(sm, 0);
+    for (const Pivot& p : pivots_) {
+      rpiv[static_cast<std::size_t>(p.row)] = 1;
+      cpiv[static_cast<std::size_t>(p.col)] = 1;
+    }
+    std::vector<int> unpivoted_cols;
+    for (int j = 0; j < m; ++j)
+      if (!cpiv[static_cast<std::size_t>(j)]) unpivoted_cols.push_back(j);
+    for (int r = 0; r < m; ++r)
+      if (!rpiv[static_cast<std::size_t>(r)]) unpivoted_rows_.push_back(r);
+    return unpivoted_cols;
+  }
+  return {};
+}
+
+void BasisLu::ftran(std::vector<double>& v) const {
+  // L solve in row space: forward through the elimination.
+  for (std::size_t k = 0; k < pivots_.size(); ++k) {
+    const double t = v[static_cast<std::size_t>(pivots_[k].row)];
+    if (t == 0.0) continue;
+    for (const Entry& e : lcol_[k])
+      v[static_cast<std::size_t>(e.idx)] -= e.val * t;
+  }
+  // U backward solve into position space.
+  scratch_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (std::size_t k = pivots_.size(); k-- > 0;) {
+    double s = v[static_cast<std::size_t>(pivots_[k].row)];
+    for (const Entry& e : urow_[k])
+      s -= e.val * scratch_[static_cast<std::size_t>(e.idx)];
+    scratch_[static_cast<std::size_t>(pivots_[k].col)] = s / pivots_[k].val;
+  }
+  v.swap(scratch_);
+}
+
+void BasisLu::btran(std::vector<double>& v) const {
+  // U^T forward solve with scatter: v holds position-space costs.
+  scratch_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (std::size_t k = 0; k < pivots_.size(); ++k) {
+    const double zk =
+        v[static_cast<std::size_t>(pivots_[k].col)] / pivots_[k].val;
+    scratch_[static_cast<std::size_t>(pivots_[k].row)] = zk;
+    if (zk == 0.0) continue;
+    for (const Entry& e : urow_[k])
+      v[static_cast<std::size_t>(e.idx)] -= e.val * zk;
+  }
+  // L^T backward solve in row space.
+  for (std::size_t k = pivots_.size(); k-- > 0;) {
+    double t = scratch_[static_cast<std::size_t>(pivots_[k].row)];
+    for (const Entry& e : lcol_[k])
+      t -= e.val * scratch_[static_cast<std::size_t>(e.idx)];
+    scratch_[static_cast<std::size_t>(pivots_[k].row)] = t;
+  }
+  v.swap(scratch_);
+}
+
+/// The revised simplex itself: phase structure, pricing, ratio test and
+/// bound handling mirror the dense reference implementation, so the two
+/// paths are differential-testable against each other.
+class SparseSimplex {
+ public:
+  SparseSimplex(const Model& model, const SolverOptions& opts)
+      : model_(model), opts_(opts), n_(model.numVars()), m_(model.numRows()),
+        total_(n_ + m_) {
+    buildCsc();
+  }
+
+  Solution run(const Basis* warm) {
+    Solution sol;
+    sol.warm_started = warm != nullptr && tryWarmStart(*warm);
+    if (!sol.warm_started) coldStart();
+    computeBasics();
+    if (!iterate(/*phase1=*/true, sol)) return finish(sol);
+    sol.phase1_iterations = sol.iterations;
+    if (infeasibility() > 1e-6) {
+      sol.status = Status::Infeasible;
+      extract(sol);
+      return finish(sol);
+    }
+    if (!iterate(/*phase1=*/false, sol)) return finish(sol);
+    sol.status = Status::Optimal;
+    extract(sol);
+    return finish(sol);
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  /// Compressed sparse columns of [A | -I] (structurals, then one slack
+  /// per row), plus the merged bound/cost arrays.
+  void buildCsc() {
+    const std::size_t st = static_cast<std::size_t>(total_);
+    col_start_.assign(st + 1, 0);
+    for (int r = 0; r < m_; ++r)
+      for (const Term& t : model_.rowTerms(r))
+        ++col_start_[static_cast<std::size_t>(t.var) + 1];
+    for (int r = 0; r < m_; ++r)
+      col_start_[static_cast<std::size_t>(n_ + r) + 1] = 1;
+    for (std::size_t j = 0; j < st; ++j) col_start_[j + 1] += col_start_[j];
+    row_ix_.resize(col_start_[st]);
+    a_val_.resize(col_start_[st]);
+    std::vector<int> fill(st, 0);
+    for (int r = 0; r < m_; ++r)
+      for (const Term& t : model_.rowTerms(r)) {
+        const std::size_t sj = static_cast<std::size_t>(t.var);
+        const std::size_t at = col_start_[sj] +
+                               static_cast<std::size_t>(fill[sj]++);
+        row_ix_[at] = r;
+        a_val_[at] = t.coef;
+      }
+    for (int r = 0; r < m_; ++r) {
+      const std::size_t at = col_start_[static_cast<std::size_t>(n_ + r)];
+      row_ix_[at] = r;
+      a_val_[at] = -1.0;
+    }
+
+    lb_.resize(st);
+    ub_.resize(st);
+    cost_.assign(st, 0.0);
+    for (int j = 0; j < n_; ++j) {
+      lb_[static_cast<std::size_t>(j)] = model_.varLb(j);
+      ub_[static_cast<std::size_t>(j)] = model_.varUb(j);
+      cost_[static_cast<std::size_t>(j)] = model_.objCoef(j);
+    }
+    for (int r = 0; r < m_; ++r) {
+      lb_[static_cast<std::size_t>(n_ + r)] = model_.rowLo(r);
+      ub_[static_cast<std::size_t>(n_ + r)] = model_.rowHi(r);
+    }
+  }
+
+  void setNonbasicAtBound(int j) {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    if (lb_[sj] > -kInf) {
+      state_[sj] = VarState::AtLower;
+      x_[sj] = lb_[sj];
+    } else if (ub_[sj] < kInf) {
+      state_[sj] = VarState::AtUpper;
+      x_[sj] = ub_[sj];
+    } else {
+      state_[sj] = VarState::FreeZero;
+      x_[sj] = 0.0;
+    }
+  }
+
+  void coldStart() {
+    x_.assign(static_cast<std::size_t>(total_), 0.0);
+    state_.assign(static_cast<std::size_t>(total_), VarState::AtLower);
+    basic_.resize(static_cast<std::size_t>(m_));
+    pos_.assign(static_cast<std::size_t>(total_), -1);
+    for (int j = 0; j < total_; ++j) setNonbasicAtBound(j);
+    for (int r = 0; r < m_; ++r) {
+      basic_[static_cast<std::size_t>(r)] = n_ + r;
+      pos_[static_cast<std::size_t>(n_ + r)] = r;
+      state_[static_cast<std::size_t>(n_ + r)] = VarState::Basic;
+    }
+    factorizeBasis();
+  }
+
+  /// Adopts a caller basis when its shape is valid and its matrix
+  /// factorizes (repairing rank deficiency with slacks). Returns false to
+  /// request a cold start instead.
+  bool tryWarmStart(const Basis& warm) {
+    if (warm.status.size() != static_cast<std::size_t>(total_)) return false;
+    int nbasic = 0;
+    for (const BasisStatus s : warm.status)
+      if (s == BasisStatus::Basic) ++nbasic;
+    if (nbasic != m_) return false;
+
+    x_.assign(static_cast<std::size_t>(total_), 0.0);
+    state_.assign(static_cast<std::size_t>(total_), VarState::AtLower);
+    basic_.clear();
+    basic_.reserve(static_cast<std::size_t>(m_));
+    pos_.assign(static_cast<std::size_t>(total_), -1);
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      switch (warm.status[sj]) {
+        case BasisStatus::Basic:
+          state_[sj] = VarState::Basic;
+          pos_[sj] = static_cast<int>(basic_.size());
+          basic_.push_back(j);
+          break;
+        case BasisStatus::AtUpper:
+          if (ub_[sj] < kInf) {
+            state_[sj] = VarState::AtUpper;
+            x_[sj] = ub_[sj];
+          } else {
+            setNonbasicAtBound(j);
+          }
+          break;
+        case BasisStatus::AtLower:
+          if (lb_[sj] > -kInf) {
+            state_[sj] = VarState::AtLower;
+            x_[sj] = lb_[sj];
+          } else {
+            setNonbasicAtBound(j);
+          }
+          break;
+        case BasisStatus::FreeZero:
+          state_[sj] = VarState::FreeZero;
+          x_[sj] = 0.0;
+          break;
+      }
+    }
+    return factorizeBasis();
+  }
+
+  /// (Re)factorizes the current basis, repairing rank deficiency by
+  /// swapping dependent basic columns for the slacks of the unpivoted
+  /// rows. Returns false only when repair is impossible.
+  bool factorizeBasis() {
+    std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(m_));
+    for (int i = 0; i < m_; ++i) {
+      const int j = basic_[static_cast<std::size_t>(i)];
+      auto& col = cols[static_cast<std::size_t>(i)];
+      for (std::size_t at = col_start_[static_cast<std::size_t>(j)];
+           at < col_start_[static_cast<std::size_t>(j) + 1]; ++at)
+        col.push_back({row_ix_[at], a_val_[at]});
+    }
+    std::vector<int> bad = lu_.factorize(m_, cols);
+    if (!bad.empty()) {
+      const std::vector<int>& rows = lu_.unpivotedRows();
+      if (rows.size() != bad.size()) return false;
+      for (std::size_t i = 0; i < bad.size(); ++i) {
+        const int position = bad[i];
+        const int slack = n_ + rows[i];
+        const std::size_t sslack = static_cast<std::size_t>(slack);
+        if (state_[sslack] == VarState::Basic) return false;  // pathological
+        const int out = basic_[static_cast<std::size_t>(position)];
+        pos_[static_cast<std::size_t>(out)] = -1;
+        setNonbasicAtBound(out);
+        basic_[static_cast<std::size_t>(position)] = slack;
+        pos_[sslack] = position;
+        state_[sslack] = VarState::Basic;
+      }
+      for (int i = 0; i < m_; ++i) {
+        const int j = basic_[static_cast<std::size_t>(i)];
+        auto& col = cols[static_cast<std::size_t>(i)];
+        col.clear();
+        for (std::size_t at = col_start_[static_cast<std::size_t>(j)];
+             at < col_start_[static_cast<std::size_t>(j) + 1]; ++at)
+          col.push_back({row_ix_[at], a_val_[at]});
+      }
+      if (!lu_.factorize(m_, cols).empty()) return false;
+    }
+    etas_.clear();
+    ++refactorizations_;
+    return true;
+  }
+
+  // ---- solves ------------------------------------------------------------
+
+  void ftranFull(std::vector<double>& v) const {
+    lu_.ftran(v);
+    for (const Eta& e : etas_) {
+      const double t = v[static_cast<std::size_t>(e.r)];
+      if (t == 0.0) continue;
+      v[static_cast<std::size_t>(e.r)] = t * e.diag;
+      for (const Entry& c : e.col)
+        v[static_cast<std::size_t>(c.idx)] += c.val * t;
+    }
+  }
+
+  void btranFull(std::vector<double>& v) const {
+    for (std::size_t k = etas_.size(); k-- > 0;) {
+      const Eta& e = etas_[k];
+      double s = v[static_cast<std::size_t>(e.r)] * e.diag;
+      for (const Entry& c : e.col)
+        s += c.val * v[static_cast<std::size_t>(c.idx)];
+      v[static_cast<std::size_t>(e.r)] = s;
+    }
+    lu_.btran(v);
+  }
+
+  /// x_B = B^-1 * (-(A_N x_N)) from the current nonbasic values.
+  void computeBasics() {
+    rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (state_[sj] == VarState::Basic || x_[sj] == 0.0) continue;
+      for (std::size_t at = col_start_[sj]; at < col_start_[sj + 1]; ++at)
+        rhs_[static_cast<std::size_t>(row_ix_[at])] -= a_val_[at] * x_[sj];
+    }
+    ftranFull(rhs_);
+    for (int i = 0; i < m_; ++i)
+      x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] =
+          rhs_[static_cast<std::size_t>(i)];
+  }
+
+  // ---- pricing -----------------------------------------------------------
+
+  double infeasibility() const {
+    double s = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+      if (x_[b] < lb_[b]) s += lb_[b] - x_[b];
+      if (x_[b] > ub_[b]) s += x_[b] - ub_[b];
+    }
+    return s;
+  }
+
+  void basicCosts(bool phase1) {
+    cb_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i) {
+      const std::size_t b =
+          static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+      if (phase1) {
+        if (x_[b] < lb_[b] - opts_.tolerance)
+          cb_[static_cast<std::size_t>(i)] = -1.0;
+        else if (x_[b] > ub_[b] + opts_.tolerance)
+          cb_[static_cast<std::size_t>(i)] = 1.0;
+      } else {
+        cb_[static_cast<std::size_t>(i)] = cost_[b];
+      }
+    }
+  }
+
+  double reducedCost(int j, bool phase1) const {
+    const std::size_t sj = static_cast<std::size_t>(j);
+    double d = phase1 ? 0.0 : cost_[sj];
+    for (std::size_t at = col_start_[sj]; at < col_start_[sj + 1]; ++at)
+      d -= y_[static_cast<std::size_t>(row_ix_[at])] * a_val_[at];
+    return d;
+  }
+
+  // ---- main loop ---------------------------------------------------------
+
+  double currentObjective(bool phase1) const {
+    if (phase1) return infeasibility();
+    double o = 0.0;
+    for (int j = 0; j < total_; ++j)
+      o += cost_[static_cast<std::size_t>(j)] * x_[static_cast<std::size_t>(j)];
+    return o;
+  }
+
+  /// Max |A x - s| over rows via the CSC arrays: O(nnz). The eta-updated
+  /// representation drifts; this is the refactorization trigger.
+  double primalResidual() const {
+    rhs_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      const double v = x_[sj];
+      if (v == 0.0) continue;
+      for (std::size_t at = col_start_[sj]; at < col_start_[sj + 1]; ++at)
+        rhs_[static_cast<std::size_t>(row_ix_[at])] += a_val_[at] * v;
+    }
+    double worst = 0.0;
+    for (const double r : rhs_) worst = std::max(worst, std::abs(r));
+    return worst;
+  }
+
+  bool iterate(bool phase1, Solution& sol) {
+    const double tol = opts_.tolerance;
+    int stall = 0;
+    bool bland = false;
+    double last_obj = currentObjective(phase1);
+    int pivots_since_check = 0;
+    devex_.assign(static_cast<std::size_t>(total_), 1.0);
+
+    while (true) {
+      if (sol.iterations >= opts_.max_iterations) {
+        sol.status = Status::IterLimit;
+        extract(sol);
+        return false;
+      }
+      if (phase1 && infeasibility() <= tol) return true;
+
+      basicCosts(phase1);
+      y_ = cb_;
+      btranFull(y_);
+
+      // --- entering variable: Devex-weighted (or Bland) pricing ---
+      const bool devex = opts_.pricing == SolverOptions::Pricing::kDevex;
+      int enter = -1;
+      double enter_dir = 0.0, enter_d = 0.0;
+      double best_score = 0.0;
+      for (int j = 0; j < total_; ++j) {
+        const std::size_t sj = static_cast<std::size_t>(j);
+        if (state_[sj] == VarState::Basic) continue;
+        if (lb_[sj] == ub_[sj]) continue;  // fixed variable
+        const double d = reducedCost(j, phase1);
+        double dir = 0.0;
+        if ((state_[sj] == VarState::AtLower ||
+             state_[sj] == VarState::FreeZero) &&
+            d < -tol)
+          dir = 1.0;
+        else if ((state_[sj] == VarState::AtUpper ||
+                  state_[sj] == VarState::FreeZero) &&
+                 d > tol)
+          dir = -1.0;
+        if (dir == 0.0) continue;
+        const double score = devex ? d * d / devex_[sj] : std::abs(d);
+        if (enter < 0 || score > best_score) {
+          enter = j;
+          enter_dir = dir;
+          enter_d = d;
+          best_score = score;
+          if (bland) break;  // Bland: first eligible index
+        }
+      }
+      if (enter < 0) {
+        if (phase1)
+          return infeasibility() <= tol
+                     ? true
+                     : (sol.status = Status::Infeasible, extract(sol), false);
+        return true;  // phase-2 optimal
+      }
+
+      // --- ratio test ---
+      w_.assign(static_cast<std::size_t>(m_), 0.0);
+      {
+        const std::size_t se = static_cast<std::size_t>(enter);
+        for (std::size_t at = col_start_[se]; at < col_start_[se + 1]; ++at)
+          w_[static_cast<std::size_t>(row_ix_[at])] = a_val_[at];
+      }
+      ftranFull(w_);
+      const std::size_t se = static_cast<std::size_t>(enter);
+      double t_max = kInf;
+      int leave_pos = -1;
+      double leave_to = 0.0;
+      if (lb_[se] > -kInf && ub_[se] < kInf) t_max = ub_[se] - lb_[se];
+
+      for (int i = 0; i < m_; ++i) {
+        const double wi = w_[static_cast<std::size_t>(i)];
+        if (std::abs(wi) < 1e-10) continue;
+        const std::size_t b =
+            static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)]);
+        const double rate = -enter_dir * wi;  // d x_b / d t
+        const bool below = x_[b] < lb_[b] - tol;
+        const bool above = x_[b] > ub_[b] + tol;
+        double limit = kInf, to = 0.0;
+        if (phase1 && below) {
+          if (rate > 0.0) {
+            limit = (lb_[b] - x_[b]) / rate;
+            to = lb_[b];
+          }
+        } else if (phase1 && above) {
+          if (rate < 0.0) {
+            limit = (ub_[b] - x_[b]) / rate;
+            to = ub_[b];
+          }
+        } else {
+          if (rate > 0.0 && ub_[b] < kInf) {
+            limit = (ub_[b] - x_[b]) / rate;
+            to = ub_[b];
+          } else if (rate < 0.0 && lb_[b] > -kInf) {
+            limit = (lb_[b] - x_[b]) / rate;
+            to = lb_[b];
+          }
+        }
+        if (limit == kInf) continue;
+        limit = std::max(limit, 0.0);  // tiny negative from roundoff
+        bool take = limit < t_max - 1e-12;
+        if (!take && limit < t_max + 1e-12 && leave_pos >= 0) {
+          // Tie-break: Bland favors the smallest basic index; otherwise
+          // prefer the larger pivot magnitude for stability.
+          take = bland
+                     ? basic_[static_cast<std::size_t>(i)] <
+                           basic_[static_cast<std::size_t>(leave_pos)]
+                     : std::abs(wi) >
+                           std::abs(w_[static_cast<std::size_t>(leave_pos)]);
+        }
+        if (take) {
+          t_max = limit;
+          leave_pos = i;
+          leave_to = to;
+        }
+      }
+
+      if (t_max == kInf) {
+        sol.status = phase1 ? Status::Infeasible : Status::Unbounded;
+        extract(sol);
+        return false;
+      }
+
+      // --- apply step ---
+      ++sol.iterations;
+      if (leave_pos < 0) {
+        // Bound flip: entering travels to its opposite bound; no basis
+        // change, no eta, no weight update.
+        x_[se] += enter_dir * t_max;
+        for (int i = 0; i < m_; ++i)
+          x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+              enter_dir * t_max * w_[static_cast<std::size_t>(i)];
+        state_[se] = (enter_dir > 0.0) ? VarState::AtUpper : VarState::AtLower;
+      } else {
+        const int leave = basic_[static_cast<std::size_t>(leave_pos)];
+        const std::size_t bl = static_cast<std::size_t>(leave);
+        x_[se] += enter_dir * t_max;
+        for (int i = 0; i < m_; ++i)
+          x_[static_cast<std::size_t>(basic_[static_cast<std::size_t>(i)])] -=
+              enter_dir * t_max * w_[static_cast<std::size_t>(i)];
+        x_[bl] = leave_to;  // land exactly on its bound
+        state_[bl] = (lb_[bl] > -kInf && leave_to <= lb_[bl] + tol)
+                         ? VarState::AtLower
+                         : VarState::AtUpper;
+        pos_[bl] = -1;
+        basic_[static_cast<std::size_t>(leave_pos)] = enter;
+        pos_[se] = leave_pos;
+        state_[se] = VarState::Basic;
+
+        if (devex && !bland)
+          updateDevex(enter, enter_d, leave, leave_pos, phase1);
+
+        // Product-form update, or a refactorization when the pivot is too
+        // small for a stable eta.
+        const double wr = w_[static_cast<std::size_t>(leave_pos)];
+        if (std::abs(wr) < 1e-8 ||
+            static_cast<int>(etas_.size()) + 1 >= opts_.refactor_every) {
+          refactorAndRecompute(sol);
+        } else {
+          Eta e;
+          e.r = leave_pos;
+          e.diag = 1.0 / wr;
+          for (int i = 0; i < m_; ++i) {
+            if (i == leave_pos) continue;
+            const double wi = w_[static_cast<std::size_t>(i)];
+            if (std::abs(wi) > 1e-12) e.col.push_back({i, -wi / wr});
+          }
+          etas_.push_back(std::move(e));
+        }
+        // Drift-triggered refactorization: check the cheap O(nnz) primal
+        // residual periodically instead of refactorizing on a schedule.
+        if (++pivots_since_check >= 32) {
+          pivots_since_check = 0;
+          if (!etas_.empty() && primalResidual() > 1e-7)
+            refactorAndRecompute(sol);
+        }
+      }
+
+      const double obj = currentObjective(phase1);
+      if (obj < last_obj - tol) {
+        stall = 0;
+        bland = false;
+        last_obj = obj;
+      } else if (++stall > opts_.stall_limit) {
+        bland = true;  // degeneracy guard
+      }
+    }
+  }
+
+  void refactorAndRecompute(Solution& sol) {
+    if (!factorizeBasis())
+      throw std::runtime_error("simplex: singular basis during refactor");
+    computeBasics();
+    (void)sol;
+  }
+
+  /// Devex reference-weight update after a basis change: every nonbasic
+  /// weight absorbs its pivot-row tableau entry alpha_rj = rho . a_j, and
+  /// the leaving variable re-enters the nonbasic set with the transformed
+  /// entering weight.
+  void updateDevex(int enter, double enter_d, int leave, int leave_pos,
+                   bool phase1) {
+    (void)enter_d;
+    (void)phase1;
+    const double alpha_e = w_[static_cast<std::size_t>(leave_pos)];
+    if (std::abs(alpha_e) < 1e-12) return;
+    rho_.assign(static_cast<std::size_t>(m_), 0.0);
+    rho_[static_cast<std::size_t>(leave_pos)] = 1.0;
+    btranFull(rho_);
+    const double we = devex_[static_cast<std::size_t>(enter)];
+    double maxw = 0.0;
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      if (state_[sj] == VarState::Basic || j == leave) continue;
+      double alpha = 0.0;
+      for (std::size_t at = col_start_[sj]; at < col_start_[sj + 1]; ++at)
+        alpha += rho_[static_cast<std::size_t>(row_ix_[at])] * a_val_[at];
+      if (alpha == 0.0) continue;
+      const double cand = (alpha / alpha_e) * (alpha / alpha_e) * we;
+      if (cand > devex_[sj]) devex_[sj] = cand;
+      maxw = std::max(maxw, devex_[sj]);
+    }
+    devex_[static_cast<std::size_t>(leave)] =
+        std::max(we / (alpha_e * alpha_e), 1.0);
+    // Reference framework reset once the weights have grown stale.
+    if (maxw > 1e8) devex_.assign(static_cast<std::size_t>(total_), 1.0);
+  }
+
+  void extract(Solution& sol) const {
+    sol.x.assign(x_.begin(), x_.begin() + n_);
+    sol.objective = model_.objective(sol.x);
+  }
+
+  Solution& finish(Solution& sol) const {
+    sol.refactorizations = refactorizations_;
+    sol.basis.status.resize(static_cast<std::size_t>(total_));
+    for (int j = 0; j < total_; ++j) {
+      const std::size_t sj = static_cast<std::size_t>(j);
+      switch (state_[sj]) {
+        case VarState::Basic: sol.basis.status[sj] = BasisStatus::Basic; break;
+        case VarState::AtLower:
+          sol.basis.status[sj] = BasisStatus::AtLower;
+          break;
+        case VarState::AtUpper:
+          sol.basis.status[sj] = BasisStatus::AtUpper;
+          break;
+        case VarState::FreeZero:
+          sol.basis.status[sj] = BasisStatus::FreeZero;
+          break;
+      }
+    }
+    return sol;
+  }
+
+  const Model& model_;
+  SolverOptions opts_;
+  int n_, m_, total_;
+  std::vector<std::size_t> col_start_;  // CSC of [A | -I]
+  std::vector<int> row_ix_;
+  std::vector<double> a_val_;
+  std::vector<double> lb_, ub_, cost_;
+  std::vector<double> x_;
+  std::vector<VarState> state_;
+  std::vector<int> basic_, pos_;
+  BasisLu lu_;
+  struct Eta {
+    int r = -1;
+    double diag = 0.0;
+    std::vector<Entry> col;
+  };
+  std::vector<Eta> etas_;
+  int refactorizations_ = 0;
+  std::vector<double> devex_;
+  std::vector<double> cb_, y_, w_, rho_;
+  mutable std::vector<double> rhs_;
+};
+
+}  // namespace
+
+Solution solveSparse(const Model& model, const SolverOptions& opts,
+                     const Basis* warm_start) {
+  Solution sol;
+  if (solveBoundsOnly(model, &sol)) return sol;
+  SparseSimplex s(model, opts);
+  return s.run(warm_start);
+}
+
+}  // namespace detail
+}  // namespace skewopt::lp

@@ -24,12 +24,34 @@ void Model::addRow(double lo, double hi, std::vector<Term> terms,
   for (const Term& t : terms)
     if (t.var < 0 || t.var >= numVars())
       throw std::out_of_range("Model::addRow: bad var index");
+  // Coalesce duplicate-variable terms and drop exact zeros, so that the
+  // column build sees each (row, var) entry once and nnz_ stays exact.
+  std::sort(terms.begin(), terms.end(),
+            [](const Term& a, const Term& b) { return a.var < b.var; });
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < terms.size();) {
+    double coef = terms[i].coef;
+    std::size_t j = i + 1;
+    while (j < terms.size() && terms[j].var == terms[i].var)
+      coef += terms[j++].coef;
+    if (coef != 0.0) terms[out++] = {terms[i].var, coef};
+    i = j;
+  }
+  terms.resize(out);
   nnz_ += terms.size();
   row_lo_.push_back(lo);
   row_hi_.push_back(hi);
   rows_.push_back(std::move(terms));
   row_names_.push_back(name.empty() ? "r" + std::to_string(rows_.size() - 1)
                                     : std::move(name));
+}
+
+void Model::setRowBounds(int r, double lo, double hi) {
+  if (r < 0 || r >= numRows())
+    throw std::out_of_range("Model::setRowBounds: bad row index");
+  if (lo > hi) throw std::invalid_argument("Model::setRowBounds: lo > hi");
+  row_lo_[static_cast<std::size_t>(r)] = lo;
+  row_hi_[static_cast<std::size_t>(r)] = hi;
 }
 
 double Model::objective(const std::vector<double>& x) const {
@@ -502,33 +524,50 @@ class Simplex {
 
 }  // namespace
 
-Solution solve(const Model& model, const SolverOptions& opts) {
-  if (model.numRows() == 0) {
-    // Pure bound problem: each variable sits on its cheaper bound.
-    Solution sol;
-    sol.status = Status::Optimal;
-    sol.x.resize(static_cast<std::size_t>(model.numVars()));
-    for (int j = 0; j < model.numVars(); ++j) {
-      const double c = model.objCoef(j);
-      const double lb = model.varLb(j), ub = model.varUb(j);
-      double v;
-      if (c > 0.0)
-        v = lb;
-      else if (c < 0.0)
-        v = ub;
-      else
-        v = (lb > -kInf) ? lb : (ub < kInf ? ub : 0.0);
-      if (v == -kInf || v == kInf) {
-        sol.status = Status::Unbounded;
-        v = 0.0;
-      }
-      sol.x[static_cast<std::size_t>(j)] = v;
+namespace detail {
+
+/// Shared fast path: a model with no rows is a pure bound problem; each
+/// variable sits on its cheaper bound. Returns false when rows exist.
+bool solveBoundsOnly(const Model& model, Solution* out) {
+  if (model.numRows() != 0) return false;
+  Solution sol;
+  sol.status = Status::Optimal;
+  sol.x.resize(static_cast<std::size_t>(model.numVars()));
+  for (int j = 0; j < model.numVars(); ++j) {
+    const double c = model.objCoef(j);
+    const double lb = model.varLb(j), ub = model.varUb(j);
+    double v;
+    if (c > 0.0)
+      v = lb;
+    else if (c < 0.0)
+      v = ub;
+    else
+      v = (lb > -kInf) ? lb : (ub < kInf ? ub : 0.0);
+    if (v == -kInf || v == kInf) {
+      sol.status = Status::Unbounded;
+      v = 0.0;
     }
-    sol.objective = model.objective(sol.x);
-    return sol;
+    sol.x[static_cast<std::size_t>(j)] = v;
   }
+  sol.objective = model.objective(sol.x);
+  *out = std::move(sol);
+  return true;
+}
+
+Solution solveDense(const Model& model, const SolverOptions& opts) {
+  Solution sol;
+  if (solveBoundsOnly(model, &sol)) return sol;
   Simplex s(model, opts);
   return s.run();
+}
+
+}  // namespace detail
+
+Solution solve(const Model& model, const SolverOptions& opts,
+               const Basis* warm_start) {
+  if (opts.algorithm == SolverOptions::Algorithm::kDense)
+    return detail::solveDense(model, opts);
+  return detail::solveSparse(model, opts, warm_start);
 }
 
 }  // namespace skewopt::lp

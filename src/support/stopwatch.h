@@ -1,0 +1,27 @@
+// Wall-clock stopwatch for coarse per-phase statistics (LP solve and ECO
+// realization times in the optimizer reports). steady_clock, so timings
+// are monotonic even across system clock adjustments.
+#pragma once
+
+#include <chrono>
+
+namespace skewopt::support {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Milliseconds elapsed since construction or the last reset().
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace skewopt::support

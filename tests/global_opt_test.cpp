@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "testgen/testgen.h"
 
 namespace skewopt::core {
@@ -127,6 +130,94 @@ TEST_F(GlobalOptTest, CandidateSweepRecorded) {
     EXPECT_GE(u, r.lp_min_sum_ps - 1e-6);
     EXPECT_LE(u, r.lp_orig_sum_ps + 1e-6);
   }
+}
+
+TEST_F(GlobalOptTest, SerialAndParallelSweepBitIdentical) {
+  // The parallel realization pass must pick the same candidate and produce
+  // the same design as the serial loop — bitwise, not approximately.
+  network::Design serial_d = makeDesign(100, 2);
+  network::Design parallel_d = makeDesign(100, 2);
+  const Objective objective(serial_d, timer_);
+
+  GlobalOptions so;
+  so.parallel_realize = false;
+  const GlobalResult sr =
+      GlobalOptimizer(sharedTech(), sharedLut(), so).run(serial_d, objective);
+  GlobalOptions po;
+  po.parallel_realize = true;
+  const GlobalResult pr = GlobalOptimizer(sharedTech(), sharedLut(), po)
+                              .run(parallel_d, objective);
+
+  EXPECT_EQ(sr.improved, pr.improved);
+  EXPECT_EQ(sr.chosen_u_ps, pr.chosen_u_ps);
+  EXPECT_EQ(sr.arcs_changed, pr.arcs_changed);
+  EXPECT_EQ(sr.sum_after_ps, pr.sum_after_ps);
+  ASSERT_EQ(sr.candidates.size(), pr.candidates.size());
+  for (std::size_t i = 0; i < sr.candidates.size(); ++i) {
+    EXPECT_EQ(sr.candidates[i].first, pr.candidates[i].first) << i;
+    EXPECT_EQ(sr.candidates[i].second, pr.candidates[i].second) << i;
+  }
+  // The realized designs time identically at every node and corner.
+  const auto st = timer_.analyzeDesign(serial_d);
+  const auto pt = timer_.analyzeDesign(parallel_d);
+  ASSERT_EQ(st.size(), pt.size());
+  for (std::size_t ki = 0; ki < st.size(); ++ki) {
+    EXPECT_EQ(st[ki].arrival, pt[ki].arrival) << "corner " << ki;
+    EXPECT_EQ(st[ki].slew, pt[ki].slew) << "corner " << ki;
+  }
+}
+
+TEST_F(GlobalOptTest, WarmStartMatchesColdOnSeededGlobalLps) {
+  // Cold and warm solves of the real Eqs. (4)-(11) LPs must agree on
+  // status and objective at every sweep point, across seeds.
+  for (const std::uint64_t seed : {1, 4}) {
+    const network::Design d = makeDesign(80, seed);
+    const Objective objective(d, timer_);
+    const GlobalOptimizer opt(sharedTech(), sharedLut());
+    GlobalLpProbe probe = opt.extractGlobalLp(d, objective);
+    ASSERT_GT(probe.sweep.numRows(), 0) << "seed " << seed;
+
+    const lp::Solution vsol = lp::solve(probe.min_v);
+    ASSERT_EQ(vsol.status, lp::Status::Optimal) << "seed " << seed;
+    lp::Basis chain = vsol.basis;
+    chain.status.push_back(lp::BasisStatus::Basic);
+    for (const double t : {0.05, 0.2, 0.4}) {
+      const double u =
+          vsol.objective + t * (probe.orig_sum_ps - vsol.objective);
+      probe.sweep.setRowBounds(probe.budget_row, -lp::kInf, u);
+      const lp::Solution cold = lp::solve(probe.sweep);
+      const lp::Solution warm = lp::solve(probe.sweep, {}, &chain);
+      ASSERT_EQ(warm.status, cold.status) << "seed " << seed << " t " << t;
+      if (cold.status != lp::Status::Optimal) continue;
+      EXPECT_TRUE(warm.warm_started) << "seed " << seed << " t " << t;
+      EXPECT_NEAR(warm.objective, cold.objective,
+                  1e-6 * std::max(1.0, std::abs(cold.objective)))
+          << "seed " << seed << " t " << t;
+      chain = warm.basis;
+    }
+  }
+}
+
+TEST_F(GlobalOptTest, LpSolveStatsRecorded) {
+  network::Design d = makeDesign(80, 5);
+  const Objective objective(d, timer_);
+  GlobalOptions o;
+  o.u_sweep = {0.1, 0.5};
+  GlobalOptimizer opt(sharedTech(), sharedLut(), o);
+  const GlobalResult r = opt.run(d, objective);
+  // Pass 1 plus one entry per attempted sweep point.
+  ASSERT_GE(r.lp_solves.size(), 1u);
+  EXPECT_EQ(r.lp_solves[0].u_ps, 0.0);
+  EXPECT_FALSE(r.lp_solves[0].warm_started);
+  EXPECT_TRUE(r.lp_solves[0].optimal);
+  EXPECT_GE(r.lp_solves[0].refactorizations, 1);
+  for (std::size_t i = 1; i < r.lp_solves.size(); ++i) {
+    EXPECT_GT(r.lp_solves[i].u_ps, 0.0) << i;
+    EXPECT_GE(r.lp_solves[i].solve_ms, 0.0) << i;
+  }
+  // Every sweep solve was offered a warm basis and is accounted for.
+  EXPECT_EQ(static_cast<std::size_t>(r.lp_warm_hits + r.lp_warm_misses),
+            r.lp_solves.size() - 1);
 }
 
 TEST_F(GlobalOptTest, EmptyPairsIsNoOp) {

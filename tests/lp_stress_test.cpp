@@ -226,5 +226,55 @@ TEST(Simplex, LargerKnownOptimumInstances) {
   }
 }
 
+TEST(WarmStart, PaperShapedWarmChainMatchesCold) {
+  // The U-sweep access pattern at stress scale: the budget row is the last
+  // row of the paper-shaped model; tighten it step by step, re-entering
+  // each solve from the previous basis, and compare against cold solves.
+  geom::Rng rng(41);
+  PaperShapedLp p = buildPaperShaped(rng, 30, 3, 25, /*u_scale=*/1.0);
+  const int budget_row = p.model.numRows() - 1;
+  const double loose_u = p.model.rowHi(budget_row);
+
+  Solution prev = solve(p.model);
+  ASSERT_EQ(prev.status, Status::Optimal);
+  int warm_total = 0, cold_total = 0;
+  for (const double scale : {0.9, 0.8, 0.7, 0.6}) {
+    p.model.setRowBounds(budget_row, -kInf, scale * loose_u);
+    const Solution cold = solve(p.model);
+    const Solution warm = solve(p.model, {}, &prev.basis);
+    ASSERT_EQ(warm.status, cold.status) << "scale " << scale;
+    if (cold.status != Status::Optimal) break;
+    EXPECT_TRUE(warm.warm_started);
+    EXPECT_NEAR(warm.objective, cold.objective,
+                1e-6 * std::max(1.0, std::abs(cold.objective)))
+        << "scale " << scale;
+    EXPECT_LT(p.model.maxViolation(warm.x), 1e-5);
+    warm_total += warm.iterations;
+    cold_total += cold.iterations;
+    prev = warm;
+  }
+  // Re-entering from the neighbouring vertex must not cost more pivots
+  // than solving from scratch (it is the whole point of the warm start).
+  EXPECT_LE(warm_total, cold_total);
+}
+
+TEST(Simplex, DenseSparseAgreeOnPaperShaped) {
+  for (const int seed : {3, 17}) {
+    geom::Rng rng(static_cast<std::uint64_t>(seed));
+    PaperShapedLp p = buildPaperShaped(rng, 20, 3, 15, 0.75);
+    SolverOptions dense;
+    dense.algorithm = SolverOptions::Algorithm::kDense;
+    const Solution a = solve(p.model, dense);
+    const Solution b = solve(p.model);
+    ASSERT_EQ(a.status, b.status) << "seed " << seed;
+    if (a.status == Status::Optimal) {
+      EXPECT_NEAR(a.objective, b.objective,
+                  1e-6 * std::max(1.0, std::abs(a.objective)))
+          << "seed " << seed;
+      EXPECT_LT(p.model.maxViolation(b.x), 1e-5);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace skewopt::lp

@@ -315,5 +315,177 @@ TEST(Simplex, ModeratelySizedSparseProblem) {
   EXPECT_NEAR(shipped, 8.0 * nd, 1e-5);
 }
 
+TEST(Model, AddRowCoalescesDuplicateTerms) {
+  // The global LP builder emits one term per (slot, corner) mention, so a
+  // row can repeat a variable; addRow must sum them and keep nnz_ exact.
+  Model m;
+  const int x = m.addVar(0, 10, 1.0);
+  const int y = m.addVar(0, 10, 1.0);
+  m.addRow(-kInf, 6.0, {{x, 1.0}, {y, 2.0}, {x, 2.0}});
+  EXPECT_EQ(m.numNonzeros(), 2u);
+  ASSERT_EQ(m.rowTerms(0).size(), 2u);
+  double cx = 0.0;
+  for (const Term& t : m.rowTerms(0))
+    if (t.var == x) cx = t.coef;
+  EXPECT_DOUBLE_EQ(cx, 3.0);
+  // Exactly-cancelling duplicates are dropped entirely.
+  m.addRow(-kInf, 1.0, {{x, 1.0}, {y, 0.5}, {x, -1.0}});
+  EXPECT_EQ(m.rowTerms(1).size(), 1u);
+  EXPECT_EQ(m.numNonzeros(), 3u);
+  // Coalescing must not change the solved problem: 3x <= 6 binds.
+  Model plain;
+  plain.addVar(0, 10, -1.0);
+  plain.addVar(0, 10, 0.0);
+  plain.addRow(-kInf, 6.0, {{0, 3.0}});
+  Model dup;
+  dup.addVar(0, 10, -1.0);
+  dup.addVar(0, 10, 0.0);
+  dup.addRow(-kInf, 6.0, {{0, 1.0}, {0, 2.0}, {1, 0.0}});
+  EXPECT_NEAR(solve(plain).objective, solve(dup).objective, 1e-9);
+}
+
+TEST(Model, SetRowBounds) {
+  Model m;
+  const int x = m.addVar(0, 10, -1.0);
+  m.addRow(-kInf, 8.0, {{x, 1.0}});
+  EXPECT_NEAR(solve(m).x[0], 8.0, 1e-7);
+  m.setRowBounds(0, -kInf, 3.0);
+  EXPECT_NEAR(solve(m).x[0], 3.0, 1e-7);
+  EXPECT_THROW(m.setRowBounds(1, 0.0, 1.0), std::out_of_range);
+  EXPECT_THROW(m.setRowBounds(0, 2.0, 1.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start API.
+// ---------------------------------------------------------------------------
+
+/// A ranged/degenerate fixture shaped like the paper LP: |Delta| splits,
+/// a minimax V, ranged preservation rows, and a budget row appended last.
+Model paperMiniModel(double budget) {
+  Model m;
+  const int dp = m.addVar(0, 6, 1.0);
+  const int dm = m.addVar(0, 4, 1.0);
+  const int v = m.addVar(0, kInf, 0.0);
+  m.addRow(-2, kInf, {{v, 1.0}, {dp, -1.0}, {dm, 1.0}});
+  m.addRow(2, kInf, {{v, 1.0}, {dp, 1.0}, {dm, -1.0}});
+  m.addRow(-3.0, 3.0, {{dp, 1.0}, {dm, -1.0}});  // ranged preservation
+  m.addRow(0.0, 0.0, {{dp, 1.0}, {dm, -1.0}});   // degenerate equality
+  m.addRow(-kInf, budget, {{v, 1.0}});           // budget row (last)
+  return m;
+}
+
+TEST(WarmStart, MatchesColdOnRangedDegenerateFixture) {
+  const Model m = paperMiniModel(5.0);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+  const Solution warm = solve(m, {}, &cold.basis);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  // Re-entering at the optimal vertex costs no pivots.
+  EXPECT_EQ(warm.iterations, 0);
+}
+
+TEST(WarmStart, RowReboundResolvesToColdObjective) {
+  // The U-sweep pattern: tighten the last row's bound, re-enter from the
+  // previous basis, and land on the same optimum a cold solve finds.
+  Model m = paperMiniModel(5.0);
+  Solution prev = solve(m);
+  ASSERT_EQ(prev.status, Status::Optimal);
+  for (const double budget : {4.0, 3.0, 2.5}) {
+    m.setRowBounds(4, -kInf, budget);
+    const Solution cold = solve(m);
+    const Solution warm = solve(m, {}, &prev.basis);
+    ASSERT_EQ(warm.status, cold.status);
+    EXPECT_TRUE(warm.warm_started);
+    EXPECT_NEAR(warm.objective, cold.objective, 1e-7);
+    EXPECT_LE(warm.iterations, cold.iterations);
+    prev = warm;
+  }
+}
+
+TEST(WarmStart, BasisExtendsAcrossAppendedRow) {
+  // GlobalOpt solves pass 1 without the budget row, then appends it for
+  // the sweep model; the pass-1 basis plus one Basic slack entry must be
+  // accepted and reach the cold optimum.
+  Model no_budget;
+  const int dp = no_budget.addVar(0, 6, 1.0);
+  const int dm = no_budget.addVar(0, 4, 1.0);
+  const int v = no_budget.addVar(0, kInf, 0.0);
+  no_budget.addRow(-2, kInf, {{v, 1.0}, {dp, -1.0}, {dm, 1.0}});
+  no_budget.addRow(2, kInf, {{v, 1.0}, {dp, 1.0}, {dm, -1.0}});
+  no_budget.addRow(-3.0, 3.0, {{dp, 1.0}, {dm, -1.0}});
+  no_budget.addRow(0.0, 0.0, {{dp, 1.0}, {dm, -1.0}});
+  const Solution base = solve(no_budget);
+  ASSERT_EQ(base.status, Status::Optimal);
+
+  Model with_budget = paperMiniModel(4.0);
+  Basis extended = base.basis;
+  extended.status.push_back(BasisStatus::Basic);
+  const Solution warm = solve(with_budget, {}, &extended);
+  const Solution cold = solve(with_budget);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+}
+
+TEST(WarmStart, UnusableBasisFallsBackToCold) {
+  const Model m = paperMiniModel(5.0);
+  Basis bad;
+  bad.status.assign(3, BasisStatus::AtLower);  // wrong size entirely
+  const Solution s = solve(m, {}, &bad);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_FALSE(s.warm_started);
+  // Right size but wrong Basic count is also rejected, not crashed on.
+  Basis wrong_count;
+  wrong_count.status.assign(m.numVars() + m.numRows(), BasisStatus::AtLower);
+  const Solution s2 = solve(m, {}, &wrong_count);
+  ASSERT_EQ(s2.status, Status::Optimal);
+  EXPECT_FALSE(s2.warm_started);
+  EXPECT_NEAR(s.objective, s2.objective, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Dense/sparse differential: both implementations must agree on status and
+// objective for random feasible LPs and for every pricing rule.
+// ---------------------------------------------------------------------------
+
+class DenseSparseDifferentialProp : public ::testing::TestWithParam<int> {};
+
+TEST_P(DenseSparseDifferentialProp, SameObjectiveAndStatus) {
+  geom::Rng rng(static_cast<std::uint64_t>(GetParam()) * 613 + 11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int n = 4 + static_cast<int>(rng.index(4));
+    Model m;
+    for (int j = 0; j < n; ++j) m.addVar(0.0, 5.0, rng.uniform(-1, 1));
+    for (int r = 0; r < 6; ++r) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) terms.push_back({j, rng.uniform(-1, 1)});
+      if (rng.uniform() < 0.3)
+        m.addRow(rng.uniform(-4.0, 0.0), rng.uniform(0.0, 4.0),
+                 std::move(terms));
+      else
+        m.addRow(-kInf, rng.uniform(0.0, 4.0), std::move(terms));
+    }
+    SolverOptions dense;
+    dense.algorithm = SolverOptions::Algorithm::kDense;
+    const Solution a = detail::solveDense(m, dense);
+    for (const auto pricing :
+         {SolverOptions::Pricing::kDevex, SolverOptions::Pricing::kDantzig}) {
+      SolverOptions sparse;
+      sparse.pricing = pricing;
+      const Solution b = solve(m, sparse);
+      ASSERT_EQ(a.status, b.status) << "trial " << trial;
+      if (a.status == Status::Optimal) {
+        EXPECT_NEAR(a.objective, b.objective, 1e-6) << "trial " << trial;
+        EXPECT_LT(m.maxViolation(b.x), 1e-6);
+      }
+    }
+  }
+}
+INSTANTIATE_TEST_SUITE_P(Seeds, DenseSparseDifferentialProp,
+                         ::testing::Range(0, 6));
+
 }  // namespace
 }  // namespace skewopt::lp
