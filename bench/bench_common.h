@@ -5,11 +5,18 @@
 // All benches accept an optional first argument `--paper-scale` that grows
 // the testcases (more sinks/pairs, deeper sweeps) at the cost of runtime;
 // the default sizing finishes in seconds to a few minutes.
+// Besides the human-readable table on stdout, benches append their rows to
+// a JsonEmitter, which writes `BENCH_<name>.json` in the working directory
+// on destruction: {"bench": ..., "records": [{"case", "metric", "value",
+// "wall_ms"}, ...]} — one record per measured quantity, so dashboards and
+// regression scripts can diff runs without scraping the tables.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/flow.h"
 #include "testgen/testgen.h"
@@ -69,5 +76,73 @@ inline void printRule(int width = 78) {
   for (int i = 0; i < width; ++i) std::putchar('-');
   std::putchar('\n');
 }
+
+/// Accumulates measurement records and writes `BENCH_<name>.json` when
+/// destroyed (or on an explicit write()). Failures to open the output file
+/// are reported on stderr but never abort the bench.
+class JsonEmitter {
+ public:
+  explicit JsonEmitter(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+  ~JsonEmitter() { write(); }
+  JsonEmitter(const JsonEmitter&) = delete;
+  JsonEmitter& operator=(const JsonEmitter&) = delete;
+
+  void record(const std::string& case_name, const std::string& metric,
+              double value, double wall_ms = 0.0) {
+    records_.push_back({case_name, metric, value, wall_ms});
+  }
+
+  void write() {
+    if (written_) return;
+    written_ = true;
+    const std::string path = "BENCH_" + bench_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"records\":[", escaped(bench_).c_str());
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      std::fprintf(f, "%s\n {\"case\":\"%s\",\"metric\":\"%s\",\"value\":%s,"
+                   "\"wall_ms\":%s}",
+                   i ? "," : "", escaped(r.case_name).c_str(),
+                   escaped(r.metric).c_str(), number(r.value).c_str(),
+                   number(r.wall_ms).c_str());
+    }
+    std::fprintf(f, "\n]}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu records)\n", path.c_str(), records_.size());
+  }
+
+ private:
+  struct Record {
+    std::string case_name, metric;
+    double value, wall_ms;
+  };
+
+  static std::string escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') { out += '\\'; out += c; }
+      else if (static_cast<unsigned char>(c) < 0x20) out += ' ';
+      else out += c;
+    }
+    return out;
+  }
+
+  // %.17g round-trips any double; NaN/inf become null to stay valid JSON.
+  static std::string number(double v) {
+    if (v != v || v - v != 0.0) return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return buf;
+  }
+
+  std::string bench_;
+  std::vector<Record> records_;
+  bool written_ = false;
+};
 
 }  // namespace skewopt::bench

@@ -4,6 +4,7 @@
 // simplex, and move prediction.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/global_opt.h"
 #include "core/local_opt.h"
 #include "core/predictor.h"
@@ -250,6 +251,39 @@ void BM_LocalOptRound(benchmark::State& state) {
 }
 BENCHMARK(BM_LocalOptRound)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
+// Console output as usual, plus every per-iteration run captured into
+// BENCH_bench_kernels.json via bench::JsonEmitter (aggregate rows from
+// --benchmark_repetitions are skipped; the raw runs carry the data).
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonCaptureReporter(bench::JsonEmitter* out) : out_(out) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const std::string metric =
+          std::string("real_time_") + benchmark::GetTimeUnitString(r.time_unit);
+      out_->record(r.benchmark_name(), metric, r.GetAdjustedRealTime(),
+                   r.real_accumulated_time * 1e3);
+      out_->record(r.benchmark_name(), "iterations",
+                   static_cast<double>(r.iterations),
+                   r.real_accumulated_time * 1e3);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+ private:
+  bench::JsonEmitter* out_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  bench::JsonEmitter out("bench_kernels");
+  JsonCaptureReporter reporter(&out);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

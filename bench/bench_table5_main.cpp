@@ -9,6 +9,7 @@
 //   CLS2v1: 972ns -> 888 (0.91) / 926 (0.95) / 841 (0.87)
 // The shape to reproduce: global > local in isolation, global-local best,
 // no local-skew degradation, negligible cell/power/area overhead.
+#include <algorithm>
 #include <chrono>
 
 #include "bench_common.h"
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   const tech::TechModel tech = tech::TechModel::make28nm();
   const eco::StageDelayLut lut(tech);
   const sta::Timer timer(tech);
+  bench::JsonEmitter out("bench_table5_main");
 
   // One delta-latency model per corner (the paper trains per corner once
   // per technology); used by the local stage of every testcase.
@@ -29,10 +31,13 @@ int main(int argc, char** argv) {
   const auto t0 = std::chrono::steady_clock::now();
   const std::size_t nsamples =
       model.train(tech, {0, 1, 2, 3}, bench::trainOptions(scale));
-  std::printf("  %zu samples/corner, %.1fs\n\n", nsamples,
-              std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                            t0)
-                  .count());
+  const double train_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  std::printf("  %zu samples/corner, %.1fs\n\n", nsamples, train_ms / 1e3);
+  out.record("model", "train_samples_per_corner",
+             static_cast<double>(nsamples), train_ms);
 
   std::printf("Table 5: Experimental results\n");
   bench::printRule(100);
@@ -49,23 +54,37 @@ int main(int argc, char** argv) {
     const core::DesignMetrics orig =
         core::computeMetrics(base, objective, timer);
 
-    auto row = [&](const char* flow, const core::DesignMetrics& m) {
+    auto row = [&](const char* flow, const core::DesignMetrics& m,
+                   double wall_ms) {
       std::printf("%-9s %-13s %7.0f [%4.2f]    %5.0f /%5.0f /%5.0f     "
                   "%-8zu %-10.3f %-10.0f\n",
                   name, flow, m.sum_variation_ps,
                   m.sum_variation_ps / orig.sum_variation_ps,
                   m.local_skew_ps[0], m.local_skew_ps[1], m.local_skew_ps[2],
                   m.clock_cells, m.power_mw, m.area_um2);
+      const std::string c = std::string(name) + "/" + flow;
+      out.record(c, "sum_variation_ps", m.sum_variation_ps, wall_ms);
+      out.record(c, "variation_norm",
+                 m.sum_variation_ps / orig.sum_variation_ps, wall_ms);
+      out.record(c, "worst_local_skew_ps",
+                 *std::max_element(m.local_skew_ps.begin(),
+                                   m.local_skew_ps.end()),
+                 wall_ms);
+      out.record(c, "power_mw", m.power_mw, wall_ms);
     };
-    row("orig", orig);
+    row("orig", orig, 0.0);
 
     const core::Flow flow(tech, lut, bench::flowOptions(scale));
     for (const core::FlowMode mode :
          {core::FlowMode::kGlobal, core::FlowMode::kLocal,
           core::FlowMode::kGlobalLocal}) {
       network::Design d = base;
+      const auto f0 = std::chrono::steady_clock::now();
       const core::FlowResult r = flow.run(d, mode, &model);
-      row(core::flowModeName(mode), r.after);
+      row(core::flowModeName(mode), r.after,
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - f0)
+              .count());
     }
     bench::printRule(100);
   }

@@ -9,10 +9,16 @@
 //                   --out optimized.skv
 //
 // The .skv format round-trips the exact timing state (see network/io.h).
+//
+// Argument handling is strict: unknown flags, missing flag values, bad
+// numeric values, and unreadable files all produce a diagnostic on stderr
+// and a non-zero exit code instead of an abort or a silently ignored flag.
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
-#include <cstring>
 #include <map>
+#include <set>
+#include <stdexcept>
 #include <string>
 
 #include "core/flow.h"
@@ -25,24 +31,56 @@ using namespace skewopt;
 
 namespace {
 
-std::map<std::string, std::string> parseFlags(int argc, char** argv,
-                                              int start) {
+/// Thrown for malformed invocations; main() prints the message plus usage
+/// and exits 2 (errors from the library itself exit 1).
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses `--flag value` / `--flag` pairs starting at argv[start].
+/// `valued` flags require a following value; `boolean` flags take none.
+/// Anything else — unknown flags, stray positionals, a valued flag at the
+/// end of the line — is rejected.
+std::map<std::string, std::string> parseFlags(
+    int argc, char** argv, int start, const std::set<std::string>& valued,
+    const std::set<std::string>& boolean) {
   std::map<std::string, std::string> flags;
   for (int i = start; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
-    key = key.substr(2);
-    if (i + 1 < argc && argv[i + 1][0] != '-') {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0)
+      throw UsageError("unexpected argument '" + arg + "'");
+    const std::string key = arg.substr(2);
+    if (boolean.count(key)) {
+      flags[key] = "1";
+    } else if (valued.count(key)) {
+      if (i + 1 >= argc)
+        throw UsageError("flag '--" + key + "' requires a value");
       flags[key] = argv[++i];
     } else {
-      flags[key] = "1";
+      throw UsageError("unknown flag '--" + key + "'");
     }
   }
   return flags;
 }
 
+/// Strict unsigned decimal parse: the whole token must be digits and fit.
+unsigned long parseCount(const std::map<std::string, std::string>& flags,
+                         const std::string& key, unsigned long fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const std::string& text = it->second;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long v = std::strtoul(text.c_str(), &end, 10);
+  if (text.empty() || *end != '\0' || text[0] == '-' || errno == ERANGE)
+    throw UsageError("flag '--" + key + "' expects a non-negative integer, got '" +
+                     text + "'");
+  return v;
+}
+
 int usage() {
-  std::printf(
+  std::fprintf(stderr,
       "usage:\n"
       "  skewopt_cli gen --testcase CLS1v1|CLS1v2|CLS2v1 [--sinks N]\n"
       "                  [--pairs N] [--seed S] --out FILE\n"
@@ -68,20 +106,22 @@ void report(const tech::TechModel& tech, const network::Design& d) {
                 obj.alphas()[ki], sta::clockTreePowerMw(d, d.corners[ki]));
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   const tech::TechModel tech = tech::TechModel::make28nm();
 
   if (cmd == "gen") {
-    const auto flags = parseFlags(argc, argv, 2);
-    if (!flags.count("testcase") || !flags.count("out")) return usage();
+    const auto flags = parseFlags(argc, argv, 2,
+                                  {"testcase", "sinks", "pairs", "seed", "out"},
+                                  {});
+    if (!flags.count("testcase"))
+      throw UsageError("gen requires --testcase");
+    if (!flags.count("out")) throw UsageError("gen requires --out");
     testgen::TestcaseOptions o;
-    if (flags.count("sinks")) o.sinks = std::stoul(flags.at("sinks"));
-    if (flags.count("pairs")) o.max_pairs = std::stoul(flags.at("pairs"));
-    if (flags.count("seed")) o.seed = std::stoull(flags.at("seed"));
+    o.sinks = parseCount(flags, "sinks", o.sinks);
+    o.max_pairs = parseCount(flags, "pairs", o.max_pairs);
+    o.seed = parseCount(flags, "seed", o.seed);
     const network::Design d =
         testgen::makeTestcase(tech, flags.at("testcase"), o);
     network::saveDesign(d, flags.at("out"));
@@ -91,8 +131,9 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "report") {
-    if (argc < 3) return usage();
-    const auto flags = parseFlags(argc, argv, 3);
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
+      throw UsageError("report requires a design file");
+    const auto flags = parseFlags(argc, argv, 3, {}, {"detailed"});
     const network::Design d = network::loadDesign(tech, argv[2]);
     if (flags.count("detailed")) {
       const sta::Timer timer(tech);
@@ -104,7 +145,8 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "diff") {
-    if (argc < 4) return usage();
+    if (argc < 4) throw UsageError("diff requires BEFORE and AFTER files");
+    parseFlags(argc, argv, 4, {}, {});  // rejects any trailing arguments
     const network::Design before = network::loadDesign(tech, argv[2]);
     const network::Design after = network::loadDesign(tech, argv[3]);
     const network::EcoDiffStats stats =
@@ -114,8 +156,10 @@ int main(int argc, char** argv) {
   }
 
   if (cmd == "optimize") {
-    if (argc < 3) return usage();
-    const auto flags = parseFlags(argc, argv, 3);
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
+      throw UsageError("optimize requires a design file");
+    const auto flags = parseFlags(argc, argv, 3,
+                                  {"flow", "iterations", "out"}, {"train"});
     network::Design d = network::loadDesign(tech, argv[2]);
 
     core::FlowMode mode = core::FlowMode::kGlobalLocal;
@@ -123,7 +167,9 @@ int main(int argc, char** argv) {
         flags.count("flow") ? flags.at("flow") : "global-local";
     if (fm == "global") mode = core::FlowMode::kGlobal;
     else if (fm == "local") mode = core::FlowMode::kLocal;
-    else if (fm != "global-local") return usage();
+    else if (fm != "global-local")
+      throw UsageError("--flow expects global|local|global-local, got '" +
+                       fm + "'");
 
     core::DeltaLatencyModel model;
     const core::DeltaLatencyModel* model_ptr = nullptr;
@@ -138,8 +184,8 @@ int main(int argc, char** argv) {
 
     const eco::StageDelayLut lut(tech);
     core::FlowOptions fopts;
-    if (flags.count("iterations"))
-      fopts.local.max_iterations = std::stoul(flags.at("iterations"));
+    fopts.local.max_iterations =
+        parseCount(flags, "iterations", fopts.local.max_iterations);
     const core::Flow flow(tech, lut, fopts);
     const core::FlowResult r = flow.run(d, mode, model_ptr);
 
@@ -155,5 +201,19 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
-  return usage();
+  throw UsageError("unknown command '" + cmd + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const UsageError& e) {
+    std::fprintf(stderr, "skewopt_cli: %s\n", e.what());
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "skewopt_cli: error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -1,0 +1,111 @@
+// Long-lived optimization daemon: the serve subsystem behind a local TCP
+// socket.
+//
+//   skewopt_served [--port N] [--workers N] [--queue N] [--cache N]
+//
+// Speaks the newline-delimited JSON protocol of docs/serving.md. Try it
+// with netcat:
+//
+//   $ skewopt_served --port 7447 &
+//   $ printf '%s\n' '{"cmd":"SUBMIT","spec":{"source":{"kind":"testgen",
+//     "testcase":"CLS1v1","sinks":80,"seed":3},"mode":"local",
+//     "options":{"local":{"max_iterations":4}}}}' | nc 127.0.0.1 7447
+//   {"ok":true,"id":1,"hash":"...","state":"QUEUED"}
+//
+// SIGINT/SIGTERM drains gracefully: intake stops, queued and running jobs
+// finish, then the process exits.
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "serve/server.h"
+
+using namespace skewopt;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void onSignal(int) { g_stop.store(true); }
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: skewopt_served [--port N] [--workers N] [--queue N] "
+               "[--cache N]\n");
+  return 2;
+}
+
+bool parseInt(const char* text, long min, long max, long* out) {
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || v < min || v > max) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  serve::SchedulerOptions sched_opts;
+  serve::TcpServerOptions tcp_opts;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    long value = 0;
+    if (i + 1 >= argc || !parseInt(argv[i + 1], 0, 1 << 20, &value)) {
+      std::fprintf(stderr, "skewopt_served: bad or missing value for %s\n",
+                   flag.c_str());
+      return usage();
+    }
+    ++i;
+    if (flag == "--port") {
+      if (value > 65535) {
+        std::fprintf(stderr, "skewopt_served: port out of range\n");
+        return usage();
+      }
+      tcp_opts.port = static_cast<int>(value);
+    } else if (flag == "--workers") {
+      sched_opts.workers = static_cast<std::size_t>(value);
+    } else if (flag == "--queue") {
+      sched_opts.queue_capacity = static_cast<std::size_t>(value);
+    } else if (flag == "--cache") {
+      sched_opts.cache_capacity = static_cast<std::size_t>(value);
+    } else {
+      std::fprintf(stderr, "skewopt_served: unknown flag %s\n", flag.c_str());
+      return usage();
+    }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const eco::StageDelayLut lut(tech);
+  serve::Scheduler sched(tech, lut, sched_opts);
+
+  try {
+    serve::TcpServer server(sched, tcp_opts);
+    std::printf("skewopt_served: listening on %s:%d (%zu workers, queue %zu, "
+                "cache %zu)\n",
+                tcp_opts.host.c_str(), server.port(), sched_opts.workers,
+                sched_opts.queue_capacity, sched_opts.cache_capacity);
+    std::fflush(stdout);
+    while (!g_stop.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    std::printf("skewopt_served: draining...\n");
+    std::fflush(stdout);
+    server.stop();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "skewopt_served: %s\n", e.what());
+    return 1;
+  }
+  sched.drain();
+  const serve::SchedulerStats s = sched.stats();
+  std::printf("skewopt_served: done=%zu failed=%zu cancelled=%zu "
+              "cache_hits=%zu\n",
+              s.done, s.failed, s.cancelled, s.cache.hits);
+  return 0;
+}

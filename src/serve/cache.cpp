@@ -1,0 +1,46 @@
+#include "serve/cache.h"
+
+namespace skewopt::serve {
+
+bool ResultCache::lookup(const std::string& key, core::FlowResult* out) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+  if (out) *out = it->second.result;
+  ++stats_.hits;
+  return true;
+}
+
+void ResultCache::insert(const std::string& key,
+                         const core::FlowResult& result) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second.result = result;
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Entry{result, lru_.begin()});
+  ++stats_.insertions;
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  stats_.entries = map_.size();
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = stats_;
+  s.entries = map_.size();
+  return s;
+}
+
+}  // namespace skewopt::serve

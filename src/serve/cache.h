@@ -1,0 +1,55 @@
+// Result cache: canonical spec key -> memoized FlowResult.
+//
+// Keys come from serve::canonicalKey, so a hit is guaranteed to hand back
+// a result bit-identical to re-running the spec (the whole pipeline is
+// deterministic for a key — see job.h). The cache is a bounded LRU with a
+// single mutex; FlowResults are small (metrics + per-iteration history),
+// so entries are stored by value and copied out on hit.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/flow.h"
+
+namespace skewopt::serve {
+
+class ResultCache {
+ public:
+  /// `capacity` == 0 disables caching (lookup always misses).
+  explicit ResultCache(std::size_t capacity = 256) : capacity_(capacity) {}
+
+  /// On hit copies the memoized result into `*out` (if non-null), marks the
+  /// entry most-recently-used, and returns true.
+  bool lookup(const std::string& key, core::FlowResult* out);
+
+  /// Inserts (or refreshes) a result, evicting the least-recently-used
+  /// entry when over capacity.
+  void insert(const std::string& key, const core::FlowResult& result);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    core::FlowResult result;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Entry> map_;
+  std::list<std::string> lru_;  ///< front = most recently used
+  Stats stats_;
+};
+
+}  // namespace skewopt::serve

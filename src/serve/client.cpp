@@ -1,0 +1,65 @@
+#include "serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <stdexcept>
+
+namespace skewopt::serve {
+
+TcpClient::TcpClient(const std::string& host, int port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcpClient::callRaw(const std::string& line) {
+  std::string out = line;
+  out += '\n';
+  std::size_t off = 0;
+  while (off < out.size()) {
+    const ssize_t n = ::send(fd_, out.data() + off, out.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) throw std::runtime_error("serve: connection lost on send");
+    off += static_cast<std::size_t>(n);
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      std::string reply = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (!reply.empty() && reply.back() == '\r') reply.pop_back();
+      return reply;
+    }
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n <= 0) throw std::runtime_error("serve: connection lost on recv");
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+json::Value TcpClient::call(const json::Value& request) {
+  return json::parse(callRaw(json::dump(request)));
+}
+
+}  // namespace skewopt::serve

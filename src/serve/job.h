@@ -1,0 +1,144 @@
+// Declarative optimization jobs for the serve subsystem.
+//
+// A JobSpec names everything needed to reproduce one optimization run:
+// where the design comes from (a testgen recipe, a .skv file on disk, or
+// inline .skv text), which flow to run, and the full FlowOptions. Specs
+// are value types; `canonicalKey` serializes every result-affecting field
+// into a versioned string and `contentHash` folds it to 64 bits, so two
+// specs with equal keys are guaranteed to produce bit-identical
+// FlowResults (the parallel trial engine and the warm-started sweep are
+// bit-identical to their serial paths, so the pure-parallelism knobs —
+// local.parallel_trials, local.threads, global.parallel_realize — are
+// deliberately excluded from the key; scheduling fields such as priority,
+// deadline and retry budget never affect the result and are excluded
+// too).
+//
+// A Job is one submitted instance of a spec inside the scheduler, with the
+// lifecycle
+//
+//    QUEUED --> RUNNING --> DONE | FAILED
+//       \-----------------> CANCELLED
+//
+// CANCELLED is reachable only from QUEUED (a running flow is not
+// interruptible); FAILED covers permanent errors and transient errors
+// whose retry budget is exhausted.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "core/flow.h"
+#include "network/design.h"
+
+namespace skewopt::serve {
+
+/// Where the design under optimization comes from.
+struct DesignSource {
+  enum class Kind { kTestgen, kFile, kInline };
+  Kind kind = Kind::kTestgen;
+
+  // kTestgen: a paper testcase recipe ("CLS1v1", "CLS1v2", "CLS2v1").
+  std::string testcase = "CLS1v1";
+  std::size_t sinks = 120;
+  std::size_t max_pairs = 120;
+  std::uint64_t seed = 1;
+  bool select_best_scenario = false;
+
+  // kFile: a .skv design file loaded via network::loadDesign. The cache
+  // keys file sources by *path*: the service assumes design files are
+  // immutable for its lifetime.
+  std::string path;
+
+  // kInline: full .skv text parsed via network::readDesign (keyed by
+  // content).
+  std::string text;
+};
+
+const char* sourceKindName(DesignSource::Kind k);
+
+struct JobSpec {
+  DesignSource source;
+  core::FlowMode mode = core::FlowMode::kGlobalLocal;
+  core::FlowOptions options;
+
+  // Scheduling-only fields (not part of the content key).
+  int priority = 0;         ///< higher runs first; FIFO within a priority
+  double deadline_ms = 0;   ///< soft start deadline from submit; 0 = none
+  int max_retries = 0;      ///< transient-failure retries beyond attempt 1
+};
+
+/// Versioned serialization of every result-affecting field (see file
+/// comment for what is excluded and why).
+std::string canonicalKey(const JobSpec& spec);
+
+/// FNV-1a (64-bit) over canonicalKey.
+std::uint64_t contentHash(const JobSpec& spec);
+
+enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
+const char* jobStateName(JobState s);
+inline bool isTerminal(JobState s) {
+  return s == JobState::kDone || s == JobState::kFailed ||
+         s == JobState::kCancelled;
+}
+
+/// Thrown (by a job runner) to mark a failure as retryable; any other
+/// exception fails the job permanently.
+struct TransientError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// One submitted job. State transitions are owned by the scheduler; all
+/// mutable fields are guarded by `mu` and `cv` signals every transition.
+/// Copyable snapshots for clients are taken via Scheduler::status().
+struct Job {
+  std::uint64_t id = 0;
+  JobSpec spec;
+  std::string key;          ///< canonicalKey(spec)
+  std::uint64_t hash = 0;   ///< contentHash(spec)
+
+  mutable std::mutex mu;
+  mutable std::condition_variable cv;
+  JobState state = JobState::kQueued;
+  int attempts = 0;         ///< runner invocations (>=2 means retried)
+  bool cached = false;      ///< result came from the result cache
+  std::string error;        ///< FAILED: what went wrong
+  core::FlowResult result;  ///< valid once state == kDone
+
+  /// Set by cancel(); checked before the job is started. A running job
+  /// finishes normally (the flow is not interruptible).
+  std::atomic<bool> cancel_requested{false};
+
+  std::chrono::steady_clock::time_point submitted_at{};
+  std::chrono::steady_clock::time_point started_at{};
+  std::chrono::steady_clock::time_point finished_at{};
+};
+
+/// A client-side snapshot of a job's progress.
+struct JobStatus {
+  std::uint64_t id = 0;
+  JobState state = JobState::kQueued;
+  int attempts = 0;
+  bool cached = false;
+  std::string error;
+  double queue_ms = 0.0;  ///< submit -> start (or now/terminal if never ran)
+  double run_ms = 0.0;    ///< start -> finish (or now while running)
+};
+
+/// Materializes the design a spec names. Throws std::runtime_error on an
+/// unknown testcase name, unreadable file, or malformed inline text.
+network::Design buildDesign(const tech::TechModel& tech,
+                            const DesignSource& source);
+
+/// Runs one spec exactly as a direct caller would: buildDesign +
+/// core::Flow(tech, lut, spec.options).run(design, spec.mode, nullptr).
+/// The determinism of that pipeline is what makes served results
+/// bit-identical to local ones.
+core::FlowResult runJobSpec(const tech::TechModel& tech,
+                            const eco::StageDelayLut& lut,
+                            const JobSpec& spec);
+
+}  // namespace skewopt::serve

@@ -1,0 +1,311 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace skewopt::serve::json {
+
+const Value* Value::find(const std::string& key) const {
+  for (const auto& [k, v] : obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  for (auto& [k, existing] : obj_)
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  obj_.emplace_back(key, std::move(v));
+}
+
+double Value::num(const std::string& key, double fallback) const {
+  const Value* v = find(key);
+  return v && v->isNumber() ? v->asDouble() : fallback;
+}
+
+std::string Value::str(const std::string& key,
+                       const std::string& fallback) const {
+  const Value* v = find(key);
+  return v && v->isString() ? v->asString() : fallback;
+}
+
+bool Value::boolean(const std::string& key, bool fallback) const {
+  const Value* v = find(key);
+  return v && v->isBool() ? v->asBool() : fallback;
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+namespace {
+
+void dumpString(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dumpNumber(double d, std::string& out) {
+  if (!std::isfinite(d)) {
+    out += "null";
+    return;
+  }
+  char buf[40];
+  if (d == std::floor(d) && std::fabs(d) < 9.007199254740992e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+  } else {
+    // Shortest representation that round-trips: try increasing precision.
+    for (int prec = 15; prec <= 17; ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, d);
+      if (std::strtod(buf, nullptr) == d) break;
+    }
+  }
+  out += buf;
+}
+
+void dumpInto(const Value& v, std::string& out) {
+  switch (v.type()) {
+    case Value::Type::kNull: out += "null"; break;
+    case Value::Type::kBool: out += v.asBool() ? "true" : "false"; break;
+    case Value::Type::kNumber: dumpNumber(v.asDouble(), out); break;
+    case Value::Type::kString: dumpString(v.asString(), out); break;
+    case Value::Type::kArray: {
+      out += '[';
+      bool first = true;
+      for (const Value& e : v.items()) {
+        if (!first) out += ',';
+        first = false;
+        dumpInto(e, out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.members()) {
+        if (!first) out += ',';
+        first = false;
+        dumpString(k, out);
+        out += ':';
+        dumpInto(e, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parser (recursive descent)
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Value parseDocument() {
+    Value v = parseValue();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("json: " + what + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeWord(const char* w) {
+    std::size_t n = 0;
+    while (w[n] != '\0') ++n;
+    if (s_.compare(pos_, n, w) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parseValue() {
+    skipWs();
+    const char c = peek();
+    if (c == '{') return parseObject();
+    if (c == '[') return parseArray();
+    if (c == '"') return Value(parseString());
+    if (c == 't') {
+      if (!consumeWord("true")) fail("bad literal");
+      return Value(true);
+    }
+    if (c == 'f') {
+      if (!consumeWord("false")) fail("bad literal");
+      return Value(false);
+    }
+    if (c == 'n') {
+      if (!consumeWord("null")) fail("bad literal");
+      return Value();
+    }
+    return parseNumber();
+  }
+
+  Value parseNumber() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected value");
+    const std::string tok = s_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double d = std::strtod(tok.c_str(), &end);
+    if (end == tok.c_str() || *end != '\0') fail("bad number '" + tok + "'");
+    return Value(d);
+  }
+
+  std::string parseString() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("bad \\u escape");
+          }
+          // UTF-8 encode the BMP code point (surrogate pairs are not
+          // produced by this module's writer; decode them permissively as
+          // two separate 3-byte sequences).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parseArray() {
+    expect('[');
+    Value v = Value::array();
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.push(parseValue());
+      skipWs();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return v;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  Value parseObject() {
+    expect('{');
+    Value v = Value::object();
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skipWs();
+      std::string key = parseString();
+      skipWs();
+      expect(':');
+      v.set(key, parseValue());
+      skipWs();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return v;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string dump(const Value& v) {
+  std::string out;
+  dumpInto(v, out);
+  return out;
+}
+
+Value parse(const std::string& text) { return Parser(text).parseDocument(); }
+
+}  // namespace skewopt::serve::json

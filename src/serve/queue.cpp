@@ -1,0 +1,97 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+
+namespace skewopt::serve {
+
+bool JobQueue::push(std::shared_ptr<Job> job, bool block) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (block) {
+    not_full_.wait(lk,
+                   [&] { return closed_ || entries_.size() < capacity_; });
+  }
+  if (closed_ || entries_.size() >= capacity_) return false;
+  Entry e{job->spec.priority, next_seq_++, std::move(job)};
+  entries_.insert(
+      std::upper_bound(entries_.begin(), entries_.end(), e,
+                       [](const Entry& a, const Entry& b) {
+                         return before(a, b);
+                       }),
+      std::move(e));
+  lk.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::shared_ptr<Job> JobQueue::pop(
+    std::vector<std::shared_ptr<Job>>* cancelled) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    not_empty_.wait(lk, [&] { return closed_ || !entries_.empty(); });
+    bool freed = false;
+    std::shared_ptr<Job> got;
+    while (!entries_.empty()) {
+      std::shared_ptr<Job> job = std::move(entries_.front().job);
+      entries_.erase(entries_.begin());
+      freed = true;
+      if (job->cancel_requested.load(std::memory_order_acquire)) {
+        if (cancelled) cancelled->push_back(std::move(job));
+        continue;
+      }
+      got = std::move(job);
+      break;
+    }
+    if (freed) not_full_.notify_all();
+    if (got) return got;
+    if (closed_ && entries_.empty()) return nullptr;
+    // Everything queued was cancelled; keep waiting for real work.
+  }
+}
+
+std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->job->id != id) continue;
+    std::shared_ptr<Job> job = std::move(it->job);
+    entries_.erase(it);
+    lk.unlock();
+    not_full_.notify_all();
+    return job;
+  }
+  return nullptr;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::vector<std::shared_ptr<Job>> JobQueue::closeAndClear() {
+  std::vector<std::shared_ptr<Job>> out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    closed_ = true;
+    out.reserve(entries_.size());
+    for (Entry& e : entries_) out.push_back(std::move(e.job));
+    entries_.clear();
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+  return out;
+}
+
+std::size_t JobQueue::depth() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return entries_.size();
+}
+
+bool JobQueue::closed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return closed_;
+}
+
+}  // namespace skewopt::serve

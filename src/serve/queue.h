@@ -1,0 +1,75 @@
+// Bounded, priority-aware MPMC job queue with backpressure.
+//
+// Producers (client submit paths) and consumers (scheduler workers) share
+// one mutex; ordering is strict-priority with FIFO tie-break via a
+// monotonic sequence number, so equal-priority jobs pop in submission
+// order. Capacity is a hard bound: push() either blocks until a slot frees
+// (backpressure) or rejects immediately — the caller picks per call.
+//
+// Cancellation: a queued job whose `cancel_requested` flag is set is
+// dropped at pop time (never handed to a worker); remove() additionally
+// erases it eagerly so a cancelled job stops occupying a capacity slot.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/job.h"
+
+namespace skewopt::serve {
+
+class JobQueue {
+ public:
+  explicit JobQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Enqueues `job`. With `block`, waits until a slot frees or the queue
+  /// closes; without, returns false immediately when full. Returns false
+  /// after close().
+  bool push(std::shared_ptr<Job> job, bool block);
+
+  /// Dequeues the highest-priority job, skipping (and returning to the
+  /// scheduler via the out-parameter list) entries whose cancel flag is
+  /// set. Blocks until a job arrives or the queue is closed *and* empty —
+  /// then returns nullptr. `cancelled` may be null.
+  std::shared_ptr<Job> pop(std::vector<std::shared_ptr<Job>>* cancelled);
+
+  /// Erases a queued entry by job id (eager cancellation). Returns the
+  /// erased job, or nullptr if the id is not queued.
+  std::shared_ptr<Job> remove(std::uint64_t id);
+
+  /// Rejects future pushes and wakes blocked producers/consumers. pop()
+  /// keeps draining whatever is queued.
+  void close();
+
+  /// Closes and empties the queue, returning the removed jobs.
+  std::vector<std::shared_ptr<Job>> closeAndClear();
+
+  std::size_t depth() const;
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const;
+
+ private:
+  struct Entry {
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::shared_ptr<Job> job;
+  };
+  /// True when a should pop before b.
+  static bool before(const Entry& a, const Entry& b) {
+    if (a.priority != b.priority) return a.priority > b.priority;
+    return a.seq < b.seq;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::vector<Entry> entries_;  ///< kept sorted by before()
+  std::uint64_t next_seq_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace skewopt::serve

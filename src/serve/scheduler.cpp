@@ -1,0 +1,324 @@
+#include "serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+namespace skewopt::serve {
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point t0,
+               std::chrono::steady_clock::time_point t1) {
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+Scheduler::Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
+                     SchedulerOptions opts, Runner runner)
+    : tech_(&tech),
+      lut_(&lut),
+      opts_(opts),
+      runner_(std::move(runner)),
+      queue_(std::max<std::size_t>(1, opts.queue_capacity)),
+      cache_(opts.cache_capacity) {
+  if (!runner_)
+    runner_ = [this](const JobSpec& spec) {
+      return runJobSpec(*tech_, *lut_, spec);
+    };
+  const std::size_t n = std::max<std::size_t>(1, opts_.workers);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler() { shutdown(); }
+
+std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
+  auto job = std::make_shared<Job>();
+  job->spec = std::move(spec);
+  job->key = canonicalKey(job->spec);
+  job->hash = contentHash(job->spec);
+  job->submitted_at = std::chrono::steady_clock::now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!accepting_) return nullptr;
+    job->id = next_id_++;
+    jobs_.emplace(job->id, job);
+  }
+  if (!queue_.push(job, block)) {
+    // Rejected (full without blocking, or closed while blocked): the job
+    // never became visible as QUEUED work; drop it from the registry.
+    std::lock_guard<std::mutex> lk(mu_);
+    jobs_.erase(job->id);
+    return nullptr;
+  }
+  return job;
+}
+
+std::shared_ptr<Job> Scheduler::findJob(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    throw std::out_of_range("serve: unknown job id " + std::to_string(id));
+  return it->second;
+}
+
+JobStatus Scheduler::status(std::uint64_t id) const {
+  const std::shared_ptr<Job> job = findJob(id);
+  const auto now = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lk(job->mu);
+  JobStatus s;
+  s.id = job->id;
+  s.state = job->state;
+  s.attempts = job->attempts;
+  s.cached = job->cached;
+  s.error = job->error;
+  switch (job->state) {
+    case JobState::kQueued:
+      s.queue_ms = msSince(job->submitted_at, now);
+      break;
+    case JobState::kRunning:
+      s.queue_ms = msSince(job->submitted_at, job->started_at);
+      s.run_ms = msSince(job->started_at, now);
+      break;
+    default: {
+      const bool ran =
+          job->started_at != std::chrono::steady_clock::time_point{};
+      s.queue_ms = msSince(job->submitted_at,
+                           ran ? job->started_at : job->finished_at);
+      s.run_ms = ran ? msSince(job->started_at, job->finished_at) : 0.0;
+    }
+  }
+  return s;
+}
+
+core::FlowResult Scheduler::result(std::uint64_t id) const {
+  const std::shared_ptr<Job> job = findJob(id);
+  std::unique_lock<std::mutex> lk(job->mu);
+  job->cv.wait(lk, [&] { return isTerminal(job->state); });
+  if (job->state == JobState::kDone) return job->result;
+  throw std::runtime_error("serve: job " + std::to_string(id) + " " +
+                           jobStateName(job->state) +
+                           (job->error.empty() ? "" : ": " + job->error));
+}
+
+JobStatus Scheduler::waitTerminal(std::uint64_t id, double timeout_ms) const {
+  const std::shared_ptr<Job> job = findJob(id);
+  {
+    std::unique_lock<std::mutex> lk(job->mu);
+    if (timeout_ms < 0) {
+      job->cv.wait(lk, [&] { return isTerminal(job->state); });
+    } else {
+      job->cv.wait_for(lk, std::chrono::duration<double, std::milli>(
+                               timeout_ms),
+                       [&] { return isTerminal(job->state); });
+    }
+  }
+  return status(id);
+}
+
+bool Scheduler::cancel(std::uint64_t id) {
+  const std::shared_ptr<Job> job = findJob(id);
+  job->cancel_requested.store(true, std::memory_order_release);
+  if (queue_.remove(id)) {
+    finishCancelled(job);
+    return true;
+  }
+  // Not in the queue: either already picked up, or in the pop->start
+  // window. The worker re-checks the flag under job->mu before marking
+  // RUNNING, so a job still QUEUED here is guaranteed never to run.
+  std::lock_guard<std::mutex> lk(job->mu);
+  if (job->state == JobState::kQueued) return true;
+  // RUNNING (the flag still aborts a pending retry backoff) or terminal.
+  return false;
+}
+
+void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    if (isTerminal(job->state)) return;
+    job->state = JobState::kCancelled;
+    job->finished_at = std::chrono::steady_clock::now();
+    // Counters update before any waiter can observe the terminal state, so
+    // stats() is consistent once waitTerminal()/result() returns. Lock
+    // order is job->mu then mu_ everywhere they nest.
+    std::lock_guard<std::mutex> lk2(mu_);
+    ++cancelled_;
+  }
+  job->cv.notify_all();
+}
+
+bool Scheduler::sleepBackoff(const std::shared_ptr<Job>& job, double ms) {
+  std::unique_lock<std::mutex> lk(mu_);
+  const bool slept = !stop_cv_.wait_for(
+      lk, std::chrono::duration<double, std::milli>(ms), [&] {
+        return abort_retries_ ||
+               job->cancel_requested.load(std::memory_order_acquire);
+      });
+  if (slept) ++retries_;
+  return slept;
+}
+
+void Scheduler::workerLoop() {
+  std::vector<std::shared_ptr<Job>> cancelled;
+  for (;;) {
+    cancelled.clear();
+    std::shared_ptr<Job> job = queue_.pop(&cancelled);
+    for (const auto& c : cancelled) finishCancelled(c);
+    if (!job) return;
+    runJob(job);
+  }
+}
+
+void Scheduler::runJob(const std::shared_ptr<Job>& job) {
+  const auto start = std::chrono::steady_clock::now();
+  const bool deadline_missed =
+      job->spec.deadline_ms > 0 &&
+      msSince(job->submitted_at, start) > job->spec.deadline_ms;
+
+  // Transition QUEUED -> RUNNING in one critical section, honoring a
+  // cancel that landed in the pop->start window (cancel() observed state
+  // QUEUED under job->mu and returned true, so the job must never run).
+  bool cancelled_now = false;
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    if (job->cancel_requested.load(std::memory_order_acquire)) {
+      cancelled_now = true;
+    } else if (deadline_missed) {
+      job->state = JobState::kFailed;
+      job->error = "start deadline exceeded";
+      job->finished_at = start;
+      std::lock_guard<std::mutex> lk2(mu_);
+      ++failed_;
+    } else {
+      job->state = JobState::kRunning;
+      job->started_at = start;
+    }
+  }
+  if (cancelled_now) {
+    finishCancelled(job);
+    return;
+  }
+  if (deadline_missed) {
+    job->cv.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++running_;
+  }
+
+  core::FlowResult result;
+  bool ok = false, cached = false;
+  std::string error;
+
+  if (cache_.lookup(job->key, &result)) {
+    ok = cached = true;
+  } else {
+    for (;;) {
+      {
+        std::lock_guard<std::mutex> lk(job->mu);
+        ++job->attempts;
+      }
+      try {
+        result = runner_(job->spec);
+        ok = true;
+        break;
+      } catch (const TransientError& e) {
+        error = e.what();
+        int attempts;
+        {
+          std::lock_guard<std::mutex> lk(job->mu);
+          attempts = job->attempts;
+        }
+        if (attempts > job->spec.max_retries) break;
+        const double delay =
+            std::min(opts_.backoff_cap_ms,
+                     opts_.backoff_base_ms *
+                         static_cast<double>(1u << std::min(attempts - 1, 20)));
+        if (!sleepBackoff(job, delay)) {
+          error += " (retry aborted)";
+          break;
+        }
+      } catch (const std::exception& e) {
+        error = e.what();
+        break;
+      }
+    }
+    if (ok) cache_.insert(job->key, result);
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    job->state = ok ? JobState::kDone : JobState::kFailed;
+    job->cached = cached;
+    if (ok) {
+      job->result = std::move(result);
+    } else {
+      job->error = error;
+    }
+    job->finished_at = std::chrono::steady_clock::now();
+    std::lock_guard<std::mutex> lk2(mu_);
+    --running_;
+    ++(ok ? done_ : failed_);
+  }
+  job->cv.notify_all();
+}
+
+void Scheduler::drain() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    accepting_ = false;
+  }
+  queue_.close();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (joined_) return;
+    joined_ = true;
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+void Scheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    accepting_ = false;
+    abort_retries_ = true;
+  }
+  stop_cv_.notify_all();
+  for (const auto& job : queue_.closeAndClear()) {
+    job->cancel_requested.store(true, std::memory_order_release);
+    finishCancelled(job);
+  }
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (joined_) return;
+    joined_ = true;
+    workers.swap(workers_);
+  }
+  for (std::thread& w : workers) w.join();
+}
+
+SchedulerStats Scheduler::stats() const {
+  SchedulerStats s;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    s.submitted = next_id_ - 1;
+    s.done = done_;
+    s.failed = failed_;
+    s.cancelled = cancelled_;
+    s.retries = retries_;
+    s.running = running_;
+    s.workers = workers_.size();
+  }
+  s.queue_depth = queue_.depth();
+  s.cache = cache_.stats();
+  return s;
+}
+
+}  // namespace skewopt::serve

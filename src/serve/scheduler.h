@@ -1,0 +1,138 @@
+// The optimization job scheduler: the in-process heart of the service.
+//
+// Submissions enter a bounded priority JobQueue (backpressure: block or
+// reject, per call); a small set of dedicated worker threads pops jobs and
+// runs them to completion. Workers are deliberately *not* jobs on
+// support::ThreadPool — runSlices must not be entered from inside a pool
+// job (see thread_pool.h), and a worker spends almost all of its time
+// inside the flow's own runSlices calls, where the calling thread works as
+// slice 0 and the remaining slices share the one process-wide pool. Job
+// concurrency therefore multiplies throughput without multiplying the
+// compute-thread count: N concurrent jobs share the same fixed pool
+// instead of spawning N private ones.
+//
+// Each job runs through the same deterministic pipeline a direct caller
+// uses (serve::runJobSpec), so a served FlowResult is bit-identical to
+// core::Flow::run on the same spec. Successful results are memoized in a
+// ResultCache keyed by the spec's canonical key; a resubmitted identical
+// spec completes from cache without re-running the flow.
+//
+// Failure handling: a runner throwing TransientError is retried with
+// capped exponential backoff (base * 2^(attempt-1), capped) up to the
+// spec's max_retries; any other exception fails the job permanently.
+// Shutdown comes in two flavors: drain() stops intake and completes
+// everything already accepted; shutdown() stops intake, cancels everything
+// still queued, and completes only the jobs already running.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "eco/stage_lut.h"
+#include "serve/cache.h"
+#include "serve/job.h"
+#include "serve/queue.h"
+#include "tech/tech.h"
+
+namespace skewopt::serve {
+
+struct SchedulerOptions {
+  std::size_t workers = 2;         ///< concurrent jobs (see file comment)
+  std::size_t queue_capacity = 64;
+  std::size_t cache_capacity = 256;  ///< 0 disables result caching
+  double backoff_base_ms = 25.0;   ///< first retry delay
+  double backoff_cap_ms = 2000.0;  ///< exponential backoff ceiling
+};
+
+struct SchedulerStats {
+  std::size_t submitted = 0;
+  std::size_t done = 0;       ///< includes cache-served completions
+  std::size_t failed = 0;
+  std::size_t cancelled = 0;
+  std::size_t retries = 0;    ///< runner re-invocations after TransientError
+  std::size_t running = 0;
+  std::size_t queue_depth = 0;
+  std::size_t workers = 0;
+  ResultCache::Stats cache;
+};
+
+class Scheduler {
+ public:
+  /// Replaceable job runner (tests inject failures/latency); the default
+  /// runs serve::runJobSpec against `tech`/`lut`.
+  using Runner = std::function<core::FlowResult(const JobSpec&)>;
+
+  Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
+            SchedulerOptions opts = {}, Runner runner = nullptr);
+  ~Scheduler();  ///< shutdown(): queued jobs are cancelled, running finish
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Submits a spec. With `block`, waits while the queue is full
+  /// (backpressure); otherwise rejects immediately. Returns the job
+  /// handle, or nullptr when rejected (queue full and !block) or when the
+  /// scheduler is no longer accepting.
+  std::shared_ptr<Job> submit(JobSpec spec, bool block = true);
+
+  /// Snapshot of a job's progress. Throws std::out_of_range for an unknown
+  /// id.
+  JobStatus status(std::uint64_t id) const;
+
+  /// Blocks until the job is terminal and returns its result. Throws
+  /// std::runtime_error when it FAILED or was CANCELLED, std::out_of_range
+  /// for an unknown id.
+  core::FlowResult result(std::uint64_t id) const;
+
+  /// Waits (bounded) for a terminal state; returns the final status
+  /// snapshot (state may be non-terminal on timeout; timeout_ms < 0 waits
+  /// forever).
+  JobStatus waitTerminal(std::uint64_t id, double timeout_ms = -1.0) const;
+
+  /// Cancels a job. QUEUED jobs are guaranteed never to run and move to
+  /// CANCELLED; returns true in that case. RUNNING/terminal jobs are not
+  /// interrupted — returns false (a pending retry backoff is aborted).
+  bool cancel(std::uint64_t id);
+
+  /// Graceful drain: stop accepting, finish every queued and running job,
+  /// stop the workers. Idempotent; the scheduler is terminal afterwards.
+  void drain();
+
+  /// Immediate shutdown: stop accepting, cancel all queued jobs, let
+  /// running jobs finish (flows are not interruptible), stop the workers.
+  void shutdown();
+
+  SchedulerStats stats() const;
+  const ResultCache& cache() const { return cache_; }
+
+ private:
+  std::shared_ptr<Job> findJob(std::uint64_t id) const;
+  void workerLoop();
+  void runJob(const std::shared_ptr<Job>& job);
+  void finishCancelled(const std::shared_ptr<Job>& job);
+  /// Interruptible backoff sleep; false when aborted by shutdown/cancel.
+  bool sleepBackoff(const std::shared_ptr<Job>& job, double ms);
+
+  const tech::TechModel* tech_;
+  const eco::StageDelayLut* lut_;
+  SchedulerOptions opts_;
+  Runner runner_;
+  JobQueue queue_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;  ///< registry + counters + lifecycle flags
+  std::condition_variable stop_cv_;  ///< wakes backoff sleepers on shutdown
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  bool accepting_ = true;
+  bool abort_retries_ = false;
+  bool joined_ = false;
+  std::size_t running_ = 0;
+  std::size_t done_ = 0, failed_ = 0, cancelled_ = 0, retries_ = 0;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace skewopt::serve

@@ -1,0 +1,493 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace skewopt::serve {
+
+// ---------------------------------------------------------------------------
+// Spec <-> JSON
+
+namespace {
+
+core::FlowMode flowModeFromName(const std::string& name) {
+  if (name == "global") return core::FlowMode::kGlobal;
+  if (name == "local") return core::FlowMode::kLocal;
+  if (name == "global-local") return core::FlowMode::kGlobalLocal;
+  throw std::runtime_error("unknown flow mode '" + name + "'");
+}
+
+/// Strict-key guard: every member of `v` must appear in `allowed`.
+void checkKeys(const json::Value& v, std::initializer_list<const char*> allowed,
+               const char* context) {
+  for (const auto& [key, value] : v.members()) {
+    bool ok = false;
+    for (const char* a : allowed)
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      throw std::runtime_error(std::string("unknown ") + context + " key '" +
+                               key + "'");
+  }
+}
+
+const json::Value& requireObject(const json::Value& v, const char* what) {
+  if (!v.isObject())
+    throw std::runtime_error(std::string(what) + " must be an object");
+  return v;
+}
+
+std::uint64_t requireId(const json::Value& req) {
+  const json::Value* id = req.find("id");
+  if (!id || !id->isNumber() || id->asDouble() < 0)
+    throw std::runtime_error("missing or bad 'id'");
+  return static_cast<std::uint64_t>(id->asDouble());
+}
+
+std::string hashHex(std::uint64_t h) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+json::Value specToJson(const JobSpec& spec) {
+  json::Value source = json::Value::object();
+  source.set("kind", sourceKindName(spec.source.kind));
+  switch (spec.source.kind) {
+    case DesignSource::Kind::kTestgen:
+      source.set("testcase", spec.source.testcase);
+      source.set("sinks", spec.source.sinks);
+      source.set("pairs", spec.source.max_pairs);
+      source.set("seed", spec.source.seed);
+      if (spec.source.select_best_scenario) source.set("select_best", true);
+      break;
+    case DesignSource::Kind::kFile:
+      source.set("path", spec.source.path);
+      break;
+    case DesignSource::Kind::kInline:
+      source.set("text", spec.source.text);
+      break;
+  }
+
+  json::Value global = json::Value::object();
+  const core::GlobalOptions defaults_g;
+  const core::GlobalOptions& g = spec.options.global;
+  global.set("beta", g.beta);
+  global.set("max_pairs_lp", g.max_pairs_lp);
+  global.set("repair_passes", g.repair_passes);
+  json::Value sweep = json::Value::array();
+  for (const double u : g.u_sweep) sweep.push(u);
+  global.set("u_sweep", std::move(sweep));
+  global.set("warm_start_sweep", g.warm_start_sweep);
+  global.set("parallel_realize", g.parallel_realize);
+
+  json::Value local = json::Value::object();
+  const core::LocalOptions& l = spec.options.local;
+  local.set("r", l.r);
+  local.set("max_iterations", l.max_iterations);
+  local.set("max_chunks_per_round", l.max_chunks_per_round);
+  local.set("min_predicted_gain_ps", l.min_predicted_gain_ps);
+  local.set("parallel_trials", l.parallel_trials);
+  local.set("threads", l.threads);
+
+  json::Value options = json::Value::object();
+  options.set("global", std::move(global));
+  options.set("local", std::move(local));
+
+  json::Value v = json::Value::object();
+  v.set("source", std::move(source));
+  v.set("mode", core::flowModeName(spec.mode));
+  v.set("options", std::move(options));
+  v.set("priority", spec.priority);
+  v.set("deadline_ms", spec.deadline_ms);
+  v.set("max_retries", spec.max_retries);
+  return v;
+}
+
+JobSpec specFromJson(const json::Value& v) {
+  requireObject(v, "spec");
+  checkKeys(v, {"source", "mode", "options", "priority", "deadline_ms",
+                "max_retries"},
+            "spec");
+  JobSpec spec;
+
+  if (const json::Value* source = v.find("source")) {
+    requireObject(*source, "spec.source");
+    const std::string kind = source->str("kind", "testgen");
+    if (kind == "testgen") {
+      checkKeys(*source,
+                {"kind", "testcase", "sinks", "pairs", "seed", "select_best"},
+                "spec.source");
+      spec.source.kind = DesignSource::Kind::kTestgen;
+      spec.source.testcase = source->str("testcase", spec.source.testcase);
+      spec.source.sinks = static_cast<std::size_t>(
+          source->num("sinks", static_cast<double>(spec.source.sinks)));
+      spec.source.max_pairs = static_cast<std::size_t>(
+          source->num("pairs", static_cast<double>(spec.source.max_pairs)));
+      spec.source.seed = static_cast<std::uint64_t>(
+          source->num("seed", static_cast<double>(spec.source.seed)));
+      spec.source.select_best_scenario = source->boolean("select_best", false);
+    } else if (kind == "file") {
+      checkKeys(*source, {"kind", "path"}, "spec.source");
+      spec.source.kind = DesignSource::Kind::kFile;
+      spec.source.path = source->str("path", "");
+      if (spec.source.path.empty())
+        throw std::runtime_error("file source needs a 'path'");
+    } else if (kind == "inline") {
+      checkKeys(*source, {"kind", "text"}, "spec.source");
+      spec.source.kind = DesignSource::Kind::kInline;
+      spec.source.text = source->str("text", "");
+      if (spec.source.text.empty())
+        throw std::runtime_error("inline source needs 'text'");
+    } else {
+      throw std::runtime_error("unknown source kind '" + kind + "'");
+    }
+  }
+
+  spec.mode = flowModeFromName(v.str("mode", "global-local"));
+
+  if (const json::Value* options = v.find("options")) {
+    requireObject(*options, "spec.options");
+    checkKeys(*options, {"global", "local"}, "spec.options");
+    if (const json::Value* gv = options->find("global")) {
+      requireObject(*gv, "spec.options.global");
+      checkKeys(*gv,
+                {"beta", "max_pairs_lp", "repair_passes", "u_sweep",
+                 "warm_start_sweep", "parallel_realize"},
+                "spec.options.global");
+      core::GlobalOptions& g = spec.options.global;
+      g.beta = gv->num("beta", g.beta);
+      g.max_pairs_lp = static_cast<std::size_t>(
+          gv->num("max_pairs_lp", static_cast<double>(g.max_pairs_lp)));
+      g.repair_passes = static_cast<std::size_t>(
+          gv->num("repair_passes", static_cast<double>(g.repair_passes)));
+      if (const json::Value* sweep = gv->find("u_sweep")) {
+        if (!sweep->isArray())
+          throw std::runtime_error("u_sweep must be an array");
+        g.u_sweep.clear();
+        for (const json::Value& u : sweep->items()) {
+          if (!u.isNumber())
+            throw std::runtime_error("u_sweep entries must be numbers");
+          g.u_sweep.push_back(u.asDouble());
+        }
+      }
+      g.warm_start_sweep = gv->boolean("warm_start_sweep", g.warm_start_sweep);
+      g.parallel_realize = gv->boolean("parallel_realize", g.parallel_realize);
+    }
+    if (const json::Value* lv = options->find("local")) {
+      requireObject(*lv, "spec.options.local");
+      checkKeys(*lv,
+                {"r", "max_iterations", "max_chunks_per_round",
+                 "min_predicted_gain_ps", "parallel_trials", "threads"},
+                "spec.options.local");
+      core::LocalOptions& l = spec.options.local;
+      l.r = static_cast<std::size_t>(lv->num("r", static_cast<double>(l.r)));
+      l.max_iterations = static_cast<std::size_t>(lv->num(
+          "max_iterations", static_cast<double>(l.max_iterations)));
+      l.max_chunks_per_round = static_cast<std::size_t>(
+          lv->num("max_chunks_per_round",
+                  static_cast<double>(l.max_chunks_per_round)));
+      l.min_predicted_gain_ps =
+          lv->num("min_predicted_gain_ps", l.min_predicted_gain_ps);
+      l.parallel_trials = lv->boolean("parallel_trials", l.parallel_trials);
+      l.threads = static_cast<std::size_t>(
+          lv->num("threads", static_cast<double>(l.threads)));
+    }
+  }
+
+  spec.priority = static_cast<int>(v.num("priority", 0));
+  spec.deadline_ms = v.num("deadline_ms", 0);
+  spec.max_retries = static_cast<int>(v.num("max_retries", 0));
+  return spec;
+}
+
+json::Value metricsToJson(const core::DesignMetrics& m) {
+  json::Value v = json::Value::object();
+  v.set("sum_variation_ps", m.sum_variation_ps);
+  json::Value skews = json::Value::array();
+  for (const double s : m.local_skew_ps) skews.push(s);
+  v.set("local_skew_ps", std::move(skews));
+  v.set("clock_cells", m.clock_cells);
+  v.set("power_mw", m.power_mw);
+  v.set("area_um2", m.area_um2);
+  return v;
+}
+
+json::Value resultToJson(const core::FlowResult& r) {
+  json::Value v = json::Value::object();
+  v.set("before", metricsToJson(r.before));
+  v.set("after", metricsToJson(r.after));
+
+  json::Value g = json::Value::object();
+  g.set("sum_before_ps", r.global.sum_before_ps);
+  g.set("sum_after_ps", r.global.sum_after_ps);
+  g.set("chosen_u_ps", r.global.chosen_u_ps);
+  g.set("improved", r.global.improved);
+  g.set("arcs_changed", r.global.arcs_changed);
+  g.set("lp_solves", r.global.lp_solves.size());
+  g.set("lp_warm_hits", r.global.lp_warm_hits);
+  v.set("global", std::move(g));
+
+  json::Value l = json::Value::object();
+  l.set("sum_before_ps", r.local.sum_before_ps);
+  l.set("sum_after_ps", r.local.sum_after_ps);
+  l.set("improved", r.local.improved);
+  l.set("moves_committed", r.local.history.size());
+  l.set("golden_evaluations", r.local.golden_evaluations);
+  v.set("local", std::move(l));
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Request dispatch
+
+namespace {
+
+json::Value errorReply(const std::string& message) {
+  json::Value v = json::Value::object();
+  v.set("ok", false);
+  v.set("error", message);
+  return v;
+}
+
+json::Value statusToJson(const JobStatus& s) {
+  json::Value v = json::Value::object();
+  v.set("ok", true);
+  v.set("id", s.id);
+  v.set("state", jobStateName(s.state));
+  v.set("attempts", s.attempts);
+  v.set("cached", s.cached);
+  if (!s.error.empty()) v.set("error", s.error);
+  v.set("queue_ms", s.queue_ms);
+  v.set("run_ms", s.run_ms);
+  return v;
+}
+
+}  // namespace
+
+json::Value handleRequest(Scheduler& sched, const json::Value& request) {
+  try {
+    requireObject(request, "request");
+    const std::string cmd = request.str("cmd", "");
+
+    if (cmd == "SUBMIT") {
+      checkKeys(request, {"cmd", "spec", "block"}, "request");
+      const json::Value* spec_v = request.find("spec");
+      if (!spec_v) throw std::runtime_error("SUBMIT needs a 'spec'");
+      const JobSpec spec = specFromJson(*spec_v);
+      const bool block = request.boolean("block", false);
+      const std::shared_ptr<Job> job = sched.submit(spec, block);
+      if (!job) return errorReply("queue full");
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", job->id);
+      v.set("hash", hashHex(job->hash));
+      v.set("state", jobStateName(JobState::kQueued));
+      return v;
+    }
+
+    if (cmd == "STATUS") {
+      checkKeys(request, {"cmd", "id"}, "request");
+      return statusToJson(sched.status(requireId(request)));
+    }
+
+    if (cmd == "RESULT") {
+      checkKeys(request, {"cmd", "id", "wait"}, "request");
+      const std::uint64_t id = requireId(request);
+      const bool wait = request.boolean("wait", true);
+      JobStatus s = sched.status(id);
+      if (!isTerminal(s.state)) {
+        if (!wait) {
+          json::Value v = errorReply("not finished");
+          v.set("state", jobStateName(s.state));
+          return v;
+        }
+        s = sched.waitTerminal(id);
+      }
+      if (s.state != JobState::kDone) {
+        json::Value v = errorReply(s.error.empty() ? jobStateName(s.state)
+                                                   : s.error);
+        v.set("id", id);
+        v.set("state", jobStateName(s.state));
+        return v;
+      }
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("state", jobStateName(s.state));
+      v.set("cached", s.cached);
+      v.set("result", resultToJson(sched.result(id)));
+      return v;
+    }
+
+    if (cmd == "CANCEL") {
+      checkKeys(request, {"cmd", "id"}, "request");
+      const std::uint64_t id = requireId(request);
+      const bool cancelled = sched.cancel(id);
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("cancelled", cancelled);
+      v.set("state", jobStateName(sched.status(id).state));
+      return v;
+    }
+
+    if (cmd == "STATS") {
+      checkKeys(request, {"cmd"}, "request");
+      const SchedulerStats s = sched.stats();
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("submitted", s.submitted);
+      v.set("done", s.done);
+      v.set("failed", s.failed);
+      v.set("cancelled", s.cancelled);
+      v.set("retries", s.retries);
+      v.set("running", s.running);
+      v.set("queue_depth", s.queue_depth);
+      v.set("workers", s.workers);
+      v.set("cache_hits", s.cache.hits);
+      v.set("cache_misses", s.cache.misses);
+      v.set("cache_entries", s.cache.entries);
+      return v;
+    }
+
+    return errorReply(cmd.empty() ? "missing 'cmd'"
+                                  : "unknown cmd '" + cmd + "'");
+  } catch (const std::exception& e) {
+    return errorReply(e.what());
+  }
+}
+
+std::string handleLine(Scheduler& sched, const std::string& line) {
+  json::Value request;
+  try {
+    request = json::parse(line);
+  } catch (const std::exception& e) {
+    return json::dump(errorReply(e.what()));
+  }
+  return json::dump(handleRequest(sched, request));
+}
+
+// ---------------------------------------------------------------------------
+// TCP front-end
+
+namespace {
+
+bool sendAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + off, data.size() - off,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Scheduler& sched, TcpServerOptions opts)
+    : sched_(&sched) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
+  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: bad listen address " + opts.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("serve: cannot listen on " + opts.host + ":" +
+                             std::to_string(opts.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+  accept_thread_ = std::thread([this] { acceptLoop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  ::close(listen_fd_);
+  std::vector<std::pair<int, std::thread>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& [fd, thread] : conns) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    if (thread.joinable()) thread.join();
+    if (fd >= 0) ::close(fd);
+  }
+}
+
+void TcpServer::acceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lk(conn_mu_);
+    const std::size_t slot = conns_.size();
+    conns_.emplace_back(
+        fd, std::thread([this, fd, slot] {
+          serveConnection(fd);
+          // Reclaim the fd as soon as the peer goes away (unless stop()
+          // already took ownership of the connection list).
+          std::lock_guard<std::mutex> lk2(conn_mu_);
+          if (slot < conns_.size() && conns_[slot].first == fd) {
+            ::close(fd);
+            conns_[slot].first = -1;
+          }
+        }));
+  }
+}
+
+void TcpServer::serveConnection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n <= 0) return;  // EOF / error / stop(): fd is closed by stop()
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      if (!sendAll(fd, handleLine(*sched_, line) + "\n")) return;
+    }
+  }
+}
+
+}  // namespace skewopt::serve

@@ -1,0 +1,87 @@
+// Wire protocol + TCP front-end for the optimization service.
+//
+// The protocol is newline-delimited JSON: one request object per line, one
+// reply object per line, over a local TCP connection (or handed straight
+// to handleLine for in-process use — the dispatch is identical, which is
+// how the tests cover the protocol without sockets).
+//
+// Requests ("cmd" selects the verb):
+//   {"cmd":"SUBMIT","spec":{...},"block":false}
+//       -> {"ok":true,"id":7,"hash":"9f..","state":"QUEUED"}
+//       -> {"ok":false,"error":"queue full"}            (backpressure)
+//   {"cmd":"STATUS","id":7}
+//       -> {"ok":true,"id":7,"state":"RUNNING","attempts":1,...}
+//   {"cmd":"RESULT","id":7,"wait":true}
+//       -> {"ok":true,"id":7,"state":"DONE","result":{...}}
+//       -> {"ok":false,"state":"FAILED","error":"..."}
+//   {"cmd":"CANCEL","id":7}    -> {"ok":true,"cancelled":true}
+//   {"cmd":"STATS"}            -> {"ok":true,"submitted":N,...}
+//
+// The spec JSON covers the commonly-tuned option knobs (see specFromJson);
+// everything else takes its FlowOptions default, identically on both the
+// wire and in-process paths, so a spec submitted over TCP hashes — and
+// therefore caches and reproduces — exactly like the same spec submitted
+// in-process. Unknown request/spec/option keys are rejected, not ignored:
+// a typo must not silently change which job runs.
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/json.h"
+#include "serve/scheduler.h"
+
+namespace skewopt::serve {
+
+/// spec <-> JSON (see file comment for coverage). specFromJson throws
+/// std::runtime_error on unknown keys or malformed values.
+json::Value specToJson(const JobSpec& spec);
+JobSpec specFromJson(const json::Value& v);
+
+json::Value metricsToJson(const core::DesignMetrics& m);
+json::Value resultToJson(const core::FlowResult& r);
+
+/// Dispatches one parsed request against the scheduler. Never throws for
+/// protocol-level errors — they become {"ok":false,"error":...} replies.
+json::Value handleRequest(Scheduler& sched, const json::Value& request);
+
+/// parse + handleRequest + dump; malformed JSON becomes an error reply.
+std::string handleLine(Scheduler& sched, const std::string& line);
+
+struct TcpServerOptions {
+  std::string host = "127.0.0.1";
+  int port = 0;  ///< 0 = ephemeral; the bound port is reported by port()
+};
+
+/// Serves the protocol over a local TCP socket: one accept loop, one
+/// thread per connection, each processing requests sequentially (clients
+/// wanting parallel jobs open several connections or use non-blocking
+/// SUBMIT + STATUS polling). stop() (and the destructor) shuts every
+/// connection down and joins all threads; the scheduler itself is left
+/// running.
+class TcpServer {
+ public:
+  TcpServer(Scheduler& sched, TcpServerOptions opts = {});
+  ~TcpServer();
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  int port() const { return port_; }
+  void stop();
+
+ private:
+  void acceptLoop();
+  void serveConnection(int fd);
+
+  Scheduler* sched_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::pair<int, std::thread>> conns_;  ///< fd + handler
+};
+
+}  // namespace skewopt::serve

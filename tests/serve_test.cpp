@@ -1,0 +1,664 @@
+// Tests for the serve subsystem: spec hashing, the bounded priority queue,
+// the result cache, the scheduler (concurrent submit / cancel / retry /
+// backpressure / drain / shutdown), the in-process client's bit-identity
+// guarantee against direct core::Flow::run, and the JSON wire protocol
+// (both the socket-free dispatch path and a live TCP round trip).
+//
+// The whole file runs under ThreadSanitizer as serve_test_tsan (see
+// tests/CMakeLists.txt), which is the race coverage the subsystem's
+// concurrency claims rest on.
+#include "serve/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/json.h"
+#include "serve/queue.h"
+#include "serve/server.h"
+
+namespace skewopt::serve {
+namespace {
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+const eco::StageDelayLut& sharedLut() {
+  static eco::StageDelayLut lut(sharedTech());
+  return lut;
+}
+
+/// A small, fast spec: 40-sink CLS1v1, local flow, two iterations.
+JobSpec tinySpec(std::uint64_t seed, core::FlowMode mode = core::FlowMode::kLocal) {
+  JobSpec spec;
+  spec.source.kind = DesignSource::Kind::kTestgen;
+  spec.source.testcase = "CLS1v1";
+  spec.source.sinks = 40;
+  spec.source.max_pairs = 40;
+  spec.source.seed = seed;
+  spec.mode = mode;
+  spec.options.local.max_iterations = 2;
+  return spec;
+}
+
+/// One-shot gate the fake runners block on.
+class Gate {
+ public:
+  void open() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+  void wait() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [&] { return open_; });
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+/// Exact (bit-identical) comparison of the deterministic FlowResult fields;
+/// wall-clock members (LpSolveStats timings) are deliberately skipped.
+void expectIdentical(const core::FlowResult& a, const core::FlowResult& b) {
+  const auto metrics = [](const core::DesignMetrics& x,
+                          const core::DesignMetrics& y) {
+    EXPECT_EQ(x.sum_variation_ps, y.sum_variation_ps);
+    EXPECT_EQ(x.local_skew_ps, y.local_skew_ps);
+    EXPECT_EQ(x.clock_cells, y.clock_cells);
+    EXPECT_EQ(x.power_mw, y.power_mw);
+    EXPECT_EQ(x.area_um2, y.area_um2);
+  };
+  metrics(a.before, b.before);
+  metrics(a.after, b.after);
+
+  EXPECT_EQ(a.global.sum_before_ps, b.global.sum_before_ps);
+  EXPECT_EQ(a.global.sum_after_ps, b.global.sum_after_ps);
+  EXPECT_EQ(a.global.chosen_u_ps, b.global.chosen_u_ps);
+  EXPECT_EQ(a.global.arcs_changed, b.global.arcs_changed);
+  EXPECT_EQ(a.global.improved, b.global.improved);
+  EXPECT_EQ(a.global.candidates, b.global.candidates);
+  EXPECT_EQ(a.global.lp_iterations, b.global.lp_iterations);
+
+  EXPECT_EQ(a.local.sum_before_ps, b.local.sum_before_ps);
+  EXPECT_EQ(a.local.sum_after_ps, b.local.sum_after_ps);
+  EXPECT_EQ(a.local.improved, b.local.improved);
+  EXPECT_EQ(a.local.golden_evaluations, b.local.golden_evaluations);
+  ASSERT_EQ(a.local.history.size(), b.local.history.size());
+  for (std::size_t i = 0; i < a.local.history.size(); ++i) {
+    EXPECT_EQ(a.local.history[i].round, b.local.history[i].round);
+    EXPECT_EQ(a.local.history[i].type, b.local.history[i].type);
+    EXPECT_EQ(a.local.history[i].predicted_delta_ps,
+              b.local.history[i].predicted_delta_ps);
+    EXPECT_EQ(a.local.history[i].realized_delta_ps,
+              b.local.history[i].realized_delta_ps);
+    EXPECT_EQ(a.local.history[i].sum_after_ps,
+              b.local.history[i].sum_after_ps);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Spec hashing
+
+TEST(JobSpecTest, CanonicalKeyCoversResultAffectingFields) {
+  const JobSpec base = tinySpec(1);
+  EXPECT_EQ(canonicalKey(base), canonicalKey(tinySpec(1)));
+  EXPECT_EQ(contentHash(base), contentHash(tinySpec(1)));
+
+  JobSpec changed = tinySpec(2);
+  EXPECT_NE(canonicalKey(base), canonicalKey(changed));
+
+  changed = tinySpec(1, core::FlowMode::kGlobal);
+  EXPECT_NE(canonicalKey(base), canonicalKey(changed));
+
+  changed = tinySpec(1);
+  changed.options.local.max_iterations = 3;
+  EXPECT_NE(canonicalKey(base), canonicalKey(changed));
+
+  changed = tinySpec(1);
+  changed.options.global.u_sweep = {0.1};
+  EXPECT_NE(canonicalKey(base), canonicalKey(changed));
+
+  changed = tinySpec(1);
+  changed.source.kind = DesignSource::Kind::kFile;
+  changed.source.path = "x.skv";
+  EXPECT_NE(canonicalKey(base), canonicalKey(changed));
+}
+
+TEST(JobSpecTest, SchedulingAndParallelismKnobsDoNotChangeTheKey) {
+  const JobSpec base = tinySpec(1);
+  JobSpec same = tinySpec(1);
+  same.priority = 9;
+  same.deadline_ms = 1000;
+  same.max_retries = 5;
+  same.options.local.parallel_trials = !base.options.local.parallel_trials;
+  same.options.local.threads = 7;
+  same.options.global.parallel_realize = !base.options.global.parallel_realize;
+  EXPECT_EQ(canonicalKey(base), canonicalKey(same));
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+
+std::shared_ptr<Job> queuedJob(std::uint64_t id, int priority) {
+  auto job = std::make_shared<Job>();
+  job->id = id;
+  job->spec.priority = priority;
+  return job;
+}
+
+TEST(JobQueueTest, PriorityThenFifoOrder) {
+  JobQueue q(8);
+  ASSERT_TRUE(q.push(queuedJob(1, 0), false));
+  ASSERT_TRUE(q.push(queuedJob(2, 5), false));
+  ASSERT_TRUE(q.push(queuedJob(3, 5), false));
+  ASSERT_TRUE(q.push(queuedJob(4, 9), false));
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 4; ++i) order.push_back(q.pop(nullptr)->id);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{4, 2, 3, 1}));
+}
+
+TEST(JobQueueTest, BoundedRejectsWhenFullAndDrainsAfterClose) {
+  JobQueue q(2);
+  EXPECT_TRUE(q.push(queuedJob(1, 0), false));
+  EXPECT_TRUE(q.push(queuedJob(2, 0), false));
+  EXPECT_FALSE(q.push(queuedJob(3, 0), false));  // full: rejected
+  q.close();
+  EXPECT_FALSE(q.push(queuedJob(4, 0), false));  // closed: rejected
+  EXPECT_EQ(q.pop(nullptr)->id, 1u);
+  EXPECT_EQ(q.pop(nullptr)->id, 2u);
+  EXPECT_EQ(q.pop(nullptr), nullptr);  // closed and empty
+}
+
+TEST(JobQueueTest, CancelledEntriesAreSkippedAndReported) {
+  JobQueue q(4);
+  auto a = queuedJob(1, 0), b = queuedJob(2, 0);
+  b->cancel_requested.store(true);
+  ASSERT_TRUE(q.push(b, false));
+  ASSERT_TRUE(q.push(a, false));
+  std::vector<std::shared_ptr<Job>> cancelled;
+  EXPECT_EQ(q.pop(&cancelled)->id, 1u);
+  ASSERT_EQ(cancelled.size(), 1u);
+  EXPECT_EQ(cancelled[0]->id, 2u);
+  EXPECT_EQ(q.remove(7), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Cache
+
+TEST(ResultCacheTest, LruEvictionAndStats) {
+  ResultCache cache(2);
+  core::FlowResult r;
+  r.before.sum_variation_ps = 42.0;
+  EXPECT_FALSE(cache.lookup("a", nullptr));
+  cache.insert("a", r);
+  cache.insert("b", r);
+  core::FlowResult out;
+  EXPECT_TRUE(cache.lookup("a", &out));  // refreshes "a"
+  EXPECT_EQ(out.before.sum_variation_ps, 42.0);
+  cache.insert("c", r);                  // evicts "b" (LRU)
+  EXPECT_FALSE(cache.lookup("b", nullptr));
+  EXPECT_TRUE(cache.lookup("a", nullptr));
+  EXPECT_TRUE(cache.lookup("c", nullptr));
+  const ResultCache::Stats s = cache.stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.hits, 3u);
+  EXPECT_EQ(s.misses, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler: the acceptance-criteria suite
+
+TEST(SchedulerTest, ThirtyTwoConcurrentSubmissionsBitIdenticalToDirectRun) {
+  constexpr std::size_t kDistinct = 8, kRepeat = 4, kSubmitters = 4;
+
+  // Direct path: build + run each distinct spec exactly as a library
+  // caller would.
+  std::vector<core::FlowResult> direct(kDistinct);
+  for (std::size_t i = 0; i < kDistinct; ++i) {
+    const JobSpec spec = tinySpec(i + 1);
+    network::Design d = buildDesign(sharedTech(), spec.source);
+    const core::Flow flow(sharedTech(), sharedLut(), spec.options);
+    direct[i] = flow.run(d, spec.mode, nullptr);
+  }
+
+  SchedulerOptions opts;
+  opts.workers = 3;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  std::vector<std::shared_ptr<Job>> jobs(kDistinct * kRepeat);
+  std::vector<std::thread> submitters;
+  for (std::size_t t = 0; t < kSubmitters; ++t)
+    submitters.emplace_back([&, t] {
+      for (std::size_t j = t; j < jobs.size(); j += kSubmitters)
+        jobs[j] = client.submit(tinySpec(j % kDistinct + 1));
+    });
+  for (std::thread& t : submitters) t.join();
+
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    ASSERT_NE(jobs[j], nullptr) << "submission " << j << " rejected";
+    const core::FlowResult served = client.result(jobs[j]->id);
+    expectIdentical(served, direct[j % kDistinct]);
+  }
+  const SchedulerStats s = client.stats();
+  EXPECT_EQ(s.submitted, jobs.size());
+  EXPECT_EQ(s.done, jobs.size());
+  EXPECT_EQ(s.failed, 0u);
+  // 8 distinct keys, 32 submissions: everything after the first run of a
+  // key can be served from cache (how many actually hit depends on timing;
+  // at least the pure repeats of already-finished keys must).
+  EXPECT_EQ(s.cache.hits + s.cache.misses, jobs.size());
+  EXPECT_GE(s.cache.hits, 1u);
+}
+
+TEST(SchedulerTest, FullQueueAppliesBackpressure) {
+  Gate gate;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec&) {
+                    gate.wait();
+                    return core::FlowResult{};
+                  });
+
+  // One job occupies the worker, two fill the queue.
+  const auto running = sched.submit(tinySpec(1));
+  ASSERT_NE(running, nullptr);
+  while (sched.status(running->id).state == JobState::kQueued)
+    std::this_thread::yield();
+  ASSERT_NE(sched.submit(tinySpec(2)), nullptr);
+  ASSERT_NE(sched.submit(tinySpec(3)), nullptr);
+
+  // Non-blocking submit on a full queue is rejected outright.
+  EXPECT_EQ(sched.submit(tinySpec(4), /*block=*/false), nullptr);
+
+  // A blocking submit stalls until the worker frees a slot.
+  std::atomic<bool> accepted{false};
+  std::thread submitter([&] {
+    const auto job = sched.submit(tinySpec(5), /*block=*/true);
+    EXPECT_NE(job, nullptr);
+    accepted.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(accepted.load()) << "blocking submit returned while full";
+  gate.open();
+  submitter.join();
+  EXPECT_TRUE(accepted.load());
+  sched.drain();
+  EXPECT_EQ(sched.stats().done, 4u);
+}
+
+TEST(SchedulerTest, CancelOfQueuedJobNeverRunsIt) {
+  Gate gate;
+  std::mutex seen_mu;
+  std::vector<std::uint64_t> seen;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec& s) {
+                    gate.wait();
+                    std::lock_guard<std::mutex> lk(seen_mu);
+                    seen.push_back(s.source.seed);
+                    return core::FlowResult{};
+                  });
+
+  const auto blocker = sched.submit(tinySpec(1));
+  const auto victim = sched.submit(tinySpec(2));
+  ASSERT_NE(victim, nullptr);
+  EXPECT_TRUE(sched.cancel(victim->id));
+  EXPECT_EQ(sched.status(victim->id).state, JobState::kCancelled);
+  gate.open();
+  sched.drain();
+
+  EXPECT_EQ(sched.status(blocker->id).state, JobState::kDone);
+  EXPECT_EQ(sched.status(victim->id).state, JobState::kCancelled);
+  std::lock_guard<std::mutex> lk(seen_mu);
+  EXPECT_EQ(seen, std::vector<std::uint64_t>{1});  // the victim never ran
+  EXPECT_FALSE(sched.cancel(blocker->id));         // terminal: not cancellable
+}
+
+TEST(SchedulerTest, GracefulDrainCompletesQueuedAndRunningJobs) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec&) {
+                    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+                    return core::FlowResult{};
+                  });
+  std::vector<std::shared_ptr<Job>> jobs;
+  for (std::uint64_t i = 1; i <= 6; ++i) jobs.push_back(sched.submit(tinySpec(i)));
+  sched.drain();
+  for (const auto& job : jobs) {
+    ASSERT_NE(job, nullptr);
+    EXPECT_EQ(sched.status(job->id).state, JobState::kDone);
+  }
+  EXPECT_EQ(sched.submit(tinySpec(9)), nullptr);  // intake is closed
+}
+
+TEST(SchedulerTest, ShutdownCancelsQueuedButFinishesRunning) {
+  Gate gate;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec&) {
+                    gate.wait();
+                    return core::FlowResult{};
+                  });
+  const auto running = sched.submit(tinySpec(1));
+  ASSERT_NE(running, nullptr);
+  while (sched.status(running->id).state == JobState::kQueued)
+    std::this_thread::yield();
+  const auto q1 = sched.submit(tinySpec(2));
+  const auto q2 = sched.submit(tinySpec(3));
+
+  std::thread stopper([&] { sched.shutdown(); });
+  // shutdown() cancels the queued jobs immediately, then waits for the
+  // running one.
+  while (sched.status(q2->id).state != JobState::kCancelled)
+    std::this_thread::yield();
+  EXPECT_EQ(sched.status(q1->id).state, JobState::kCancelled);
+  EXPECT_EQ(sched.status(running->id).state, JobState::kRunning);
+  gate.open();
+  stopper.join();
+  EXPECT_EQ(sched.status(running->id).state, JobState::kDone);
+  EXPECT_EQ(sched.stats().cancelled, 2u);
+}
+
+TEST(SchedulerTest, IdenticalResubmissionIsACacheHit) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  const auto first = client.submit(tinySpec(3, core::FlowMode::kGlobal));
+  ASSERT_NE(first, nullptr);
+  const core::FlowResult r1 = client.result(first->id);
+  EXPECT_FALSE(client.status(first->id).cached);
+
+  const auto second = client.submit(tinySpec(3, core::FlowMode::kGlobal));
+  ASSERT_NE(second, nullptr);
+  const core::FlowResult r2 = client.result(second->id);
+  EXPECT_TRUE(client.status(second->id).cached);
+  EXPECT_EQ(client.status(second->id).attempts, 0);  // flow never re-ran
+  expectIdentical(r1, r2);
+
+  // A different spec misses.
+  const auto third = client.submit(tinySpec(4, core::FlowMode::kGlobal));
+  client.result(third->id);
+  EXPECT_FALSE(client.status(third->id).cached);
+
+  const SchedulerStats s = client.stats();
+  EXPECT_EQ(s.cache.hits, 1u);
+  EXPECT_EQ(s.cache.misses, 2u);
+}
+
+TEST(SchedulerTest, TransientFailuresRetryWithBackoffPermanentDoNot) {
+  std::atomic<int> flaky_calls{0}, fatal_calls{0};
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.backoff_base_ms = 1.0;
+  opts.cache_capacity = 0;  // every run must hit the runner
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec& s) -> core::FlowResult {
+                    if (s.source.seed == 1) {  // transient twice, then fine
+                      if (flaky_calls.fetch_add(1) < 2)
+                        throw TransientError("backend hiccup");
+                      return core::FlowResult{};
+                    }
+                    if (s.source.seed == 2) {  // permanent
+                      fatal_calls.fetch_add(1);
+                      throw std::runtime_error("bad spec");
+                    }
+                    throw TransientError("always down");  // budget exhausted
+                  });
+
+  JobSpec flaky = tinySpec(1);
+  flaky.max_retries = 3;
+  const auto a = sched.submit(flaky);
+  EXPECT_EQ(sched.waitTerminal(a->id).state, JobState::kDone);
+  EXPECT_EQ(sched.status(a->id).attempts, 3);
+
+  const auto b = sched.submit(tinySpec(2));
+  EXPECT_EQ(sched.waitTerminal(b->id).state, JobState::kFailed);
+  EXPECT_EQ(sched.status(b->id).error, "bad spec");
+  EXPECT_EQ(fatal_calls.load(), 1);
+
+  JobSpec doomed = tinySpec(3);
+  doomed.max_retries = 1;
+  const auto c = sched.submit(doomed);
+  EXPECT_EQ(sched.waitTerminal(c->id).state, JobState::kFailed);
+  EXPECT_EQ(sched.status(c->id).attempts, 2);
+  EXPECT_EQ(sched.status(c->id).error, "always down");
+
+  EXPECT_EQ(sched.stats().retries, 3u);  // 2 for the flaky job + 1 doomed
+}
+
+TEST(SchedulerTest, PriorityOrdersTheQueue) {
+  Gate gate;
+  std::mutex order_mu;
+  std::vector<std::uint64_t> order;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts,
+                  [&](const JobSpec& s) {
+                    gate.wait();
+                    std::lock_guard<std::mutex> lk(order_mu);
+                    order.push_back(s.source.seed);
+                    return core::FlowResult{};
+                  });
+  const auto blocker = sched.submit(tinySpec(99));
+  ASSERT_NE(blocker, nullptr);
+  while (sched.status(blocker->id).state == JobState::kQueued)
+    std::this_thread::yield();
+  JobSpec low = tinySpec(1);
+  JobSpec hi_a = tinySpec(2);
+  hi_a.priority = 5;
+  JobSpec hi_b = tinySpec(3);
+  hi_b.priority = 5;
+  sched.submit(low);
+  sched.submit(hi_a);
+  sched.submit(hi_b);
+  gate.open();
+  sched.drain();
+  std::lock_guard<std::mutex> lk(order_mu);
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{99, 2, 3, 1}));
+}
+
+TEST(SchedulerTest, StartDeadlineFailsStaleQueuedJobs) {
+  Gate gate;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts, [&](const JobSpec&) {
+    gate.wait();
+    return core::FlowResult{};
+  });
+  const auto blocker = sched.submit(tinySpec(1));
+  JobSpec urgent = tinySpec(2);
+  urgent.deadline_ms = 5;
+  const auto stale = sched.submit(urgent);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.open();
+  sched.drain();
+  EXPECT_EQ(sched.status(blocker->id).state, JobState::kDone);
+  EXPECT_EQ(sched.status(stale->id).state, JobState::kFailed);
+  EXPECT_EQ(sched.status(stale->id).error, "start deadline exceeded");
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol (socket-free dispatch, exactly what the TCP server runs)
+
+TEST(ProtocolTest, JsonRoundTripsAndRejectsMalformedInput) {
+  const json::Value v = json::parse(
+      R"({"a":[1,2.5,-3e2],"b":{"s":"x\n\"y\""},"t":true,"n":null})");
+  EXPECT_EQ(json::parse(json::dump(v)).num("t", 0), 0.0);  // bool, not number
+  EXPECT_TRUE(json::parse(json::dump(v)).boolean("t", false));
+  EXPECT_EQ(v.find("a")->size(), 3u);
+  EXPECT_EQ(v.find("a")->at(2).asDouble(), -300.0);
+  EXPECT_EQ(v.find("b")->find("s")->asString(), "x\n\"y\"");
+  EXPECT_THROW(json::parse("{"), std::runtime_error);
+  EXPECT_THROW(json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(json::parse("{} trailing"), std::runtime_error);
+
+  // Number round trip at full double precision.
+  const double tricky = 0.1 + 0.2;
+  json::Value num = json::Value::object();
+  num.set("x", tricky);
+  EXPECT_EQ(json::parse(json::dump(num)).num("x", 0), tricky);
+}
+
+TEST(ProtocolTest, SpecJsonRoundTripPreservesTheCanonicalKey) {
+  JobSpec spec = tinySpec(7, core::FlowMode::kGlobalLocal);
+  spec.options.global.u_sweep = {0.1, 0.3};
+  spec.options.global.beta = 1.15;
+  spec.options.local.r = 4;
+  spec.priority = 2;
+  const JobSpec back = specFromJson(specToJson(spec));
+  EXPECT_EQ(canonicalKey(spec), canonicalKey(back));
+  EXPECT_EQ(back.priority, 2);
+
+  // Unknown keys are rejected, not ignored.
+  json::Value bad = specToJson(spec);
+  bad.set("bogus", 1);
+  EXPECT_THROW(specFromJson(bad), std::runtime_error);
+  json::Value bad_opt = specToJson(spec);
+  json::Value opts = *bad_opt.find("options");
+  json::Value local = *opts.find("local");
+  local.set("iterations", 3);  // typo for max_iterations
+  opts.set("local", local);
+  bad_opt.set("options", opts);
+  EXPECT_THROW(specFromJson(bad_opt), std::runtime_error);
+}
+
+TEST(ProtocolTest, SubmitStatusResultCancelStatsSession) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  // Direct result for the same spec, for the bit-identity check below.
+  const JobSpec spec = tinySpec(5);
+  network::Design d = buildDesign(sharedTech(), spec.source);
+  const core::Flow flow(sharedTech(), sharedLut(), spec.options);
+  const core::FlowResult direct = flow.run(d, spec.mode, nullptr);
+
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(spec));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false)) << client.call(json::dump(submit));
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+  EXPECT_EQ(sr.str("state", ""), "QUEUED");
+  EXPECT_EQ(sr.find("hash")->asString().size(), 16u);
+
+  const json::Value rr = json::parse(
+      client.call(R"({"cmd":"RESULT","id":)" + std::to_string(id) + "}"));
+  ASSERT_TRUE(rr.boolean("ok", false));
+  EXPECT_EQ(rr.str("state", ""), "DONE");
+  const json::Value* result = rr.find("result");
+  ASSERT_NE(result, nullptr);
+  // The wire serializes doubles at %.17g: the parsed value equals the
+  // direct run's bit for bit.
+  EXPECT_EQ(result->find("after")->num("sum_variation_ps", -1),
+            direct.after.sum_variation_ps);
+  EXPECT_EQ(result->find("before")->num("sum_variation_ps", -1),
+            direct.before.sum_variation_ps);
+
+  const json::Value st = json::parse(
+      client.call(R"({"cmd":"STATUS","id":)" + std::to_string(id) + "}"));
+  EXPECT_TRUE(st.boolean("ok", false));
+  EXPECT_EQ(st.str("state", ""), "DONE");
+
+  const json::Value stats = json::parse(client.call(R"({"cmd":"STATS"})"));
+  EXPECT_TRUE(stats.boolean("ok", false));
+  EXPECT_EQ(stats.num("done", 0), 1.0);
+
+  // Error paths: malformed JSON, unknown cmd, unknown id, bad spec key.
+  EXPECT_FALSE(json::parse(client.call("not json")).boolean("ok", true));
+  EXPECT_FALSE(
+      json::parse(client.call(R"({"cmd":"NOPE"})")).boolean("ok", true));
+  EXPECT_FALSE(json::parse(client.call(R"({"cmd":"STATUS","id":424242})"))
+                   .boolean("ok", true));
+  EXPECT_FALSE(json::parse(client.call(
+                   R"({"cmd":"SUBMIT","spec":{"mode":"local","oops":1}})"))
+                   .boolean("ok", true));
+}
+
+TEST(ProtocolTest, CancelOverTheWire) {
+  Gate gate;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts, [&](const JobSpec&) {
+    gate.wait();
+    return core::FlowResult{};
+  });
+  InProcessClient client(sched);
+  const auto blocker = sched.submit(tinySpec(1));
+  ASSERT_NE(blocker, nullptr);
+  const auto victim = sched.submit(tinySpec(2));
+  const json::Value cr = json::parse(client.call(
+      R"({"cmd":"CANCEL","id":)" + std::to_string(victim->id) + "}"));
+  EXPECT_TRUE(cr.boolean("ok", false));
+  EXPECT_TRUE(cr.boolean("cancelled", false));
+  EXPECT_EQ(cr.str("state", ""), "CANCELLED");
+  const json::Value rr = json::parse(client.call(
+      R"({"cmd":"RESULT","id":)" + std::to_string(victim->id) + "}"));
+  EXPECT_FALSE(rr.boolean("ok", true));
+  EXPECT_EQ(rr.str("state", ""), "CANCELLED");
+  gate.open();
+  sched.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Live TCP round trip
+
+TEST(TcpTest, SubmitAndFetchOverARealSocket) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  TcpServer server(sched, {});  // ephemeral port on 127.0.0.1
+  ASSERT_GT(server.port(), 0);
+
+  const JobSpec spec = tinySpec(6);
+  network::Design d = buildDesign(sharedTech(), spec.source);
+  const core::Flow flow(sharedTech(), sharedLut(), spec.options);
+  const core::FlowResult direct = flow.run(d, spec.mode, nullptr);
+
+  TcpClient client("127.0.0.1", server.port());
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(spec));
+  const json::Value sr = client.call(submit);
+  ASSERT_TRUE(sr.boolean("ok", false));
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+
+  json::Value fetch = json::Value::object();
+  fetch.set("cmd", "RESULT");
+  fetch.set("id", id);
+  const json::Value rr = client.call(fetch);
+  ASSERT_TRUE(rr.boolean("ok", false));
+  EXPECT_EQ(rr.find("result")->find("after")->num("sum_variation_ps", -1),
+            direct.after.sum_variation_ps);
+
+  json::Value stats = json::Value::object();
+  stats.set("cmd", "STATS");
+  EXPECT_EQ(client.call(stats).num("done", 0), 1.0);
+  server.stop();
+  sched.drain();
+}
+
+}  // namespace
+}  // namespace skewopt::serve
