@@ -21,6 +21,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "check/check.h"
 #include "core/flow.h"
 #include "network/eco_export.h"
 #include "network/io.h"
@@ -52,7 +53,9 @@ std::map<std::string, std::string> parseFlags(
       throw UsageError("unexpected argument '" + arg + "'");
     const std::string key = arg.substr(2);
     if (boolean.count(key)) {
-      flags[key] = "1";
+      // Move-assigned: GCC 12's -Wrestrict misdiagnoses the char* copy
+      // path of operator=(const char*) under heavy inlining.
+      flags[key] = std::string("1");
     } else if (valued.count(key)) {
       if (i + 1 >= argc)
         throw UsageError("flag '--" + key + "' requires a value");
@@ -79,15 +82,31 @@ unsigned long parseCount(const std::map<std::string, std::string>& flags,
   return v;
 }
 
+/// Resolves `--check` (plus the SKEWOPT_CHECK_LEVEL override) for a
+/// command; `fallback` is the command's default gate level.
+check::Level parseCheckFlag(const std::map<std::string, std::string>& flags,
+                            check::Level fallback) {
+  check::Level lvl = fallback;
+  const auto it = flags.find("check");
+  if (it != flags.end() && !check::parseLevel(it->second, &lvl))
+    throw UsageError("flag '--check' expects off|cheap|deep, got '" +
+                     it->second + "'");
+  return check::effectiveLevel(lvl);
+}
+
 int usage() {
   std::fprintf(stderr,
       "usage:\n"
       "  skewopt_cli gen --testcase CLS1v1|CLS1v2|CLS2v1 [--sinks N]\n"
       "                  [--pairs N] [--seed S] --out FILE\n"
-      "  skewopt_cli report FILE [--detailed]\n"
+      "  skewopt_cli report FILE [--detailed] [--check off|cheap|deep]\n"
       "  skewopt_cli diff BEFORE AFTER       (emit ECO script)\n"
       "  skewopt_cli optimize FILE --flow global|local|global-local\n"
-      "                  [--train] [--iterations N] --out FILE\n");
+      "                  [--train] [--iterations N]\n"
+      "                  [--check off|cheap|deep] --out FILE\n"
+      "\n"
+      "--check runs the SKW design-invariant verifiers (see\n"
+      "docs/static_analysis.md); SKEWOPT_CHECK_LEVEL overrides it.\n");
   return 2;
 }
 
@@ -133,8 +152,27 @@ int run(int argc, char** argv) {
   if (cmd == "report") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("report requires a design file");
-    const auto flags = parseFlags(argc, argv, 3, {}, {"detailed"});
+    const auto flags = parseFlags(argc, argv, 3, {"check"}, {"detailed"});
     const network::Design d = network::loadDesign(tech, argv[2]);
+    // report is a read-only audit, so unlike optimize it does not throw on
+    // findings: it prints the full diagnostic report and exits non-zero.
+    const check::Level chk = parseCheckFlag(flags, check::Level::kCheap);
+    if (chk != check::Level::kOff) {
+      check::DiagnosticEngine engine;
+      engine.setContext("cli:report");
+      check::CheckOptions copts;
+      copts.level = chk;
+      check::checkDesign(d, copts, engine);
+      if (chk >= check::Level::kDeep && !engine.hasErrors())
+        check::checkDesignTiming(d, sta::Timer(tech), engine);
+      if (!engine.empty())
+        std::fprintf(stderr, "%s", engine.text().c_str());
+      if (engine.hasErrors()) {
+        std::fprintf(stderr, "skewopt_cli: %zu design check error(s)\n",
+                     engine.errorCount());
+        return 1;
+      }
+    }
     if (flags.count("detailed")) {
       const sta::Timer timer(tech);
       sta::writeTimingReport(std::cout, d, timer);
@@ -158,8 +196,8 @@ int run(int argc, char** argv) {
   if (cmd == "optimize") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("optimize requires a design file");
-    const auto flags = parseFlags(argc, argv, 3,
-                                  {"flow", "iterations", "out"}, {"train"});
+    const auto flags = parseFlags(
+        argc, argv, 3, {"flow", "iterations", "out", "check"}, {"train"});
     network::Design d = network::loadDesign(tech, argv[2]);
 
     core::FlowMode mode = core::FlowMode::kGlobalLocal;
@@ -186,6 +224,9 @@ int run(int argc, char** argv) {
     core::FlowOptions fopts;
     fopts.local.max_iterations =
         parseCount(flags, "iterations", fopts.local.max_iterations);
+    // The flow's stage gates throw check::CheckFailure on a violation;
+    // main()'s std::exception handler prints the SKW report and exits 1.
+    fopts.check_level = parseCheckFlag(flags, fopts.check_level);
     const core::Flow flow(tech, lut, fopts);
     const core::FlowResult r = flow.run(d, mode, model_ptr);
 

@@ -1,0 +1,160 @@
+#include "check/diagnostics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace skewopt::check {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* levelName(Level l) {
+  switch (l) {
+    case Level::kOff: return "off";
+    case Level::kCheap: return "cheap";
+    case Level::kDeep: return "deep";
+  }
+  return "?";
+}
+
+bool parseLevel(const std::string& text, Level* out) {
+  if (text == "off" || text == "0") {
+    *out = Level::kOff;
+  } else if (text == "cheap" || text == "1") {
+    *out = Level::kCheap;
+  } else if (text == "deep" || text == "2") {
+    *out = Level::kDeep;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Level effectiveLevel(Level configured) {
+  const char* env = std::getenv("SKEWOPT_CHECK_LEVEL");
+  Level lvl = configured;
+  if (env != nullptr && parseLevel(env, &lvl)) return lvl;
+  return configured;
+}
+
+std::string codeString(int code) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "SKW%03d", code);
+  return buf;
+}
+
+void DiagnosticEngine::report(int code, Severity severity, const char* check,
+                              std::string message) {
+  switch (severity) {
+    case Severity::kError: ++errors_; break;
+    case Severity::kWarning: ++warnings_; break;
+    case Severity::kNote: ++notes_; break;
+  }
+  if (diags_.size() >= max_diagnostics_) {
+    ++dropped_;
+    return;
+  }
+  diags_.push_back(
+      {code, severity, check, context_, std::move(message)});
+}
+
+bool DiagnosticEngine::hasCode(int code) const {
+  for (const Diagnostic& d : diags_)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string DiagnosticEngine::text() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << codeString(d.code) << ' ' << severityName(d.severity) << " ["
+       << d.check << ']';
+    if (!d.where.empty()) os << ' ' << d.where;
+    os << ": " << d.message << '\n';
+  }
+  if (dropped_ > 0)
+    os << "... " << dropped_ << " further diagnostic(s) suppressed\n";
+  return os.str();
+}
+
+namespace {
+
+void appendJsonString(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+}  // namespace
+
+std::string DiagnosticEngine::json() const {
+  std::ostringstream os;
+  os << "{\"errors\":" << errors_ << ",\"warnings\":" << warnings_
+     << ",\"dropped\":" << dropped_ << ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diags_) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"code\":";
+    appendJsonString(os, codeString(d.code));
+    os << ",\"severity\":";
+    appendJsonString(os, severityName(d.severity));
+    os << ",\"check\":";
+    appendJsonString(os, d.check);
+    os << ",\"where\":";
+    appendJsonString(os, d.where);
+    os << ",\"message\":";
+    appendJsonString(os, d.message);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  errors_ = warnings_ = notes_ = dropped_ = 0;
+}
+
+namespace {
+
+std::string failureMessage(const DiagnosticEngine& engine,
+                           const std::string& stage) {
+  std::ostringstream os;
+  os << "design checks failed at " << stage << " (" << engine.errorCount()
+     << " error(s), " << engine.warningCount() << " warning(s)):\n"
+     << engine.text();
+  return os.str();
+}
+
+}  // namespace
+
+CheckFailure::CheckFailure(const DiagnosticEngine& engine,
+                           const std::string& stage)
+    : std::runtime_error(failureMessage(engine, stage)),
+      diags_(engine.diagnostics()) {}
+
+}  // namespace skewopt::check

@@ -1,0 +1,110 @@
+// Diagnostic engine for the design-invariant checker subsystem.
+//
+// Every verifier in src/check (and the serve-side JobSpec checker) reports
+// findings through a DiagnosticEngine as stable `SKW###` codes: production
+// flows grep logs and gate CI on codes, not on message text, so the code
+// of an existing diagnostic must never be renumbered — docs/static_analysis.md
+// is the catalog. Severities:
+//
+//   kError   — a structural invariant is broken; the stage gates treat any
+//              error as fatal (CheckFailure).
+//   kWarning — suspicious but not invariant-breaking; reported, never fatal.
+//   kNote    — context attached to a preceding finding.
+//
+// Check levels: kCheap checks are O(design) structural walks wired
+// unconditionally into every stage gate; kDeep adds full multi-corner STA
+// re-verification and quadratic scans, and is enabled per run via the
+// SKEWOPT_CHECK_LEVEL environment variable, the CLI's --check flag, or the
+// serve protocol's "check" spec field.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace skewopt::check {
+
+enum class Severity { kNote, kWarning, kError };
+const char* severityName(Severity s);
+
+/// How much verification a stage gate runs. Ordered: a level includes
+/// everything below it.
+enum class Level { kOff = 0, kCheap = 1, kDeep = 2 };
+const char* levelName(Level l);
+
+/// Parses "off|cheap|deep" (or "0|1|2"). Returns false on anything else.
+bool parseLevel(const std::string& text, Level* out);
+
+/// SKEWOPT_CHECK_LEVEL, when set and parseable, overrides the configured
+/// level (so a deployment can force deep checks — or silence a gate —
+/// without touching call sites); otherwise `configured` stands.
+Level effectiveLevel(Level configured);
+
+/// "SKW###", zero-padded to three digits.
+std::string codeString(int code);
+
+struct Diagnostic {
+  int code = 0;
+  Severity severity = Severity::kError;
+  std::string check;    ///< verifier name, e.g. "tree-structure"
+  std::string where;    ///< gate context, e.g. "flow:input"
+  std::string message;  ///< human-readable finding
+};
+
+/// Collects diagnostics from a sequence of verifier runs. Bounded: after
+/// `max_diagnostics` findings further reports only bump the counters (a
+/// corrupt 100k-node tree should not produce a 100k-line report).
+class DiagnosticEngine {
+ public:
+  explicit DiagnosticEngine(std::size_t max_diagnostics = 64)
+      : max_diagnostics_(max_diagnostics) {}
+
+  /// Stamps subsequent diagnostics' `where` field (stage gates set this to
+  /// their stage name before running the verifiers).
+  void setContext(std::string context) { context_ = std::move(context); }
+  const std::string& context() const { return context_; }
+
+  void report(int code, Severity severity, const char* check,
+              std::string message);
+
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+  std::size_t errorCount() const { return errors_; }
+  std::size_t warningCount() const { return warnings_; }
+  bool hasErrors() const { return errors_ > 0; }
+  bool empty() const { return errors_ == 0 && warnings_ == 0 && notes_ == 0; }
+  /// Findings counted but not recorded (over the max_diagnostics cap).
+  std::size_t dropped() const { return dropped_; }
+
+  /// True iff some diagnostic carries `code`.
+  bool hasCode(int code) const;
+
+  /// Human-readable report, one "SKW### severity [check] where: message"
+  /// line per finding.
+  std::string text() const;
+
+  /// JSON emission: {"errors":N,"warnings":N,"diagnostics":[{...},...]}.
+  std::string json() const;
+
+  void clear();
+
+ private:
+  std::size_t max_diagnostics_;
+  std::string context_;
+  std::vector<Diagnostic> diags_;
+  std::size_t errors_ = 0, warnings_ = 0, notes_ = 0, dropped_ = 0;
+};
+
+/// Thrown by a stage gate whose DiagnosticEngine collected errors. what()
+/// carries the full text report; the structured findings stay accessible
+/// for callers (the serve layer folds them into the FAILED job error).
+class CheckFailure : public std::runtime_error {
+ public:
+  CheckFailure(const DiagnosticEngine& engine, const std::string& stage);
+  const std::vector<Diagnostic>& diagnostics() const { return diags_; }
+
+ private:
+  std::vector<Diagnostic> diags_;
+};
+
+}  // namespace skewopt::check

@@ -1,5 +1,7 @@
 #include "core/flow.h"
 
+#include "check/check.h"
+
 namespace skewopt::core {
 
 const char* flowModeName(FlowMode m) {
@@ -26,6 +28,9 @@ DesignMetrics computeMetrics(const network::Design& d,
 
 FlowResult Flow::run(network::Design& d, FlowMode mode,
                      const DeltaLatencyModel* model) const {
+  const check::Level chk = check::effectiveLevel(opts_.check_level);
+  check::gateDesign(d, timer_, chk, "flow:input");
+
   // Alphas are locked to the incoming tree (they are an input parameter of
   // the formulation).
   Objective objective(d, timer_);
@@ -33,14 +38,19 @@ FlowResult Flow::run(network::Design& d, FlowMode mode,
   res.before = computeMetrics(d, objective, timer_);
 
   if (mode == FlowMode::kGlobal || mode == FlowMode::kGlobalLocal) {
-    GlobalOptimizer gopt(*tech_, *lut_, opts_.global);
+    GlobalOptions gopts = opts_.global;
+    gopts.check_level = chk;
+    GlobalOptimizer gopt(*tech_, *lut_, gopts);
     res.global = gopt.run(d, objective);
   }
   if (mode == FlowMode::kLocal || mode == FlowMode::kGlobalLocal) {
-    LocalOptimizer lopt(*tech_, opts_.local);
+    LocalOptions lopts = opts_.local;
+    lopts.check_level = chk;
+    LocalOptimizer lopt(*tech_, lopts);
     res.local = lopt.run(d, objective, model);
   }
   res.after = computeMetrics(d, objective, timer_);
+  check::gateDesign(d, timer_, chk, "flow:output");
   return res;
 }
 

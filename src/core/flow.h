@@ -33,6 +33,11 @@ const char* flowModeName(FlowMode m);
 struct FlowOptions {
   GlobalOptions global;
   LocalOptions local;
+  /// Invariant-checker gate level (see src/check). The flow verifies the
+  /// incoming and outgoing design and pushes this level down into the
+  /// global and local stages; a gate with errors throws
+  /// check::CheckFailure. SKEWOPT_CHECK_LEVEL overrides.
+  check::Level check_level = check::Level::kCheap;
 };
 
 struct FlowResult {

@@ -1,5 +1,6 @@
 #include "core/global_opt.h"
 
+#include "check/check.h"
 #include "cts/cts.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
@@ -373,7 +374,24 @@ void GlobalOptimizer::repairLocalSkew(Design& trial,
   }
 }
 
+namespace {
+
+/// LP-model gate: verifies the freshly built model (and, for the sweep
+/// model, the budget-row identity) before handing it to the solver.
+void gateLp(const lp::Model& model, int budget_row, check::Level level,
+            const char* stage) {
+  if (level == check::Level::kOff) return;
+  check::DiagnosticEngine engine;
+  engine.setContext(stage);
+  check::checkLpModel(model, engine);
+  if (budget_row >= 0) check::checkBudgetRow(model, budget_row, engine);
+  if (engine.hasErrors()) throw check::CheckFailure(engine, stage);
+}
+
+}  // namespace
+
 GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
+  const check::Level chk = check::effectiveLevel(opts_.check_level);
   GlobalResult res;
   const std::vector<sta::CornerTiming> timing = timer_.analyzeDesign(d);
   std::vector<std::vector<double>> lat(timing.size());
@@ -397,6 +415,7 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
                            /*min_sum_v=*/true, 0.0);
   res.lp_rows = static_cast<std::size_t>(min_lp.model.numRows());
   res.lp_vars = static_cast<std::size_t>(min_lp.model.numVars());
+  gateLp(min_lp.model, /*budget_row=*/-1, chk, "global:lp");
   support::Stopwatch lp_sw;
   const lp::Solution vsol = lp::solve(min_lp.model, opts_.lp);
   res.lp_solves.push_back({0.0, vsol.iterations, vsol.refactorizations,
@@ -427,6 +446,14 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
   BuiltLp sweep_lp = buildLp(d, ctx, *lut_, objective, before, opts_.beta,
                              /*min_sum_v=*/false, res.lp_orig_sum_ps);
   const int budget_row = sweep_lp.model.numRows() - 1;
+  gateLp(sweep_lp.model, budget_row, chk, "global:lp-sweep");
+  if (chk >= check::Level::kDeep) {
+    check::DiagnosticEngine engine;
+    engine.setContext("global:lp-sweep");
+    check::checkRatioEnvelope(*lut_, d, engine);
+    if (engine.hasErrors())
+      throw check::CheckFailure(engine, "global:lp-sweep");
+  }
   lp::Basis chain;
   if (opts_.warm_start_sweep && !vsol.basis.empty()) {
     // Extend the pass-1 basis with the budget slack: its unit column keeps
@@ -658,6 +685,7 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
     res.sum_after_ps = best_sum;
     res.improved = true;
   }
+  check::gateDesign(d, timer_, chk, "global:output");
   return res;
 }
 

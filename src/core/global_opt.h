@@ -23,6 +23,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/diagnostics.h"
 #include "core/objective.h"
 #include "eco/eco.h"
 #include "lp/lp.h"
@@ -70,6 +71,11 @@ struct GlobalOptions {
   /// best-candidate pick stays in sweep order and is bit-identical to the
   /// serial path.
   bool parallel_realize = true;
+  /// Invariant-checker gate level (see src/check): the built LPs are
+  /// verified before solving and the optimized design before returning;
+  /// kDeep adds the ratio-envelope scan and a full multi-corner re-time.
+  /// SKEWOPT_CHECK_LEVEL overrides (check::effectiveLevel).
+  check::Level check_level = check::Level::kCheap;
   lp::SolverOptions lp;
 };
 

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 
+#include "check/check.h"
 #include "sta/incremental.h"
 #include "support/thread_pool.h"
 
@@ -174,6 +175,8 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
   }
   res.sum_after_ps = current_sum;
   res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;
+  check::gateDesign(d, timer_, check::effectiveLevel(opts_.check_level),
+                    "local:output");
   return res;
 }
 
@@ -218,6 +221,8 @@ LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
   }
   res.sum_after_ps = current.sum_variation_ps;
   res.improved = res.sum_after_ps < res.sum_before_ps - 1e-9;
+  check::gateDesign(d, timer_, check::effectiveLevel(opts_.check_level),
+                    "local:output");
   return res;
 }
 

@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "check/diagnostics.h"
 #include "core/objective.h"
 #include "core/predictor.h"
 #include "network/design.h"
@@ -34,6 +35,9 @@ struct LocalOptions {
   /// the core count still interleaves real concurrency (the TSan test uses
   /// it to exercise races on single-core hosts).
   std::size_t threads = 0;
+  /// Invariant-checker gate level (see src/check) applied to the design
+  /// after the move loop. SKEWOPT_CHECK_LEVEL overrides.
+  check::Level check_level = check::Level::kCheap;
   MoveEnumOptions enumerate;
 };
 

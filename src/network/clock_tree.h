@@ -116,8 +116,23 @@ class ClockTree {
   std::vector<Arc> extractArcs() const;
 
   /// Checks all structural invariants; returns true and leaves `err` empty
-  /// on success, otherwise describes the first violation.
+  /// on success, otherwise describes the first violation. The check
+  /// subsystem's checkTreeStructure() is the diagnostic-code superset of
+  /// this predicate.
   bool validate(std::string* err = nullptr) const;
+
+  /// The underlying node array, including soft-deleted entries that node()
+  /// refuses to hand out — the view an invariant checker needs.
+  const std::vector<ClockNode>& rawNodes() const { return nodes_; }
+
+  /// Unchecked mutable access that deliberately bypasses every invariant.
+  /// Exists solely so corruption-seeding tests can fabricate ill-formed
+  /// trees (cycles, dangling children, dead-node references) that the edit
+  /// operations above refuse to create; never call it from flow code.
+  ClockNode& corruptNodeForTest(int id) {
+    ++edit_stamp_;
+    return nodes_.at(static_cast<std::size_t>(id));
+  }
 
   /// Monotonically increasing counter bumped by every mutating call; lets
   /// caches (timer, routing) detect staleness.

@@ -3,7 +3,7 @@
 namespace skewopt::serve {
 
 bool ResultCache::lookup(const std::string& key, core::FlowResult* out) {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
@@ -18,7 +18,7 @@ bool ResultCache::lookup(const std::string& key, core::FlowResult* out) {
 void ResultCache::insert(const std::string& key,
                          const core::FlowResult& result) {
   if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second.result = result;
@@ -37,7 +37,7 @@ void ResultCache::insert(const std::string& key,
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   Stats s = stats_;
   s.entries = map_.size();
   return s;

@@ -9,11 +9,11 @@
 
 #include <cstddef>
 #include <list>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "core/flow.h"
+#include "support/thread_annotations.h"
 
 namespace skewopt::serve {
 
@@ -46,10 +46,11 @@ class ResultCache {
   };
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<std::string, Entry> map_;
-  std::list<std::string> lru_;  ///< front = most recently used
-  Stats stats_;
+  mutable support::Mutex mu_;
+  std::unordered_map<std::string, Entry> map_ SKEWOPT_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<std::string> lru_ SKEWOPT_GUARDED_BY(mu_);
+  Stats stats_ SKEWOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace skewopt::serve

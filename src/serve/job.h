@@ -11,7 +11,9 @@
 // local.parallel_trials, local.threads, global.parallel_realize — are
 // deliberately excluded from the key; scheduling fields such as priority,
 // deadline and retry budget never affect the result and are excluded
-// too).
+// too, as is options.check_level — a gate level never changes a
+// *successful* result, only whether a corrupt input fails fast, and
+// failures are never cached).
 //
 // A Job is one submitted instance of a spec inside the scheduler, with the
 // lifecycle

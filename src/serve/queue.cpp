@@ -4,11 +4,12 @@
 
 namespace skewopt::serve {
 
+using support::MutexLock;
+
 bool JobQueue::push(std::shared_ptr<Job> job, bool block) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   if (block) {
-    not_full_.wait(lk,
-                   [&] { return closed_ || entries_.size() < capacity_; });
+    while (!closed_ && entries_.size() >= capacity_) not_full_.wait(lk);
   }
   if (closed_ || entries_.size() >= capacity_) return false;
   Entry e{job->spec.priority, next_seq_++, std::move(job)};
@@ -19,15 +20,15 @@ bool JobQueue::push(std::shared_ptr<Job> job, bool block) {
                        }),
       std::move(e));
   lk.unlock();
-  not_empty_.notify_one();
+  not_empty_.notifyOne();
   return true;
 }
 
 std::shared_ptr<Job> JobQueue::pop(
     std::vector<std::shared_ptr<Job>>* cancelled) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (;;) {
-    not_empty_.wait(lk, [&] { return closed_ || !entries_.empty(); });
+    while (!closed_ && entries_.empty()) not_empty_.wait(lk);
     bool freed = false;
     std::shared_ptr<Job> got;
     while (!entries_.empty()) {
@@ -41,7 +42,7 @@ std::shared_ptr<Job> JobQueue::pop(
       got = std::move(job);
       break;
     }
-    if (freed) not_full_.notify_all();
+    if (freed) not_full_.notifyAll();
     if (got) return got;
     if (closed_ && entries_.empty()) return nullptr;
     // Everything queued was cancelled; keep waiting for real work.
@@ -49,13 +50,13 @@ std::shared_ptr<Job> JobQueue::pop(
 }
 
 std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
-  std::unique_lock<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->job->id != id) continue;
     std::shared_ptr<Job> job = std::move(it->job);
     entries_.erase(it);
     lk.unlock();
-    not_full_.notify_all();
+    not_full_.notifyAll();
     return job;
   }
   return nullptr;
@@ -63,34 +64,34 @@ std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
 
 void JobQueue::close() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.notifyAll();
+  not_empty_.notifyAll();
 }
 
 std::vector<std::shared_ptr<Job>> JobQueue::closeAndClear() {
   std::vector<std::shared_ptr<Job>> out;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     closed_ = true;
     out.reserve(entries_.size());
     for (Entry& e : entries_) out.push_back(std::move(e.job));
     entries_.clear();
   }
-  not_full_.notify_all();
-  not_empty_.notify_all();
+  not_full_.notifyAll();
+  not_empty_.notifyAll();
   return out;
 }
 
 std::size_t JobQueue::depth() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return entries_.size();
 }
 
 bool JobQueue::closed() const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   return closed_;
 }
 

@@ -11,13 +11,12 @@
 // erases it eagerly so a cancelled job stops occupying a capacity slot.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "serve/job.h"
+#include "support/thread_annotations.h"
 
 namespace skewopt::serve {
 
@@ -64,12 +63,13 @@ class JobQueue {
   }
 
   const std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::vector<Entry> entries_;  ///< kept sorted by before()
-  std::uint64_t next_seq_ = 0;
-  bool closed_ = false;
+  mutable support::Mutex mu_;
+  support::CondVar not_full_;
+  support::CondVar not_empty_;
+  /// Kept sorted by before().
+  std::vector<Entry> entries_ SKEWOPT_GUARDED_BY(mu_);
+  std::uint64_t next_seq_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  bool closed_ SKEWOPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace skewopt::serve

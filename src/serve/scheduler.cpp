@@ -4,6 +4,8 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "serve/spec_check.h"
+
 namespace skewopt::serve {
 
 namespace {
@@ -42,7 +44,7 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
   job->hash = contentHash(job->spec);
   job->submitted_at = std::chrono::steady_clock::now();
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     if (!accepting_) return nullptr;
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
@@ -50,7 +52,7 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
   if (!queue_.push(job, block)) {
     // Rejected (full without blocking, or closed while blocked): the job
     // never became visible as QUEUED work; drop it from the registry.
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     jobs_.erase(job->id);
     return nullptr;
   }
@@ -58,7 +60,7 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
 }
 
 std::shared_ptr<Job> Scheduler::findJob(std::uint64_t id) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  support::MutexLock lk(mu_);
   const auto it = jobs_.find(id);
   if (it == jobs_.end())
     throw std::out_of_range("serve: unknown job id " + std::to_string(id));
@@ -144,21 +146,27 @@ void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
     // Counters update before any waiter can observe the terminal state, so
     // stats() is consistent once waitTerminal()/result() returns. Lock
     // order is job->mu then mu_ everywhere they nest.
-    std::lock_guard<std::mutex> lk2(mu_);
+    support::MutexLock lk2(mu_);
     ++cancelled_;
   }
   job->cv.notify_all();
 }
 
 bool Scheduler::sleepBackoff(const std::shared_ptr<Job>& job, double ms) {
-  std::unique_lock<std::mutex> lk(mu_);
-  const bool slept = !stop_cv_.wait_for(
-      lk, std::chrono::duration<double, std::milli>(ms), [&] {
-        return abort_retries_ ||
-               job->cancel_requested.load(std::memory_order_acquire);
-      });
-  if (slept) ++retries_;
-  return slept;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(ms));
+  support::MutexLock lk(mu_);
+  for (;;) {
+    if (abort_retries_ ||
+        job->cancel_requested.load(std::memory_order_acquire))
+      return false;
+    if (std::chrono::steady_clock::now() >= deadline) break;
+    stop_cv_.waitUntil(lk, deadline);
+  }
+  ++retries_;
+  return true;
 }
 
 void Scheduler::workerLoop() {
@@ -190,7 +198,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
       job->state = JobState::kFailed;
       job->error = "start deadline exceeded";
       job->finished_at = start;
-      std::lock_guard<std::mutex> lk2(mu_);
+      support::MutexLock lk2(mu_);
       ++failed_;
     } else {
       job->state = JobState::kRunning;
@@ -206,7 +214,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     ++running_;
   }
 
@@ -214,7 +222,16 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   bool ok = false, cached = false;
   std::string error;
 
-  if (cache_.lookup(job->key, &result)) {
+  // Cross-check the job's spec and its cache-keying fields before the
+  // cache lookup: a drifted key would serve (or poison) the wrong entry.
+  // Record corruption is permanent — no retry can repair it.
+  check::DiagnosticEngine record_check;
+  record_check.setContext("serve:job");
+  checkJobRecord(job->spec, job->key, job->hash, record_check);
+
+  if (record_check.hasErrors()) {
+    error = "job record failed validation:\n" + record_check.text();
+  } else if (cache_.lookup(job->key, &result)) {
     ok = cached = true;
   } else {
     for (;;) {
@@ -260,7 +277,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
       job->error = error;
     }
     job->finished_at = std::chrono::steady_clock::now();
-    std::lock_guard<std::mutex> lk2(mu_);
+    support::MutexLock lk2(mu_);
     --running_;
     ++(ok ? done_ : failed_);
   }
@@ -269,13 +286,13 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
 
 void Scheduler::drain() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     accepting_ = false;
   }
   queue_.close();
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     if (joined_) return;
     joined_ = true;
     workers.swap(workers_);
@@ -285,18 +302,18 @@ void Scheduler::drain() {
 
 void Scheduler::shutdown() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     accepting_ = false;
     abort_retries_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.notifyAll();
   for (const auto& job : queue_.closeAndClear()) {
     job->cancel_requested.store(true, std::memory_order_release);
     finishCancelled(job);
   }
   std::vector<std::thread> workers;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     if (joined_) return;
     joined_ = true;
     workers.swap(workers_);
@@ -307,7 +324,7 @@ void Scheduler::shutdown() {
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    support::MutexLock lk(mu_);
     s.submitted = next_id_ - 1;
     s.done = done_;
     s.failed = failed_;

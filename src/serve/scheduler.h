@@ -35,6 +35,7 @@
 #include "serve/cache.h"
 #include "serve/job.h"
 #include "serve/queue.h"
+#include "support/thread_annotations.h"
 #include "tech/tech.h"
 
 namespace skewopt::serve {
@@ -122,17 +123,24 @@ class Scheduler {
   JobQueue queue_;
   ResultCache cache_;
 
-  mutable std::mutex mu_;  ///< registry + counters + lifecycle flags
-  std::condition_variable stop_cv_;  ///< wakes backoff sleepers on shutdown
-  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_;
-  std::uint64_t next_id_ = 1;
-  bool accepting_ = true;
-  bool abort_retries_ = false;
-  bool joined_ = false;
-  std::size_t running_ = 0;
-  std::size_t done_ = 0, failed_ = 0, cancelled_ = 0, retries_ = 0;
+  /// Registry + counters + lifecycle flags.
+  mutable support::Mutex mu_;
+  support::CondVar stop_cv_;  ///< wakes backoff sleepers on shutdown
+  std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_
+      SKEWOPT_GUARDED_BY(mu_);
+  std::uint64_t next_id_ SKEWOPT_GUARDED_BY(mu_) = 1;
+  bool accepting_ SKEWOPT_GUARDED_BY(mu_) = true;
+  bool abort_retries_ SKEWOPT_GUARDED_BY(mu_) = false;
+  bool joined_ SKEWOPT_GUARDED_BY(mu_) = false;
+  std::size_t running_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t done_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t failed_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t cancelled_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t retries_ SKEWOPT_GUARDED_BY(mu_) = 0;
 
-  std::vector<std::thread> workers_;
+  /// Populated in the constructor, swapped out once under mu_ by the first
+  /// drain()/shutdown() to join outside the lock.
+  std::vector<std::thread> workers_ SKEWOPT_GUARDED_BY(mu_);
 };
 
 }  // namespace skewopt::serve

@@ -109,6 +109,10 @@ json::Value specToJson(const JobSpec& spec) {
   v.set("source", std::move(source));
   v.set("mode", core::flowModeName(spec.mode));
   v.set("options", std::move(options));
+  // Default level stays implicit so pre-checker clients round-trip
+  // byte-identically.
+  if (spec.options.check_level != check::Level::kCheap)
+    v.set("check", check::levelName(spec.options.check_level));
   v.set("priority", spec.priority);
   v.set("deadline_ms", spec.deadline_ms);
   v.set("max_retries", spec.max_retries);
@@ -117,8 +121,8 @@ json::Value specToJson(const JobSpec& spec) {
 
 JobSpec specFromJson(const json::Value& v) {
   requireObject(v, "spec");
-  checkKeys(v, {"source", "mode", "options", "priority", "deadline_ms",
-                "max_retries"},
+  checkKeys(v, {"source", "mode", "options", "check", "priority",
+                "deadline_ms", "max_retries"},
             "spec");
   JobSpec spec;
 
@@ -204,6 +208,12 @@ JobSpec specFromJson(const json::Value& v) {
       l.threads = static_cast<std::size_t>(
           lv->num("threads", static_cast<double>(l.threads)));
     }
+  }
+
+  if (const json::Value* chk = v.find("check")) {
+    if (!chk->isString() ||
+        !check::parseLevel(chk->asString(), &spec.options.check_level))
+      throw std::runtime_error("'check' must be off, cheap, or deep");
   }
 
   spec.priority = static_cast<int>(v.num("priority", 0));

@@ -1,0 +1,57 @@
+#include "serve/spec_check.h"
+
+#include <cmath>
+
+namespace skewopt::serve {
+
+using check::DiagnosticEngine;
+using check::Severity;
+
+void checkJobSpec(const JobSpec& spec, DiagnosticEngine& engine) {
+  const char* kCheck = "job-spec";
+  const DesignSource& s = spec.source;
+  switch (s.kind) {
+    case DesignSource::Kind::kTestgen:
+      if (s.testcase != "CLS1v1" && s.testcase != "CLS1v2" &&
+          s.testcase != "CLS2v1")
+        engine.report(303, Severity::kError, kCheck,
+                      "unknown testgen testcase \"" + s.testcase + "\"");
+      if (s.sinks == 0)
+        engine.report(303, Severity::kError, kCheck,
+                      "testgen source requests zero sinks");
+      break;
+    case DesignSource::Kind::kFile:
+      if (s.path.empty())
+        engine.report(304, Severity::kError, kCheck,
+                      "file source has an empty path");
+      break;
+    case DesignSource::Kind::kInline:
+      if (s.text.empty())
+        engine.report(304, Severity::kError, kCheck,
+                      "inline source has empty design text");
+      break;
+  }
+  if (!std::isfinite(spec.deadline_ms) || spec.deadline_ms < 0.0)
+    engine.report(305, Severity::kError, kCheck,
+                  "deadline_ms must be finite and non-negative");
+  if (spec.max_retries < 0)
+    engine.report(305, Severity::kError, kCheck,
+                  "max_retries must be non-negative");
+}
+
+void checkJobRecord(const JobSpec& spec, const std::string& key,
+                    std::uint64_t hash, DiagnosticEngine& engine) {
+  const char* kCheck = "job-record";
+  checkJobSpec(spec, engine);
+  if (key.rfind("|v=", 0) != 0)
+    engine.report(302, Severity::kError, kCheck,
+                  "canonical key lacks the version prefix");
+  if (key != canonicalKey(spec))
+    engine.report(300, Severity::kError, kCheck,
+                  "stored canonical key does not match the spec");
+  if (hash != contentHash(spec))
+    engine.report(301, Severity::kError, kCheck,
+                  "stored content hash does not match the spec");
+}
+
+}  // namespace skewopt::serve

@@ -1,0 +1,30 @@
+// JobSpec record verifier (SKW300-305) — the serve-side member of the
+// src/check verifier family. It lives here rather than in src/check
+// because serve sits above check in the module graph.
+//
+// The scheduler's result cache trusts two derived fields of every Job:
+// `key` (canonicalKey of the spec) and `hash` (contentHash). A job whose
+// stored key drifted from its spec — a mutation after submit, or a key
+// writer regression — would poison the cache for every later submission,
+// so the scheduler re-derives and cross-checks both before running a job.
+#pragma once
+
+#include "check/diagnostics.h"
+#include "serve/job.h"
+
+namespace skewopt::serve {
+
+/// Verifies a spec's own fields: source well-formedness (known testgen
+/// testcase and nonzero sinks; nonempty file path / inline text) and
+/// scheduling fields (finite non-negative deadline, non-negative retry
+/// budget). SKW303-305.
+void checkJobSpec(const JobSpec& spec, check::DiagnosticEngine& engine);
+
+/// Verifies a submitted job's derived fields against its spec: stored key
+/// matches a fresh canonicalKey (SKW300), stored hash matches a fresh
+/// contentHash (SKW301), and the key carries the version prefix (SKW302).
+/// Includes checkJobSpec.
+void checkJobRecord(const JobSpec& spec, const std::string& key,
+                    std::uint64_t hash, check::DiagnosticEngine& engine);
+
+}  // namespace skewopt::serve

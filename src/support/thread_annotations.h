@@ -1,0 +1,112 @@
+// Clang thread-safety-analysis vocabulary for the project's locking
+// discipline, plus the annotated synchronization primitives built on it.
+//
+// The dynamic sanitizers (TSan in the tier-1 suite) only sample the
+// schedules a test happens to execute; Clang's -Wthread-safety proves the
+// discipline statically for every path. The macros expand to Clang
+// attributes under Clang and to nothing elsewhere, so GCC builds are
+// unaffected.
+//
+// std::mutex itself carries no capability attributes, so the analysis
+// cannot see through it. The thin wrappers below — Mutex, MutexLock,
+// CondVar — are the project's lockable types: a member annotated
+// SKEWOPT_GUARDED_BY(mu_) is then statically checked to be touched only
+// while `mu_` is held. Condition-variable wait loops must be written as
+// explicit `while (!pred) cv.wait(lk);` loops (not the predicate-lambda
+// overloads) so the guarded reads stay inside the analyzed locked scope.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(x)
+#endif
+
+#define SKEWOPT_CAPABILITY(x) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+#define SKEWOPT_SCOPED_CAPABILITY \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+#define SKEWOPT_GUARDED_BY(x) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+#define SKEWOPT_PT_GUARDED_BY(x) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+#define SKEWOPT_ACQUIRE(...) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+#define SKEWOPT_RELEASE(...) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+#define SKEWOPT_TRY_ACQUIRE(...) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+#define SKEWOPT_REQUIRES(...) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+#define SKEWOPT_EXCLUDES(...) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+#define SKEWOPT_RETURN_CAPABILITY(x) \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+#define SKEWOPT_NO_THREAD_SAFETY_ANALYSIS \
+  SKEWOPT_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
+
+namespace skewopt::support {
+
+/// std::mutex with the capability attribute the analysis needs. The raw
+/// mutex stays reachable through native() for condition-variable waits.
+class SKEWOPT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SKEWOPT_ACQUIRE() { mu_.lock(); }
+  void unlock() SKEWOPT_RELEASE() { mu_.unlock(); }
+  bool tryLock() SKEWOPT_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (the project's std::unique_lock). Declared a
+/// scoped capability so the analysis tracks the held region, including an
+/// early manual unlock() before notify calls.
+class SKEWOPT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) SKEWOPT_ACQUIRE(mu) : lk_(mu.native()) {}
+  ~MutexLock() SKEWOPT_RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases before scope exit (e.g. to notify without the lock held).
+  void unlock() SKEWOPT_RELEASE() { lk_.unlock(); }
+
+  std::unique_lock<std::mutex>& native() { return lk_; }
+
+ private:
+  std::unique_lock<std::mutex> lk_;
+};
+
+/// Condition variable paired with Mutex/MutexLock. Waits atomically
+/// release and reacquire the lock, so callers hold the capability across
+/// the call from the analysis's point of view — which matches the state on
+/// return.
+class CondVar {
+ public:
+  void wait(MutexLock& lk) { cv_.wait(lk.native()); }
+
+  template <typename Clock, typename Duration>
+  std::cv_status waitUntil(
+      MutexLock& lk, const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lk.native(), tp);
+  }
+
+  void notifyOne() { cv_.notify_one(); }
+  void notifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace skewopt::support

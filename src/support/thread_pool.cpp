@@ -6,18 +6,18 @@
 namespace skewopt::support {
 
 void WaitGroup::add(std::size_t n) {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   count_ += n;
 }
 
 void WaitGroup::done() {
-  std::lock_guard<std::mutex> lk(mu_);
-  if (count_ > 0 && --count_ == 0) cv_.notify_all();
+  MutexLock lk(mu_);
+  if (count_ > 0 && --count_ == 0) cv_.notifyAll();
 }
 
 void WaitGroup::wait() {
-  std::unique_lock<std::mutex> lk(mu_);
-  cv_.wait(lk, [&] { return count_ == 0; });
+  MutexLock lk(mu_);
+  while (count_ != 0) cv_.wait(lk);
 }
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -32,27 +32,27 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.notifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
 void ThreadPool::submit(std::function<void()> job) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     queue_.push_back(std::move(job));
   }
-  cv_.notify_one();
+  cv_.notifyOne();
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> job;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [&] { return stop_ || !queue_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && queue_.empty()) cv_.wait(lk);
       if (queue_.empty()) return;  // stop requested and queue drained
       job = std::move(queue_.front());
       queue_.pop_front();

@@ -20,13 +20,13 @@
 // that dispatches again can deadlock waiting for its own worker).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_annotations.h"
 
 namespace skewopt::support {
 
@@ -39,9 +39,9 @@ class WaitGroup {
   void wait();
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::size_t count_ = 0;
+  Mutex mu_;
+  CondVar cv_;
+  std::size_t count_ SKEWOPT_GUARDED_BY(mu_) = 0;
 };
 
 class ThreadPool {
@@ -73,10 +73,10 @@ class ThreadPool {
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ SKEWOPT_GUARDED_BY(mu_);
+  bool stop_ SKEWOPT_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace skewopt::support

@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "check/check.h"
 #include "core/flow.h"
 #include "core/placement_explorer.h"
 #include "network/io.h"
@@ -43,6 +44,15 @@ void checkInvariants(const network::Design& d, const char* where) {
     ASSERT_TRUE(d.tree.isValid(p.launch)) << where;
     ASSERT_TRUE(d.tree.isValid(p.capture)) << where;
   }
+  // The checker subsystem must agree, at its deepest level, after every
+  // stage of every interleaving — its strongest no-false-positive soak.
+  check::DiagnosticEngine engine;
+  engine.setContext(where);
+  check::CheckOptions copts;
+  copts.level = check::Level::kDeep;
+  check::checkDesign(d, copts, engine);
+  check::checkDesignTiming(d, timer, engine);
+  ASSERT_FALSE(engine.hasErrors()) << where << ":\n" << engine.text();
 }
 
 class FuzzFlow : public ::testing::TestWithParam<int> {};
