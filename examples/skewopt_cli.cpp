@@ -25,6 +25,9 @@
 #include "core/flow.h"
 #include "network/eco_export.h"
 #include "network/io.h"
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sta/report.h"
 #include "testgen/testgen.h"
 
@@ -94,19 +97,81 @@ check::Level parseCheckFlag(const std::map<std::string, std::string>& flags,
   return check::effectiveLevel(lvl);
 }
 
+/// Scopes the `--trace out.json` / `--metrics out.prom` outputs of one
+/// command. Paths are validated for writability up front (a bad path is a
+/// usage error — diagnostic + exit 2 — before any optimization work);
+/// the facilities are enabled only when requested, and finish() exports
+/// after the command's work is done.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const std::map<std::string, std::string>& flags) {
+    auto it = flags.find("trace");
+    if (it != flags.end()) trace_path_ = it->second;
+    it = flags.find("metrics");
+    if (it != flags.end()) metrics_path_ = it->second;
+    checkWritable(trace_path_, "trace");
+    checkWritable(metrics_path_, "metrics");
+    if (!metrics_path_.empty()) obs::setMetricsEnabled(true);
+    if (!trace_path_.empty()) {
+      since_ns_ = obs::nowNs();
+      obs::Tracer::global().start();
+    }
+  }
+
+  void finish() {
+    if (!trace_path_.empty()) {
+      obs::Tracer::global().stop();
+      std::string err;
+      if (!obs::Tracer::global().writeJsonFile(trace_path_, since_ns_, &err))
+        throw std::runtime_error("cannot write trace: " + err);
+      std::printf("wrote trace %s\n", trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      const std::string text =
+          obs::prometheusText(obs::MetricsRegistry::global().snapshot());
+      std::FILE* f = std::fopen(metrics_path_.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(text.data(), 1, text.size(), f) != text.size() ||
+          std::fclose(f) != 0)
+        throw std::runtime_error("cannot write metrics: " + metrics_path_);
+      std::printf("wrote metrics %s\n", metrics_path_.c_str());
+    }
+  }
+
+ private:
+  static void checkWritable(const std::string& path, const char* flag) {
+    if (path.empty()) return;
+    // Open for append so an existing file is not truncated before the
+    // command has produced anything; the export overwrites it later.
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    if (f == nullptr)
+      throw UsageError("flag '--" + std::string(flag) + "': cannot write '" +
+                       path + "'");
+    std::fclose(f);
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::uint64_t since_ns_ = 0;
+};
+
 int usage() {
   std::fprintf(stderr,
       "usage:\n"
       "  skewopt_cli gen --testcase CLS1v1|CLS1v2|CLS2v1 [--sinks N]\n"
       "                  [--pairs N] [--seed S] --out FILE\n"
       "  skewopt_cli report FILE [--detailed] [--check off|cheap|deep]\n"
+      "                  [--trace FILE.json] [--metrics FILE.prom]\n"
       "  skewopt_cli diff BEFORE AFTER       (emit ECO script)\n"
       "  skewopt_cli optimize FILE --flow global|local|global-local\n"
       "                  [--train] [--iterations N]\n"
       "                  [--check off|cheap|deep] --out FILE\n"
+      "                  [--trace FILE.json] [--metrics FILE.prom]\n"
       "\n"
       "--check runs the SKW design-invariant verifiers (see\n"
-      "docs/static_analysis.md); SKEWOPT_CHECK_LEVEL overrides it.\n");
+      "docs/static_analysis.md); SKEWOPT_CHECK_LEVEL overrides it.\n"
+      "--trace exports a Chrome trace-event JSON (open in Perfetto);\n"
+      "--metrics exports a Prometheus text snapshot (docs/observability.md).\n");
   return 2;
 }
 
@@ -152,7 +217,9 @@ int run(int argc, char** argv) {
   if (cmd == "report") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("report requires a design file");
-    const auto flags = parseFlags(argc, argv, 3, {"check"}, {"detailed"});
+    const auto flags = parseFlags(argc, argv, 3, {"check", "trace", "metrics"},
+                                  {"detailed"});
+    ObsOutputs outputs(flags);
     const network::Design d = network::loadDesign(tech, argv[2]);
     // report is a read-only audit, so unlike optimize it does not throw on
     // findings: it prints the full diagnostic report and exits non-zero.
@@ -179,6 +246,7 @@ int run(int argc, char** argv) {
     } else {
       report(tech, d);
     }
+    outputs.finish();
     return 0;
   }
 
@@ -197,7 +265,9 @@ int run(int argc, char** argv) {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("optimize requires a design file");
     const auto flags = parseFlags(
-        argc, argv, 3, {"flow", "iterations", "out", "check"}, {"train"});
+        argc, argv, 3, {"flow", "iterations", "out", "check", "trace", "metrics"},
+        {"train"});
+    ObsOutputs outputs(flags);
     network::Design d = network::loadDesign(tech, argv[2]);
 
     core::FlowMode mode = core::FlowMode::kGlobalLocal;
@@ -240,6 +310,7 @@ int run(int argc, char** argv) {
       network::saveDesign(d, flags.at("out"));
       std::printf("wrote %s\n", flags.at("out").c_str());
     }
+    outputs.finish();
     return 0;
   }
   throw UsageError("unknown command '" + cmd + "'");

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace skewopt::check {
 
 const char* severityName(Severity s) {
@@ -52,6 +54,10 @@ std::string codeString(int code) {
 
 void DiagnosticEngine::report(int code, Severity severity, const char* check,
                               std::string message) {
+  static obs::Counter& findings = obs::MetricsRegistry::global().counter(
+      "skewopt_check_findings_total",
+      "SKW diagnostics reported by the invariant checkers (all severities)");
+  findings.add();
   switch (severity) {
     case Severity::kError: ++errors_; break;
     case Severity::kWarning: ++warnings_; break;

@@ -1,8 +1,20 @@
 #include "core/flow.h"
 
 #include "check/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "support/stopwatch.h"
 
 namespace skewopt::core {
+
+namespace {
+
+obs::Histogram& flowStageMs(const char* name, const char* help) {
+  return obs::MetricsRegistry::global().histogram(
+      name, obs::defaultMsBuckets(), help);
+}
+
+}  // namespace
 
 const char* flowModeName(FlowMode m) {
   switch (m) {
@@ -28,29 +40,65 @@ DesignMetrics computeMetrics(const network::Design& d,
 
 FlowResult Flow::run(network::Design& d, FlowMode mode,
                      const DeltaLatencyModel* model) const {
+  static obs::Counter& runs = obs::MetricsRegistry::global().counter(
+      "skewopt_flow_runs_total", "Flow::run invocations");
+  static obs::Histogram& global_hist =
+      flowStageMs("skewopt_flow_global_stage_ms", "Global stage wall time");
+  static obs::Histogram& local_hist =
+      flowStageMs("skewopt_flow_local_stage_ms", "Local stage wall time");
+  static obs::Histogram& total_hist =
+      flowStageMs("skewopt_flow_total_ms", "Whole Flow::run wall time");
+  runs.add();
+
+  obs::Span flow_span("flow.run");
+  flow_span.arg("mode", static_cast<std::int64_t>(mode));
+  support::Stopwatch total_sw;
+
   const check::Level chk = check::effectiveLevel(opts_.check_level);
-  check::gateDesign(d, timer_, chk, "flow:input");
+  {
+    obs::Span gate_span("flow.gate_input");
+    check::gateDesign(d, timer_, chk, "flow:input");
+  }
 
   // Alphas are locked to the incoming tree (they are an input parameter of
   // the formulation).
   Objective objective(d, timer_);
   FlowResult res;
-  res.before = computeMetrics(d, objective, timer_);
+  {
+    obs::Span metrics_span("flow.metrics_before");
+    res.before = computeMetrics(d, objective, timer_);
+  }
 
   if (mode == FlowMode::kGlobal || mode == FlowMode::kGlobalLocal) {
+    obs::Span stage_span("flow.global");
+    support::Stopwatch sw;
     GlobalOptions gopts = opts_.global;
     gopts.check_level = chk;
     GlobalOptimizer gopt(*tech_, *lut_, gopts);
     res.global = gopt.run(d, objective);
+    res.stage_ms.global_ms = sw.ms();
+    global_hist.observe(res.stage_ms.global_ms);
   }
   if (mode == FlowMode::kLocal || mode == FlowMode::kGlobalLocal) {
+    obs::Span stage_span("flow.local");
+    support::Stopwatch sw;
     LocalOptions lopts = opts_.local;
     lopts.check_level = chk;
     LocalOptimizer lopt(*tech_, lopts);
     res.local = lopt.run(d, objective, model);
+    res.stage_ms.local_ms = sw.ms();
+    local_hist.observe(res.stage_ms.local_ms);
   }
-  res.after = computeMetrics(d, objective, timer_);
-  check::gateDesign(d, timer_, chk, "flow:output");
+  {
+    obs::Span metrics_span("flow.metrics_after");
+    res.after = computeMetrics(d, objective, timer_);
+  }
+  {
+    obs::Span gate_span("flow.gate_output");
+    check::gateDesign(d, timer_, chk, "flow:output");
+  }
+  res.stage_ms.total_ms = total_sw.ms();
+  total_hist.observe(res.stage_ms.total_ms);
   return res;
 }
 

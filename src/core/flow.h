@@ -40,11 +40,21 @@ struct FlowOptions {
   check::Level check_level = check::Level::kCheap;
 };
 
+/// Wall-clock stage breakdown of one Flow::run, always measured
+/// (support::Stopwatch — injectable clock, so deterministic in tests).
+/// Surfaced in CLI reports and the serve RESULT payload.
+struct StageTimings {
+  double global_ms = 0.0;  ///< global stage (0 when the stage didn't run)
+  double local_ms = 0.0;   ///< local stage (0 when the stage didn't run)
+  double total_ms = 0.0;   ///< whole run() including metrics and gates
+};
+
 struct FlowResult {
   DesignMetrics before;
   DesignMetrics after;
   GlobalResult global;  ///< meaningful for kGlobal / kGlobalLocal
   LocalResult local;    ///< meaningful for kLocal / kGlobalLocal
+  StageTimings stage_ms;
 };
 
 class Flow {

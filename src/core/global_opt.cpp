@@ -2,6 +2,8 @@
 
 #include "check/check.h"
 #include "cts/cts.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
@@ -390,7 +392,31 @@ void gateLp(const lp::Model& model, int budget_row, check::Level level,
 
 }  // namespace
 
+namespace {
+
+// Shared LP-solve bookkeeping for pass 1 and every sweep point.
+struct LpObs {
+  obs::Counter& solves = obs::MetricsRegistry::global().counter(
+      "skewopt_lp_solves_total", "LP solves issued by the global stage");
+  obs::Counter& iterations = obs::MetricsRegistry::global().counter(
+      "skewopt_lp_simplex_iterations_total", "Simplex iterations across solves");
+  obs::Counter& warm_hits = obs::MetricsRegistry::global().counter(
+      "skewopt_lp_warm_hits_total", "Sweep solves that reused the basis chain");
+  obs::Counter& warm_misses = obs::MetricsRegistry::global().counter(
+      "skewopt_lp_warm_misses_total", "Sweep solves that fell back to cold");
+  obs::Histogram& solve_ms = obs::MetricsRegistry::global().histogram(
+      "skewopt_lp_solve_ms", obs::defaultMsBuckets(), "Per-LP solve wall time");
+  static LpObs& get() {
+    static LpObs o;
+    return o;
+  }
+};
+
+}  // namespace
+
 GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
+  obs::Span run_span("global.run");
+  LpObs& lpo = LpObs::get();
   const check::Level chk = check::effectiveLevel(opts_.check_level);
   GlobalResult res;
   const std::vector<sta::CornerTiming> timing = timer_.analyzeDesign(d);
@@ -417,10 +443,19 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
   res.lp_vars = static_cast<std::size_t>(min_lp.model.numVars());
   gateLp(min_lp.model, /*budget_row=*/-1, chk, "global:lp");
   support::Stopwatch lp_sw;
-  const lp::Solution vsol = lp::solve(min_lp.model, opts_.lp);
+  lp::Solution vsol;
+  {
+    obs::Span solve_span("global.lp_solve");
+    solve_span.arg("pass", std::int64_t{1});
+    vsol = lp::solve(min_lp.model, opts_.lp);
+  }
+  const double pass1_ms = lp_sw.ms();
+  lpo.solves.add();
+  lpo.iterations.add(static_cast<std::uint64_t>(vsol.iterations));
+  lpo.solve_ms.observe(pass1_ms);
   res.lp_solves.push_back({0.0, vsol.iterations, vsol.refactorizations,
                            vsol.warm_started,
-                           vsol.status == lp::Status::Optimal, lp_sw.ms(),
+                           vsol.status == lp::Status::Optimal, pass1_ms,
                            0.0});
   if (vsol.status != lp::Status::Optimal) return res;
   res.lp_min_sum_ps = vsol.objective;
@@ -480,20 +515,35 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
     if (u >= res.lp_orig_sum_ps) continue;
     sweep_lp.model.setRowBounds(budget_row, -lp::kInf, u);
     lp_sw.reset();
-    const lp::Solution sol = lp::solve(sweep_lp.model, opts_.lp,
-                                       chain.empty() ? nullptr : &chain);
+    obs::Span point_span("global.u_point");
+    point_span.arg("u_index", static_cast<std::int64_t>(points.size()));
+    point_span.arg("u_ps", u);
+    lp::Solution sol;
+    {
+      obs::Span solve_span("global.lp_solve");
+      solve_span.arg("u_index", static_cast<std::int64_t>(points.size()));
+      sol = lp::solve(sweep_lp.model, opts_.lp,
+                      chain.empty() ? nullptr : &chain);
+    }
+    const double sweep_ms = lp_sw.ms();
+    lpo.solves.add();
+    lpo.iterations.add(static_cast<std::uint64_t>(sol.iterations));
+    lpo.solve_ms.observe(sweep_ms);
     if (!chain.empty()) {
-      if (sol.warm_started)
+      if (sol.warm_started) {
         ++res.lp_warm_hits;
-      else
+        lpo.warm_hits.add();
+      } else {
         ++res.lp_warm_misses;
+        lpo.warm_misses.add();
+      }
     }
     SweepPoint pt;
     pt.u = u;
     pt.stats_ix = res.lp_solves.size();
     res.lp_solves.push_back({u, sol.iterations, sol.refactorizations,
                              sol.warm_started,
-                             sol.status == lp::Status::Optimal, lp_sw.ms(),
+                             sol.status == lp::Status::Optimal, sweep_ms,
                              0.0});
     if (sol.status == lp::Status::Optimal) {
       pt.solved = true;
@@ -645,10 +695,20 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective) const {
   std::vector<SweepPoint*> todo;
   for (SweepPoint& pt : points)
     if (pt.solved) todo.push_back(&pt);
+  static obs::Histogram& realize_hist = obs::MetricsRegistry::global().histogram(
+      "skewopt_global_realize_ms", obs::defaultMsBuckets(),
+      "Per-sweep-point ECO realization wall time");
+  static obs::Counter& realized_arcs = obs::MetricsRegistry::global().counter(
+      "skewopt_global_realized_arcs_total",
+      "Arcs rebuilt by the global-stage ECO across sweep points");
   const auto realizeOne = [&](std::size_t i) {
+    obs::Span realize_span("global.realize");
+    realize_span.arg("u_index", static_cast<std::int64_t>(i));
     support::Stopwatch sw;
     realize(*todo[i]);
     res.lp_solves[todo[i]->stats_ix].realize_ms = sw.ms();
+    realize_hist.observe(res.lp_solves[todo[i]->stats_ix].realize_ms);
+    realized_arcs.add(todo[i]->changed);
   };
   if (opts_.parallel_realize && todo.size() > 1) {
     support::ThreadPool::shared().runSlices(todo.size(), realizeOne);

@@ -6,7 +6,10 @@
 #include <optional>
 
 #include "check/check.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sta/incremental.h"
+#include "support/stopwatch.h"
 #include "support/thread_pool.h"
 
 namespace skewopt::core {
@@ -14,6 +17,50 @@ namespace skewopt::core {
 using network::Design;
 
 namespace {
+
+// All skewopt_local_* metrics are driven only by deterministic algorithm
+// state (never by thread identity or scheduling), so a serial and a
+// parallel run of the same optimization produce identical snapshots under
+// a fake clock — asserted by obs_test.
+struct LocalObs {
+  obs::Counter& rounds = obs::MetricsRegistry::global().counter(
+      "skewopt_local_rounds_total", "Local-optimizer rounds started");
+  obs::Counter& trials = obs::MetricsRegistry::global().counter(
+      "skewopt_local_trials_total", "Golden-evaluated candidate moves");
+  obs::Counter& accepted = obs::MetricsRegistry::global().counter(
+      "skewopt_local_accepted_moves_total", "Committed moves (all types)");
+  obs::Counter& accepted_i = obs::MetricsRegistry::global().counter(
+      "skewopt_local_accepted_moves_type_i_total",
+      "Committed type-I (size/displace) moves");
+  obs::Counter& accepted_ii = obs::MetricsRegistry::global().counter(
+      "skewopt_local_accepted_moves_type_ii_total",
+      "Committed type-II (child displace/size) moves");
+  obs::Counter& accepted_iii = obs::MetricsRegistry::global().counter(
+      "skewopt_local_accepted_moves_type_iii_total",
+      "Committed type-III (reassign) moves");
+  obs::Counter& predictor_hits = obs::MetricsRegistry::global().counter(
+      "skewopt_local_predictor_hits_total",
+      "Predictor-proposed trials that realized an improvement");
+  obs::Counter& predictor_misses = obs::MetricsRegistry::global().counter(
+      "skewopt_local_predictor_misses_total",
+      "Predictor-proposed trials that did not realize an improvement");
+  obs::Histogram& golden_ms = obs::MetricsRegistry::global().histogram(
+      "skewopt_local_golden_trial_ms", obs::defaultMsBuckets(),
+      "Per-trial golden evaluation wall time");
+
+  obs::Counter& acceptedByType(MoveType t) {
+    switch (t) {
+      case MoveType::kSizeDisplace: return accepted_i;
+      case MoveType::kChildDisplaceSize: return accepted_ii;
+      case MoveType::kReassign: return accepted_iii;
+    }
+    return accepted_i;
+  }
+  static LocalObs& get() {
+    static LocalObs o;
+    return o;
+  }
+};
 
 /// Golden trial for the random baseline: returns the realized objective
 /// report of applying `m` to a copy of `d`.
@@ -70,6 +117,8 @@ void goldenTrialScoped(WorkerContext& ctx, const Objective& objective,
 LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
                                 const DeltaLatencyModel* model,
                                 std::size_t analytic_fallback) const {
+  obs::Span run_span("local.run");
+  LocalObs& lobs = LocalObs::get();
   LocalResult res;
   // The round's base timing: one full multi-corner STA here, then only
   // incremental subtree updates after each committed move.
@@ -95,6 +144,9 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
   std::vector<TrialEval> reports;  // slots reused across chunks and rounds
 
   for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
+    obs::Span round_span("local.round");
+    round_span.arg("round", static_cast<std::int64_t>(round));
+    lobs.rounds.add();
     if (round > 0) predictor.refresh(base_timing.timings());
     std::vector<Move> moves = enumerateAllMoves(d, opts_.enumerate);
     res.candidate_moves = moves.size();
@@ -131,11 +183,25 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
               : 1;
       ensureWorkers(slices);
       pool.runSlices(slices, [&](std::size_t s) {
-        for (std::size_t t = s; t < todo.size(); t += slices)
+        for (std::size_t t = s; t < todo.size(); t += slices) {
+          obs::Span trial_span("local.golden_trial");
+          support::Stopwatch sw;
           goldenTrialScoped(*workers[s], objective,
                             moves[scored[todo[t]].second], &reports[t]);
+          lobs.golden_ms.observe(sw.ms());
+        }
       });
       res.golden_evaluations += todo.size();
+      lobs.trials.add(todo.size());
+      // Every trial in `todo` came with a predicted gain; a "hit" is one
+      // that realized any improvement over the current sum. Driven purely
+      // by the deterministic reports, so serial == parallel.
+      for (std::size_t t = 0; t < todo.size(); ++t) {
+        if (reports[t].sum_variation_ps < current_sum)
+          lobs.predictor_hits.add();
+        else
+          lobs.predictor_misses.add();
+      }
 
       // Pick the best realized improvement (lowest index on ties, so the
       // parallel and serial paths commit identically).
@@ -159,6 +225,8 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
         it.realized_delta_ps = reports[best_t].sum_variation_ps - current_sum;
         it.sum_after_ps = reports[best_t].sum_variation_ps;
         res.history.push_back(it);
+        lobs.accepted.add();
+        lobs.acceptedByType(mv.type).add();
         // Commit: re-apply the move to the design and every replica and
         // retime just the dirty subtrees — no full STA, no design copies.
         const std::vector<int> dirty = applyMoveTracked(d, mv);
@@ -188,7 +256,11 @@ LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
   res.sum_before_ps = current.sum_variation_ps;
   geom::Rng rng(seed);
 
+  LocalObs& lobs = LocalObs::get();
   for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
+    obs::Span round_span("local.random_round");
+    round_span.arg("round", static_cast<std::int64_t>(round));
+    lobs.rounds.add();
     std::vector<Move> moves = enumerateAllMoves(d, opts_.enumerate);
     if (moves.empty()) break;
     res.candidate_moves = moves.size();
@@ -200,6 +272,7 @@ LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
       const Move& m = moves[rng.index(moves.size())];
       Trial t = goldenTrial(d, timer_, objective, m);
       ++res.golden_evaluations;
+      lobs.trials.add();
       if (t.report.sum_variation_ps < best_sum &&
           skewOk(initial.local_skew_ps, t.report.local_skew_ps,
                  opts_.local_skew_tolerance)) {
@@ -216,6 +289,8 @@ LocalResult LocalOptimizer::runRandom(Design& d, const Objective& objective,
         best_trial->report.sum_variation_ps - current.sum_variation_ps;
     it.sum_after_ps = best_trial->report.sum_variation_ps;
     res.history.push_back(it);
+    lobs.accepted.add();
+    lobs.acceptedByType(best_type).add();
     d = std::move(best_trial->design);
     current = std::move(best_trial->report);
   }

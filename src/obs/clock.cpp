@@ -1,0 +1,26 @@
+#include "obs/clock.h"
+
+#include <chrono>
+
+namespace skewopt::obs {
+
+std::uint64_t steadyNowNs() {
+  // Rebased to the first call so exported trace timestamps stay small.
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+namespace detail {
+std::atomic<ClockFn> g_clock{&steadyNowNs};
+}  // namespace detail
+
+void setClockForTest(ClockFn fn) {
+  detail::g_clock.store(fn != nullptr ? fn : &steadyNowNs,
+                        std::memory_order_relaxed);
+}
+
+}  // namespace skewopt::obs

@@ -1,0 +1,285 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace skewopt::obs {
+
+namespace detail {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::string formatDouble(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  char buf[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  if (std::strtod(buf, nullptr) == v) {
+    for (int prec = 1; prec < 17; ++prec) {
+      char shorter[64];
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      if (std::strtod(shorter, nullptr) == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+}  // namespace detail
+
+void setMetricsEnabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+void Gauge::add(double d) {
+  if (!metricsOn()) return;
+  double cur = v_.load(std::memory_order_relaxed);
+  while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                   std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (std::adjacent_find(bounds_.begin(), bounds_.end(),
+                         [](double a, double b) { return a >= b; }) !=
+      bounds_.end())
+    throw std::logic_error(
+        "obs: histogram bounds must be strictly ascending");
+  for (double b : bounds_)
+    if (!std::isfinite(b))
+      throw std::logic_error("obs: histogram bounds must be finite");
+  buckets_ =
+      std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+}
+
+void Histogram::observe(double v) {
+  if (!metricsOn()) return;
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> defaultMsBuckets() {
+  return {0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0};
+}
+
+const char* metricKindName(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* reg = new MetricsRegistry();  // never destroyed
+  return *reg;
+}
+
+namespace {
+
+bool validMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
+[[noreturn]] void throwKindMismatch(const std::string& name, MetricKind have,
+                                    MetricKind want) {
+  throw std::logic_error("obs: metric '" + name + "' already registered as " +
+                         metricKindName(have) + ", requested " +
+                         metricKindName(want));
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  if (!validMetricName(name))
+    throw std::logic_error("obs: invalid metric name '" + name + "'");
+  support::MutexLock lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kCounter;
+    e.help = help;
+    e.counter = std::make_unique<Counter>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != MetricKind::kCounter) {
+    throwKindMismatch(name, it->second.kind, MetricKind::kCounter);
+  }
+  return *it->second.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  if (!validMetricName(name))
+    throw std::logic_error("obs: invalid metric name '" + name + "'");
+  support::MutexLock lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kGauge;
+    e.help = help;
+    e.gauge = std::make_unique<Gauge>();
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != MetricKind::kGauge) {
+    throwKindMismatch(name, it->second.kind, MetricKind::kGauge);
+  }
+  return *it->second.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  if (!validMetricName(name))
+    throw std::logic_error("obs: invalid metric name '" + name + "'");
+  support::MutexLock lock(mu_);
+  auto it = metrics_.find(name);
+  if (it == metrics_.end()) {
+    Entry e;
+    e.kind = MetricKind::kHistogram;
+    e.help = help;
+    e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    it = metrics_.emplace(name, std::move(e)).first;
+  } else if (it->second.kind != MetricKind::kHistogram) {
+    throwKindMismatch(name, it->second.kind, MetricKind::kHistogram);
+  } else if (it->second.histogram->bounds() != bounds) {
+    throw std::logic_error("obs: histogram '" + name +
+                           "' re-registered with different bounds");
+  }
+  return *it->second.histogram;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  support::MutexLock lock(mu_);
+  Snapshot snap;
+  snap.reserve(metrics_.size());
+  for (const auto& [name, e] : metrics_) {
+    MetricSample s;
+    s.name = name;
+    s.kind = e.kind;
+    s.help = e.help;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        s.count = e.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = e.gauge->value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& h = *e.histogram;
+        s.count = h.count();
+        s.value = h.sum();
+        std::uint64_t cum = 0;
+        s.buckets.reserve(h.bounds().size() + 1);
+        for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+          cum += h.bucket(i);
+          s.buckets.emplace_back(h.bounds()[i], cum);
+        }
+        cum += h.bucket(h.bounds().size());
+        s.buckets.emplace_back(std::numeric_limits<double>::infinity(), cum);
+        break;
+      }
+    }
+    snap.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  support::MutexLock lock(mu_);
+  for (auto& [name, e] : metrics_) {
+    (void)name;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        e.counter->reset();
+        break;
+      case MetricKind::kGauge:
+        e.gauge->reset();
+        break;
+      case MetricKind::kHistogram:
+        e.histogram->reset();
+        break;
+    }
+  }
+}
+
+namespace {
+
+using detail::formatDouble;
+
+void appendEscapedHelp(std::string& out, const std::string& help) {
+  for (char c : help) {
+    if (c == '\\')
+      out += "\\\\";
+    else if (c == '\n')
+      out += "\\n";
+    else
+      out += c;
+  }
+}
+
+}  // namespace
+
+std::string prometheusText(const Snapshot& snap) {
+  std::string out;
+  for (const MetricSample& s : snap) {
+    if (!s.help.empty()) {
+      out += "# HELP " + s.name + " ";
+      appendEscapedHelp(out, s.help);
+      out += "\n";
+    }
+    out += "# TYPE " + s.name + " " + metricKindName(s.kind) + "\n";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += s.name + " " + std::to_string(s.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        out += s.name + " " + formatDouble(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram:
+        for (const auto& [le, cum] : s.buckets)
+          out += s.name + "_bucket{le=\"" + formatDouble(le) + "\"} " +
+                 std::to_string(cum) + "\n";
+        out += s.name + "_sum " + formatDouble(s.value) + "\n";
+        out += s.name + "_count " + std::to_string(s.count) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace skewopt::obs

@@ -1,0 +1,135 @@
+// Tracing: RAII spans recorded into per-thread ring buffers, exported as
+// Chrome trace-event JSON (loadable in Perfetto / chrome://tracing).
+//
+// Hot-path contract: constructing a Span while tracing is disabled costs
+// one relaxed atomic load and nothing else. While enabled, a span takes a
+// timestamp at construction and writes exactly one fixed-size slot into
+// its thread's ring buffer at destruction — no lock, no allocation, no
+// cross-thread cache traffic on the emit path.
+//
+// Concurrency: each buffer has a single writer (its owning thread);
+// exporters on other threads read concurrently. Every slot field is an
+// atomic, published under a per-slot sequence word (seqlock discipline:
+// odd while the writer is inside, bumped to the slot's even ticket value
+// with release order when done). Readers accept a slot only when the
+// sequence reads the same even value before and after the payload loads,
+// so torn slots — including ring wrap-around during an export — are
+// dropped, never mis-reported, and TSan sees only atomics.
+//
+// Span names and annotation keys must point at storage that outlives the
+// export (string literals at the instrument sites — the span taxonomy in
+// docs/observability.md is the catalog). Nesting is reconstructed by
+// Perfetto from timestamp containment of "ph":"X" complete events on the
+// same thread track; the recorded depth is exported as an arg for tests.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/clock.h"
+#include "support/thread_annotations.h"
+
+namespace skewopt::obs {
+
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}  // namespace detail
+
+/// One relaxed load; the guard on every span.
+inline bool tracingOn() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Max typed annotations carried by one span; extras are dropped.
+inline constexpr int kMaxSpanArgs = 4;
+/// Slots per thread buffer; the ring overwrites oldest when full.
+inline constexpr std::size_t kTraceRingSlots = 8192;
+
+/// A completed span read out of the buffers.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint32_t tid = 0;    ///< stable per-thread buffer id
+  std::uint32_t depth = 0;  ///< nesting depth on its thread at start
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint64_t ticket = 0;  ///< per-thread emit order (sort tie-break)
+
+  enum class ArgType : std::uint8_t { kNone = 0, kInt, kFloat, kBool };
+  struct Arg {
+    const char* key = nullptr;
+    ArgType type = ArgType::kNone;
+    std::int64_t i = 0;
+    double f = 0.0;
+    bool b = false;
+  };
+  Arg args[kMaxSpanArgs];
+};
+
+class Tracer {
+ public:
+  /// The process-wide tracer all spans record into.
+  static Tracer& global();
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Refcounted enable: tracing is on while at least one starter is
+  /// active (the CLI for a whole run, serve for each traced job).
+  void start();
+  void stop();
+
+  /// All consistent spans with ts_ns >= since_ns, sorted by
+  /// (ts, tid, ticket) — deterministic under a fake clock. Buffers are
+  /// not cleared; callers window with since_ns (obs::nowNs() taken before
+  /// the region of interest) so concurrent exports never race a clear.
+  std::vector<TraceEvent> collect(std::uint64_t since_ns = 0) const;
+
+  /// Chrome trace-event JSON ({"displayTimeUnit":"ms","traceEvents":[...]})
+  /// for collect(since_ns). Valid strict JSON; ts/dur in microseconds.
+  std::string exportJson(std::uint64_t since_ns = 0) const;
+
+  /// exportJson to a file. Returns false and fills *error on I/O failure.
+  bool writeJsonFile(const std::string& path, std::uint64_t since_ns,
+                     std::string* error) const;
+
+ private:
+  friend class Span;
+  struct ThreadBuffer;
+
+  /// The calling thread's buffer, registering it on first use.
+  ThreadBuffer& localBuffer();
+
+  mutable support::Mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SKEWOPT_GUARDED_BY(mu_);
+  std::atomic<int> start_count_{0};
+};
+
+/// RAII span. Times the enclosing scope and records it (with any args
+/// attached before destruction) into the current thread's ring buffer.
+/// `name` and arg keys must be string literals (or otherwise outlive the
+/// tracer's exports).
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  void arg(const char* key, std::int64_t v);
+  void arg(const char* key, double v);
+  void arg(const char* key, bool v);
+
+ private:
+  bool active_ = false;
+  std::uint32_t depth_ = 0;
+  std::uint64_t start_ns_ = 0;
+  const char* name_ = nullptr;
+  int nargs_ = 0;
+  TraceEvent::Arg args_[kMaxSpanArgs];
+};
+
+}  // namespace skewopt::obs

@@ -1,17 +1,38 @@
 #include "serve/cache.h"
 
+#include "obs/metrics.h"
+
 namespace skewopt::serve {
+
+namespace {
+
+struct CacheObs {
+  obs::Counter& hits = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_cache_hits_total", "Result-cache lookups that hit");
+  obs::Counter& misses = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_cache_misses_total", "Result-cache lookups that missed");
+  obs::Gauge& entries = obs::MetricsRegistry::global().gauge(
+      "skewopt_serve_cache_entries", "Live result-cache entries");
+  static CacheObs& get() {
+    static CacheObs o;
+    return o;
+  }
+};
+
+}  // namespace
 
 bool ResultCache::lookup(const std::string& key, core::FlowResult* out) {
   support::MutexLock lk(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    CacheObs::get().misses.add();
     return false;
   }
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
   if (out) *out = it->second.result;
   ++stats_.hits;
+  CacheObs::get().hits.add();
   return true;
 }
 
@@ -34,6 +55,7 @@ void ResultCache::insert(const std::string& key,
     ++stats_.evictions;
   }
   stats_.entries = map_.size();
+  CacheObs::get().entries.set(static_cast<double>(map_.size()));
 }
 
 ResultCache::Stats ResultCache::stats() const {

@@ -71,6 +71,13 @@ struct JobSpec {
   int priority = 0;         ///< higher runs first; FIFO within a priority
   double deadline_ms = 0;   ///< soft start deadline from submit; 0 = none
   int max_retries = 0;      ///< transient-failure retries beyond attempt 1
+
+  /// Observability-only (not part of the content key, like check_level):
+  /// when non-empty, the scheduler exports a Chrome trace-event JSON file
+  /// of the tracing window that covers this job's run to this path. Jobs
+  /// share the process-wide tracer, so spans of concurrently running jobs
+  /// appear in each other's windows (they are distinguishable by thread).
+  std::string trace;
 };
 
 /// Versioned serialization of every result-affecting field (see file

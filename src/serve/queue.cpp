@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace skewopt::serve {
 
 using support::MutexLock;
+
+namespace {
+
+obs::Gauge& queueDepthGauge() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "skewopt_serve_queue_depth", "Jobs waiting in the scheduler queue");
+  return g;
+}
+
+}  // namespace
 
 bool JobQueue::push(std::shared_ptr<Job> job, bool block) {
   MutexLock lk(mu_);
@@ -19,6 +31,7 @@ bool JobQueue::push(std::shared_ptr<Job> job, bool block) {
                          return before(a, b);
                        }),
       std::move(e));
+  queueDepthGauge().set(static_cast<double>(entries_.size()));
   lk.unlock();
   not_empty_.notifyOne();
   return true;
@@ -42,7 +55,10 @@ std::shared_ptr<Job> JobQueue::pop(
       got = std::move(job);
       break;
     }
-    if (freed) not_full_.notifyAll();
+    if (freed) {
+      queueDepthGauge().set(static_cast<double>(entries_.size()));
+      not_full_.notifyAll();
+    }
     if (got) return got;
     if (closed_ && entries_.empty()) return nullptr;
     // Everything queued was cancelled; keep waiting for real work.
@@ -55,6 +71,7 @@ std::shared_ptr<Job> JobQueue::remove(std::uint64_t id) {
     if (it->job->id != id) continue;
     std::shared_ptr<Job> job = std::move(it->job);
     entries_.erase(it);
+    queueDepthGauge().set(static_cast<double>(entries_.size()));
     lk.unlock();
     not_full_.notifyAll();
     return job;

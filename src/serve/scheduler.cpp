@@ -2,18 +2,79 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <stdexcept>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/spec_check.h"
 
 namespace skewopt::serve {
 
 namespace {
 
+// Job lifecycle timestamps deliberately stay on raw steady_clock rather
+// than the injectable obs::nowNs(): deadline handling waits on condition
+// variables via wait_until, which needs real time_points a fake
+// function-pointer clock cannot provide. Library phase timings (the obs
+// histograms below, Stopwatch) all go through obs::nowNs().
 double msSince(std::chrono::steady_clock::time_point t0,
                std::chrono::steady_clock::time_point t1) {
   return std::chrono::duration<double, std::milli>(t1 - t0).count();
 }
+
+struct ServeObs {
+  obs::Counter& submitted = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_jobs_submitted_total", "Jobs accepted into the queue");
+  obs::Counter& rejected = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_jobs_rejected_total",
+      "Submissions rejected by backpressure or shutdown");
+  obs::Counter& done = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_jobs_done_total", "Jobs finished DONE");
+  obs::Counter& failed = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_jobs_failed_total", "Jobs finished FAILED");
+  obs::Counter& cancelled = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_jobs_cancelled_total", "Jobs finished CANCELLED");
+  obs::Counter& retries = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_retries_total", "Transient-failure retry attempts");
+  obs::Gauge& running = obs::MetricsRegistry::global().gauge(
+      "skewopt_serve_jobs_running", "Jobs currently RUNNING");
+  obs::Histogram& run_ms = obs::MetricsRegistry::global().histogram(
+      "skewopt_serve_job_run_ms", obs::defaultMsBuckets(),
+      "Start-to-finish wall time of executed (non-cached) jobs");
+  static ServeObs& get() {
+    static ServeObs o;
+    return o;
+  }
+};
+
+/// Scopes one job's optional trace export: opens a tracing window at
+/// construction when the spec asks for one, and on destruction exports
+/// everything the window saw to the spec's path. Export failures are
+/// reported to stderr, never to the job (observability must not change
+/// job outcomes).
+class JobTraceScope {
+ public:
+  explicit JobTraceScope(const std::string& path) : path_(path) {
+    if (path_.empty()) return;
+    since_ns_ = obs::nowNs();
+    obs::Tracer::global().start();
+  }
+  ~JobTraceScope() {
+    if (path_.empty()) return;
+    obs::Tracer::global().stop();
+    std::string err;
+    if (!obs::Tracer::global().writeJsonFile(path_, since_ns_, &err))
+      std::fprintf(stderr, "serve: trace export failed: %s\n", err.c_str());
+  }
+  JobTraceScope(const JobTraceScope&) = delete;
+  JobTraceScope& operator=(const JobTraceScope&) = delete;
+
+ private:
+  std::string path_;
+  std::uint64_t since_ns_ = 0;
+};
 
 }  // namespace
 
@@ -25,6 +86,9 @@ Scheduler::Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
       runner_(std::move(runner)),
       queue_(std::max<std::size_t>(1, opts.queue_capacity)),
       cache_(opts.cache_capacity) {
+  // The service always runs with live metrics: the METRICS verb and the
+  // STATS gauges are part of its contract.
+  obs::setMetricsEnabled(true);
   if (!runner_)
     runner_ = [this](const JobSpec& spec) {
       return runJobSpec(*tech_, *lut_, spec);
@@ -45,17 +109,22 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
   job->submitted_at = std::chrono::steady_clock::now();
   {
     support::MutexLock lk(mu_);
-    if (!accepting_) return nullptr;
+    if (!accepting_) {
+      ServeObs::get().rejected.add();
+      return nullptr;
+    }
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
   }
   if (!queue_.push(job, block)) {
     // Rejected (full without blocking, or closed while blocked): the job
     // never became visible as QUEUED work; drop it from the registry.
+    ServeObs::get().rejected.add();
     support::MutexLock lk(mu_);
     jobs_.erase(job->id);
     return nullptr;
   }
+  ServeObs::get().submitted.add();
   return job;
 }
 
@@ -148,6 +217,7 @@ void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
     // order is job->mu then mu_ everywhere they nest.
     support::MutexLock lk2(mu_);
     ++cancelled_;
+    ServeObs::get().cancelled.add();
   }
   job->cv.notify_all();
 }
@@ -166,6 +236,7 @@ bool Scheduler::sleepBackoff(const std::shared_ptr<Job>& job, double ms) {
     stop_cv_.waitUntil(lk, deadline);
   }
   ++retries_;
+  ServeObs::get().retries.add();
   return true;
 }
 
@@ -200,6 +271,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
       job->finished_at = start;
       support::MutexLock lk2(mu_);
       ++failed_;
+      ServeObs::get().failed.add();
     } else {
       job->state = JobState::kRunning;
       job->started_at = start;
@@ -213,10 +285,16 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     job->cv.notify_all();
     return;
   }
+  ServeObs& sobs = ServeObs::get();
   {
     support::MutexLock lk(mu_);
     ++running_;
+    sobs.running.add(1.0);
   }
+
+  JobTraceScope trace_scope(job->spec.trace);
+  obs::Span job_span("serve.job");
+  job_span.arg("job_id", static_cast<std::int64_t>(job->id));
 
   core::FlowResult result;
   bool ok = false, cached = false;
@@ -277,9 +355,13 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
       job->error = error;
     }
     job->finished_at = std::chrono::steady_clock::now();
+    if (!cached)
+      sobs.run_ms.observe(msSince(job->started_at, job->finished_at));
     support::MutexLock lk2(mu_);
     --running_;
+    sobs.running.add(-1.0);
     ++(ok ? done_ : failed_);
+    (ok ? sobs.done : sobs.failed).add();
   }
   job->cv.notify_all();
 }

@@ -9,6 +9,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace skewopt::serve {
 
 // ---------------------------------------------------------------------------
@@ -116,13 +118,14 @@ json::Value specToJson(const JobSpec& spec) {
   v.set("priority", spec.priority);
   v.set("deadline_ms", spec.deadline_ms);
   v.set("max_retries", spec.max_retries);
+  if (!spec.trace.empty()) v.set("trace", spec.trace);
   return v;
 }
 
 JobSpec specFromJson(const json::Value& v) {
   requireObject(v, "spec");
   checkKeys(v, {"source", "mode", "options", "check", "priority",
-                "deadline_ms", "max_retries"},
+                "deadline_ms", "max_retries", "trace"},
             "spec");
   JobSpec spec;
 
@@ -219,6 +222,11 @@ JobSpec specFromJson(const json::Value& v) {
   spec.priority = static_cast<int>(v.num("priority", 0));
   spec.deadline_ms = v.num("deadline_ms", 0);
   spec.max_retries = static_cast<int>(v.num("max_retries", 0));
+  if (const json::Value* trace = v.find("trace")) {
+    if (!trace->isString() || trace->asString().empty())
+      throw std::runtime_error("'trace' must be a non-empty output path");
+    spec.trace = trace->asString();
+  }
   return spec;
 }
 
@@ -256,6 +264,12 @@ json::Value resultToJson(const core::FlowResult& r) {
   l.set("moves_committed", r.local.history.size());
   l.set("golden_evaluations", r.local.golden_evaluations);
   v.set("local", std::move(l));
+
+  json::Value t = json::Value::object();
+  t.set("global_ms", r.stage_ms.global_ms);
+  t.set("local_ms", r.stage_ms.local_ms);
+  t.set("total_ms", r.stage_ms.total_ms);
+  v.set("stage_ms", std::move(t));
   return v;
 }
 
@@ -366,9 +380,38 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       v.set("running", s.running);
       v.set("queue_depth", s.queue_depth);
       v.set("workers", s.workers);
+      // Deprecated (see docs/serving.md release notes): the flat cache_*
+      // fields are superseded by the "gauges" object below and the METRICS
+      // verb; they stay for one release so existing clients round-trip.
       v.set("cache_hits", s.cache.hits);
       v.set("cache_misses", s.cache.misses);
       v.set("cache_entries", s.cache.entries);
+      // Live values of the obs gauges/counters the scheduler maintains —
+      // the authoritative queue-depth/cache/retry numbers.
+      obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+      json::Value gauges = json::Value::object();
+      gauges.set("queue_depth",
+                 reg.gauge("skewopt_serve_queue_depth").value());
+      gauges.set("jobs_running",
+                 reg.gauge("skewopt_serve_jobs_running").value());
+      gauges.set("cache_entries",
+                 reg.gauge("skewopt_serve_cache_entries").value());
+      gauges.set("cache_hits",
+                 reg.counter("skewopt_serve_cache_hits_total").value());
+      gauges.set("cache_misses",
+                 reg.counter("skewopt_serve_cache_misses_total").value());
+      gauges.set("retries",
+                 reg.counter("skewopt_serve_retries_total").value());
+      v.set("gauges", std::move(gauges));
+      return v;
+    }
+
+    if (cmd == "METRICS") {
+      checkKeys(request, {"cmd"}, "request");
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("metrics",
+            obs::prometheusText(obs::MetricsRegistry::global().snapshot()));
       return v;
     }
 

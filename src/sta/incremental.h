@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sta/timer.h"
 
 namespace skewopt::sta {
@@ -44,6 +45,10 @@ class IncrementalTimer {
   /// Re-times the subtrees of the dirty drivers at every active corner.
   /// Drivers covered by another dirty driver's subtree are skipped.
   void update(const network::Design& d, const std::vector<int>& dirty) {
+    static obs::Counter& updates = obs::MetricsRegistry::global().counter(
+        "skewopt_sta_incremental_updates_total",
+        "Committed incremental retimes of dirty subtrees");
+    updates.add();
     const std::vector<int> roots = minimalRoots(d.tree, dirty);
     for (std::size_t ki = 0; ki < corners_.size(); ++ki)
       for (const int r : roots)
@@ -121,6 +126,10 @@ class ScopedRetime {
   ScopedRetime& operator=(const ScopedRetime&) = delete;
 
   void retime(const network::Design& d, const std::vector<int>& dirty) {
+    static obs::Counter& retimes = obs::MetricsRegistry::global().counter(
+        "skewopt_sta_scoped_retimes_total",
+        "Trial (rolled-back) scoped retimes");
+    retimes.add();
     rollback();
     IncrementalTimer::minimalRootsInto(d.tree, dirty, roots_);
 

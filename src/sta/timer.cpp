@@ -5,6 +5,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "rc/rc.h"
 
 namespace skewopt::sta {
@@ -147,6 +148,10 @@ void Timer::propagateFrom(const ClockTree& tree, const Routing& routing,
 
 std::vector<CornerTiming> Timer::analyzeDesign(
     const network::Design& d) const {
+  static obs::Counter& analyses = obs::MetricsRegistry::global().counter(
+      "skewopt_sta_full_analyses_total",
+      "Full multi-corner STA passes over a design");
+  analyses.add();
   std::vector<CornerTiming> out;
   out.reserve(d.corners.size());
   for (const std::size_t k : d.corners)

@@ -1,27 +1,29 @@
 // Wall-clock stopwatch for coarse per-phase statistics (LP solve and ECO
-// realization times in the optimizer reports). steady_clock, so timings
-// are monotonic even across system clock adjustments.
+// realization times in the optimizer reports). Reads obs::nowNs(), which
+// is steady_clock in production — monotonic across system clock
+// adjustments — and a deterministic fake under obs::setClockForTest, so
+// every phase timing in the library is injectable from tests.
 #pragma once
 
-#include <chrono>
+#include <cstdint>
+
+#include "obs/clock.h"
 
 namespace skewopt::support {
 
 class Stopwatch {
  public:
-  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  Stopwatch() : start_ns_(obs::nowNs()) {}
 
-  void reset() { start_ = std::chrono::steady_clock::now(); }
+  void reset() { start_ns_ = obs::nowNs(); }
 
   /// Milliseconds elapsed since construction or the last reset().
   double ms() const {
-    return std::chrono::duration<double, std::milli>(
-               std::chrono::steady_clock::now() - start_)
-        .count();
+    return static_cast<double>(obs::nowNs() - start_ns_) * 1e-6;
   }
 
  private:
-  std::chrono::steady_clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
 }  // namespace skewopt::support

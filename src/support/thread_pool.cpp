@@ -3,7 +3,33 @@
 #include <algorithm>
 #include <exception>
 
+#include "obs/clock.h"
+#include "obs/metrics.h"
+
 namespace skewopt::support {
+
+namespace {
+
+obs::Counter& poolTasksTotal() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter(
+      "skewopt_pool_tasks_total", "Jobs submitted to the shared thread pool");
+  return c;
+}
+
+obs::Gauge& poolQueueDepth() {
+  static obs::Gauge& g = obs::MetricsRegistry::global().gauge(
+      "skewopt_pool_queue_depth", "Jobs waiting in the thread pool queue");
+  return g;
+}
+
+obs::Histogram& poolTaskLatencyMs() {
+  static obs::Histogram& h = obs::MetricsRegistry::global().histogram(
+      "skewopt_pool_task_latency_ms", obs::defaultMsBuckets(),
+      "Submit-to-completion latency of pool jobs");
+  return h;
+}
+
+}  // namespace
 
 void WaitGroup::add(std::size_t n) {
   MutexLock lk(mu_);
@@ -40,24 +66,31 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> job) {
+  poolTasksTotal().add();
+  Task task{std::move(job), obs::metricsOn() ? obs::nowNs() : 0};
   {
     MutexLock lk(mu_);
-    queue_.push_back(std::move(job));
+    queue_.push_back(std::move(task));
+    poolQueueDepth().set(static_cast<double>(queue_.size()));
   }
   cv_.notifyOne();
 }
 
 void ThreadPool::workerLoop() {
   for (;;) {
-    std::function<void()> job;
+    Task task;
     {
       MutexLock lk(mu_);
       while (!stop_ && queue_.empty()) cv_.wait(lk);
       if (queue_.empty()) return;  // stop requested and queue drained
-      job = std::move(queue_.front());
+      task = std::move(queue_.front());
       queue_.pop_front();
+      poolQueueDepth().set(static_cast<double>(queue_.size()));
     }
-    job();
+    task.fn();
+    if (obs::metricsOn() && task.enqueue_ns != 0)
+      poolTaskLatencyMs().observe(
+          static_cast<double>(obs::nowNs() - task.enqueue_ns) * 1e-6);
   }
 }
 

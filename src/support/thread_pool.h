@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -70,12 +71,19 @@ class ThreadPool {
   static ThreadPool& shared();
 
  private:
+  /// A queued job plus its submit timestamp (0 while metrics are off),
+  /// feeding the skewopt_pool_task_latency_ms histogram.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void workerLoop();
 
   std::vector<std::thread> workers_;
   Mutex mu_;
   CondVar cv_;
-  std::deque<std::function<void()>> queue_ SKEWOPT_GUARDED_BY(mu_);
+  std::deque<Task> queue_ SKEWOPT_GUARDED_BY(mu_);
   bool stop_ SKEWOPT_GUARDED_BY(mu_) = false;
 };
 

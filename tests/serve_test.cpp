@@ -13,7 +13,11 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <cstdio>
+#include <fstream>
 #include <mutex>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -658,6 +662,118 @@ TEST(TcpTest, SubmitAndFetchOverARealSocket) {
   EXPECT_EQ(client.call(stats).num("done", 0), 1.0);
   server.stop();
   sched.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Observability surface (METRICS verb, STATS gauges, per-job traces)
+
+TEST(ObsProtocolTest, TraceSpecFieldRoundTripsButStaysOutOfTheKey) {
+  JobSpec spec = tinySpec(31);
+  spec.trace = "/tmp/job_trace.json";
+  const JobSpec back = specFromJson(specToJson(spec));
+  EXPECT_EQ(back.trace, spec.trace);
+
+  // Observability output must never change which cached result a spec
+  // maps to: the key ignores it, like check_level.
+  JobSpec untraced = tinySpec(31);
+  EXPECT_EQ(canonicalKey(spec), canonicalKey(untraced));
+  EXPECT_EQ(contentHash(spec), contentHash(untraced));
+
+  json::Value bad = specToJson(spec);
+  bad.set("trace", "");
+  EXPECT_THROW(specFromJson(bad), std::runtime_error);
+}
+
+TEST(ObsProtocolTest, MetricsVerbReturnsPrometheusTextAndStatsGrowGauges) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(tinySpec(32)));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false));
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+  const json::Value rr = json::parse(
+      client.call(R"({"cmd":"RESULT","id":)" + std::to_string(id) + "}"));
+  ASSERT_TRUE(rr.boolean("ok", false));
+
+  // RESULT carries the flow's stage timings.
+  const json::Value* stage = rr.find("result")->find("stage_ms");
+  ASSERT_NE(stage, nullptr);
+  EXPECT_GE(stage->num("total_ms", -1), 0.0);
+  EXPECT_GE(stage->num("local_ms", -1), 0.0);
+
+  const json::Value mr = json::parse(client.call(R"({"cmd":"METRICS"})"));
+  ASSERT_TRUE(mr.boolean("ok", false));
+  const std::string text = mr.str("metrics", "");
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+  EXPECT_NE(text.find("# TYPE skewopt_serve_jobs_submitted_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE skewopt_serve_job_run_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("skewopt_serve_job_run_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  // Unknown request keys are rejected on the new verb too.
+  EXPECT_FALSE(json::parse(client.call(R"({"cmd":"METRICS","bogus":1})"))
+                   .boolean("ok", true));
+
+  // STATS: the deprecated flat fields still round-trip, and the new
+  // "gauges" object carries the authoritative obs values (process-global,
+  // so only sanity bounds are asserted here).
+  const json::Value st = json::parse(client.call(R"({"cmd":"STATS"})"));
+  ASSERT_TRUE(st.boolean("ok", false));
+  EXPECT_GE(st.num("done", -1), 1.0);
+  EXPECT_GE(st.num("cache_hits", -1), 0.0);  // deprecated, still present
+  const json::Value* gauges = st.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  for (const char* key : {"queue_depth", "jobs_running", "cache_entries",
+                          "cache_hits", "cache_misses", "retries"}) {
+    ASSERT_NE(gauges->find(key), nullptr) << key;
+    EXPECT_GE(gauges->num(key, -1), 0.0) << key;
+  }
+  sched.drain();
+}
+
+TEST(ObsProtocolTest, JobWithTraceSpecWritesAChromeTrace) {
+  const std::string path =
+      ::testing::TempDir() + "skewopt_serve_job_trace.json";
+  std::remove(path.c_str());
+
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  JobSpec spec = tinySpec(33);
+  spec.trace = path;
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(spec));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false));
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+  const json::Value rr = json::parse(
+      client.call(R"({"cmd":"RESULT","id":)" + std::to_string(id) + "}"));
+  ASSERT_TRUE(rr.boolean("ok", false));
+  EXPECT_EQ(rr.str("state", ""), "DONE");
+  sched.drain();
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const json::Value trace = json::parse(ss.str());
+  const json::Value* events = trace.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  bool saw_job_span = false;
+  for (std::size_t i = 0; i < events->size(); ++i)
+    if (events->at(i).str("name", "") == "serve.job") saw_job_span = true;
+  EXPECT_TRUE(saw_job_span);
+  std::remove(path.c_str());
 }
 
 }  // namespace
