@@ -47,6 +47,61 @@ void BM_NldmLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_NldmLookup);
 
+// Scalar lookup with the cached interval hint: the ramp pattern makes the
+// hint's ±1-neighbor validation hit almost always, skipping the two binary
+// searches of the unhinted path.
+void BM_NldmLookupHinted(benchmark::State& state) {
+  const tech::Cell& cell = sharedTech().cell(2);
+  tech::LutHint hint;
+  double slew = 7.0, load = 3.0, acc = 0.0;
+  for (auto _ : state) {
+    acc += cell.delay[0].lookup(slew, load, &hint);
+    slew = 5.0 + (slew * 1.37 > 300.0 ? 5.0 : slew * 1.37);
+    load = 1.0 + (load * 1.21 > 200.0 ? 1.0 : load * 1.21);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_NldmLookupHinted);
+
+// SoA batch lookup over a contiguous vector of the same ramp pattern the
+// scalar bench walks; items_per_second is the per-element comparison
+// against BM_NldmLookup.
+void BM_NldmLookupBatch(benchmark::State& state) {
+  const tech::Cell& cell = sharedTech().cell(2);
+  constexpr std::size_t kN = 1024;
+  std::vector<double> slews(kN), loads(kN), out(kN);
+  double slew = 7.0, load = 3.0;
+  for (std::size_t i = 0; i < kN; ++i) {
+    slews[i] = slew;
+    loads[i] = load;
+    slew = 5.0 + (slew * 1.37 > 300.0 ? 5.0 : slew * 1.37);
+    load = 1.0 + (load * 1.21 > 200.0 ? 1.0 : load * 1.21);
+  }
+  for (auto _ : state) {
+    cell.delay[0].lookupBatch(slews, loads, out);
+    benchmark::DoNotOptimize(out.back());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * kN));
+}
+BENCHMARK(BM_NldmLookupBatch);
+
+// Corner-major packed view: all 4 corners of one (slew, load) point per
+// call — one axis search, contiguous 4-wide value reads.
+void BM_CornerLutLookupAll(benchmark::State& state) {
+  const tech::Cell& cell = sharedTech().cell(2);
+  double slew = 7.0, load = 3.0, acc = 0.0;
+  double out[4];
+  for (auto _ : state) {
+    cell.delay_packed.lookupAll(slew, load, out);
+    acc += out[0] + out[3];
+    slew = 5.0 + (slew * 1.37 > 300.0 ? 5.0 : slew * 1.37);
+    load = 1.0 + (load * 1.21 > 200.0 ? 1.0 : load * 1.21);
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations() * 4));
+}
+BENCHMARK(BM_CornerLutLookupAll);
+
 void BM_ElmoreMoments(benchmark::State& state) {
   geom::Rng rng(3);
   rc::RcTree t;
@@ -61,6 +116,37 @@ void BM_ElmoreMoments(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ElmoreMoments);
+
+// The same random 64-node topology with 4 per-corner-scaled R/C lanes,
+// both moment passes over all lanes in one walk. items_per_second counts
+// lane-trees, so the per-lane comparison against BM_ElmoreMoments is
+// 4 * t(BM_ElmoreMoments) / t(BM_ElmoreMomentsBatch).
+void BM_ElmoreMomentsBatch(benchmark::State& state) {
+  geom::Rng rng(3);
+  constexpr std::size_t kLanes = 4;
+  const double scale[kLanes] = {1.0, 1.21, 0.85, 0.94};
+  rc::RcTreeBatch t(kLanes);
+  std::vector<std::size_t> nodes = {0};
+  for (int i = 0; i < 64; ++i) {
+    const double r = rng.uniform(0.05, 0.5);
+    const double c = rng.uniform(0.5, 5.0);
+    double res[kLanes], cap[kLanes];
+    for (std::size_t k = 0; k < kLanes; ++k) {
+      res[k] = r * scale[k];
+      cap[k] = c * scale[kLanes - 1 - k];
+    }
+    nodes.push_back(t.addNode(nodes[rng.index(nodes.size())], res, cap));
+  }
+  rc::MomentsBatch m;
+  std::vector<double> scratch;
+  for (auto _ : state) {
+    rc::elmoreMomentsBatch(t, m, scratch);
+    benchmark::DoNotOptimize(m.m2.back());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kLanes));
+}
+BENCHMARK(BM_ElmoreMomentsBatch);
 
 void BM_GreedySteiner(benchmark::State& state) {
   geom::Rng rng(5);
@@ -83,6 +169,41 @@ void BM_FullStaCorner(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullStaCorner);
+
+// Full propagation of all 4 corners: Arg(0) runs one propagateFrom pass
+// per corner (the pre-batch path), Arg(1) one corner-batched sweep.
+void BM_PropagateCornerBatch(benchmark::State& state) {
+  const network::Design& d = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  const std::size_t n = d.tree.numNodes();
+  std::vector<sta::CornerTiming> t(d.corners.size());
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    t[ki].corner = d.corners[ki];
+    t[ki].arrival.assign(n, 0.0);
+    t[ki].slew.assign(n, 0.0);
+    t[ki].in_arrival.assign(n, 0.0);
+    t[ki].in_slew.assign(n, 0.0);
+    t[ki].driver_load.assign(n, 0.0);
+  }
+  sta::PropagateScratch scratch;
+  const bool batched = state.range(0) != 0;
+  for (auto _ : state) {
+    if (batched) {
+      timer.propagateFromAllCorners(d.tree, d.routing, d.corners,
+                                    d.tree.root(), t, &scratch);
+    } else {
+      for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+        timer.propagateFrom(d.tree, d.routing, d.corners[ki], d.tree.root(),
+                            &t[ki], &scratch);
+    }
+    benchmark::DoNotOptimize(t.back().arrival.back());
+  }
+  state.SetLabel(batched ? "batched" : "per-corner");
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * d.corners.size()));
+}
+BENCHMARK(BM_PropagateCornerBatch)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
 
 void BM_StageLutArcDelay(benchmark::State& state) {
   static eco::StageDelayLut lut(sharedTech());
@@ -193,6 +314,24 @@ void BM_MovePrediction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MovePrediction);
+
+// A whole round's candidate table scored in one scoreBatch call (serial —
+// the pool axis is covered by BM_LocalOptRound).
+void BM_MoveScoreBatch(benchmark::State& state) {
+  const network::Design& d = sharedDesign();
+  const sta::Timer timer(sharedTech());
+  const core::Objective objective(d, timer);
+  core::MovePredictor predictor(d, timer, objective, nullptr);
+  const std::vector<core::Move> moves = core::enumerateAllMoves(d);
+  std::vector<double> scores(moves.size());
+  for (auto _ : state) {
+    predictor.scoreBatch(moves, scores, nullptr);
+    benchmark::DoNotOptimize(scores.back());
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * moves.size()));
+}
+BENCHMARK(BM_MoveScoreBatch)->Unit(benchmark::kMillisecond);
 
 // Golden trial evaluation: Arg(0) is the seed path (deep-copy the design
 // and the full multi-corner timing per trial), Arg(1) the scoped-overlay

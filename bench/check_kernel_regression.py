@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""CI gate for the batched NLDM lookup kernel.
+
+Fails when BM_NldmLookupBatch regresses more than the allowed margin
+against the recorded baseline (bench/baseline_kernels.json, a full
+BENCH_bench_kernels.json snapshot). Raw nanoseconds are machine-dependent,
+so the gate compares a machine-neutral ratio instead: batched time per
+element divided by the scalar BM_NldmLookup time from the same run. A
+slower machine inflates both numbers; only a genuine regression of the
+batch kernel relative to the scalar path moves the ratio.
+
+Usage: check_kernel_regression.py [current.json] [baseline.json] [margin]
+"""
+
+import json
+import sys
+
+# Batch element count baked into BM_NldmLookupBatch (bench_kernels.cpp kN).
+BATCH_ELEMS = 1024
+ELMORE_LANES = 4
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        r["case"]: r["value"]
+        for r in data["records"]
+        if r["metric"] == "real_time_ns"
+    }
+
+
+def batch_ratio(recs):
+    return recs["BM_NldmLookupBatch"] / BATCH_ELEMS / recs["BM_NldmLookup"]
+
+
+def main(argv):
+    cur_path = argv[1] if len(argv) > 1 else "BENCH_bench_kernels.json"
+    base_path = argv[2] if len(argv) > 2 else "bench/baseline_kernels.json"
+    margin = float(argv[3]) if len(argv) > 3 else 0.20
+
+    cur = load(cur_path)
+    base = load(base_path)
+    r_cur = batch_ratio(cur)
+    r_base = batch_ratio(base)
+    limit = r_base * (1.0 + margin)
+    print(
+        f"BM_NldmLookupBatch per-element / BM_NldmLookup: "
+        f"current {r_cur:.3f}, baseline {r_base:.3f}, limit {limit:.3f}"
+    )
+    if "BM_ElmoreMoments" in cur and "BM_ElmoreMomentsBatch" in cur:
+        # Informational only: the Elmore kernels are too topology-sensitive
+        # for a hard gate at smoke-test measuring budgets.
+        speedup = (
+            ELMORE_LANES * cur["BM_ElmoreMoments"] / cur["BM_ElmoreMomentsBatch"]
+        )
+        print(f"BM_ElmoreMomentsBatch per-lane speedup: {speedup:.2f}x")
+    if r_cur > limit:
+        print("FAIL: batched NLDM lookup regressed beyond the margin")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -142,6 +142,7 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
       workers.push_back(std::make_unique<WorkerContext>(d, base_timing));
   };
   std::vector<TrialEval> reports;  // slots reused across chunks and rounds
+  std::vector<double> scores;      // scoreBatch output, reused across rounds
 
   for (std::size_t round = 0; round < opts_.max_iterations; ++round) {
     obs::Span round_span("local.round");
@@ -152,7 +153,13 @@ LocalResult LocalOptimizer::run(Design& d, const Objective& objective,
     res.candidate_moves = moves.size();
 
     std::vector<std::pair<double, std::size_t>> scored(moves.size());
-    if (opts_.parallel_trials && moves.size() > 1) {
+    if (opts_.batch_scoring) {
+      scores.resize(moves.size());
+      predictor.scoreBatch(moves, scores,
+                           opts_.parallel_trials ? &pool : nullptr);
+      for (std::size_t i = 0; i < moves.size(); ++i)
+        scored[i] = {scores[i], i};
+    } else if (opts_.parallel_trials && moves.size() > 1) {
       pool.parallelFor(moves.size(), [&](std::size_t i) {
         scored[i] = {predictor.predictedVariationDelta(moves[i]), i};
       });

@@ -6,8 +6,10 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.h"
 #include "rc/rc.h"
 #include "route/route.h"
+#include "support/thread_pool.h"
 #include "testgen/testgen.h"
 
 namespace skewopt::core {
@@ -31,26 +33,38 @@ const char* analyticName(std::size_t idx) {
 // MoveAnalyzer
 // ---------------------------------------------------------------------------
 
-struct MoveAnalyzer::DriverSpec {
+struct MoveAnalyzer::BatchDriverSpec {
   bool is_source = false;
   const tech::Cell* cell = nullptr;  // null iff source
   geom::Point pos;
-  double in_slew = 0.0;      // at the driver's input pin
-  double source_slew = 0.0;  // used when is_source
+  double source_slew = 0.0;     // used when is_source
+  std::vector<double> in_slew;  // at the driver's input pin, per active corner
 };
 
-struct MoveAnalyzer::ChildSpec {
+struct MoveAnalyzer::BatchChildSpec {
   int id = -1;
   geom::Point pos;
-  double cap = 0.0;
+  std::vector<double> cap;  // pin cap per active corner
 };
 
-struct MoveAnalyzer::NetEstimates {
-  double load = 0.0;
-  double gate_delay = 0.0;
-  double out_slew = 0.0;
-  std::vector<std::array<double, 2>> wire;  // [child][elmore, d2m]
-  std::vector<double> in_slew;              // per child, Elmore/PERI based
+/// Per-active-corner lanes of one candidate net's estimates. Lane-
+/// interleaved child arrays: wire_elm[child * lanes + ki].
+struct MoveAnalyzer::NetEstimatesBatch {
+  std::size_t lanes = 0;
+  std::vector<double> load;        // [ki]
+  std::vector<double> gate_delay;  // [ki]
+  std::vector<double> out_slew;    // [ki]
+  std::vector<double> wire_elm;    // [child * lanes + ki]
+  std::vector<double> wire_d2m;    // [child * lanes + ki]
+  std::vector<double> in_slew;     // [child * lanes + ki]
+
+  double wire(std::size_t child, std::size_t ki, int met) const {
+    const std::size_t idx = child * lanes + ki;
+    return met == 0 ? wire_elm[idx] : wire_d2m[idx];
+  }
+  double childSlew(std::size_t child, std::size_t ki) const {
+    return in_slew[child * lanes + ki];
+  }
 };
 
 MoveAnalyzer::MoveAnalyzer(const Design& d, const sta::Timer& timer,
@@ -89,53 +103,79 @@ void MoveAnalyzer::refreshSinkCounts() {
   }
 }
 
-MoveAnalyzer::NetEstimates MoveAnalyzer::estimateNet(
-    const DriverSpec& drv, const std::vector<ChildSpec>& children,
-    std::size_t ki, int route_model) const {
-  const std::size_t k = design_->corners[ki];
-  const tech::WireParams& w = design_->tech->wire(k);
+MoveAnalyzer::NetEstimatesBatch MoveAnalyzer::estimateNetBatch(
+    const BatchDriverSpec& drv, const std::vector<BatchChildSpec>& children,
+    int route_model) const {
+  const std::size_t nk = design_->corners.size();
 
+  // The route depends only on pin positions — one build serves all corners.
   std::vector<geom::Point> pins;
   pins.reserve(children.size());
-  for (const ChildSpec& c : children) pins.push_back(c.pos);
+  for (const BatchChildSpec& c : children) pins.push_back(c.pos);
   const route::SteinerTree net = (route_model == 0)
                                      ? route::greedySteiner(drv.pos, pins)
                                      : route::singleTrunk(drv.pos, pins);
 
-  rc::RcTree rct;
-  std::vector<std::size_t> rc_of(net.size());
-  rc_of[0] = 0;
+  // Shared-topology RC with one lane per corner; RcTreeBatch::addNode
+  // appends sequentially, so rc node n == steiner node n.
+  rc::RcTreeBatch rct(nk);
+  std::vector<double> lane(2 * nk);
+  double* res_l = lane.data();
+  double* cap_l = lane.data() + nk;
   for (std::size_t n = 1; n < net.size(); ++n) {
     const double len = net.edgeLength(n);
-    rc_of[n] = rct.addNode(rc_of[static_cast<std::size_t>(net.parent[n])],
-                           len * w.res_kohm_per_um,
-                           len * w.cap_ff_per_um / 2.0);
-    rct.addCap(rc_of[static_cast<std::size_t>(net.parent[n])],
-               len * w.cap_ff_per_um / 2.0);
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const tech::WireParams& w = design_->tech->wire(design_->corners[ki]);
+      res_l[ki] = len * w.res_kohm_per_um;
+      cap_l[ki] = len * w.cap_ff_per_um / 2.0;
+    }
+    // Mirrors the scalar builder's rc_of[] semantics: a parent with a
+    // higher steiner index is unvisited there (rc_of 0), so the edge hangs
+    // off the driving point.
+    const std::size_t p = static_cast<std::size_t>(net.parent[n]);
+    const std::size_t rp = p < n ? p : 0;
+    rct.addNode(rp, res_l, cap_l);
+    rct.addCap(rp, cap_l);
   }
   for (std::size_t i = 0; i < children.size(); ++i)
-    rct.addCap(rc_of[net.pin_node[i]], children[i].cap);
+    rct.addCap(net.pin_node[i], children[i].cap.data());
 
-  const rc::Moments mom = rc::Moments::compute(rct);
+  rc::MomentsBatch mom;
+  std::vector<double> scratch;
+  rc::elmoreMomentsBatch(rct, mom, scratch);
 
-  NetEstimates est;
-  est.load = rct.totalCap();
+  NetEstimatesBatch est;
+  est.lanes = nk;
+  est.load.resize(nk);
+  rct.totalCapInto(est.load.data());
+  est.gate_delay.assign(nk, 0.0);
+  est.out_slew.assign(nk, 0.0);
   if (drv.is_source) {
-    est.gate_delay = 0.0;
-    est.out_slew = drv.source_slew;
+    for (std::size_t ki = 0; ki < nk; ++ki) est.out_slew[ki] = drv.source_slew;
   } else {
-    est.gate_delay = drv.cell->delay[k].lookup(drv.in_slew, est.load);
-    est.out_slew = drv.cell->out_slew[k].lookup(drv.in_slew, est.load);
+    tech::LutHint dh, sh;
+    drv.cell->delay_packed.lookupEach(design_->corners, drv.in_slew.data(),
+                                      est.load.data(), est.gate_delay.data(),
+                                      &dh);
+    drv.cell->out_slew_packed.lookupEach(design_->corners, drv.in_slew.data(),
+                                         est.load.data(), est.out_slew.data(),
+                                         &sh);
   }
-  est.wire.resize(children.size());
-  est.in_slew.resize(children.size());
-  for (std::size_t i = 0; i < children.size(); ++i) {
-    const std::size_t rcn = rc_of[net.pin_node[i]];
-    const double elm = -mom.m1[rcn];
-    est.wire[i][0] = elm;
-    est.wire[i][1] = rc::d2mFromMoments(mom.m1[rcn], mom.m2[rcn]);
-    est.in_slew[i] =
-        rc::periSlew(est.out_slew, rc::wireSlewFromElmore(elm));
+  const std::size_t nc = children.size();
+  est.wire_elm.resize(nc * nk);
+  est.wire_d2m.resize(nc * nk);
+  est.in_slew.resize(nc * nk);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::size_t rcn = net.pin_node[i];
+    for (std::size_t ki = 0; ki < nk; ++ki) {
+      const double m1 = mom.m1[rcn * nk + ki];
+      const double elm = -m1;
+      est.wire_elm[i * nk + ki] = elm;
+      est.wire_d2m[i * nk + ki] =
+          rc::d2mFromMoments(m1, mom.m2[rcn * nk + ki]);
+      est.in_slew[i * nk + ki] =
+          rc::periSlew(est.out_slew[ki], rc::wireSlewFromElmore(elm));
+    }
   }
   return est;
 }
@@ -232,87 +272,95 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
     sibling.delta.assign(nk, {});
     const bool has_siblings = tree.node(p).children.size() > 1;
 
-    for (std::size_t ki = 0; ki < nk; ++ki) {
-      const std::size_t k = d.corners[ki];
-
-      // Driver spec for p.
-      DriverSpec pd;
-      pd.pos = tree.node(p).pos;
-      if (tree.node(p).kind == NodeKind::Source) {
-        pd.is_source = true;
-        pd.source_slew = timer_->sourceSlew();
-      } else {
-        pd.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(p).cell));
-        pd.in_slew = timing_[ki].in_slew[static_cast<std::size_t>(p)];
+    // Driver spec for p, with the per-corner input slews as lanes.
+    BatchDriverSpec pd;
+    pd.pos = tree.node(p).pos;
+    if (tree.node(p).kind == NodeKind::Source) {
+      pd.is_source = true;
+      pd.source_slew = timer_->sourceSlew();
+    } else {
+      pd.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(p).cell));
+      pd.in_slew.resize(nk);
+      for (std::size_t ki = 0; ki < nk; ++ki)
+        pd.in_slew[ki] = timing_[ki].in_slew[static_cast<std::size_t>(p)];
+    }
+    auto capLanes = [&](int id, int cell_override) {
+      std::vector<double> cap(nk);
+      for (std::size_t ki = 0; ki < nk; ++ki)
+        cap[ki] = pinCapOf(d, id, d.corners[ki], cell_override);
+      return cap;
+    };
+    // Children of p: old and new (b moved / resized).
+    std::vector<BatchChildSpec> pk_old, pk_new;
+    std::size_t b_idx = 0;
+    for (std::size_t ci = 0; ci < tree.node(p).children.size(); ++ci) {
+      const int c = tree.node(p).children[ci];
+      BatchChildSpec cs;
+      cs.id = c;
+      cs.pos = tree.node(c).pos;
+      cs.cap = capLanes(c, -1);
+      pk_old.push_back(cs);
+      if (c == b) {
+        b_idx = ci;
+        cs.pos = new_pos;
+        cs.cap = capLanes(c, b_cell_new);
       }
-      // Children of p: old and new (b moved / resized).
-      std::vector<ChildSpec> pk_old, pk_new;
-      std::size_t b_idx = 0;
-      for (std::size_t ci = 0; ci < tree.node(p).children.size(); ++ci) {
-        const int c = tree.node(p).children[ci];
-        ChildSpec cs;
-        cs.id = c;
-        cs.pos = tree.node(c).pos;
-        cs.cap = pinCapOf(d, c, k, -1);
-        pk_old.push_back(cs);
-        if (c == b) {
-          b_idx = ci;
-          cs.pos = new_pos;
-          cs.cap = pinCapOf(d, c, k, b_cell_new);
-        }
-        pk_new.push_back(cs);
+      pk_new.push_back(std::move(cs));
+    }
+
+    // Children of b: old and new (type II resizes one child's pin).
+    std::vector<BatchChildSpec> bk_old, bk_new;
+    for (const int c : tree.node(b).children) {
+      BatchChildSpec cs;
+      cs.id = c;
+      cs.pos = tree.node(c).pos;
+      cs.cap = capLanes(c, -1);
+      bk_old.push_back(cs);
+      if (c == child_resized) cs.cap = capLanes(c, child_cell_new);
+      bk_new.push_back(std::move(cs));
+    }
+
+    const tech::Cell& bcell_old =
+        d.tech->cell(static_cast<std::size_t>(tree.node(b).cell));
+    const tech::Cell& bcell_new =
+        d.tech->cell(static_cast<std::size_t>(b_cell_new));
+
+    for (int rm = 0; rm < 2; ++rm) {
+      const NetEstimatesBatch p_old = estimateNetBatch(pd, pk_old, rm);
+      const NetEstimatesBatch p_new = estimateNetBatch(pd, pk_new, rm);
+
+      BatchDriverSpec bd_old, bd_new;
+      bd_old.cell = &bcell_old;
+      bd_old.pos = tree.node(b).pos;
+      bd_old.in_slew.resize(nk);
+      bd_new.cell = &bcell_new;
+      bd_new.pos = new_pos;
+      bd_new.in_slew.resize(nk);
+      for (std::size_t ki = 0; ki < nk; ++ki) {
+        bd_old.in_slew[ki] = p_old.childSlew(b_idx, ki);
+        bd_new.in_slew[ki] = p_new.childSlew(b_idx, ki);
       }
+      const NetEstimatesBatch b_old = estimateNetBatch(bd_old, bk_old, rm);
+      const NetEstimatesBatch b_new = estimateNetBatch(bd_new, bk_new, rm);
 
-      // Children of b: old and new (type II resizes one child's pin).
-      std::vector<ChildSpec> bk_old, bk_new;
-      for (const int c : tree.node(b).children) {
-        ChildSpec cs;
-        cs.id = c;
-        cs.pos = tree.node(c).pos;
-        cs.cap = pinCapOf(d, c, k, -1);
-        bk_old.push_back(cs);
-        if (c == child_resized) cs.cap = pinCapOf(d, c, k, child_cell_new);
-        bk_new.push_back(cs);
-      }
-
-      const tech::Cell& bcell_old =
-          d.tech->cell(static_cast<std::size_t>(tree.node(b).cell));
-      const tech::Cell& bcell_new =
-          d.tech->cell(static_cast<std::size_t>(b_cell_new));
-
-      for (int rm = 0; rm < 2; ++rm) {
-        const NetEstimates p_old = estimateNet(pd, pk_old, ki, rm);
-        const NetEstimates p_new = estimateNet(pd, pk_new, ki, rm);
-
-        DriverSpec bd_old, bd_new;
-        bd_old.cell = &bcell_old;
-        bd_old.pos = tree.node(b).pos;
-        bd_old.in_slew = p_old.in_slew[b_idx];
-        bd_new.cell = &bcell_new;
-        bd_new.pos = new_pos;
-        bd_new.in_slew = p_new.in_slew[b_idx];
-        const NetEstimates b_old = estimateNet(bd_old, bk_old, ki, rm);
-        const NetEstimates b_new = estimateNet(bd_new, bk_new, ki, rm);
-
+      for (std::size_t ki = 0; ki < nk; ++ki) {
         for (int met = 0; met < 2; ++met) {
           const std::size_t mi = static_cast<std::size_t>(rm * 2 + met);
           const double d_chain =
-              (p_new.gate_delay - p_old.gate_delay) +
-              (p_new.wire[b_idx][static_cast<std::size_t>(met)] -
-               p_old.wire[b_idx][static_cast<std::size_t>(met)]) +
-              (b_new.gate_delay - b_old.gate_delay);
+              (p_new.gate_delay[ki] - p_old.gate_delay[ki]) +
+              (p_new.wire(b_idx, ki, met) - p_old.wire(b_idx, ki, met)) +
+              (b_new.gate_delay[ki] - b_old.gate_delay[ki]);
           // Primary: weighted mean over b's children paths.
           double acc = 0.0, wsum = 0.0;
           for (std::size_t ci = 0; ci < bk_old.size(); ++ci) {
             double v = d_chain +
-                       (b_new.wire[ci][static_cast<std::size_t>(met)] -
-                        b_old.wire[ci][static_cast<std::size_t>(met)]);
+                       (b_new.wire(ci, ki, met) - b_old.wire(ci, ki, met));
             const int cid = bk_old[ci].id;
             if (tree.node(cid).kind == NodeKind::Buffer) {
               std::array<double, kNumAnalytic> in_new{};
-              in_new.fill(b_new.in_slew[ci]);
-              v += downstreamGateDelta(cid, in_new, b_old.in_slew[ci], ki,
-                                       1)[mi];
+              in_new.fill(b_new.childSlew(ci, ki));
+              v += downstreamGateDelta(cid, in_new, b_old.childSlew(ci, ki),
+                                       ki, 1)[mi];
             }
             const double wgt = weightOf(cid);
             acc += v * wgt;
@@ -325,9 +373,8 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
             for (std::size_t ci = 0; ci < pk_old.size(); ++ci) {
               if (pk_old[ci].id == b) continue;
               const double v =
-                  (p_new.gate_delay - p_old.gate_delay) +
-                  (p_new.wire[ci][static_cast<std::size_t>(met)] -
-                   p_old.wire[ci][static_cast<std::size_t>(met)]);
+                  (p_new.gate_delay[ki] - p_old.gate_delay[ki]) +
+                  (p_new.wire(ci, ki, met) - p_old.wire(ci, ki, met));
               const double wgt = weightOf(pk_old[ci].id);
               sacc += v * wgt;
               swsum += wgt;
@@ -359,55 +406,61 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
   new_grp.root = p_new;
   new_grp.delta.assign(nk, {});
 
-  for (std::size_t ki = 0; ki < nk; ++ki) {
-    const std::size_t k = d.corners[ki];
+  auto driverSpec = [&](int id) {
+    BatchDriverSpec ds;
+    ds.pos = tree.node(id).pos;
+    if (tree.node(id).kind == NodeKind::Source) {
+      ds.is_source = true;
+      ds.source_slew = timer_->sourceSlew();
+    } else {
+      ds.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(id).cell));
+      ds.in_slew.resize(nk);
+      for (std::size_t ki = 0; ki < nk; ++ki)
+        ds.in_slew[ki] = timing_[ki].in_slew[static_cast<std::size_t>(id)];
+    }
+    return ds;
+  };
+  auto capLanes = [&](int id) {
+    std::vector<double> cap(nk);
+    for (std::size_t ki = 0; ki < nk; ++ki)
+      cap[ki] = pinCapOf(d, id, d.corners[ki], -1);
+    return cap;
+  };
+  auto childSpecs = [&](int driver, int skip, int extra) {
+    std::vector<BatchChildSpec> cs;
+    for (const int c : tree.node(driver).children) {
+      if (c == skip) continue;
+      cs.push_back({c, tree.node(c).pos, capLanes(c)});
+    }
+    if (extra >= 0)
+      cs.push_back({extra, tree.node(extra).pos, capLanes(extra)});
+    return cs;
+  };
 
-    auto driverSpec = [&](int id) {
-      DriverSpec ds;
-      ds.pos = tree.node(id).pos;
-      if (tree.node(id).kind == NodeKind::Source) {
-        ds.is_source = true;
-        ds.source_slew = timer_->sourceSlew();
-      } else {
-        ds.cell = &d.tech->cell(static_cast<std::size_t>(tree.node(id).cell));
-        ds.in_slew = timing_[ki].in_slew[static_cast<std::size_t>(id)];
-      }
-      return ds;
-    };
-    auto childSpecs = [&](int driver, int skip, int extra) {
-      std::vector<ChildSpec> cs;
-      for (const int c : tree.node(driver).children) {
-        if (c == skip) continue;
-        cs.push_back({c, tree.node(c).pos, pinCapOf(d, c, k, -1)});
-      }
-      if (extra >= 0)
-        cs.push_back({extra, tree.node(extra).pos, pinCapOf(d, extra, k, -1)});
-      return cs;
-    };
+  const BatchDriverSpec po_d = driverSpec(p_old);
+  const BatchDriverSpec pn_d = driverSpec(p_new);
+  const std::vector<BatchChildSpec> po_before = childSpecs(p_old, -1, -1);
+  const std::vector<BatchChildSpec> po_after = childSpecs(p_old, b, -1);
+  const std::vector<BatchChildSpec> pn_before = childSpecs(p_new, -1, -1);
+  const std::vector<BatchChildSpec> pn_after = childSpecs(p_new, -1, b);
 
-    const DriverSpec po_d = driverSpec(p_old);
-    const DriverSpec pn_d = driverSpec(p_new);
-    const std::vector<ChildSpec> po_before = childSpecs(p_old, -1, -1);
-    const std::vector<ChildSpec> po_after = childSpecs(p_old, b, -1);
-    const std::vector<ChildSpec> pn_before = childSpecs(p_new, -1, -1);
-    const std::vector<ChildSpec> pn_after = childSpecs(p_new, -1, b);
+  for (int rm = 0; rm < 2; ++rm) {
+    const NetEstimatesBatch po_o = estimateNetBatch(po_d, po_before, rm);
+    const NetEstimatesBatch po_n = po_after.empty()
+                                       ? NetEstimatesBatch{}
+                                       : estimateNetBatch(po_d, po_after, rm);
+    const NetEstimatesBatch pn_o = pn_before.empty()
+                                       ? NetEstimatesBatch{}
+                                       : estimateNetBatch(pn_d, pn_before, rm);
+    const NetEstimatesBatch pn_n = estimateNetBatch(pn_d, pn_after, rm);
 
-    for (int rm = 0; rm < 2; ++rm) {
-      const NetEstimates po_o = estimateNet(po_d, po_before, ki, rm);
-      const NetEstimates po_n = po_after.empty()
-                                    ? NetEstimates{}
-                                    : estimateNet(po_d, po_after, ki, rm);
-      const NetEstimates pn_o = pn_before.empty()
-                                    ? NetEstimates{}
-                                    : estimateNet(pn_d, pn_before, ki, rm);
-      const NetEstimates pn_n = estimateNet(pn_d, pn_after, ki, rm);
+    // Index of b in the before/after child lists.
+    std::size_t b_old_idx = 0;
+    for (std::size_t ci = 0; ci < po_before.size(); ++ci)
+      if (po_before[ci].id == b) b_old_idx = ci;
+    const std::size_t b_new_idx = pn_after.size() - 1;
 
-      // Index of b in the before/after child lists.
-      std::size_t b_old_idx = 0;
-      for (std::size_t ci = 0; ci < po_before.size(); ++ci)
-        if (po_before[ci].id == b) b_old_idx = ci;
-      const std::size_t b_new_idx = pn_after.size() - 1;
-
+    for (std::size_t ki = 0; ki < nk; ++ki) {
       for (int met = 0; met < 2; ++met) {
         const std::size_t mi = static_cast<std::size_t>(rm * 2 + met);
         const double in_old =
@@ -415,17 +468,16 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
         const double in_new =
             timing_[ki].in_arrival[static_cast<std::size_t>(p_new)];
         const double path_old =
-            in_old + po_o.gate_delay +
-            po_o.wire[b_old_idx][static_cast<std::size_t>(met)];
+            in_old + po_o.gate_delay[ki] + po_o.wire(b_old_idx, ki, met);
         const double path_new =
-            in_new + pn_n.gate_delay +
-            pn_n.wire[b_new_idx][static_cast<std::size_t>(met)];
+            in_new + pn_n.gate_delay[ki] + pn_n.wire(b_new_idx, ki, met);
         double delta_b = path_new - path_old;
         {
           std::array<double, kNumAnalytic> in_slew_new{};
-          in_slew_new.fill(pn_n.in_slew[b_new_idx]);
+          in_slew_new.fill(pn_n.childSlew(b_new_idx, ki));
           delta_b += downstreamGateDelta(b, in_slew_new,
-                                         po_o.in_slew[b_old_idx], ki, 0)[mi];
+                                         po_o.childSlew(b_old_idx, ki), ki,
+                                         0)[mi];
         }
         moved.delta[ki][mi] = delta_b;
 
@@ -436,9 +488,8 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
           std::size_t bi = 0;
           for (std::size_t cj = 0; cj < po_before.size(); ++cj)
             if (po_before[cj].id == po_after[ci].id) bi = cj;
-          const double v = (po_n.gate_delay - po_o.gate_delay) +
-                           (po_n.wire[ci][static_cast<std::size_t>(met)] -
-                            po_o.wire[bi][static_cast<std::size_t>(met)]);
+          const double v = (po_n.gate_delay[ki] - po_o.gate_delay[ki]) +
+                           (po_n.wire(ci, ki, met) - po_o.wire(bi, ki, met));
           const double wgt = weightOf(po_after[ci].id);
           acc += v * wgt;
           wsum += wgt;
@@ -449,9 +500,8 @@ std::vector<ImpactGroup> MoveAnalyzer::analyze(const Move& m) const {
         acc = 0.0;
         wsum = 0.0;
         for (std::size_t ci = 0; ci < pn_before.size(); ++ci) {
-          const double v = (pn_n.gate_delay - pn_o.gate_delay) +
-                           (pn_n.wire[ci][static_cast<std::size_t>(met)] -
-                            pn_o.wire[ci][static_cast<std::size_t>(met)]);
+          const double v = (pn_n.gate_delay[ki] - pn_o.gate_delay[ki]) +
+                           (pn_n.wire(ci, ki, met) - pn_o.wire(ci, ki, met));
           const double wgt = weightOf(pn_before[ci].id);
           acc += v * wgt;
           wsum += wgt;
@@ -790,6 +840,26 @@ double MovePredictor::variationDeltaFromGroups(
 
 double MovePredictor::predictedVariationDelta(const Move& m) const {
   return variationDeltaFromGroups(analyzer_.analyze(m), m);
+}
+
+void MovePredictor::scoreBatch(std::span<const Move> moves,
+                               std::span<double> out,
+                               support::ThreadPool* pool) const {
+  // Driven only by the candidate count — deterministic for a given
+  // optimization, so serial and parallel snapshots stay identical.
+  static obs::Histogram& sizes = obs::MetricsRegistry::global().histogram(
+      "skewopt_local_score_batch_size",
+      {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0},
+      "Candidate moves scored per MovePredictor::scoreBatch call");
+  sizes.observe(static_cast<double>(moves.size()));
+  if (pool != nullptr && moves.size() > 1) {
+    pool->parallelFor(moves.size(), [&](std::size_t i) {
+      out[i] = predictedVariationDelta(moves[i]);
+    });
+  } else {
+    for (std::size_t i = 0; i < moves.size(); ++i)
+      out[i] = predictedVariationDelta(moves[i]);
+  }
 }
 
 }  // namespace skewopt::core

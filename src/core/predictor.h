@@ -18,6 +18,7 @@
 #include <array>
 #include <cstddef>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/moves.h"
@@ -25,6 +26,10 @@
 #include "ml/ml.h"
 #include "network/design.h"
 #include "sta/timer.h"
+
+namespace skewopt::support {
+class ThreadPool;
+}
 
 namespace skewopt::core {
 
@@ -80,12 +85,18 @@ class MoveAnalyzer {
  private:
   void refreshSinkCounts();
 
-  struct DriverSpec;
-  struct ChildSpec;
-  struct NetEstimates;
-  NetEstimates estimateNet(const DriverSpec& drv,
-                           const std::vector<ChildSpec>& children,
-                           std::size_t ki, int route_model) const;
+  // Corner-batched net estimation: the candidate route is a function of
+  // pin positions only, so it is built once, and the RC/NLDM evaluation
+  // runs over all active corners as SoA lanes (RcTreeBatch +
+  // elmoreMomentsBatch + the cells' corner-major packed tables) instead of
+  // once per corner. Each lane is bit-identical to the former per-corner
+  // scalar estimate.
+  struct BatchDriverSpec;
+  struct BatchChildSpec;
+  struct NetEstimatesBatch;
+  NetEstimatesBatch estimateNetBatch(
+      const BatchDriverSpec& drv, const std::vector<BatchChildSpec>& children,
+      int route_model) const;
   std::array<double, kNumAnalytic> downstreamGateDelta(
       int node, const std::array<double, kNumAnalytic>& in_slew_new,
       double in_slew_old, std::size_t ki, int depth) const;
@@ -186,6 +197,14 @@ class MovePredictor {
   /// Predicted change of the sum of normalized skew variations (ps;
   /// negative is an improvement).
   double predictedVariationDelta(const Move& m) const;
+
+  /// Scores a whole round's candidate table in one call:
+  /// out[i] = predictedVariationDelta(moves[i]). With a pool the moves are
+  /// scored on its threads (scoring is const and shares no mutable state);
+  /// results are identical either way. `out` must have `moves.size()`
+  /// slots. Also feeds the skewopt_local_score_batch_size histogram.
+  void scoreBatch(std::span<const Move> moves, std::span<double> out,
+                  support::ThreadPool* pool = nullptr) const;
 
   const MoveAnalyzer& analyzer() const { return analyzer_; }
 

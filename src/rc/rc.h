@@ -62,6 +62,67 @@ struct Moments {
   static Moments compute(const RcTree& tree);
 };
 
+/// A multi-lane RC tree in structure-of-arrays layout: one shared topology
+/// (clock net routes do not depend on the corner) with K per-lane
+/// resistance/capacitance values per node, stored lane-interleaved —
+/// res[n * K + k]. One lane per corner lets the moment passes below walk
+/// the tree once and accumulate all corners in the inner loop, which the
+/// compiler turns into vector code (K = 4 corners is exactly one AVX2
+/// register of doubles).
+class RcTreeBatch {
+ public:
+  explicit RcTreeBatch(std::size_t lanes = 1) { reset(lanes); }
+
+  /// Resets to the bare driving point with `lanes` lanes, keeping storage.
+  void reset(std::size_t lanes);
+
+  /// Adds a node under `parent`; `res`/`cap` point at `lanes()` values.
+  std::size_t addNode(std::size_t parent, const double* res_kohm,
+                      const double* cap_ff);
+
+  /// Adds extra grounded capacitance (`lanes()` values) at a node.
+  void addCap(std::size_t node, const double* cap_ff);
+
+  std::size_t size() const { return parent_.size(); }
+  std::size_t lanes() const { return lanes_; }
+  int parent(std::size_t n) const { return parent_[n]; }
+  double res(std::size_t n, std::size_t k) const { return res_[n * lanes_ + k]; }
+  double cap(std::size_t n, std::size_t k) const { return cap_[n * lanes_ + k]; }
+  const double* resData() const { return res_.data(); }
+  const double* capData() const { return cap_.data(); }
+  const int* parentData() const { return parent_.data(); }
+
+  /// Per-lane total capacitance, accumulated in node-index order (the same
+  /// order RcTree::totalCap uses). `out` receives `lanes()` values.
+  void totalCapInto(double* out) const;
+
+ private:
+  std::size_t lanes_ = 1;
+  std::vector<int> parent_;
+  std::vector<double> res_;  ///< [n * lanes + k]
+  std::vector<double> cap_;  ///< [n * lanes + k]
+};
+
+/// Lane-interleaved moments of an RcTreeBatch: m1[n * K + k]. Each lane is
+/// bit-identical to Moments::compute on the equivalent single-lane RcTree —
+/// the batch passes only interchange the lane loop into the innermost
+/// position, leaving every lane's per-node summation order untouched.
+struct MomentsBatch {
+  std::vector<double> m1;
+  std::vector<double> m2;
+};
+
+/// Both moment passes over all lanes in one tree walk. `scratch` is caller
+/// scratch (grown to 2 * size * lanes).
+void elmoreMomentsBatch(const RcTreeBatch& tree, MomentsBatch& out,
+                        std::vector<double>& scratch);
+
+/// Positive Elmore delays for all lanes in one walk: delays[n * K + k].
+/// Each lane is bit-identical to elmoreDelaysInto on the equivalent
+/// single-lane RcTree. `cdown` is caller scratch.
+void elmoreDelaysBatch(const RcTreeBatch& tree, std::vector<double>& delays,
+                       std::vector<double>& cdown);
+
 /// Elmore delay from the driving point to every node, in ps.
 std::vector<double> elmoreDelays(const RcTree& tree);
 

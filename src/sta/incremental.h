@@ -37,9 +37,19 @@ class IncrementalTimer {
  public:
   IncrementalTimer(const tech::TechModel& tech, const network::Design& d)
       : timer_(tech), corners_(d.corners) {
-    timing_.reserve(corners_.size());
-    for (const std::size_t k : corners_)
-      timing_.push_back(timer_.analyze(d.tree, d.routing, k));
+    const std::size_t n = d.tree.numNodes();
+    timing_.resize(corners_.size());
+    for (std::size_t ki = 0; ki < corners_.size(); ++ki) {
+      CornerTiming& t = timing_[ki];
+      t.corner = corners_[ki];
+      t.arrival.assign(n, 0.0);
+      t.slew.assign(n, 0.0);
+      t.in_arrival.assign(n, 0.0);
+      t.in_slew.assign(n, 0.0);
+      t.driver_load.assign(n, 0.0);
+    }
+    timer_.propagateFromAllCorners(d.tree, d.routing, corners_,
+                                   d.tree.root(), timing_, &scratch_);
   }
 
   /// Re-times the subtrees of the dirty drivers at every active corner.
@@ -50,10 +60,9 @@ class IncrementalTimer {
         "Committed incremental retimes of dirty subtrees");
     updates.add();
     const std::vector<int> roots = minimalRoots(d.tree, dirty);
-    for (std::size_t ki = 0; ki < corners_.size(); ++ki)
-      for (const int r : roots)
-        timer_.propagateFrom(d.tree, d.routing, corners_[ki], r,
-                             &timing_[ki], &scratch_);
+    for (const int r : roots)
+      timer_.propagateFromAllCorners(d.tree, d.routing, corners_, r,
+                                     timing_, &scratch_);
   }
 
   const CornerTiming& timing(std::size_t ki) const { return timing_[ki]; }
@@ -161,10 +170,10 @@ class ScopedRetime {
       }
     }
 
-    for (std::size_t ki = 0; ki < nk; ++ki)
-      for (const int r : roots_)
-        base_->timer_.propagateFrom(d.tree, d.routing, base_->corners_[ki],
-                                    r, &base_->timing_[ki], &scratch_);
+    for (const int r : roots_)
+      base_->timer_.propagateFromAllCorners(d.tree, d.routing,
+                                            base_->corners_, r,
+                                            base_->timing_, &scratch_);
     active_ = true;
   }
 

@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "network/clock_tree.h"
@@ -49,6 +50,18 @@ struct PropagateScratch {
   rc::RcTree rct;
   std::vector<double> elmore;
   std::vector<double> cdown;
+  // NLDM axis-interval hints carried across a propagation's lookups: slew
+  // and load walk near-monotone sequences down a level, so the previous
+  // cell row is almost always the next one too.
+  tech::LutHint delay_hint;
+  tech::LutHint slew_hint;
+  // Corner-strided SoA buffers for propagateFromAllCorners: the shared-
+  // topology RC view with one lane per corner, lane-interleaved Elmore
+  // results, and K-wide staging for loads/slews/lookup results.
+  rc::RcTreeBatch rct_batch;
+  std::vector<double> elmore_batch;
+  std::vector<double> cdown_batch;
+  std::vector<double> lanes;
 };
 
 class Timer {
@@ -71,6 +84,20 @@ class Timer {
                      const network::Routing& routing, std::size_t corner,
                      int start, CornerTiming* t,
                      PropagateScratch* scratch = nullptr) const;
+
+  /// Corner-batched propagateFrom: one BFS walk re-propagates the subtree
+  /// at `start` for every corner in `corners` at once. The net topology
+  /// does not depend on the corner, so the RC view is built once with one
+  /// lane per corner (RcTreeBatch), Elmore runs over all lanes in one tree
+  /// walk, and gate lookups go through the cell's corner-major packed
+  /// tables. `timings[ki]` must be the state of `corners[ki]`; results are
+  /// bit-identical to calling propagateFrom once per corner
+  /// (differential-tested).
+  void propagateFromAllCorners(const network::ClockTree& tree,
+                               const network::Routing& routing,
+                               std::span<const std::size_t> corners,
+                               int start, std::span<CornerTiming> timings,
+                               PropagateScratch* scratch = nullptr) const;
 
   /// Propagation at every active corner of a design.
   std::vector<CornerTiming> analyzeDesign(const network::Design& d) const;

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -50,9 +51,22 @@ struct WireParams {
   double cap_ff_per_um = 0.0;
 };
 
+/// Cached axis-interval indices carried between lookups. A propagation
+/// level walks near-monotone slew/load sequences through the same table, so
+/// validating the previous interval (two comparisons) almost always beats
+/// re-running the binary search. Hints are pure accelerators: a lookup
+/// through a hint returns the bit-identical result of the unhinted path,
+/// whatever the hint's prior state. Hints are mutated on every call — keep
+/// one per thread/scratch, never share across concurrent callers.
+struct LutHint {
+  std::uint32_t slew = 0;
+  std::uint32_t load = 0;
+};
+
 /// NLDM-style 2-D lookup table indexed by (input slew, output load).
 /// Lookup is bilinear inside the grid and linearly extrapolated outside
 /// using the boundary interval's slope, which matches common STA behavior.
+/// Axes must be strictly increasing.
 class DelayTable {
  public:
   DelayTable() = default;
@@ -62,8 +76,23 @@ class DelayTable {
 
   double lookup(double slew_ps, double load_ff) const;
 
+  /// Hinted scalar lookup: the cached interval pair in `hint` is validated
+  /// (and advanced) before falling back to the binary search. Bit-identical
+  /// to the unhinted lookup.
+  double lookup(double slew_ps, double load_ff, LutHint* hint) const;
+
+  /// SoA batch lookup over contiguous vectors: out[i] = lookup(slew[i],
+  /// load[i]), one hint chain carried across elements so near-monotone
+  /// input sequences cost O(1) axis work per element. All three spans must
+  /// have equal length. Bit-identical to the scalar path element by
+  /// element.
+  void lookupBatch(std::span<const double> slews, std::span<const double> loads,
+                   std::span<double> out) const;
+
   const std::vector<double>& slewAxis() const { return slews_; }
   const std::vector<double>& loadAxis() const { return loads_; }
+  /// Raw row-major table values (CornerLut packs these verbatim).
+  const std::vector<double>& values() const { return values_; }
   bool empty() const { return values_.empty(); }
 
  private:
@@ -73,6 +102,40 @@ class DelayTable {
   std::vector<double> slews_;
   std::vector<double> loads_;
   std::vector<double> values_;
+};
+
+/// Corner-major packed view over one table role (delay or output slew) of a
+/// cell across all corners. Every per-corner DelayTable of a cell shares
+/// its axes, so the packed values — v[(s * n_load + l) * K + k] — let one
+/// axis search serve every corner, with the K corner values of a table cell
+/// adjacent in memory. Lookups are bit-identical to the per-corner
+/// DelayTable lookups (differential-tested).
+class CornerLut {
+ public:
+  CornerLut() = default;
+  /// Packs per-corner tables. Throws std::invalid_argument when the tables
+  /// do not all share identical axes.
+  explicit CornerLut(const std::vector<DelayTable>& per_corner);
+
+  bool empty() const { return values_.empty(); }
+  std::size_t numCorners() const { return corners_; }
+
+  /// Per-corner evaluation points (the timer's case — each corner carries
+  /// its own slew/load): out[i] = per_corner[corner_ids[i]].lookup(slew[i],
+  /// load[i]). One shared hint chain over the common axes.
+  void lookupEach(std::span<const std::size_t> corner_ids, const double* slew,
+                  const double* load, double* out, LutHint* hint) const;
+
+  /// One shared (slew, load) point evaluated at every packed corner:
+  /// out[k] = per_corner[k].lookup(slew, load). A single axis search and
+  /// contiguous K-wide reads per table cell.
+  void lookupAll(double slew, double load, double* out) const;
+
+ private:
+  std::size_t corners_ = 0;
+  std::vector<double> slews_;
+  std::vector<double> loads_;
+  std::vector<double> values_;  ///< [(s * loads + l) * corners + k]
 };
 
 /// An inverter cell characterized at every corner.
@@ -88,6 +151,12 @@ struct Cell {
   std::vector<DelayTable> out_slew;     ///< output transition
   std::vector<double> leakage_nw;       ///< leakage power
   std::vector<double> internal_energy_fj;  ///< energy per output toggle
+
+  // Corner-major packed views over `delay`/`out_slew`, built by
+  // TechModel::make28nm after characterization — the batch timing kernels'
+  // view of the same data.
+  CornerLut delay_packed;
+  CornerLut out_slew_packed;
 };
 
 /// The full technology view used by every other module.

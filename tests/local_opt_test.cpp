@@ -224,6 +224,62 @@ TEST_F(LocalOptTest, ScopedRetimeRollbackBitIdentical) {
                      fresh_original, "undone design vs original");
 }
 
+TEST_F(LocalOptTest, BatchScoringIdenticalHistoryToPerMove) {
+  // scoreBatch is a pure layout change: with batch scoring on vs off the
+  // optimizer must rank, trial, and commit exactly the same moves.
+  network::Design batched = makeDesign(70, 13);
+  network::Design per_move = batched;
+  const Objective objective(batched, timer_);
+  LocalOptions o;
+  o.max_iterations = 4;
+  o.batch_scoring = true;
+  const LocalResult rb =
+      LocalOptimizer(sharedTech(), o).run(batched, objective, nullptr);
+  o.batch_scoring = false;
+  const LocalResult rm =
+      LocalOptimizer(sharedTech(), o).run(per_move, objective, nullptr);
+  ASSERT_EQ(rb.history.size(), rm.history.size());
+  for (std::size_t i = 0; i < rb.history.size(); ++i) {
+    EXPECT_EQ(rb.history[i].round, rm.history[i].round);
+    EXPECT_EQ(rb.history[i].type, rm.history[i].type);
+    EXPECT_EQ(rb.history[i].predicted_delta_ps,
+              rm.history[i].predicted_delta_ps);
+    EXPECT_EQ(rb.history[i].realized_delta_ps,
+              rm.history[i].realized_delta_ps);
+    EXPECT_EQ(rb.history[i].sum_after_ps, rm.history[i].sum_after_ps);
+  }
+  EXPECT_EQ(rb.sum_after_ps, rm.sum_after_ps);
+  EXPECT_EQ(rb.golden_evaluations, rm.golden_evaluations);
+  EXPECT_EQ(batched.tree.numNodes(), per_move.tree.numNodes());
+}
+
+TEST_F(LocalOptTest, BatchScoringIdenticalUnderParallelTrials) {
+  // The pooled scoreBatch path (parallel_trials on) must also reproduce the
+  // serial per-move history exactly.
+  network::Design batched = makeDesign(70, 14);
+  network::Design per_move = batched;
+  const Objective objective(batched, timer_);
+  LocalOptions o;
+  o.max_iterations = 3;
+  o.batch_scoring = true;
+  o.parallel_trials = true;
+  o.threads = 4;
+  const LocalResult rb =
+      LocalOptimizer(sharedTech(), o).run(batched, objective, nullptr);
+  o.batch_scoring = false;
+  o.parallel_trials = false;
+  const LocalResult rm =
+      LocalOptimizer(sharedTech(), o).run(per_move, objective, nullptr);
+  ASSERT_EQ(rb.history.size(), rm.history.size());
+  for (std::size_t i = 0; i < rb.history.size(); ++i) {
+    EXPECT_EQ(rb.history[i].type, rm.history[i].type);
+    EXPECT_EQ(rb.history[i].predicted_delta_ps,
+              rm.history[i].predicted_delta_ps);
+    EXPECT_EQ(rb.history[i].sum_after_ps, rm.history[i].sum_after_ps);
+  }
+  EXPECT_EQ(rb.sum_after_ps, rm.sum_after_ps);
+}
+
 TEST_F(LocalOptTest, ZeroIterationsIsNoOp) {
   network::Design d = makeDesign(50, 8);
   const Objective objective(d, timer_);

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "core/moves.h"
+#include "support/thread_pool.h"
 #include "testgen/testgen.h"
 
 namespace skewopt::core {
@@ -216,6 +217,31 @@ TEST(MovePredictor, VariationDeltaMatchesGoldenDirectionally) {
     if (after.sum_variation_ps < before.sum_variation_ps) improved = true;
   }
   EXPECT_TRUE(improved);
+}
+
+TEST(MovePredictor, ScoreBatchBitIdenticalToPerMoveScores) {
+  // scoreBatch only restructures loops (route built once per net, corner
+  // lanes evaluated together); every score must equal the scalar
+  // predictedVariationDelta exactly, serial and pooled alike.
+  testgen::TestcaseOptions o;
+  o.sinks = 50;
+  const network::Design d = testgen::makeCls1(sharedTech(), "v1", o);
+  sta::Timer timer(sharedTech());
+  const Objective objective(d, timer);
+  MovePredictor predictor(d, timer, objective, nullptr);
+  const std::vector<Move> moves = enumerateAllMoves(d);
+  ASSERT_FALSE(moves.empty());
+
+  std::vector<double> serial(moves.size());
+  predictor.scoreBatch(moves, serial);
+  support::ThreadPool pool(4);
+  std::vector<double> pooled(moves.size());
+  predictor.scoreBatch(moves, pooled, &pool);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    const double scalar = predictor.predictedVariationDelta(moves[i]);
+    EXPECT_EQ(serial[i], scalar) << "serial move " << i;
+    EXPECT_EQ(pooled[i], scalar) << "pooled move " << i;
+  }
 }
 
 TEST(GoldenDelta, TinyMoveTinyDelta) {

@@ -133,5 +133,107 @@ TEST_P(ElmoreMonotoneProp, CapIncreaseNeverSpeedsUp) {
 }
 INSTANTIATE_TEST_SUITE_P(Seeds, ElmoreMonotoneProp, ::testing::Range(0, 8));
 
+// ---------------------------------------------------------------------------
+// SoA batch kernels: every lane must be bit-identical (EXPECT_EQ on
+// doubles, exact) to the scalar pass on the equivalent single-lane tree.
+// ---------------------------------------------------------------------------
+
+/// Builds a random tree as `lanes` scalar RcTrees (one per lane, with
+/// per-lane R/C scaling) plus the equivalent RcTreeBatch.
+struct LaneFixture {
+  std::vector<RcTree> scalar;
+  RcTreeBatch batch;
+
+  LaneFixture(std::uint64_t seed, std::size_t lanes, int n_nodes)
+      : scalar(lanes), batch(lanes) {
+    geom::Rng rng(seed);
+    std::vector<std::size_t> nodes = {0};
+    std::vector<double> res(lanes), cap(lanes);
+    for (int i = 0; i < n_nodes; ++i) {
+      const std::size_t parent = nodes[rng.index(nodes.size())];
+      const double r = rng.uniform(0.05, 0.5);
+      const double c = rng.uniform(0.5, 5.0);
+      for (std::size_t k = 0; k < lanes; ++k) {
+        const double s = 0.8 + 0.13 * static_cast<double>(k);
+        res[k] = r * s;
+        cap[k] = c / s;
+        scalar[k].addNode(parent, res[k], cap[k]);
+      }
+      nodes.push_back(batch.addNode(parent, res.data(), cap.data()));
+    }
+    // Extra pin caps at a few nodes, per lane.
+    for (int i = 0; i < 5; ++i) {
+      const std::size_t at = nodes[rng.index(nodes.size())];
+      const double c = rng.uniform(0.5, 3.0);
+      for (std::size_t k = 0; k < lanes; ++k) {
+        cap[k] = c * (1.0 + 0.07 * static_cast<double>(k));
+        scalar[k].addCap(at, cap[k]);
+      }
+      batch.addCap(at, cap.data());
+    }
+  }
+};
+
+TEST(RcTreeBatch, MomentsBitIdenticalToScalarPerLane) {
+  const LaneFixture f(11, 4, 40);
+  MomentsBatch mb;
+  std::vector<double> scratch;
+  elmoreMomentsBatch(f.batch, mb, scratch);
+  for (std::size_t k = 0; k < 4; ++k) {
+    const Moments m = Moments::compute(f.scalar[k]);
+    ASSERT_EQ(mb.m1.size(), m.m1.size() * 4);
+    for (std::size_t n = 0; n < m.m1.size(); ++n) {
+      EXPECT_EQ(mb.m1[n * 4 + k], m.m1[n]) << "m1 lane " << k << " node " << n;
+      EXPECT_EQ(mb.m2[n * 4 + k], m.m2[n]) << "m2 lane " << k << " node " << n;
+    }
+  }
+}
+
+TEST(RcTreeBatch, ElmoreDelaysBitIdenticalToScalarPerLane) {
+  const LaneFixture f(29, 3, 25);
+  std::vector<double> delays, cdown;
+  elmoreDelaysBatch(f.batch, delays, cdown);
+  std::vector<double> sd, sc;
+  for (std::size_t k = 0; k < 3; ++k) {
+    elmoreDelaysInto(f.scalar[k], sd, sc);
+    for (std::size_t n = 0; n < sd.size(); ++n)
+      EXPECT_EQ(delays[n * 3 + k], sd[n]) << "lane " << k << " node " << n;
+  }
+}
+
+TEST(RcTreeBatch, TotalCapMatchesScalarPerLane) {
+  const LaneFixture f(7, 4, 30);
+  double tot[4];
+  f.batch.totalCapInto(tot);
+  for (std::size_t k = 0; k < 4; ++k)
+    EXPECT_EQ(tot[k], f.scalar[k].totalCap());
+}
+
+TEST(RcTreeBatch, ResetKeepsLanesAndClears) {
+  RcTreeBatch t(2);
+  const double r[2] = {1.0, 2.0}, c[2] = {3.0, 4.0};
+  t.addNode(0, r, c);
+  EXPECT_EQ(t.size(), 2u);
+  t.reset(4);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lanes(), 4u);
+  EXPECT_THROW(t.addNode(5, r, c), std::out_of_range);
+  EXPECT_THROW(t.reset(0), std::invalid_argument);
+}
+
+TEST(RcTreeBatch, SingleLaneMatchesRcTreeExactly) {
+  // lanes=1 is the degenerate case: the batch tree is the scalar tree.
+  RcTree s;
+  RcTreeBatch b(1);
+  const double r = 2.0, c = 5.0;
+  s.addNode(0, r, c);
+  b.addNode(0, &r, &c);
+  std::vector<double> bd, bc, sd, sc;
+  elmoreDelaysBatch(b, bd, bc);
+  elmoreDelaysInto(s, sd, sc);
+  ASSERT_EQ(bd.size(), sd.size());
+  for (std::size_t n = 0; n < sd.size(); ++n) EXPECT_EQ(bd[n], sd[n]);
+}
+
 }  // namespace
 }  // namespace skewopt::rc

@@ -4,6 +4,7 @@
 
 #include "network/design.h"
 #include "rc/rc.h"
+#include "testgen/testgen.h"
 
 namespace skewopt::sta {
 namespace {
@@ -205,6 +206,78 @@ TEST_F(StaTest, MissingNetThrows) {
   t.addSink(0, {10, 0});
   Routing r;  // never rebuilt
   EXPECT_THROW(timer_.analyze(t, r, 0), std::logic_error);
+}
+
+// ---------------------------------------------------------------------------
+// Corner-batched propagation differentials: propagateFromAllCorners must
+// match one propagateFrom per corner bit for bit (EXPECT_EQ on doubles).
+// ---------------------------------------------------------------------------
+
+void expectTimingsIdentical(const CornerTiming& a, const CornerTiming& b,
+                            const char* what) {
+  ASSERT_EQ(a.arrival.size(), b.arrival.size()) << what;
+  for (std::size_t i = 0; i < a.arrival.size(); ++i) {
+    EXPECT_EQ(a.arrival[i], b.arrival[i]) << what << " arrival node " << i;
+    EXPECT_EQ(a.slew[i], b.slew[i]) << what << " slew node " << i;
+    EXPECT_EQ(a.in_arrival[i], b.in_arrival[i])
+        << what << " in_arrival node " << i;
+    EXPECT_EQ(a.in_slew[i], b.in_slew[i]) << what << " in_slew node " << i;
+    EXPECT_EQ(a.driver_load[i], b.driver_load[i])
+        << what << " driver_load node " << i;
+  }
+}
+
+// Parameterized over the three CLS testcases; the batched full analysis of
+// every active corner must equal the scalar per-corner analyses.
+class BatchPropagationDiff : public ::testing::TestWithParam<const char*> {};
+TEST_P(BatchPropagationDiff, FullDesignAllCornersBitIdentical) {
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const Timer timer(tech);
+  testgen::TestcaseOptions o;
+  o.sinks = 48;
+  o.max_pairs = 60;
+  const network::Design d = testgen::makeTestcase(tech, GetParam(), o);
+  const std::vector<CornerTiming> batched = timer.analyzeDesign(d);
+  ASSERT_EQ(batched.size(), d.corners.size());
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki) {
+    const CornerTiming scalar =
+        timer.analyze(d.tree, d.routing, d.corners[ki]);
+    expectTimingsIdentical(batched[ki], scalar, GetParam());
+  }
+}
+INSTANTIATE_TEST_SUITE_P(ClsCases, BatchPropagationDiff,
+                         ::testing::Values("CLS1v1", "CLS1v2", "CLS2v1"));
+
+TEST_F(StaTest, BatchSubtreePropagationBitIdentical) {
+  // Re-propagating a buffer subtree through the batched path must leave
+  // exactly the same state as the per-corner scalar path.
+  testgen::TestcaseOptions o;
+  o.sinks = 32;
+  const Design d = testgen::makeCls1(tech_, "v1", o);
+  std::vector<CornerTiming> scalar;
+  for (const std::size_t k : d.corners)
+    scalar.push_back(timer_.analyze(d.tree, d.routing, k));
+  std::vector<CornerTiming> batched = scalar;  // same pre-state
+
+  // Pick the first buffer with children as the dirty root.
+  int start = -1;
+  for (std::size_t i = 0; i < d.tree.numNodes() && start < 0; ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id)) continue;
+    const auto& n = d.tree.node(id);
+    if (n.kind == network::NodeKind::Buffer && !n.children.empty()) start = id;
+  }
+  ASSERT_GE(start, 0);
+
+  PropagateScratch scratch;
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    timer_.propagateFrom(d.tree, d.routing, d.corners[ki], start,
+                         &scalar[ki], &scratch);
+  PropagateScratch batch_scratch;
+  timer_.propagateFromAllCorners(d.tree, d.routing, d.corners, start,
+                                 batched, &batch_scratch);
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    expectTimingsIdentical(batched[ki], scalar[ki], "subtree");
 }
 
 }  // namespace

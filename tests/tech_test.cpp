@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
 namespace skewopt::tech {
 namespace {
 
@@ -154,6 +158,116 @@ TEST_P(TableMonotoneProp, MonotoneInLoad) {
 INSTANTIATE_TEST_SUITE_P(AllCellsCorners, TableMonotoneProp,
                          ::testing::Combine(::testing::Range(0, 5),
                                             ::testing::Range(0, 4)));
+
+// ---------------------------------------------------------------------------
+// Batch / hinted lookup differentials. EXPECT_EQ on doubles is exact
+// equality on purpose: the batch kernels promise bit-identity.
+// ---------------------------------------------------------------------------
+
+/// Evaluation points covering the interior, every grid line, and both
+/// extrapolation sides of the library tables, in a deliberately
+/// non-monotone order so hint validation misses as well as hits.
+std::vector<std::pair<double, double>> probePoints() {
+  std::vector<std::pair<double, double>> pts;
+  for (double slew : {0.5, 5.0, 12.0, 40.0, 120.0, 300.0, 900.0})
+    for (double load : {0.1, 1.0, 3.5, 20.0, 75.0, 200.0, 500.0})
+      pts.push_back({slew, load});
+  for (std::size_t i = 0; i + 1 < pts.size(); i += 2)
+    std::swap(pts[i], pts[i + 1]);
+  return pts;
+}
+
+TEST_F(TechTest, HintedLookupBitIdenticalToUnhinted) {
+  LutHint hint;  // one hint chained across all cells and points
+  for (std::size_t ci = 0; ci < t.numCells(); ++ci) {
+    const Cell& c = t.cell(ci);
+    for (std::size_t k = 0; k < t.numCorners(); ++k) {
+      for (const auto& [slew, load] : probePoints()) {
+        EXPECT_EQ(c.delay[k].lookup(slew, load, &hint),
+                  c.delay[k].lookup(slew, load));
+        EXPECT_EQ(c.out_slew[k].lookup(slew, load, &hint),
+                  c.out_slew[k].lookup(slew, load));
+      }
+    }
+  }
+}
+
+TEST_F(TechTest, BatchLookupBitIdenticalToScalar) {
+  const auto pts = probePoints();
+  std::vector<double> slews, loads;
+  for (const auto& [s, l] : pts) {
+    slews.push_back(s);
+    loads.push_back(l);
+  }
+  std::vector<double> out(pts.size());
+  for (std::size_t ci = 0; ci < t.numCells(); ++ci) {
+    for (std::size_t k = 0; k < t.numCorners(); ++k) {
+      const DelayTable& dt = t.cell(ci).delay[k];
+      dt.lookupBatch(slews, loads, out);
+      for (std::size_t i = 0; i < pts.size(); ++i)
+        EXPECT_EQ(out[i], dt.lookup(slews[i], loads[i])) << "i=" << i;
+    }
+  }
+}
+
+TEST_F(TechTest, CornerLutLookupEachBitIdenticalToPerCornerTables) {
+  std::vector<std::size_t> ids = {0, 1, 2, 3};
+  LutHint hint;
+  double slew_l[4], load_l[4], out[4];
+  for (std::size_t ci = 0; ci < t.numCells(); ++ci) {
+    const Cell& c = t.cell(ci);
+    const auto pts = probePoints();
+    for (std::size_t pi = 0; pi + 4 <= pts.size(); pi += 4) {
+      for (std::size_t k = 0; k < 4; ++k) {
+        slew_l[k] = pts[pi + k].first;
+        load_l[k] = pts[pi + k].second;
+      }
+      c.delay_packed.lookupEach(ids, slew_l, load_l, out, &hint);
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_EQ(out[k], c.delay[k].lookup(slew_l[k], load_l[k]));
+    }
+  }
+}
+
+TEST_F(TechTest, CornerLutLookupAllBitIdenticalToPerCornerTables) {
+  double out[4];
+  for (std::size_t ci = 0; ci < t.numCells(); ++ci) {
+    const Cell& c = t.cell(ci);
+    ASSERT_EQ(c.delay_packed.numCorners(), 4u);
+    for (const auto& [slew, load] : probePoints()) {
+      c.delay_packed.lookupAll(slew, load, out);
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_EQ(out[k], c.delay[k].lookup(slew, load));
+      c.out_slew_packed.lookupAll(slew, load, out);
+      for (std::size_t k = 0; k < 4; ++k)
+        EXPECT_EQ(out[k], c.out_slew[k].lookup(slew, load));
+    }
+  }
+}
+
+TEST(CornerLut, RejectsMismatchedAxes) {
+  const DelayTable a({10, 20}, {1, 2}, {5, 6, 7, 9});
+  const DelayTable b({10, 21}, {1, 2}, {5, 6, 7, 9});
+  const DelayTable c({10, 20}, {1, 3}, {5, 6, 7, 9});
+  EXPECT_NO_THROW(CornerLut({a, a}));
+  EXPECT_THROW(CornerLut({a, b}), std::invalid_argument);
+  EXPECT_THROW(CornerLut({a, c}), std::invalid_argument);
+  EXPECT_TRUE(CornerLut(std::vector<DelayTable>{}).empty());
+}
+
+TEST(CornerLut, PacksRawValuesExactlyAtGridCorners) {
+  // Re-interpolating at a grid point is not bit-exact at the last row/col
+  // (a + (b-a)*1.0 need not equal b); the packed view must copy raw values.
+  const DelayTable a({10, 20}, {1, 2}, {0.1, 0.2, 0.30000000000000004, 0.7});
+  const CornerLut packed({a, a});
+  double out[2];
+  for (double slew : {10.0, 20.0})
+    for (double load : {1.0, 2.0}) {
+      packed.lookupAll(slew, load, out);
+      EXPECT_EQ(out[0], a.lookup(slew, load));
+      EXPECT_EQ(out[1], a.lookup(slew, load));
+    }
+}
 
 }  // namespace
 }  // namespace skewopt::tech
