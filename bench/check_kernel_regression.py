@@ -1,13 +1,14 @@
 #!/usr/bin/env python3
-"""CI gate for the batched NLDM lookup kernel.
+"""CI gate for the batched timing kernels.
 
-Fails when BM_NldmLookupBatch regresses more than the allowed margin
-against the recorded baseline (bench/baseline_kernels.json, a full
-BENCH_bench_kernels.json snapshot). Raw nanoseconds are machine-dependent,
-so the gate compares a machine-neutral ratio instead: batched time per
-element divided by the scalar BM_NldmLookup time from the same run. A
-slower machine inflates both numbers; only a genuine regression of the
-batch kernel relative to the scalar path moves the ratio.
+Fails when BM_NldmLookupBatch or BM_ElmoreMomentsBatch regresses more than
+the allowed margin against the recorded baseline
+(bench/baseline_kernels.json, a full BENCH_bench_kernels.json snapshot).
+Raw nanoseconds are machine-dependent, so the gate compares machine-neutral
+ratios instead: batched time per element (or lane) divided by the scalar
+kernel's time from the same run. A slower machine inflates both numbers;
+only a genuine regression of a batch kernel relative to its scalar path
+moves the ratio.
 
 Usage: check_kernel_regression.py [current.json] [baseline.json] [margin]
 """
@@ -30,8 +31,22 @@ def load(path):
     }
 
 
-def batch_ratio(recs):
-    return recs["BM_NldmLookupBatch"] / BATCH_ELEMS / recs["BM_NldmLookup"]
+# Gated kernels: name -> (batch case, scalar case, per-unit divisor). The
+# Elmore margin is wider than the NLDM one — its walk order is
+# topology-sensitive, so smoke-budget runs jitter more.
+GATES = {
+    "BM_NldmLookupBatch": ("BM_NldmLookupBatch", "BM_NldmLookup", BATCH_ELEMS),
+    "BM_ElmoreMomentsBatch": (
+        "BM_ElmoreMomentsBatch",
+        "BM_ElmoreMoments",
+        ELMORE_LANES,
+    ),
+}
+EXTRA_MARGIN = {"BM_ElmoreMomentsBatch": 0.15}
+
+
+def ratio(recs, batch, scalar, per):
+    return recs[batch] / per / recs[scalar]
 
 
 def main(argv):
@@ -41,22 +56,30 @@ def main(argv):
 
     cur = load(cur_path)
     base = load(base_path)
-    r_cur = batch_ratio(cur)
-    r_base = batch_ratio(base)
-    limit = r_base * (1.0 + margin)
-    print(
-        f"BM_NldmLookupBatch per-element / BM_NldmLookup: "
-        f"current {r_cur:.3f}, baseline {r_base:.3f}, limit {limit:.3f}"
-    )
-    if "BM_ElmoreMoments" in cur and "BM_ElmoreMomentsBatch" in cur:
-        # Informational only: the Elmore kernels are too topology-sensitive
-        # for a hard gate at smoke-test measuring budgets.
-        speedup = (
-            ELMORE_LANES * cur["BM_ElmoreMoments"] / cur["BM_ElmoreMomentsBatch"]
+
+    regressed = []
+    for name, (batch, scalar, per) in GATES.items():
+        if batch not in base or scalar not in base:
+            print(f"{name}: no baseline recorded, skipping")
+            continue
+        if batch not in cur or scalar not in cur:
+            print(f"{name}: missing from current run, skipping")
+            continue
+        r_cur = ratio(cur, batch, scalar, per)
+        r_base = ratio(base, batch, scalar, per)
+        limit = r_base * (1.0 + margin + EXTRA_MARGIN.get(name, 0.0))
+        print(
+            f"{batch} per-unit / {scalar}: "
+            f"current {r_cur:.3f}, baseline {r_base:.3f}, limit {limit:.3f}"
         )
-        print(f"BM_ElmoreMomentsBatch per-lane speedup: {speedup:.2f}x")
-    if r_cur > limit:
-        print("FAIL: batched NLDM lookup regressed beyond the margin")
+        if r_cur > limit:
+            regressed.append(name)
+
+    if regressed:
+        print(
+            "FAIL: batched kernel(s) regressed beyond the margin: "
+            + ", ".join(regressed)
+        )
         return 1
     print("OK")
     return 0

@@ -2,6 +2,7 @@
 // socket.
 //
 //   skewopt_served [--port N] [--workers N] [--queue N] [--cache N]
+//                  [--warm-capacity N]
 //
 // Speaks the newline-delimited JSON protocol of docs/serving.md. Try it
 // with netcat:
@@ -34,7 +35,7 @@ void onSignal(int) { g_stop.store(true); }
 int usage() {
   std::fprintf(stderr,
                "usage: skewopt_served [--port N] [--workers N] [--queue N] "
-               "[--cache N]\n");
+               "[--cache N] [--warm-capacity N]\n");
   return 2;
 }
 
@@ -73,6 +74,8 @@ int main(int argc, char** argv) {
       sched_opts.queue_capacity = static_cast<std::size_t>(value);
     } else if (flag == "--cache") {
       sched_opts.cache_capacity = static_cast<std::size_t>(value);
+    } else if (flag == "--warm-capacity") {
+      sched_opts.warm_capacity = static_cast<std::size_t>(value);
     } else {
       std::fprintf(stderr, "skewopt_served: unknown flag %s\n", flag.c_str());
       return usage();

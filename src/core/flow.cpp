@@ -1,5 +1,8 @@
 #include "core/flow.h"
 
+#include <optional>
+#include <stdexcept>
+
 #include "check/check.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -12,6 +15,41 @@ namespace {
 obs::Histogram& flowStageMs(const char* name, const char* help) {
   return obs::MetricsRegistry::global().histogram(
       name, obs::defaultMsBuckets(), help);
+}
+
+DesignMetrics metricsFromReport(const network::Design& d,
+                                const VariationReport& r) {
+  DesignMetrics m;
+  m.sum_variation_ps = r.sum_variation_ps;
+  m.local_skew_ps = r.local_skew_ps;
+  m.clock_cells = d.tree.numBuffers();
+  m.power_mw = sta::clockTreePowerMw(d, d.corners.front());
+  m.area_um2 = sta::clockCellAreaUm2(d);
+  return m;
+}
+
+/// Builds the seeded incremental timer for a warm run, or nullopt when the
+/// snapshot does not fit this design (node count, corners) — the caller
+/// then runs cold. The dirty set is derived by diffing the snapshot's node
+/// positions against the freshly built design: a moved sink dirties its
+/// parent (whose net geometry changed), which covers the sink itself.
+std::optional<sta::IncrementalTimer> seedFromWarmState(
+    const tech::TechModel& tech, const network::Design& d,
+    const FlowWarmState& warm) {
+  if (warm.positions.size() != d.tree.numNodes()) return std::nullopt;
+  std::vector<int> dirty;
+  for (std::size_t i = 0; i < d.tree.numNodes(); ++i) {
+    const int id = static_cast<int>(i);
+    if (!d.tree.isValid(id)) continue;
+    const network::ClockNode& n = d.tree.node(id);
+    if (n.pos == warm.positions[i]) continue;
+    dirty.push_back(n.parent >= 0 ? n.parent : id);
+  }
+  try {
+    return sta::IncrementalTimer(tech, d, warm.initial_timing, dirty);
+  } catch (const std::invalid_argument&) {
+    return std::nullopt;  // snapshot shape mismatch: cold fallback
+  }
 }
 
 }  // namespace
@@ -28,18 +66,18 @@ const char* flowModeName(FlowMode m) {
 DesignMetrics computeMetrics(const network::Design& d,
                              const Objective& objective,
                              const sta::Timer& timer) {
-  DesignMetrics m;
-  const VariationReport r = objective.evaluate(d, timer);
-  m.sum_variation_ps = r.sum_variation_ps;
-  m.local_skew_ps = r.local_skew_ps;
-  m.clock_cells = d.tree.numBuffers();
-  m.power_mw = sta::clockTreePowerMw(d, d.corners.front());
-  m.area_um2 = sta::clockCellAreaUm2(d);
-  return m;
+  return metricsFromReport(d, objective.evaluate(d, timer));
 }
 
 FlowResult Flow::run(network::Design& d, FlowMode mode,
                      const DeltaLatencyModel* model) const {
+  return run(d, mode, model, /*warm_in=*/nullptr, /*warm_out=*/nullptr);
+}
+
+FlowResult Flow::run(network::Design& d, FlowMode mode,
+                     const DeltaLatencyModel* model,
+                     const FlowWarmState* warm_in,
+                     FlowWarmState* warm_out) const {
   static obs::Counter& runs = obs::MetricsRegistry::global().counter(
       "skewopt_flow_runs_total", "Flow::run invocations");
   static obs::Histogram& global_hist =
@@ -60,13 +98,40 @@ FlowResult Flow::run(network::Design& d, FlowMode mode,
     check::gateDesign(d, timer_, chk, "flow:input");
   }
 
+  // Cross-job warm start: seed an incremental timer from the prior run's
+  // initial-design snapshot (re-propagating only the subtrees this job's
+  // edits dirtied); an unusable snapshot leaves `seed` empty and the run
+  // proceeds exactly as a cold one.
+  std::optional<sta::IncrementalTimer> seed;
+  if (warm_in != nullptr) seed = seedFromWarmState(*tech_, d, *warm_in);
+  static obs::Counter& warm_runs = obs::MetricsRegistry::global().counter(
+      "skewopt_flow_warm_runs_total",
+      "Flow runs seeded from a prior run's warm state");
+  if (seed.has_value()) warm_runs.add();
+
   // Alphas are locked to the incoming tree (they are an input parameter of
   // the formulation).
-  Objective objective(d, timer_);
+  Objective objective =
+      seed.has_value() ? Objective(d, seed->timings()) : Objective(d, timer_);
   FlowResult res;
   {
     obs::Span metrics_span("flow.metrics_before");
-    res.before = computeMetrics(d, objective, timer_);
+    res.before = seed.has_value()
+                     ? metricsFromReport(
+                           d, objective.evaluateFromTimings(d, seed->timings()))
+                     : computeMetrics(d, objective, timer_);
+  }
+
+  // The outgoing snapshot describes the *initial* design, so capture it
+  // before the stages mutate `d`.
+  if (warm_out != nullptr) {
+    warm_out->initial_timing =
+        seed.has_value() ? seed->timings() : timer_.analyzeDesign(d);
+    warm_out->positions.assign(d.tree.numNodes(), geom::Point{});
+    for (std::size_t i = 0; i < d.tree.numNodes(); ++i)
+      if (d.tree.isValid(static_cast<int>(i)))
+        warm_out->positions[i] = d.tree.node(static_cast<int>(i)).pos;
+    warm_out->fingerprint = designFingerprint(d, warm_out->initial_timing);
   }
 
   if (mode == FlowMode::kGlobal || mode == FlowMode::kGlobalLocal) {
@@ -75,7 +140,9 @@ FlowResult Flow::run(network::Design& d, FlowMode mode,
     GlobalOptions gopts = opts_.global;
     gopts.check_level = chk;
     GlobalOptimizer gopt(*tech_, *lut_, gopts);
-    res.global = gopt.run(d, objective);
+    res.global = gopt.run(d, objective, seed.has_value() ? &*seed : nullptr,
+                          warm_in != nullptr ? &warm_in->global : nullptr,
+                          warm_out != nullptr ? &warm_out->global : nullptr);
     res.stage_ms.global_ms = sw.ms();
     global_hist.observe(res.stage_ms.global_ms);
   }

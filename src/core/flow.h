@@ -57,6 +57,20 @@ struct FlowResult {
   StageTimings stage_ms;
 };
 
+/// Everything one completed flow run leaves behind for a later run over the
+/// same design topology (the serve warm-state store keeps one of these per
+/// topology key). The snapshot describes the *initial* (pre-optimization)
+/// design: a delta job whose edits touch a few sinks seeds its timer from
+/// `initial_timing`, re-propagates only the subtrees whose node positions
+/// differ, and feeds `global` back into the LP stage. A mismatched snapshot
+/// (different node count or corners) degrades to a cold run.
+struct FlowWarmState {
+  std::vector<sta::CornerTiming> initial_timing;  ///< per active corner
+  std::vector<geom::Point> positions;  ///< initial node positions by id
+  std::uint64_t fingerprint = 0;  ///< designFingerprint of the initial design
+  GlobalWarmState global;
+};
+
 class Flow {
  public:
   Flow(const tech::TechModel& tech, const eco::StageDelayLut& lut,
@@ -67,6 +81,14 @@ class Flow {
   /// (the local stage then predicts analytically).
   FlowResult run(network::Design& d, FlowMode mode,
                  const DeltaLatencyModel* model) const;
+
+  /// Warm-start entry point: `warm_in` (may be null) is a prior run's
+  /// state over the same topology, `warm_out` (may be null, must not alias
+  /// `warm_in`) captures this run's state. Results are equal to the cold
+  /// run — an unusable `warm_in` just falls back silently.
+  FlowResult run(network::Design& d, FlowMode mode,
+                 const DeltaLatencyModel* model, const FlowWarmState* warm_in,
+                 FlowWarmState* warm_out) const;
 
  private:
   const tech::TechModel* tech_;

@@ -21,6 +21,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "check/diagnostics.h"
@@ -28,6 +30,7 @@
 #include "eco/eco.h"
 #include "lp/lp.h"
 #include "network/design.h"
+#include "sta/incremental.h"
 #include "sta/timer.h"
 
 namespace skewopt::core {
@@ -76,6 +79,13 @@ struct GlobalOptions {
   /// kDeep adds the ratio-envelope scan and a full multi-corner re-time.
   /// SKEWOPT_CHECK_LEVEL overrides (check::effectiveLevel).
   check::Level check_level = check::Level::kCheap;
+  /// Per-active-corner multiplier on the Dmax bound of the latency
+  /// constraint (9): entry ki scales corner ki's original maximum sink
+  /// latency (missing entries default to 1.0, empty means no derating).
+  /// The derate enters only row right-hand sides, so a delta job with
+  /// changed derates re-bounds the cached LP rows via
+  /// GlobalWarmState::latency_rows instead of rebuilding the model.
+  std::vector<double> corner_dmax_derate;
   lp::SolverOptions lp;
 };
 
@@ -109,6 +119,89 @@ struct GlobalResult {
   std::vector<LpSolveStats> lp_solves;
   int lp_warm_hits = 0;    ///< sweep solves that accepted a warm basis
   int lp_warm_misses = 0;  ///< sweep solves that fell back to a cold start
+  /// Cross-job warm-start effects of this run (all zero on cold runs):
+  bool reused_models = false;     ///< LP models re-bounded, not rebuilt
+  int realize_memo_hits = 0;      ///< sweep points served from the memo
+  int lp_replays = 0;             ///< LP solves replayed from cached solutions
+};
+
+/// Fingerprint of everything a global run's realization depends on beyond
+/// the spec-level topology key: node placement/cell assignment and the
+/// exact per-corner timing bits of the (initial) design. Two runs whose
+/// topology keys and fingerprints both match solve coefficient-identical
+/// LPs and realize identical candidates for identical LP solutions.
+std::uint64_t designFingerprint(const network::Design& d,
+                                const std::vector<sta::CornerTiming>& timing);
+
+/// One realized sweep point memoized for cross-job reuse. A hit requires
+/// the design fingerprint and the full LP solution vector to match
+/// bit-exactly, so a hit can never change a result — it only skips the
+/// deterministic ECO + golden re-time that would reproduce it.
+struct RealizedPointMemo {
+  std::uint64_t fingerprint = 0;
+  std::vector<double> x;        ///< LP solution the point was realized from
+  /// Realized candidate design, shared (immutable) so capturing a run's
+  /// points into the memo does not copy whole designs.
+  std::shared_ptr<const network::Design> trial;
+  VariationReport after;        ///< its full evaluation
+  std::size_t changed = 0;      ///< arcs rebuilt by the ECO
+};
+
+/// Solver and realization state captured from one global run for reuse by
+/// a later run over the same design topology (serve keys its warm-state
+/// store by serve::topologyKey, which pins every field of the spec except
+/// the delta-editable ones: U sweep, corner derates, moved sinks). The
+/// basis blobs are stored serialized (lp::serializeBasis) so a corrupt or
+/// wrong-shaped entry degrades to a cold solve instead of undefined
+/// behavior. Contract: a warm state may only be fed back into an optimizer
+/// whose options differ at most in u_sweep and corner_dmax_derate.
+///
+/// Every reuse here is an exact replay, never a heuristic seed: a cached
+/// solution or realized point is consumed only when the inputs that
+/// produced it (fingerprint, effective derates, budget bound, LP solution
+/// vector) match the current run's bit-for-bit, in which case the cached
+/// value IS what the cold computation would produce. Seeding the simplex
+/// with a foreign basis is deliberately not done — on degenerate models it
+/// converges to an alternate optimal vertex whose low-order bits differ
+/// from the cold solve, breaking the delta==cold guarantee.
+struct GlobalWarmState {
+  std::vector<unsigned char> pass1_basis;  ///< serialized pass-1 optimum
+  /// Cached LP models, valid only while the design fingerprint matches
+  /// (identical placement + timing bits): a derate-only edit re-bounds the
+  /// latency rows below instead of rebuilding ~2k rows from scratch.
+  bool models_valid = false;
+  std::uint64_t model_fingerprint = 0;
+  lp::Model min_v_model;
+  lp::Model sweep_model;
+  /// One entry per constraint-(9) row (same row indices in both models):
+  /// the row's upper bound is derate(ki) * dmax - lat.
+  struct LatencyRow {
+    int row = -1;
+    std::size_t ki = 0;
+    double dmax = 0.0;  ///< original (underated) max latency of corner ki
+    double lat = 0.0;   ///< original path latency of the row's sink
+  };
+  std::vector<LatencyRow> latency_rows;
+  std::vector<RealizedPointMemo> realize_memo;
+  /// Effective per-active-corner derates the cached solutions were solved
+  /// under (derateOf semantics: missing entries are 1.0). Solutions replay
+  /// only when these match the current run's bitwise — then the re-bounded
+  /// models are bit-identical to the ones that produced the cache.
+  std::vector<double> solve_derates;
+  bool pass1_valid = false;     ///< pass-1 solution fields below are usable
+  double pass1_objective = 0.0; ///< pass-1 optimum (lp_min_sum_ps)
+  int pass1_iterations = 0;
+  /// One solved sweep point, in solve order. Replay is prefix-only: the
+  /// sweep LPs chain bases serially, so point i's cached solution is the
+  /// cold answer only if every earlier point replayed too (same chain
+  /// state). `basis` is the chain basis right after this point's solve.
+  struct SweptSolution {
+    double u = 0.0;  ///< budget bound of row (5), bitwise replay key
+    std::vector<double> x;
+    int iterations = 0;
+    std::vector<unsigned char> basis;
+  };
+  std::vector<SweptSolution> sweep_solutions;
 };
 
 /// Bench/test probe: the exact LPs run() would solve on a design — the
@@ -133,6 +226,21 @@ class GlobalOptimizer {
   /// candidate realizes an improvement).
   GlobalResult run(network::Design& d, const Objective& objective) const;
 
+  /// Warm-start entry point. `seed` (may be null) is an incremental timer
+  /// already holding the timing of `d` — bit-identical to
+  /// analyzeDesign(d) by the IncrementalTimer contract — and switches the
+  /// whole run, including candidate realization, to incremental dirty-
+  /// subtree retiming. `warm_in` (may be null) supplies a prior run's
+  /// cached models, recorded solutions, and realize memo; `warm_out` (may
+  /// be null)
+  /// captures this run's state for the next delta. Results are equal to
+  /// the cold run(d, objective) (asserted by the serve differential
+  /// tests); only the work expended differs.
+  GlobalResult run(network::Design& d, const Objective& objective,
+                   const sta::IncrementalTimer* seed,
+                   const GlobalWarmState* warm_in,
+                   GlobalWarmState* warm_out) const;
+
   /// Builds the global LPs for `d` without running the sweep (see
   /// GlobalLpProbe). Used by the LP benchmarks and warm-start tests.
   GlobalLpProbe extractGlobalLp(const network::Design& d,
@@ -140,7 +248,8 @@ class GlobalOptimizer {
 
  private:
   void repairLocalSkew(network::Design& trial, const Objective& objective,
-                       const VariationReport& before) const;
+                       const VariationReport& before,
+                       sta::IncrementalTimer* inc) const;
 
   const tech::TechModel* tech_;
   const eco::StageDelayLut* lut_;

@@ -8,10 +8,15 @@ namespace skewopt::core {
 
 using network::Design;
 
-Objective::Objective(const Design& d, const sta::Timer& timer) {
+Objective::Objective(const Design& d, const sta::Timer& timer)
+    : Objective(d, timer.analyzeDesign(d)) {}
+
+Objective::Objective(const Design& d,
+                     const std::vector<sta::CornerTiming>& timing) {
   if (d.corners.empty())
     throw std::invalid_argument("Objective: design has no active corners");
-  const std::vector<sta::CornerTiming> timing = timer.analyzeDesign(d);
+  if (timing.size() != d.corners.size())
+    throw std::invalid_argument("Objective: timing corner count");
   // alpha_k = average skew-magnitude ratio between c0 and c_k over pairs,
   // computed robustly as sum|skew^c0| / sum|skew^ck|.
   alphas_.assign(d.corners.size(), 1.0);

@@ -46,6 +46,13 @@ class Objective {
   /// current (initial) tree.
   Objective(const network::Design& d, const sta::Timer& timer);
 
+  /// Same, from already-computed per-corner timing of the same design —
+  /// the warm-start flow seeds its timing from a cached snapshot and must
+  /// not pay a redundant full analysis. Bit-identical to the timer
+  /// constructor when `timing` equals timer.analyzeDesign(d).
+  Objective(const network::Design& d,
+            const std::vector<sta::CornerTiming>& timing);
+
   /// Alphas per active corner (alpha for corners.front() is 1).
   const std::vector<double>& alphas() const { return alphas_; }
 

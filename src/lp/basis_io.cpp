@@ -1,0 +1,73 @@
+// Basis persistence (see lp.h): version byte + LE32 count + status bytes
+// + FNV-1a-32 checksum. The format is deliberately tiny — a basis is the
+// only solver state worth carrying across jobs, and the warm-start API
+// already tolerates a wrong-shaped basis by falling back to cold, so the
+// only job of this layer is to never hand the solver *corrupt* data.
+#include "lp/lp.h"
+
+#include <cstdint>
+
+namespace skewopt::lp {
+
+namespace {
+
+constexpr unsigned char kBasisFormatVersion = 1;
+
+std::uint32_t fnv32(const unsigned char* data, std::size_t n) {
+  std::uint32_t h = 2166136261u;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void putLe32(std::vector<unsigned char>& out, std::uint32_t v) {
+  out.push_back(static_cast<unsigned char>(v & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 8) & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 16) & 0xff));
+  out.push_back(static_cast<unsigned char>((v >> 24) & 0xff));
+}
+
+std::uint32_t getLe32(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::vector<unsigned char> serializeBasis(const Basis& basis) {
+  std::vector<unsigned char> out;
+  out.reserve(1 + 4 + basis.status.size() + 4);
+  out.push_back(kBasisFormatVersion);
+  putLe32(out, static_cast<std::uint32_t>(basis.status.size()));
+  for (const BasisStatus s : basis.status)
+    out.push_back(static_cast<unsigned char>(s));
+  putLe32(out, fnv32(out.data(), out.size()));
+  return out;
+}
+
+bool deserializeBasis(const std::vector<unsigned char>& bytes, Basis* out) {
+  out->status.clear();
+  if (bytes.size() < 1 + 4 + 4) return false;
+  if (bytes[0] != kBasisFormatVersion) return false;
+  const std::uint32_t n = getLe32(bytes.data() + 1);
+  if (bytes.size() != 1 + 4 + static_cast<std::size_t>(n) + 4) return false;
+  const std::size_t payload = bytes.size() - 4;
+  if (getLe32(bytes.data() + payload) != fnv32(bytes.data(), payload))
+    return false;
+  out->status.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const unsigned char b = bytes[1 + 4 + i];
+    if (b > static_cast<unsigned char>(BasisStatus::FreeZero)) {
+      out->status.clear();
+      return false;
+    }
+    out->status.push_back(static_cast<BasisStatus>(b));
+  }
+  return true;
+}
+
+}  // namespace skewopt::lp

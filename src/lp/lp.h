@@ -96,6 +96,17 @@ struct Basis {
   bool empty() const { return status.empty(); }
 };
 
+/// Compact binary form of a Basis for persistence (the serve warm-state
+/// store keeps bases in this form): a version byte, a little-endian entry
+/// count, one status byte per entry, and a trailing FNV-1a-32 checksum of
+/// everything before it. deserializeBasis rejects unknown versions,
+/// truncated or oversized payloads, out-of-range status bytes, and
+/// checksum mismatches — a corrupt blob yields `false` and leaves `*out`
+/// empty, so callers fall back to a cold start instead of feeding the
+/// solver garbage.
+std::vector<unsigned char> serializeBasis(const Basis& basis);
+bool deserializeBasis(const std::vector<unsigned char>& bytes, Basis* out);
+
 struct Solution {
   Status status = Status::IterLimit;
   double objective = 0.0;

@@ -11,6 +11,9 @@ struct CacheObs {
       "skewopt_serve_cache_hits_total", "Result-cache lookups that hit");
   obs::Counter& misses = obs::MetricsRegistry::global().counter(
       "skewopt_serve_cache_misses_total", "Result-cache lookups that missed");
+  obs::Counter& evictions = obs::MetricsRegistry::global().counter(
+      "skewopt_serve_cache_evictions_total",
+      "Result-cache entries evicted by the LRU bound");
   obs::Gauge& entries = obs::MetricsRegistry::global().gauge(
       "skewopt_serve_cache_entries", "Live result-cache entries");
   static CacheObs& get() {
@@ -53,6 +56,7 @@ void ResultCache::insert(const std::string& key,
     map_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    CacheObs::get().evictions.add();
   }
   stats_.entries = map_.size();
   CacheObs::get().entries.set(static_cast<double>(map_.size()));

@@ -1,5 +1,6 @@
 #include "serve/job.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -53,12 +54,10 @@ class KeyWriter {
   std::ostringstream os_;
 };
 
-}  // namespace
-
-std::string canonicalKey(const JobSpec& spec) {
-  KeyWriter w;
-  w.add("v", 1);  // bump when key coverage or field semantics change
-
+// Shared body of canonicalKey and topologyKey. `topology` drops exactly
+// the delta-editable fields: the moved-sink list, the U sweep, and the
+// corner derates (everything else pins the base topology / flow behavior).
+void writeSpecKey(KeyWriter& w, const JobSpec& spec, bool topology) {
   const DesignSource& s = spec.source;
   w.add("src", std::string(sourceKindName(s.kind)));
   switch (s.kind) {
@@ -76,6 +75,14 @@ std::string canonicalKey(const JobSpec& spec) {
       w.add("text", s.text);
       break;
   }
+  if (!topology) {
+    w.add("mv.n", s.moved_sinks.size());
+    for (const MovedSink& m : s.moved_sinks) {
+      w.add("mv.s", m.sink);
+      w.add("mv.x", m.x);
+      w.add("mv.y", m.y);
+    }
+  }
 
   w.add("mode", std::string(core::flowModeName(spec.mode)));
 
@@ -86,8 +93,12 @@ std::string canonicalKey(const JobSpec& spec) {
   w.add("g.trim_threshold_ps", g.trim_threshold_ps);
   w.add("g.repair_passes", g.repair_passes);
   w.add("g.repair_threshold_ps", g.repair_threshold_ps);
-  w.add("g.u_sweep.n", g.u_sweep.size());
-  for (const double u : g.u_sweep) w.add("g.u", u);
+  if (!topology) {
+    w.add("g.u_sweep.n", g.u_sweep.size());
+    for (const double u : g.u_sweep) w.add("g.u", u);
+    w.add("g.derate.n", g.corner_dmax_derate.size());
+    for (const double dr : g.corner_dmax_derate) w.add("g.derate", dr);
+  }
   w.add("g.min_delta_ps", g.min_delta_ps);
   w.add("g.local_skew_tolerance", g.local_skew_tolerance);
   w.add("g.local_skew_allowance_ps", g.local_skew_allowance_ps);
@@ -111,12 +122,9 @@ std::string canonicalKey(const JobSpec& spec) {
   w.add("l.enum.surgery_box_um", l.enumerate.surgery_box_um);
   w.add("l.enum.max_reassign", l.enumerate.max_reassign);
   w.add("l.enum.include_no_sizing", l.enumerate.include_no_sizing);
-
-  return w.str();
 }
 
-std::uint64_t contentHash(const JobSpec& spec) {
-  const std::string key = canonicalKey(spec);
+std::uint64_t fnv64(const std::string& key) {
   std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
   for (const char c : key) {
     h ^= static_cast<unsigned char>(c);
@@ -125,8 +133,58 @@ std::uint64_t contentHash(const JobSpec& spec) {
   return h;
 }
 
-network::Design buildDesign(const tech::TechModel& tech,
-                            const DesignSource& source) {
+}  // namespace
+
+std::string canonicalKey(const JobSpec& spec) {
+  KeyWriter w;
+  // v2: moved_sinks + corner_dmax_derate joined the key. Bump when key
+  // coverage or field semantics change.
+  w.add("v", 2);
+  writeSpecKey(w, spec, /*topology=*/false);
+  return w.str();
+}
+
+std::uint64_t contentHash(const JobSpec& spec) {
+  return fnv64(canonicalKey(spec));
+}
+
+std::string topologyKey(const JobSpec& spec) {
+  KeyWriter w;
+  w.add("tv", 1);  // distinct prefix: never aliases a canonical key
+  writeSpecKey(w, spec, /*topology=*/true);
+  return w.str();
+}
+
+std::uint64_t topologyHash(const JobSpec& spec) {
+  return fnv64(topologyKey(spec));
+}
+
+JobSpec applyDeltaEdits(const JobSpec& base, const DeltaEdits& edits) {
+  JobSpec spec = base;
+  if (edits.has_u_sweep) spec.options.global.u_sweep = edits.u_sweep;
+  if (edits.has_derates)
+    spec.options.global.corner_dmax_derate = edits.corner_dmax_derate;
+  for (const MovedSink& m : edits.moved_sinks) {
+    bool replaced = false;
+    for (MovedSink& mine : spec.source.moved_sinks)
+      if (mine.sink == m.sink) {
+        mine = m;
+        replaced = true;
+        break;
+      }
+    if (!replaced) spec.source.moved_sinks.push_back(m);
+  }
+  std::sort(spec.source.moved_sinks.begin(), spec.source.moved_sinks.end(),
+            [](const MovedSink& a, const MovedSink& b) {
+              return a.sink < b.sink;
+            });
+  return spec;
+}
+
+namespace {
+
+network::Design materializeBase(const tech::TechModel& tech,
+                                const DesignSource& source) {
   switch (source.kind) {
     case DesignSource::Kind::kTestgen: {
       testgen::TestcaseOptions o;
@@ -144,6 +202,24 @@ network::Design buildDesign(const tech::TechModel& tech,
     }
   }
   throw std::runtime_error("unknown design source kind");
+}
+
+}  // namespace
+
+network::Design buildDesign(const tech::TechModel& tech,
+                            const DesignSource& source) {
+  network::Design d = materializeBase(tech, source);
+  // Sink moves ride on top of the base: relocate the sink and rebuild the
+  // nets its move affects (its parent's, per Routing::rebuildAround).
+  for (const MovedSink& m : source.moved_sinks) {
+    if (!d.tree.isValid(m.sink) ||
+        d.tree.node(m.sink).kind != network::NodeKind::Sink)
+      throw std::runtime_error("moved_sinks: node " + std::to_string(m.sink) +
+                               " is not a sink of the base design");
+    d.tree.moveNode(m.sink, {m.x, m.y});
+    d.routing.rebuildAround(d.tree, m.sink);
+  }
+  return d;
 }
 
 core::FlowResult runJobSpec(const tech::TechModel& tech,

@@ -38,6 +38,15 @@
 
 namespace skewopt::serve {
 
+/// A sink relocation applied on top of a materialized design (the
+/// moved-sink edit class of DELTA jobs). Applied in list order; the list
+/// is kept sorted by sink id so equal edit sets serialize identically.
+struct MovedSink {
+  int sink = -1;  ///< node id in the materialized design; must be a sink
+  double x = 0.0;
+  double y = 0.0;
+};
+
 /// Where the design under optimization comes from.
 struct DesignSource {
   enum class Kind { kTestgen, kFile, kInline };
@@ -58,6 +67,11 @@ struct DesignSource {
   // kInline: full .skv text parsed via network::readDesign (keyed by
   // content).
   std::string text;
+
+  /// Sink moves applied after materialization (each move relocates the
+  /// sink and rebuilds its parent's net). buildDesign throws on an id that
+  /// is not a valid sink.
+  std::vector<MovedSink> moved_sinks;
 };
 
 const char* sourceKindName(DesignSource::Kind k);
@@ -86,6 +100,38 @@ std::string canonicalKey(const JobSpec& spec);
 
 /// FNV-1a (64-bit) over canonicalKey.
 std::uint64_t contentHash(const JobSpec& spec);
+
+/// Like canonicalKey, but *excluding* the delta-editable fields — the U
+/// sweep, the per-corner Dmax derates, and the moved-sink list — under its
+/// own version prefix ("|tv=..."), so it can never alias a canonical key.
+/// Two specs with equal topology keys describe the same base topology and
+/// the same non-delta options; the warm-state store is keyed by this, which
+/// is what lets a DELTA job reuse the state its base job left behind even
+/// though their content keys differ.
+std::string topologyKey(const JobSpec& spec);
+
+/// FNV-1a (64-bit) over topologyKey.
+std::uint64_t topologyHash(const JobSpec& spec);
+
+/// The edit list of a DELTA job: what changes relative to the base spec.
+/// All three edit classes keep the topology key fixed by construction.
+struct DeltaEdits {
+  bool has_u_sweep = false;
+  std::vector<double> u_sweep;  ///< replaces options.global.u_sweep
+  bool has_derates = false;
+  /// Replaces options.global.corner_dmax_derate.
+  std::vector<double> corner_dmax_derate;
+  /// Merged onto the base's moved-sink list by sink id (an edit for a sink
+  /// already moved by the base replaces that entry — delta-of-delta works).
+  std::vector<MovedSink> moved_sinks;
+};
+
+/// Resolves a DELTA request into a plain, self-contained JobSpec: the base
+/// spec with the edits applied (scheduling fields are kept from the base;
+/// the server overrides them from the request separately). The result runs
+/// through the normal submit path — DELTA is validation + merge sugar, not
+/// a separate execution mode.
+JobSpec applyDeltaEdits(const JobSpec& base, const DeltaEdits& edits);
 
 enum class JobState { kQueued, kRunning, kDone, kFailed, kCancelled };
 const char* jobStateName(JobState s);

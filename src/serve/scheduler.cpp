@@ -85,14 +85,11 @@ Scheduler::Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
       opts_(opts),
       runner_(std::move(runner)),
       queue_(std::max<std::size_t>(1, opts.queue_capacity)),
-      cache_(opts.cache_capacity) {
+      cache_(opts.cache_capacity),
+      warm_(opts.warm_capacity) {
   // The service always runs with live metrics: the METRICS verb and the
   // STATS gauges are part of its contract.
   obs::setMetricsEnabled(true);
-  if (!runner_)
-    runner_ = [this](const JobSpec& spec) {
-      return runJobSpec(*tech_, *lut_, spec);
-    };
   const std::size_t n = std::max<std::size_t>(1, opts_.workers);
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
@@ -126,6 +123,19 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
   }
   ServeObs::get().submitted.add();
   return job;
+}
+
+std::shared_ptr<Job> Scheduler::submitDelta(std::uint64_t base_id,
+                                            const DeltaEdits& edits,
+                                            bool block) {
+  // Resolution needs only the base's *spec*, so the base may be queued,
+  // running, finished, or long evicted from every cache — and whether the
+  // resolved job then runs warm is purely a store lookup at execution time.
+  return submit(applyDeltaEdits(jobSpec(base_id), edits), block);
+}
+
+JobSpec Scheduler::jobSpec(std::uint64_t id) const {
+  return findJob(id)->spec;
 }
 
 std::shared_ptr<Job> Scheduler::findJob(std::uint64_t id) const {
@@ -318,7 +328,8 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
         ++job->attempts;
       }
       try {
-        result = runner_(job->spec);
+        result = runner_ ? runner_(job->spec)
+                         : runJobSpecWarm(*tech_, *lut_, job->spec, &warm_);
         ok = true;
         break;
       } catch (const TransientError& e) {
@@ -417,6 +428,7 @@ SchedulerStats Scheduler::stats() const {
   }
   s.queue_depth = queue_.depth();
   s.cache = cache_.stats();
+  s.warm = warm_.stats();
   return s;
 }
 

@@ -35,6 +35,7 @@
 #include "serve/cache.h"
 #include "serve/job.h"
 #include "serve/queue.h"
+#include "serve/warm_state.h"
 #include "support/thread_annotations.h"
 #include "tech/tech.h"
 
@@ -44,6 +45,9 @@ struct SchedulerOptions {
   std::size_t workers = 2;         ///< concurrent jobs (see file comment)
   std::size_t queue_capacity = 64;
   std::size_t cache_capacity = 256;  ///< 0 disables result caching
+  /// Warm-state store bound (topology keys). 0 disables cross-job
+  /// warm-starting: every job, including DELTA resubmissions, runs cold.
+  std::size_t warm_capacity = 64;
   double backoff_base_ms = 25.0;   ///< first retry delay
   double backoff_cap_ms = 2000.0;  ///< exponential backoff ceiling
 };
@@ -58,12 +62,14 @@ struct SchedulerStats {
   std::size_t queue_depth = 0;
   std::size_t workers = 0;
   ResultCache::Stats cache;
+  WarmStateStore::Stats warm;
 };
 
 class Scheduler {
  public:
   /// Replaceable job runner (tests inject failures/latency); the default
-  /// runs serve::runJobSpec against `tech`/`lut`.
+  /// (null) runs serve::runJobSpecWarm against `tech`/`lut` and the
+  /// scheduler's warm-state store.
   using Runner = std::function<core::FlowResult(const JobSpec&)>;
 
   Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
@@ -77,6 +83,19 @@ class Scheduler {
   /// handle, or nullptr when rejected (queue full and !block) or when the
   /// scheduler is no longer accepting.
   std::shared_ptr<Job> submit(JobSpec spec, bool block = true);
+
+  /// Submits a DELTA job: the base job's spec (looked up by id — the base
+  /// may be in any state, including evicted-from-warm-store; only its spec
+  /// is needed) with `edits` applied, run through the normal submit path.
+  /// Whether the run is actually warm is a store lookup at execution time:
+  /// a missing warm entry just means a cold run with identical results.
+  /// Throws std::out_of_range for an unknown base id.
+  std::shared_ptr<Job> submitDelta(std::uint64_t base_id,
+                                   const DeltaEdits& edits, bool block = true);
+
+  /// The spec a job was submitted with (DELTA base resolution).
+  /// Throws std::out_of_range for an unknown id.
+  JobSpec jobSpec(std::uint64_t id) const;
 
   /// Snapshot of a job's progress. Throws std::out_of_range for an unknown
   /// id.
@@ -107,6 +126,7 @@ class Scheduler {
 
   SchedulerStats stats() const;
   const ResultCache& cache() const { return cache_; }
+  WarmStateStore& warmStore() { return warm_; }
 
  private:
   std::shared_ptr<Job> findJob(std::uint64_t id) const;
@@ -119,9 +139,12 @@ class Scheduler {
   const tech::TechModel* tech_;
   const eco::StageDelayLut* lut_;
   SchedulerOptions opts_;
+  /// Null for the default path (runJobSpecWarm against the warm store);
+  /// injected runners bypass warm-starting entirely.
   Runner runner_;
   JobQueue queue_;
   ResultCache cache_;
+  WarmStateStore warm_;
 
   /// Registry + counters + lifecycle flags.
   mutable support::Mutex mu_;

@@ -5,9 +5,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -54,6 +56,48 @@ std::uint64_t requireId(const json::Value& req) {
   return static_cast<std::uint64_t>(id->asDouble());
 }
 
+/// Shared by spec.source and DELTA edits. Entries are sorted by sink id
+/// here (like key length-prefixing, a wire-side normalization) so a
+/// hand-ordered client list still passes the SKW306 sortedness check.
+std::vector<MovedSink> movedSinksFromJson(const json::Value& arr,
+                                          const char* context) {
+  if (!arr.isArray())
+    throw std::runtime_error(std::string(context) + " must be an array");
+  std::vector<MovedSink> moved;
+  for (const json::Value& mv : arr.items()) {
+    requireObject(mv, context);
+    checkKeys(mv, {"sink", "x", "y"}, context);
+    const json::Value* sink = mv.find("sink");
+    const json::Value* x = mv.find("x");
+    const json::Value* y = mv.find("y");
+    if (!sink || !sink->isNumber() || !x || !x->isNumber() || !y ||
+        !y->isNumber())
+      throw std::runtime_error(std::string(context) +
+                               " entries need numeric sink/x/y");
+    moved.push_back(MovedSink{static_cast<int>(sink->asDouble()),
+                              x->asDouble(), y->asDouble()});
+  }
+  std::sort(moved.begin(), moved.end(),
+            [](const MovedSink& a, const MovedSink& b) {
+              return a.sink < b.sink;
+            });
+  return moved;
+}
+
+std::vector<double> doubleArrayFromJson(const json::Value& arr,
+                                        const char* context) {
+  if (!arr.isArray())
+    throw std::runtime_error(std::string(context) + " must be an array");
+  std::vector<double> out;
+  for (const json::Value& u : arr.items()) {
+    if (!u.isNumber())
+      throw std::runtime_error(std::string(context) +
+                               " entries must be numbers");
+    out.push_back(u.asDouble());
+  }
+  return out;
+}
+
 std::string hashHex(std::uint64_t h) {
   char buf[20];
   std::snprintf(buf, sizeof buf, "%016llx",
@@ -81,6 +125,17 @@ json::Value specToJson(const JobSpec& spec) {
       source.set("text", spec.source.text);
       break;
   }
+  if (!spec.source.moved_sinks.empty()) {
+    json::Value moved = json::Value::array();
+    for (const MovedSink& m : spec.source.moved_sinks) {
+      json::Value mv = json::Value::object();
+      mv.set("sink", m.sink);
+      mv.set("x", m.x);
+      mv.set("y", m.y);
+      moved.push(std::move(mv));
+    }
+    source.set("moved_sinks", std::move(moved));
+  }
 
   json::Value global = json::Value::object();
   const core::GlobalOptions defaults_g;
@@ -93,6 +148,11 @@ json::Value specToJson(const JobSpec& spec) {
   global.set("u_sweep", std::move(sweep));
   global.set("warm_start_sweep", g.warm_start_sweep);
   global.set("parallel_realize", g.parallel_realize);
+  if (!g.corner_dmax_derate.empty()) {
+    json::Value derates = json::Value::array();
+    for (const double dr : g.corner_dmax_derate) derates.push(dr);
+    global.set("corner_dmax_derate", std::move(derates));
+  }
 
   json::Value local = json::Value::object();
   const core::LocalOptions& l = spec.options.local;
@@ -134,7 +194,8 @@ JobSpec specFromJson(const json::Value& v) {
     const std::string kind = source->str("kind", "testgen");
     if (kind == "testgen") {
       checkKeys(*source,
-                {"kind", "testcase", "sinks", "pairs", "seed", "select_best"},
+                {"kind", "testcase", "sinks", "pairs", "seed", "select_best",
+                 "moved_sinks"},
                 "spec.source");
       spec.source.kind = DesignSource::Kind::kTestgen;
       spec.source.testcase = source->str("testcase", spec.source.testcase);
@@ -146,13 +207,13 @@ JobSpec specFromJson(const json::Value& v) {
           source->num("seed", static_cast<double>(spec.source.seed)));
       spec.source.select_best_scenario = source->boolean("select_best", false);
     } else if (kind == "file") {
-      checkKeys(*source, {"kind", "path"}, "spec.source");
+      checkKeys(*source, {"kind", "path", "moved_sinks"}, "spec.source");
       spec.source.kind = DesignSource::Kind::kFile;
       spec.source.path = source->str("path", "");
       if (spec.source.path.empty())
         throw std::runtime_error("file source needs a 'path'");
     } else if (kind == "inline") {
-      checkKeys(*source, {"kind", "text"}, "spec.source");
+      checkKeys(*source, {"kind", "text", "moved_sinks"}, "spec.source");
       spec.source.kind = DesignSource::Kind::kInline;
       spec.source.text = source->str("text", "");
       if (spec.source.text.empty())
@@ -160,6 +221,9 @@ JobSpec specFromJson(const json::Value& v) {
     } else {
       throw std::runtime_error("unknown source kind '" + kind + "'");
     }
+    if (const json::Value* moved = source->find("moved_sinks"))
+      spec.source.moved_sinks =
+          movedSinksFromJson(*moved, "spec.source.moved_sinks");
   }
 
   spec.mode = flowModeFromName(v.str("mode", "global-local"));
@@ -171,7 +235,8 @@ JobSpec specFromJson(const json::Value& v) {
       requireObject(*gv, "spec.options.global");
       checkKeys(*gv,
                 {"beta", "max_pairs_lp", "repair_passes", "u_sweep",
-                 "warm_start_sweep", "parallel_realize"},
+                 "warm_start_sweep", "parallel_realize",
+                 "corner_dmax_derate"},
                 "spec.options.global");
       core::GlobalOptions& g = spec.options.global;
       g.beta = gv->num("beta", g.beta);
@@ -191,6 +256,9 @@ JobSpec specFromJson(const json::Value& v) {
       }
       g.warm_start_sweep = gv->boolean("warm_start_sweep", g.warm_start_sweep);
       g.parallel_realize = gv->boolean("parallel_realize", g.parallel_realize);
+      if (const json::Value* derates = gv->find("corner_dmax_derate"))
+        g.corner_dmax_derate = doubleArrayFromJson(
+            *derates, "spec.options.global.corner_dmax_derate");
     }
     if (const json::Value* lv = options->find("local")) {
       requireObject(*lv, "spec.options.local");
@@ -321,6 +389,50 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       return v;
     }
 
+    if (cmd == "DELTA") {
+      // Incremental re-optimization: the base job's spec with an edit list
+      // applied, run through the normal submit path. The merged spec hits
+      // the warm-state store under its topology key; an evicted base entry
+      // silently degrades to a cold run with identical results.
+      checkKeys(request, {"cmd", "base", "edits", "block"}, "request");
+      const json::Value* base = request.find("base");
+      if (!base || !base->isNumber() || base->asDouble() < 0)
+        throw std::runtime_error("DELTA needs a numeric 'base' job id");
+      const json::Value* edits_v = request.find("edits");
+      if (!edits_v) throw std::runtime_error("DELTA needs an 'edits' object");
+      requireObject(*edits_v, "edits");
+      checkKeys(*edits_v, {"u_sweep", "corner_dmax_derate", "moved_sinks"},
+                "edits");
+      DeltaEdits edits;
+      if (const json::Value* sweep = edits_v->find("u_sweep")) {
+        edits.has_u_sweep = true;
+        edits.u_sweep = doubleArrayFromJson(*sweep, "edits.u_sweep");
+      }
+      if (const json::Value* derates = edits_v->find("corner_dmax_derate")) {
+        edits.has_derates = true;
+        edits.corner_dmax_derate =
+            doubleArrayFromJson(*derates, "edits.corner_dmax_derate");
+      }
+      if (const json::Value* moved = edits_v->find("moved_sinks"))
+        edits.moved_sinks = movedSinksFromJson(*moved, "edits.moved_sinks");
+      const bool block = request.boolean("block", false);
+      std::shared_ptr<Job> job;
+      try {
+        job = sched.submitDelta(
+            static_cast<std::uint64_t>(base->asDouble()), edits, block);
+      } catch (const std::out_of_range&) {
+        return errorReply("unknown base job id");
+      }
+      if (!job) return errorReply("queue full");
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", job->id);
+      v.set("base", static_cast<std::uint64_t>(base->asDouble()));
+      v.set("hash", hashHex(job->hash));
+      v.set("state", jobStateName(JobState::kQueued));
+      return v;
+    }
+
     if (cmd == "STATUS") {
       checkKeys(request, {"cmd", "id"}, "request");
       return statusToJson(sched.status(requireId(request)));
@@ -402,6 +514,18 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
                  reg.counter("skewopt_serve_cache_misses_total").value());
       gauges.set("retries",
                  reg.counter("skewopt_serve_retries_total").value());
+      gauges.set("cache_evictions",
+                 reg.counter("skewopt_serve_cache_evictions_total").value());
+      gauges.set("warmstate_entries",
+                 reg.gauge("skewopt_serve_warmstate_entries").value());
+      gauges.set("warmstate_hits",
+                 reg.counter("skewopt_serve_warmstate_hits_total").value());
+      gauges.set(
+          "warmstate_misses",
+          reg.counter("skewopt_serve_warmstate_misses_total").value());
+      gauges.set(
+          "warmstate_evictions",
+          reg.counter("skewopt_serve_warmstate_evictions_total").value());
       v.set("gauges", std::move(gauges));
       return v;
     }

@@ -31,6 +31,37 @@ void checkJobSpec(const JobSpec& spec, DiagnosticEngine& engine) {
                       "inline source has empty design text");
       break;
   }
+  // SKW306: moved-sink edit list (the delta edit class that changes
+  // placement). Sorted unique ids with finite coordinates keep the
+  // canonical key unambiguous; sink-ness against the materialized design
+  // is enforced by buildDesign, which this check cannot see.
+  for (std::size_t i = 0; i < s.moved_sinks.size(); ++i) {
+    const MovedSink& m = s.moved_sinks[i];
+    if (m.sink < 0)
+      engine.report(306, Severity::kError, kCheck,
+                    "moved_sinks[" + std::to_string(i) +
+                        "] has a negative node id");
+    if (!std::isfinite(m.x) || !std::isfinite(m.y))
+      engine.report(306, Severity::kError, kCheck,
+                    "moved_sinks[" + std::to_string(i) +
+                        "] has a non-finite position");
+    if (i > 0 && s.moved_sinks[i - 1].sink >= m.sink)
+      engine.report(306, Severity::kError, kCheck,
+                    "moved_sinks must be sorted by strictly increasing "
+                    "sink id (entry " +
+                        std::to_string(i) + ")");
+  }
+  // SKW307: per-corner Dmax derates (the delta edit class that re-bounds
+  // the latency rows). Derates must be finite and positive; a derate
+  // below 1 tightens constraint (9), above 1 relaxes it.
+  for (std::size_t i = 0;
+       i < spec.options.global.corner_dmax_derate.size(); ++i) {
+    const double dr = spec.options.global.corner_dmax_derate[i];
+    if (!std::isfinite(dr) || dr <= 0.0)
+      engine.report(307, Severity::kError, kCheck,
+                    "corner_dmax_derate[" + std::to_string(i) +
+                        "] must be finite and positive");
+  }
   if (!std::isfinite(spec.deadline_ms) || spec.deadline_ms < 0.0)
     engine.report(305, Severity::kError, kCheck,
                   "deadline_ms must be finite and non-negative");

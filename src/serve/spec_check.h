@@ -1,4 +1,4 @@
-// JobSpec record verifier (SKW300-305) — the serve-side member of the
+// JobSpec record verifier (SKW300-307) — the serve-side member of the
 // src/check verifier family. It lives here rather than in src/check
 // because serve sits above check in the module graph.
 //
@@ -15,9 +15,11 @@
 namespace skewopt::serve {
 
 /// Verifies a spec's own fields: source well-formedness (known testgen
-/// testcase and nonzero sinks; nonempty file path / inline text) and
+/// testcase and nonzero sinks; nonempty file path / inline text),
 /// scheduling fields (finite non-negative deadline, non-negative retry
-/// budget). SKW303-305.
+/// budget), and the delta-edit fields (moved-sink list sorted by strictly
+/// increasing id with finite positions, SKW306; finite positive corner
+/// derates, SKW307). SKW303-307.
 void checkJobSpec(const JobSpec& spec, check::DiagnosticEngine& engine);
 
 /// Verifies a submitted job's derived fields against its spec: stored key

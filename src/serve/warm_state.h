@@ -1,0 +1,78 @@
+// Warm-state store: topology key -> the state a completed flow run left
+// behind (core::FlowWarmState: initial-design timing snapshot, LP bases and
+// cached models, realize memo).
+//
+// Keys come from serve::topologyKey, which pins every result-affecting
+// field *except* the delta-editable ones (U sweep, corner derates, moved
+// sinks) — so a DELTA job lands on the state its base job stored even
+// though their canonical keys differ. Warm state only ever changes how much
+// work a run performs, never its result: an evicted, missing, or
+// wrong-shaped entry silently degrades to a cold run (exercised by
+// serve_test), which is why the store can be a plain bounded LRU with no
+// durability story.
+//
+// Entries are handed out as shared_ptr<const FlowWarmState>: a running job
+// keeps its snapshot alive even if the store evicts it mid-run, and
+// concurrent jobs on the same key share one immutable snapshot.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/flow.h"
+#include "serve/job.h"
+#include "support/thread_annotations.h"
+
+namespace skewopt::serve {
+
+class WarmStateStore {
+ public:
+  /// `capacity` == 0 disables the store (lookup always misses, insert is a
+  /// no-op) — every job then runs cold.
+  explicit WarmStateStore(std::size_t capacity = 64) : capacity_(capacity) {}
+
+  /// Returns the stored state for a topology key (marking it
+  /// most-recently-used), or nullptr on a miss.
+  std::shared_ptr<const core::FlowWarmState> lookup(const std::string& key);
+
+  /// Inserts (or replaces) the state for a key, evicting the
+  /// least-recently-used entry when over capacity.
+  void insert(const std::string& key,
+              std::shared_ptr<const core::FlowWarmState> state);
+
+  struct Stats {
+    std::size_t hits = 0;
+    std::size_t misses = 0;
+    std::size_t insertions = 0;
+    std::size_t evictions = 0;
+    std::size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::FlowWarmState> state;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  const std::size_t capacity_;
+  mutable support::Mutex mu_;
+  std::unordered_map<std::string, Entry> map_ SKEWOPT_GUARDED_BY(mu_);
+  /// front = most recently used
+  std::list<std::string> lru_ SKEWOPT_GUARDED_BY(mu_);
+  Stats stats_ SKEWOPT_GUARDED_BY(mu_);
+};
+
+/// Runs one spec like runJobSpec, but warm: looks the spec's topology key
+/// up in `store` (null store == always cold), feeds any hit into the flow
+/// as the warm-in state, and stores the run's own warm-out state back under
+/// the same key. Results are equal to runJobSpec (asserted by the serve
+/// differential tests) — only the work expended differs.
+core::FlowResult runJobSpecWarm(const tech::TechModel& tech,
+                                const eco::StageDelayLut& lut,
+                                const JobSpec& spec, WarmStateStore* store);
+
+}  // namespace skewopt::serve

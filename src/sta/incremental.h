@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -50,6 +51,45 @@ class IncrementalTimer {
     }
     timer_.propagateFromAllCorners(d.tree, d.routing, corners_,
                                    d.tree.root(), timing_, &scratch_);
+  }
+
+  /// Seeds the timer from a cached per-corner timing snapshot instead of a
+  /// full analysis, then re-propagates only the subtrees of `dirty` — the
+  /// cross-job warm-start entry point: a delta job re-times just the
+  /// subtrees its edit touched. The snapshot must come from a design with
+  /// the same node count and active corners as `d` (the caller verifies
+  /// this via its topology key / fingerprint before seeding); `dirty` must
+  /// cover every driver whose net, cell, or placement differs between the
+  /// snapshot's design and `d`, and may be empty when nothing differs.
+  /// Seed + update is bit-identical to the full-analysis constructor
+  /// (asserted by sta_test).
+  IncrementalTimer(const tech::TechModel& tech, const network::Design& d,
+                   std::vector<CornerTiming> snapshot,
+                   const std::vector<int>& dirty)
+      : timer_(tech), corners_(d.corners), timing_(std::move(snapshot)) {
+    if (timing_.size() != corners_.size())
+      throw std::invalid_argument("IncrementalTimer: snapshot corner count");
+    for (std::size_t ki = 0; ki < timing_.size(); ++ki) {
+      if (timing_[ki].corner != corners_[ki] ||
+          timing_[ki].arrival.size() != d.tree.numNodes())
+        throw std::invalid_argument("IncrementalTimer: snapshot shape");
+    }
+    if (!dirty.empty()) update(d, dirty);
+  }
+
+  /// Grows every per-node array to `n` entries (zeros appended) so a
+  /// retime can follow an edit that *added* tree nodes (ECO buffer
+  /// insertion); the new nodes must be inside a subsequently dirtied
+  /// subtree. Shrinking is never needed — removed ids just go stale.
+  void ensureSize(std::size_t n) {
+    for (CornerTiming& t : timing_) {
+      if (t.arrival.size() >= n) continue;
+      t.arrival.resize(n, 0.0);
+      t.slew.resize(n, 0.0);
+      t.in_arrival.resize(n, 0.0);
+      t.in_slew.resize(n, 0.0);
+      t.driver_load.resize(n, 0.0);
+    }
   }
 
   /// Re-times the subtrees of the dirty drivers at every active corner.

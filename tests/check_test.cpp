@@ -378,6 +378,54 @@ TEST(SpecChecks, SourceAndSchedulingFields) {
   EXPECT_TRUE(engine.hasCode(304));
 }
 
+TEST(SpecChecks, DeltaEditFieldsSkw306And307) {
+  serve::JobSpec spec;  // valid testgen defaults
+  check::DiagnosticEngine engine;
+
+  // SKW306: negative id, non-finite position, unsorted / duplicate ids.
+  spec.source.moved_sinks = {serve::MovedSink{-1, 0.0, 0.0}};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.hasCode(306)) << engine.text();
+
+  engine.clear();
+  spec.source.moved_sinks = {
+      serve::MovedSink{3, std::numeric_limits<double>::quiet_NaN(), 0.0}};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.hasCode(306));
+
+  engine.clear();
+  spec.source.moved_sinks = {serve::MovedSink{5, 0.0, 0.0},
+                             serve::MovedSink{3, 1.0, 1.0}};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.hasCode(306));
+
+  engine.clear();
+  spec.source.moved_sinks = {serve::MovedSink{3, 0.0, 0.0},
+                             serve::MovedSink{3, 1.0, 1.0}};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.hasCode(306)) << "duplicate ids must be rejected";
+
+  engine.clear();
+  spec.source.moved_sinks = {serve::MovedSink{3, 0.0, 0.0},
+                             serve::MovedSink{5, 1.0, 1.0}};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.empty()) << engine.text();
+
+  // SKW307: derates must be finite and positive.
+  for (const double bad :
+       {0.0, -1.0, std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN()}) {
+    engine.clear();
+    spec.options.global.corner_dmax_derate = {bad};
+    serve::checkJobSpec(spec, engine);
+    EXPECT_TRUE(engine.hasCode(307)) << bad;
+  }
+  engine.clear();
+  spec.options.global.corner_dmax_derate = {1.02, 0.97};
+  serve::checkJobSpec(spec, engine);
+  EXPECT_TRUE(engine.empty()) << engine.text();
+}
+
 TEST(SpecChecks, KeyAndHashCrossCheck) {
   serve::JobSpec spec;
   const std::string key = serve::canonicalKey(spec);

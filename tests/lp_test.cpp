@@ -430,6 +430,83 @@ TEST(WarmStart, BasisExtendsAcrossAppendedRow) {
   EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
 }
 
+TEST(BasisIo, RoundTripPreservesStatusExactly) {
+  const Model m = paperMiniModel(5.0);
+  const Solution cold = solve(m);
+  ASSERT_EQ(cold.status, Status::Optimal);
+  ASSERT_FALSE(cold.basis.empty());
+
+  const std::vector<unsigned char> bytes = serializeBasis(cold.basis);
+  Basis back;
+  ASSERT_TRUE(deserializeBasis(bytes, &back));
+  EXPECT_EQ(back.status, cold.basis.status);
+
+  // The round-tripped basis is usable: warm re-entry at the optimal vertex
+  // costs no pivots.
+  const Solution warm = solve(m, {}, &back);
+  ASSERT_EQ(warm.status, Status::Optimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.iterations, 0);
+
+  // Empty basis round-trips to empty.
+  Basis empty_back;
+  empty_back.status.push_back(BasisStatus::Basic);  // must be cleared
+  ASSERT_TRUE(deserializeBasis(serializeBasis(Basis{}), &empty_back));
+  EXPECT_TRUE(empty_back.empty());
+}
+
+TEST(BasisIo, CorruptionIsRejectedNotTrusted) {
+  const Model m = paperMiniModel(5.0);
+  const Solution cold = solve(m);
+  const std::vector<unsigned char> good = serializeBasis(cold.basis);
+
+  Basis out;
+  out.status.assign(3, BasisStatus::Basic);
+  // Too short to even carry the header.
+  EXPECT_FALSE(deserializeBasis({1, 0, 0}, &out));
+  EXPECT_TRUE(out.empty()) << "failed deserialize must clear the output";
+
+  // Unknown format version.
+  std::vector<unsigned char> bad = good;
+  bad[0] = 99;
+  EXPECT_FALSE(deserializeBasis(bad, &out));
+
+  // Truncated payload.
+  bad = good;
+  bad.pop_back();
+  EXPECT_FALSE(deserializeBasis(bad, &out));
+
+  // A flipped status byte breaks the checksum.
+  bad = good;
+  bad[6] ^= 1;
+  EXPECT_FALSE(deserializeBasis(bad, &out));
+
+  // A status byte outside the enum range is rejected even if the checksum
+  // is recomputed to match (forged blob).
+  Basis forged = cold.basis;
+  forged.status[0] = static_cast<BasisStatus>(7);
+  EXPECT_FALSE(deserializeBasis(serializeBasis(forged), &out));
+}
+
+TEST(BasisIo, ShapeMismatchAfterRoundTripFallsBackToCold) {
+  // The cross-job path deserializes a stored basis and hands it to solve();
+  // a basis from a differently-shaped model must degrade to a cold solve
+  // (warm_started == false), never crash or mis-solve.
+  Model small;
+  small.addVar(0, 1, 1.0);
+  small.addRow(0.0, 1.0, {{0, 1.0}});
+  const Solution small_sol = solve(small);
+  ASSERT_EQ(small_sol.status, Status::Optimal);
+
+  Basis wrong_shape;
+  ASSERT_TRUE(deserializeBasis(serializeBasis(small_sol.basis), &wrong_shape));
+  const Model m = paperMiniModel(5.0);
+  const Solution s = solve(m, {}, &wrong_shape);
+  ASSERT_EQ(s.status, Status::Optimal);
+  EXPECT_FALSE(s.warm_started);
+  EXPECT_NEAR(s.objective, solve(m).objective, 1e-9);
+}
+
 TEST(WarmStart, UnusableBasisFallsBackToCold) {
   const Model m = paperMiniModel(5.0);
   Basis bad;

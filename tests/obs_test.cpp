@@ -26,7 +26,9 @@
 #include "core/objective.h"
 #include "obs/clock.h"
 #include "obs/trace.h"
+#include "serve/cache.h"
 #include "serve/json.h"
+#include "serve/warm_state.h"
 #include "sta/timer.h"
 #include "support/stopwatch.h"
 #include "support/thread_pool.h"
@@ -115,6 +117,38 @@ TEST(MetricsTest, RegistryValidatesNamesKindsAndBounds) {
   // Unsorted or non-finite bounds are rejected up front.
   EXPECT_THROW(Histogram({2.0, 1.0}), std::logic_error);
   EXPECT_THROW(Histogram({1.0, 1.0}), std::logic_error);
+}
+
+TEST(MetricsTest, ServeEvictionAndWarmStateMetricNamesArePinned) {
+  // Dashboards key on these exact names; renaming one is a breaking
+  // change. The stores register against the global registry, so the test
+  // drives them and asserts the deltas under the pinned names.
+  MetricsOnScope on;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& hits = reg.counter("skewopt_serve_warmstate_hits_total");
+  Counter& misses = reg.counter("skewopt_serve_warmstate_misses_total");
+  Counter& evictions = reg.counter("skewopt_serve_warmstate_evictions_total");
+  Counter& cache_evictions =
+      reg.counter("skewopt_serve_cache_evictions_total");
+  const auto h0 = hits.value();
+  const auto m0 = misses.value();
+  const auto e0 = evictions.value();
+  const auto ce0 = cache_evictions.value();
+
+  serve::WarmStateStore store(1);
+  EXPECT_EQ(store.lookup("a"), nullptr);  // miss
+  store.insert("a", std::make_shared<core::FlowWarmState>());
+  EXPECT_NE(store.lookup("a"), nullptr);  // hit
+  store.insert("b", std::make_shared<core::FlowWarmState>());  // evicts "a"
+  EXPECT_EQ(hits.value() - h0, 1u);
+  EXPECT_EQ(misses.value() - m0, 1u);
+  EXPECT_EQ(evictions.value() - e0, 1u);
+  EXPECT_EQ(reg.gauge("skewopt_serve_warmstate_entries").value(), 1.0);
+
+  serve::ResultCache cache(1);
+  cache.insert("a", core::FlowResult{});
+  cache.insert("b", core::FlowResult{});  // evicts "a"
+  EXPECT_EQ(cache_evictions.value() - ce0, 1u);
 }
 
 TEST(MetricsTest, SnapshotIsNameOrderedAndComparable) {

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "sta/incremental.h"
+
 #include "network/design.h"
 #include "rc/rc.h"
 #include "testgen/testgen.h"
@@ -278,6 +280,46 @@ TEST_F(StaTest, BatchSubtreePropagationBitIdentical) {
                                  batched, &batch_scratch);
   for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
     expectTimingsIdentical(batched[ki], scalar[ki], "subtree");
+}
+
+TEST_F(StaTest, SeededTimerBitIdenticalToFullAnalysis) {
+  // The cross-job warm-start entry point: seed an IncrementalTimer from a
+  // prior run's timing snapshot and re-propagate only the edit-dirtied
+  // subtree. The result must be bit-identical to a full analysis of the
+  // edited design.
+  testgen::TestcaseOptions o;
+  o.sinks = 32;
+  Design d = testgen::makeCls1(tech_, "v1", o);
+  const IncrementalTimer full(tech_, d);
+
+  // No edit, empty dirty set: the seed IS the timing state.
+  const IncrementalTimer same(tech_, d, full.timings(), {});
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    expectTimingsIdentical(same.timing(ki), full.timing(ki), "no-edit seed");
+
+  // Move a sink (the DELTA moved-sink edit), dirty its parent's subtree.
+  const int sink = d.tree.sinks().front();
+  const int parent = d.tree.node(sink).parent;
+  ASSERT_GE(parent, 0);
+  const geom::Point at = d.tree.node(sink).pos;
+  d.tree.moveNode(sink, {at.x + 3.0, at.y + 2.0});
+  d.routing.rebuildAround(d.tree, sink);
+  const IncrementalTimer fresh(tech_, d);
+  const IncrementalTimer seeded(tech_, d, full.timings(), {parent});
+  for (std::size_t ki = 0; ki < d.corners.size(); ++ki)
+    expectTimingsIdentical(seeded.timing(ki), fresh.timing(ki),
+                           "moved-sink seed");
+
+  // Shape guards: wrong corner count or node count is rejected, never
+  // silently mistimed.
+  std::vector<CornerTiming> short_snapshot = full.timings();
+  short_snapshot.pop_back();
+  EXPECT_THROW(IncrementalTimer(tech_, d, short_snapshot, {}),
+               std::invalid_argument);
+  std::vector<CornerTiming> narrow = full.timings();
+  narrow[0].arrival.pop_back();
+  EXPECT_THROW(IncrementalTimer(tech_, d, narrow, {}),
+               std::invalid_argument);
 }
 
 }  // namespace
