@@ -1,0 +1,402 @@
+#include "cluster/protocol.h"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace skewopt::cluster {
+
+namespace json = serve::json;
+
+namespace {
+
+using serve::errorReply;
+
+const json::Value& requireObject(const json::Value& v, const char* what) {
+  if (!v.isObject())
+    throw std::runtime_error(std::string(what) + " must be an object");
+  return v;
+}
+
+void checkKeys(const json::Value& v, std::initializer_list<const char*> allowed,
+               const char* context) {
+  for (const auto& [key, value] : v.members()) {
+    (void)value;
+    bool ok = false;
+    for (const char* a : allowed)
+      if (key == a) {
+        ok = true;
+        break;
+      }
+    if (!ok)
+      throw std::runtime_error(std::string("unknown ") + context + " key '" +
+                               key + "'");
+  }
+}
+
+std::uint64_t requireId(const json::Value& req) {
+  const json::Value* id = req.find("id");
+  if (!id || !id->isNumber() || id->asDouble() < 0)
+    throw std::runtime_error("missing or bad 'id'");
+  return static_cast<std::uint64_t>(id->asDouble());
+}
+
+/// SchedulerStats fields without the "ok" flag, for the per-shard array.
+json::Value statsFields(const serve::SchedulerStats& s) {
+  json::Value v = json::Value::object();
+  v.set("submitted", s.submitted);
+  v.set("done", s.done);
+  v.set("failed", s.failed);
+  v.set("cancelled", s.cancelled);
+  v.set("retries", s.retries);
+  v.set("running", s.running);
+  v.set("queue_depth", s.queue_depth);
+  v.set("workers", s.workers);
+  v.set("cache_hits", s.cache.hits);
+  v.set("cache_misses", s.cache.misses);
+  v.set("cache_entries", s.cache.entries);
+  v.set("warm_hits", s.warm.hits);
+  v.set("warm_misses", s.warm.misses);
+  v.set("warm_entries", s.warm.entries);
+  return v;
+}
+
+json::Value submittedReply(const ClusterFrontend& fe,
+                           const ClusterFrontend::Submitted& sub) {
+  json::Value v = json::Value::object();
+  v.set("ok", true);
+  v.set("id", sub.id);
+  v.set("hash", serve::hashHex(sub.job->hash));
+  v.set("state", serve::jobStateName(serve::JobState::kQueued));
+  if (fe.shards() > 1) v.set("shard", sub.shard);
+  return v;
+}
+
+/// One BATCH_SUBMIT entry, already validated to be an object with allowed
+/// keys. Per-entry failures become {"ok":false,...} verdicts, never a
+/// batch-level error.
+json::Value batchEntryReply(ClusterFrontend& fe, const json::Value& entry,
+                            bool block, std::size_t* accepted) {
+  const std::string tag = entry.str("tag", "");
+  json::Value v;
+  try {
+    const json::Value* spec_v = entry.find("spec");
+    if (!spec_v) throw std::runtime_error("batch entry needs a 'spec'");
+    const serve::JobSpec spec = serve::specFromJson(*spec_v);
+    const ClusterFrontend::Submitted sub = fe.submit(spec, block);
+    if (!sub.job) {
+      v = errorReply("queue full");
+    } else {
+      ++*accepted;
+      v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", sub.id);
+      v.set("hash", serve::hashHex(sub.job->hash));
+      v.set("state", serve::jobStateName(serve::JobState::kQueued));
+      v.set("shard", sub.shard);
+    }
+  } catch (const std::exception& e) {
+    v = errorReply(e.what());
+  }
+  if (!tag.empty()) v.set("tag", tag);
+  return v;
+}
+
+json::Value handleBatchSubmit(ClusterFrontend& fe, const json::Value& request) {
+  checkKeys(request, {"cmd", "jobs", "block"}, "request");
+  const json::Value* jobs = request.find("jobs");
+  if (!jobs || !jobs->isArray())
+    return errorReply("BATCH_SUBMIT needs a 'jobs' array");
+  if (jobs->items().empty())
+    return errorReply("BATCH_SUBMIT 'jobs' must not be empty");
+  // Validate the batch shape before submitting anything: a malformed
+  // *batch* (vs a malformed spec) rejects as a unit.
+  std::set<std::string> tags;
+  for (const json::Value& entry : jobs->items()) {
+    requireObject(entry, "batch entry");
+    checkKeys(entry, {"spec", "tag"}, "batch entry");
+    const std::string tag = entry.str("tag", "");
+    if (!tag.empty() && !tags.insert(tag).second)
+      return errorReply("duplicate batch tag '" + tag + "'");
+  }
+  const bool block = request.boolean("block", false);
+  std::size_t accepted = 0;
+  json::Value verdicts = json::Value::array();
+  for (const json::Value& entry : jobs->items())
+    verdicts.push(batchEntryReply(fe, entry, block, &accepted));
+  json::Value v = json::Value::object();
+  v.set("ok", true);
+  v.set("count", jobs->items().size());
+  v.set("accepted", accepted);
+  v.set("jobs", std::move(verdicts));
+  return v;
+}
+
+json::Value handleDrain(ClusterFrontend& fe, const json::Value& request) {
+  checkKeys(request, {"cmd", "shard", "mode"}, "request");
+  const std::string mode = request.str("mode", "drain");
+  if (mode != "drain" && mode != "shutdown")
+    return errorReply("DRAIN mode must be 'drain' or 'shutdown'");
+  json::Value v = json::Value::object();
+  if (const json::Value* shard_v = request.find("shard")) {
+    if (!shard_v->isNumber() || shard_v->asDouble() < 0 ||
+        shard_v->asDouble() >= static_cast<double>(fe.shards()))
+      return errorReply("bad 'shard' index");
+    const std::size_t i = static_cast<std::size_t>(shard_v->asDouble());
+    if (mode == "drain")
+      fe.drainShard(i);
+    else
+      fe.shutdownShard(i);
+    v.set("ok", true);
+    v.set("shard", i);
+  } else {
+    if (mode == "drain")
+      fe.drain();
+    else
+      fe.shutdown();
+    v.set("ok", true);
+    v.set("shards", fe.shards());
+  }
+  v.set("drained", true);
+  return v;
+}
+
+/// One completion event line for a terminal job.
+json::Value resultEvent(ClusterFrontend& fe, const serve::JobStatus& s) {
+  json::Value v = json::Value::object();
+  if (s.state == serve::JobState::kDone) {
+    v.set("ok", true);
+    v.set("event", "result");
+    v.set("id", s.id);
+    v.set("state", serve::jobStateName(s.state));
+    v.set("cached", s.cached);
+    v.set("result", serve::resultToJson(fe.result(s.id)));
+  } else {
+    v.set("ok", false);
+    v.set("event", "result");
+    v.set("id", s.id);
+    v.set("state", serve::jobStateName(s.state));
+    v.set("error", s.error.empty() ? serve::jobStateName(s.state) : s.error);
+  }
+  return v;
+}
+
+/// Streaming RESULTS: emits one event line per subscribed job as it
+/// completes (already-terminal jobs flush immediately), then an "end"
+/// line carrying the count of jobs still pending at the deadline. Wakeups
+/// ride the cluster's completion epoch, so the wait is event-driven, not
+/// a poll loop.
+bool handleResults(ClusterFrontend& fe, const json::Value& request,
+                   const serve::TcpServer::LineSink& emit) {
+  std::vector<std::uint64_t> pending;
+  double timeout_ms = 600000.0;
+  try {
+    checkKeys(request, {"cmd", "ids", "timeout_ms"}, "request");
+    const json::Value* ids = request.find("ids");
+    if (!ids || !ids->isArray() || ids->items().empty())
+      throw std::runtime_error("RESULTS needs a non-empty 'ids' array");
+    for (const json::Value& id : ids->items()) {
+      if (!id.isNumber() || id.asDouble() < 1)
+        throw std::runtime_error("RESULTS ids must be positive numbers");
+      pending.push_back(static_cast<std::uint64_t>(id.asDouble()));
+    }
+    timeout_ms = request.num("timeout_ms", timeout_ms);
+  } catch (const std::exception& e) {
+    return emit(json::dump(errorReply(e.what())));
+  }
+
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(std::max(0.0, timeout_ms)));
+  std::uint64_t epoch = fe.completionEpoch();
+  for (;;) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      json::Value event;
+      bool terminal = true;
+      try {
+        const serve::JobStatus s = fe.status(*it);
+        terminal = serve::isTerminal(s.state);
+        if (terminal) event = resultEvent(fe, s);
+      } catch (const std::out_of_range&) {
+        // Unknown or retention-pruned id: report it once and drop it.
+        event = errorReply("unknown job id");
+        event.set("event", "result");
+        event.set("id", *it);
+      }
+      if (!terminal) {
+        ++it;
+        continue;
+      }
+      if (!emit(json::dump(event))) return false;  // subscriber gone
+      it = pending.erase(it);
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (pending.empty() || now >= deadline) break;
+    const double wait_ms = std::min(
+        250.0, std::chrono::duration<double, std::milli>(deadline - now)
+                   .count());
+    epoch = fe.waitEpoch(epoch, wait_ms);
+  }
+  json::Value end = json::Value::object();
+  end.set("ok", true);
+  end.set("event", "end");
+  end.set("remaining", pending.size());
+  return emit(json::dump(end));
+}
+
+}  // namespace
+
+json::Value handleClusterRequest(ClusterFrontend& fe,
+                                 const json::Value& request) {
+  try {
+    requireObject(request, "request");
+    const std::string cmd = request.str("cmd", "");
+
+    if (cmd == "SUBMIT") {
+      checkKeys(request, {"cmd", "spec", "block"}, "request");
+      const json::Value* spec_v = request.find("spec");
+      if (!spec_v) throw std::runtime_error("SUBMIT needs a 'spec'");
+      const serve::JobSpec spec = serve::specFromJson(*spec_v);
+      const bool block = request.boolean("block", false);
+      const ClusterFrontend::Submitted sub = fe.submit(spec, block);
+      if (!sub.job) return errorReply("queue full");
+      return submittedReply(fe, sub);
+    }
+
+    if (cmd == "DELTA") {
+      checkKeys(request, {"cmd", "base", "edits", "block"}, "request");
+      const json::Value* base = request.find("base");
+      if (!base || !base->isNumber() || base->asDouble() < 0)
+        throw std::runtime_error("DELTA needs a numeric 'base' job id");
+      const json::Value* edits_v = request.find("edits");
+      if (!edits_v) throw std::runtime_error("DELTA needs an 'edits' object");
+      const serve::DeltaEdits edits = serve::deltaEditsFromJson(*edits_v);
+      const bool block = request.boolean("block", false);
+      ClusterFrontend::Submitted sub;
+      try {
+        sub = fe.submitDelta(static_cast<std::uint64_t>(base->asDouble()),
+                             edits, block);
+      } catch (const std::out_of_range&) {
+        return errorReply("unknown base job id");
+      }
+      if (!sub.job) return errorReply("queue full");
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", sub.id);
+      v.set("base", static_cast<std::uint64_t>(base->asDouble()));
+      v.set("hash", serve::hashHex(sub.job->hash));
+      v.set("state", serve::jobStateName(serve::JobState::kQueued));
+      if (fe.shards() > 1) v.set("shard", sub.shard);
+      return v;
+    }
+
+    if (cmd == "STATUS") {
+      checkKeys(request, {"cmd", "id"}, "request");
+      return serve::statusToJson(fe.status(requireId(request)));
+    }
+
+    if (cmd == "RESULT") {
+      checkKeys(request, {"cmd", "id", "wait"}, "request");
+      const std::uint64_t id = requireId(request);
+      const bool wait = request.boolean("wait", true);
+      serve::JobStatus s = fe.status(id);
+      if (!serve::isTerminal(s.state)) {
+        if (!wait) {
+          json::Value v = errorReply("not finished");
+          v.set("state", serve::jobStateName(s.state));
+          return v;
+        }
+        s = fe.waitTerminal(id);
+      }
+      if (s.state != serve::JobState::kDone) {
+        json::Value v = errorReply(
+            s.error.empty() ? serve::jobStateName(s.state) : s.error);
+        v.set("id", id);
+        v.set("state", serve::jobStateName(s.state));
+        return v;
+      }
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("state", serve::jobStateName(s.state));
+      v.set("cached", s.cached);
+      v.set("result", serve::resultToJson(fe.result(id)));
+      return v;
+    }
+
+    if (cmd == "CANCEL") {
+      checkKeys(request, {"cmd", "id"}, "request");
+      const std::uint64_t id = requireId(request);
+      const bool cancelled = fe.cancel(id);
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("cancelled", cancelled);
+      v.set("state", serve::jobStateName(fe.status(id).state));
+      return v;
+    }
+
+    if (cmd == "STATS") {
+      checkKeys(request, {"cmd"}, "request");
+      const ClusterStats cs = fe.stats();
+      json::Value v = serve::schedulerStatsToJson(cs.total);
+      v.set("gauges", serve::serveGaugesToJson());
+      if (fe.shards() > 1) {
+        v.set("routed", cs.routed);
+        v.set("rejected", cs.rejected);
+        json::Value shards = json::Value::array();
+        for (std::size_t i = 0; i < cs.shards.size(); ++i) {
+          json::Value sv = statsFields(cs.shards[i]);
+          sv.set("shard", i);
+          shards.push(std::move(sv));
+        }
+        v.set("shards", std::move(shards));
+      }
+      return v;
+    }
+
+    if (cmd == "METRICS") {
+      checkKeys(request, {"cmd"}, "request");
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("metrics",
+            obs::prometheusText(obs::MetricsRegistry::global().snapshot()));
+      return v;
+    }
+
+    if (cmd == "BATCH_SUBMIT") return handleBatchSubmit(fe, request);
+    if (cmd == "DRAIN") return handleDrain(fe, request);
+
+    return errorReply(cmd.empty() ? "missing 'cmd'"
+                                  : "unknown cmd '" + cmd + "'");
+  } catch (const std::exception& e) {
+    return errorReply(e.what());
+  }
+}
+
+bool handleClusterLine(ClusterFrontend& fe, const std::string& line,
+                       const serve::TcpServer::LineSink& emit) {
+  json::Value request;
+  try {
+    request = json::parse(line);
+  } catch (const std::exception& e) {
+    return emit(json::dump(errorReply(e.what())));
+  }
+  if (request.isObject() && request.str("cmd", "") == "RESULTS")
+    return handleResults(fe, request, emit);
+  return emit(json::dump(handleClusterRequest(fe, request)));
+}
+
+serve::TcpServer::LineHandler clusterLineHandler(ClusterFrontend& fe) {
+  return [&fe](const std::string& line,
+               const serve::TcpServer::LineSink& emit) {
+    return handleClusterLine(fe, line, emit);
+  };
+}
+
+}  // namespace skewopt::cluster

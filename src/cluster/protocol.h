@@ -1,0 +1,43 @@
+// Cluster wire protocol: the serve newline-JSON protocol, dispatched
+// against a ClusterFrontend instead of a single Scheduler, plus the
+// cluster-only verbs.
+//
+// Compatibility contract: with one shard, every verb the single-scheduler
+// protocol defines (SUBMIT/DELTA/STATUS/RESULT/CANCEL/STATS/METRICS)
+// answers byte-identically to serve::handleRequest — global ids collapse
+// to local ids and the shard-specific fields are only added when
+// shards > 1. Existing clients keep working unchanged against a cluster.
+//
+// New verbs (wire examples in docs/serving.md):
+//   BATCH_SUBMIT  one request, many specs; one reply line with a per-spec
+//                 verdict array (an invalid spec fails only its entry).
+//   RESULTS       streaming subscription: per-completion event lines as
+//                 jobs land, then one "end" line. The only multi-line
+//                 reply in the protocol.
+//   DRAIN         graceful per-shard (or whole-cluster) drain.
+#pragma once
+
+#include <string>
+
+#include "cluster/frontend.h"
+#include "serve/server.h"
+
+namespace skewopt::cluster {
+
+/// Dispatches one parsed single-reply request (every verb but RESULTS).
+/// Never throws for protocol-level errors — they become
+/// {"ok":false,"error":...} replies.
+serve::json::Value handleClusterRequest(ClusterFrontend& fe,
+                                        const serve::json::Value& request);
+
+/// Full line dispatch including the streaming verbs: parses, handles, and
+/// emits one or more reply lines through `emit`. Returns false when the
+/// connection should close (peer gone mid-stream).
+bool handleClusterLine(ClusterFrontend& fe, const std::string& line,
+                       const serve::TcpServer::LineSink& emit);
+
+/// The handler to construct a serve::TcpServer around; `fe` must outlive
+/// the server.
+serve::TcpServer::LineHandler clusterLineHandler(ClusterFrontend& fe);
+
+}  // namespace skewopt::cluster

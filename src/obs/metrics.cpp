@@ -116,6 +116,18 @@ bool validMetricName(const std::string& name) {
   return true;
 }
 
+bool validLabelName(const std::string& name) {
+  // Like a metric name, but Prometheus label names have no colons.
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(name[0])) return false;
+  for (char c : name)
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  return true;
+}
+
 [[noreturn]] void throwKindMismatch(const std::string& name, MetricKind have,
                                     MetricKind want) {
   throw std::logic_error("obs: metric '" + name + "' already registered as " +
@@ -125,71 +137,122 @@ bool validMetricName(const std::string& name) {
 
 }  // namespace
 
-Counter& MetricsRegistry::counter(const std::string& name,
-                                  const std::string& help) {
+std::string renderLabels(const LabelSet& labels) {
+  std::string out;
+  for (const auto& [name, value] : labels) {
+    if (!validLabelName(name))
+      throw std::logic_error("obs: invalid label name '" + name + "'");
+    if (!out.empty()) out += ',';
+    out += name;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '\\')
+        out += "\\\\";
+      else if (c == '"')
+        out += "\\\"";
+      else if (c == '\n')
+        out += "\\n";
+      else
+        out += c;
+    }
+    out += '"';
+  }
+  return out;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::findOrCreate(const std::string& name,
+                                                      const LabelSet& labels,
+                                                      MetricKind kind,
+                                                      const std::string& help) {
   if (!validMetricName(name))
     throw std::logic_error("obs: invalid metric name '" + name + "'");
-  support::MutexLock lock(mu_);
-  auto it = metrics_.find(name);
+  const std::string rendered = renderLabels(labels);
+  const std::string key =
+      rendered.empty() ? name : name + "{" + rendered + "}";
+  auto it = metrics_.find(key);
   if (it == metrics_.end()) {
+    const auto fam = family_kind_.find(name);
+    if (fam != family_kind_.end() && fam->second != kind)
+      throwKindMismatch(name, fam->second, kind);
     Entry e;
-    e.kind = MetricKind::kCounter;
+    e.name = name;
+    e.labels = rendered;
+    e.kind = kind;
     e.help = help;
-    e.counter = std::make_unique<Counter>();
-    it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != MetricKind::kCounter) {
-    throwKindMismatch(name, it->second.kind, MetricKind::kCounter);
+    switch (kind) {
+      case MetricKind::kCounter:
+        e.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        e.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        break;  // caller constructs (needs the bounds)
+    }
+    it = metrics_.emplace(key, std::move(e)).first;
+    family_kind_.emplace(name, kind);
+  } else if (it->second.kind != kind) {
+    throwKindMismatch(name, it->second.kind, kind);
   }
-  return *it->second.counter;
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  return counter(name, {}, help);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const LabelSet& labels,
+                                  const std::string& help) {
+  support::MutexLock lock(mu_);
+  return *findOrCreate(name, labels, MetricKind::kCounter, help).counter;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name,
                               const std::string& help) {
-  if (!validMetricName(name))
-    throw std::logic_error("obs: invalid metric name '" + name + "'");
+  return gauge(name, {}, help);
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const LabelSet& labels,
+                              const std::string& help) {
   support::MutexLock lock(mu_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry e;
-    e.kind = MetricKind::kGauge;
-    e.help = help;
-    e.gauge = std::make_unique<Gauge>();
-    it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != MetricKind::kGauge) {
-    throwKindMismatch(name, it->second.kind, MetricKind::kGauge);
-  }
-  return *it->second.gauge;
+  return *findOrCreate(name, labels, MetricKind::kGauge, help).gauge;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds,
                                       const std::string& help) {
-  if (!validMetricName(name))
-    throw std::logic_error("obs: invalid metric name '" + name + "'");
+  return histogram(name, {}, std::move(bounds), help);
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const LabelSet& labels,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  // Construct first: the bounds validation in the Histogram constructor
+  // must not leave a half-registered (histogram-less) entry behind.
+  auto fresh = std::make_unique<Histogram>(std::move(bounds));
   support::MutexLock lock(mu_);
-  auto it = metrics_.find(name);
-  if (it == metrics_.end()) {
-    Entry e;
-    e.kind = MetricKind::kHistogram;
-    e.help = help;
-    e.histogram = std::make_unique<Histogram>(std::move(bounds));
-    it = metrics_.emplace(name, std::move(e)).first;
-  } else if (it->second.kind != MetricKind::kHistogram) {
-    throwKindMismatch(name, it->second.kind, MetricKind::kHistogram);
-  } else if (it->second.histogram->bounds() != bounds) {
+  Entry& e = findOrCreate(name, labels, MetricKind::kHistogram, help);
+  if (!e.histogram) {
+    e.histogram = std::move(fresh);
+  } else if (e.histogram->bounds() != fresh->bounds()) {
     throw std::logic_error("obs: histogram '" + name +
                            "' re-registered with different bounds");
   }
-  return *it->second.histogram;
+  return *e.histogram;
 }
 
 Snapshot MetricsRegistry::snapshot() const {
   support::MutexLock lock(mu_);
   Snapshot snap;
   snap.reserve(metrics_.size());
-  for (const auto& [name, e] : metrics_) {
+  for (const auto& [key, e] : metrics_) {
+    (void)key;
     MetricSample s;
-    s.name = name;
+    s.name = e.name;
+    s.labels = e.labels;
     s.kind = e.kind;
     s.help = e.help;
     switch (e.kind) {
@@ -216,6 +279,14 @@ Snapshot MetricsRegistry::snapshot() const {
     }
     snap.push_back(std::move(s));
   }
+  // Key order is name-then-'{', which interleaves a family's labeled
+  // children with longer family names ('_' < '{'); re-sort by
+  // (name, labels) so each family is one contiguous block.
+  std::sort(snap.begin(), snap.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
   return snap;
 }
 
@@ -256,26 +327,36 @@ void appendEscapedHelp(std::string& out, const std::string& help) {
 
 std::string prometheusText(const Snapshot& snap) {
   std::string out;
+  const std::string* last_family = nullptr;
   for (const MetricSample& s : snap) {
-    if (!s.help.empty()) {
-      out += "# HELP " + s.name + " ";
-      appendEscapedHelp(out, s.help);
-      out += "\n";
+    // One HELP/TYPE pair per family: a labeled family's children arrive
+    // contiguously (snapshot order is (name, labels)).
+    if (!last_family || *last_family != s.name) {
+      if (!s.help.empty()) {
+        out += "# HELP " + s.name + " ";
+        appendEscapedHelp(out, s.help);
+        out += "\n";
+      }
+      out += "# TYPE " + s.name + " " + metricKindName(s.kind) + "\n";
+      last_family = &s.name;
     }
-    out += "# TYPE " + s.name + " " + metricKindName(s.kind) + "\n";
+    const std::string braced =
+        s.labels.empty() ? "" : "{" + s.labels + "}";
     switch (s.kind) {
       case MetricKind::kCounter:
-        out += s.name + " " + std::to_string(s.count) + "\n";
+        out += s.name + braced + " " + std::to_string(s.count) + "\n";
         break;
       case MetricKind::kGauge:
-        out += s.name + " " + formatDouble(s.value) + "\n";
+        out += s.name + braced + " " + formatDouble(s.value) + "\n";
         break;
       case MetricKind::kHistogram:
         for (const auto& [le, cum] : s.buckets)
-          out += s.name + "_bucket{le=\"" + formatDouble(le) + "\"} " +
-                 std::to_string(cum) + "\n";
-        out += s.name + "_sum " + formatDouble(s.value) + "\n";
-        out += s.name + "_count " + std::to_string(s.count) + "\n";
+          out += s.name + "_bucket{" +
+                 (s.labels.empty() ? "" : s.labels + ",") + "le=\"" +
+                 formatDouble(le) + "\"} " + std::to_string(cum) + "\n";
+        out += s.name + "_sum" + braced + " " + formatDouble(s.value) + "\n";
+        out += s.name + "_count" + braced + " " + std::to_string(s.count) +
+               "\n";
         break;
     }
   }

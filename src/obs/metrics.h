@@ -112,9 +112,22 @@ std::vector<double> defaultMsBuckets();
 enum class MetricKind { kCounter, kGauge, kHistogram };
 const char* metricKindName(MetricKind k);
 
+/// One label set of a labeled metric family, in emission order. Label
+/// names must match [a-zA-Z_][a-zA-Z0-9_]*; values may be any UTF-8 (they
+/// are escaped on exposition). Per-shard serve metrics
+/// (skewopt_cluster_*{shard="N"}) are the first user — see
+/// docs/observability.md.
+using LabelSet = std::vector<std::pair<std::string, std::string>>;
+
+/// Deterministic `k="v",k2="v2"` rendering (Prometheus label syntax,
+/// values escaped). Throws std::logic_error on an invalid label name.
+std::string renderLabels(const LabelSet& labels);
+
 /// One metric's state at snapshot time. Comparable for exact assertions.
 struct MetricSample {
   std::string name;
+  /// Rendered label set (`shard="0"`), empty for unlabeled metrics.
+  std::string labels;
   MetricKind kind = MetricKind::kCounter;
   std::string help;
   std::uint64_t count = 0;  ///< counter value / histogram observation count
@@ -145,8 +158,22 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        const std::string& help = "");
 
-  /// All metrics, ordered by name. Deterministic given deterministic
-  /// updates (inject a fake clock to pin duration-valued metrics).
+  /// Labeled variants: one family name, one child per label set. Kind
+  /// consistency is enforced across the whole family (labeled and
+  /// unlabeled children alike); help text is taken from the first
+  /// registration. Children are distinct metrics — the registry never
+  /// aggregates across label sets.
+  Counter& counter(const std::string& name, const LabelSet& labels,
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, const LabelSet& labels,
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const LabelSet& labels,
+                       std::vector<double> bounds,
+                       const std::string& help = "");
+
+  /// All metrics, ordered by (name, labels) so a labeled family's
+  /// children stay contiguous. Deterministic given deterministic updates
+  /// (inject a fake clock to pin duration-valued metrics).
   Snapshot snapshot() const;
 
   /// Zeroes every registered metric (registration survives). Test hook.
@@ -154,6 +181,8 @@ class MetricsRegistry {
 
  private:
   struct Entry {
+    std::string name;    ///< family name (no labels)
+    std::string labels;  ///< rendered label set, empty when unlabeled
     MetricKind kind;
     std::string help;
     std::unique_ptr<Counter> counter;
@@ -161,13 +190,22 @@ class MetricsRegistry {
     std::unique_ptr<Histogram> histogram;
   };
 
+  Entry& findOrCreate(const std::string& name, const LabelSet& labels,
+                      MetricKind kind, const std::string& help)
+      SKEWOPT_REQUIRES(mu_);
+
   mutable support::Mutex mu_;
+  /// Keyed by name + rendered labels (unique per child).
   std::map<std::string, Entry> metrics_ SKEWOPT_GUARDED_BY(mu_);
+  /// Family name -> kind, so labeled and unlabeled children of one family
+  /// cannot disagree on the TYPE line.
+  std::map<std::string, MetricKind> family_kind_ SKEWOPT_GUARDED_BY(mu_);
 };
 
-/// Prometheus text exposition format (version 0.0.4): HELP/TYPE comments,
-/// `_bucket{le="..."}`/`_sum`/`_count` series per histogram. Deterministic
-/// for a given snapshot; ends with a newline.
+/// Prometheus text exposition format (version 0.0.4): HELP/TYPE comments
+/// (once per family), `_bucket{le="..."}`/`_sum`/`_count` series per
+/// histogram, label sets rendered in `{...}`. Deterministic for a given
+/// snapshot; ends with a newline.
 std::string prometheusText(const Snapshot& snap);
 
 }  // namespace skewopt::obs

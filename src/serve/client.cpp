@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <stdexcept>
 
 namespace skewopt::serve {
@@ -28,7 +29,7 @@ TcpClient::~TcpClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-std::string TcpClient::callRaw(const std::string& line) {
+void TcpClient::send(const std::string& line) {
   std::string out = line;
   out += '\n';
   std::size_t off = 0;
@@ -40,9 +41,15 @@ std::string TcpClient::callRaw(const std::string& line) {
                              0
 #endif
     );
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
     if (n <= 0) throw std::runtime_error("serve: connection lost on send");
     off += static_cast<std::size_t>(n);
   }
+}
+
+std::string TcpClient::readLine() {
   char chunk[4096];
   for (;;) {
     const std::size_t nl = buffer_.find('\n');
@@ -53,9 +60,16 @@ std::string TcpClient::callRaw(const std::string& line) {
       return reply;
     }
     const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
     if (n <= 0) throw std::runtime_error("serve: connection lost on recv");
     buffer_.append(chunk, static_cast<std::size_t>(n));
   }
+}
+
+std::string TcpClient::callRaw(const std::string& line) {
+  send(line);
+  return readLine();
 }
 
 json::Value TcpClient::call(const json::Value& request) {

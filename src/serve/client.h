@@ -62,6 +62,13 @@ class TcpClient {
   /// Raw line round-trip (no JSON handling on the way out).
   std::string callRaw(const std::string& line);
 
+  /// Split halves of callRaw, for streaming verbs (BATCH_SUBMIT, RESULTS)
+  /// where one request line is answered by several reply lines: send once,
+  /// then readLine() per event until the end marker. Both throw
+  /// std::runtime_error on connection loss.
+  void send(const std::string& line);
+  std::string readLine();
+
  private:
   int fd_ = -1;
   std::string buffer_;  ///< bytes past the last reply line

@@ -91,6 +91,7 @@ Scheduler::Scheduler(const tech::TechModel& tech, const eco::StageDelayLut& lut,
   // STATS gauges are part of its contract.
   obs::setMetricsEnabled(true);
   const std::size_t n = std::max<std::size_t>(1, opts_.workers);
+  worker_count_ = n;
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     workers_.emplace_back([this] { workerLoop(); });
@@ -112,6 +113,11 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
     }
     job->id = next_id_++;
     jobs_.emplace(job->id, job);
+    // Counted as submitted+queued before the push: a blocked producer's
+    // job is logically pending, and the coherence identity must hold for
+    // any stats() racing the push.
+    ++submitted_;
+    ++queued_;
   }
   if (!queue_.push(job, block)) {
     // Rejected (full without blocking, or closed while blocked): the job
@@ -119,6 +125,8 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
     ServeObs::get().rejected.add();
     support::MutexLock lk(mu_);
     jobs_.erase(job->id);
+    --submitted_;
+    --queued_;
     return nullptr;
   }
   ServeObs::get().submitted.add();
@@ -224,12 +232,16 @@ void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
     job->finished_at = std::chrono::steady_clock::now();
     // Counters update before any waiter can observe the terminal state, so
     // stats() is consistent once waitTerminal()/result() returns. Lock
-    // order is job->mu then mu_ everywhere they nest.
+    // order is job->mu then mu_ everywhere they nest. Cancellation only
+    // ever reaches QUEUED jobs, so the queued count moves with it.
     support::MutexLock lk2(mu_);
+    --queued_;
     ++cancelled_;
     ServeObs::get().cancelled.add();
+    retainTerminalLocked(job->id);
   }
   job->cv.notify_all();
+  notifyTerminal(job);
 }
 
 bool Scheduler::sleepBackoff(const std::shared_ptr<Job>& job, double ms) {
@@ -270,6 +282,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   // Transition QUEUED -> RUNNING in one critical section, honoring a
   // cancel that landed in the pop->start window (cancel() observed state
   // QUEUED under job->mu and returned true, so the job must never run).
+  ServeObs& sobs = ServeObs::get();
   bool cancelled_now = false;
   {
     std::lock_guard<std::mutex> lk(job->mu);
@@ -280,11 +293,19 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
       job->error = "start deadline exceeded";
       job->finished_at = start;
       support::MutexLock lk2(mu_);
+      --queued_;
       ++failed_;
       ServeObs::get().failed.add();
+      retainTerminalLocked(job->id);
     } else {
       job->state = JobState::kRunning;
       job->started_at = start;
+      // queued -> running moves in the same mu_ section as the state flip
+      // so no stats() snapshot can see the job in both (or neither).
+      support::MutexLock lk2(mu_);
+      --queued_;
+      ++running_;
+      sobs.running.add(1.0);
     }
   }
   if (cancelled_now) {
@@ -293,13 +314,8 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   }
   if (deadline_missed) {
     job->cv.notify_all();
+    notifyTerminal(job);
     return;
-  }
-  ServeObs& sobs = ServeObs::get();
-  {
-    support::MutexLock lk(mu_);
-    ++running_;
-    sobs.running.add(1.0);
   }
 
   JobTraceScope trace_scope(job->spec.trace);
@@ -373,8 +389,38 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     sobs.running.add(-1.0);
     ++(ok ? done_ : failed_);
     (ok ? sobs.done : sobs.failed).add();
+    retainTerminalLocked(job->id);
   }
   job->cv.notify_all();
+  notifyTerminal(job);
+}
+
+void Scheduler::retainTerminalLocked(std::uint64_t id) {
+  if (opts_.terminal_retention == 0) return;
+  terminal_order_.push_back(id);
+  while (terminal_order_.size() > opts_.terminal_retention) {
+    jobs_.erase(terminal_order_.front());
+    terminal_order_.pop_front();
+  }
+}
+
+void Scheduler::notifyTerminal(const std::shared_ptr<Job>& job) {
+  if (!opts_.on_terminal) return;
+  JobStatus s;
+  {
+    std::lock_guard<std::mutex> lk(job->mu);
+    s.id = job->id;
+    s.state = job->state;
+    s.attempts = job->attempts;
+    s.cached = job->cached;
+    s.error = job->error;
+    const bool ran =
+        job->started_at != std::chrono::steady_clock::time_point{};
+    s.queue_ms = msSince(job->submitted_at,
+                         ran ? job->started_at : job->finished_at);
+    s.run_ms = ran ? msSince(job->started_at, job->finished_at) : 0.0;
+  }
+  opts_.on_terminal(s);
 }
 
 void Scheduler::drain() {
@@ -417,16 +463,20 @@ void Scheduler::shutdown() {
 SchedulerStats Scheduler::stats() const {
   SchedulerStats s;
   {
+    // One lock for every job counter: the coherence identity (see
+    // SchedulerStats) must hold even for snapshots racing drain/shutdown.
+    // queue_depth comes from queued_, not queue_.depth() — a popped job
+    // that hasn't flipped to RUNNING yet is still logically queued.
     support::MutexLock lk(mu_);
-    s.submitted = next_id_ - 1;
+    s.submitted = submitted_;
     s.done = done_;
     s.failed = failed_;
     s.cancelled = cancelled_;
     s.retries = retries_;
     s.running = running_;
-    s.workers = workers_.size();
+    s.queue_depth = queued_;
   }
-  s.queue_depth = queue_.depth();
+  s.workers = worker_count_;
   s.cache = cache_.stats();
   s.warm = warm_.stats();
   return s;

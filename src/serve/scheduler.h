@@ -25,6 +25,7 @@
 // still queued, and completes only the jobs already running.
 #pragma once
 
+#include <deque>
 #include <functional>
 #include <memory>
 #include <thread>
@@ -50,17 +51,35 @@ struct SchedulerOptions {
   std::size_t warm_capacity = 64;
   double backoff_base_ms = 25.0;   ///< first retry delay
   double backoff_cap_ms = 2000.0;  ///< exponential backoff ceiling
+  /// Bound on *terminal* jobs retained in the id registry (0 = keep all).
+  /// Sustained serving needs a bound: without one every finished job's
+  /// spec + result stays reachable via STATUS/RESULT forever. Once a
+  /// terminal job is pruned (oldest-first), its id answers
+  /// std::out_of_range like an id that never existed; queued and running
+  /// jobs are never pruned.
+  std::size_t terminal_retention = 0;
+  /// Invoked once per job right after it reaches a terminal state, with
+  /// the final status snapshot; called with no scheduler or job locks
+  /// held, possibly from several worker threads at once. The cluster
+  /// frontend's streaming RESULTS subscriptions hang off this. Must not
+  /// block for long (it runs on the worker that finished the job).
+  std::function<void(const JobStatus&)> on_terminal;
 };
 
+/// Counter snapshot. Taken under one lock, so the identity
+///   submitted == done + failed + cancelled + running + queue_depth
+/// holds for every snapshot — including mid-drain()/shutdown() — which is
+/// what lets a cluster frontend aggregate shard stats without observing a
+/// job in two states (or none) during a shard's teardown.
 struct SchedulerStats {
-  std::size_t submitted = 0;
+  std::size_t submitted = 0;  ///< accepted submissions (rejections excluded)
   std::size_t done = 0;       ///< includes cache-served completions
   std::size_t failed = 0;
   std::size_t cancelled = 0;
   std::size_t retries = 0;    ///< runner re-invocations after TransientError
   std::size_t running = 0;
   std::size_t queue_depth = 0;
-  std::size_t workers = 0;
+  std::size_t workers = 0;    ///< configured worker count (stable across drain)
   ResultCache::Stats cache;
   WarmStateStore::Stats warm;
 };
@@ -135,6 +154,12 @@ class Scheduler {
   void finishCancelled(const std::shared_ptr<Job>& job);
   /// Interruptible backoff sleep; false when aborted by shutdown/cancel.
   bool sleepBackoff(const std::shared_ptr<Job>& job, double ms);
+  /// Records a terminal id in the retention ring and prunes the oldest
+  /// terminal jobs past opts_.terminal_retention.
+  void retainTerminalLocked(std::uint64_t id) SKEWOPT_REQUIRES(mu_);
+  /// Fires opts_.on_terminal (if set) with a status snapshot; call with no
+  /// locks held, after the terminal transition is visible.
+  void notifyTerminal(const std::shared_ptr<Job>& job);
 
   const tech::TechModel* tech_;
   const eco::StageDelayLut* lut_;
@@ -151,15 +176,25 @@ class Scheduler {
   support::CondVar stop_cv_;  ///< wakes backoff sleepers on shutdown
   std::unordered_map<std::uint64_t, std::shared_ptr<Job>> jobs_
       SKEWOPT_GUARDED_BY(mu_);
+  /// Terminal ids in completion order, for retention pruning (only used
+  /// when opts_.terminal_retention > 0).
+  std::deque<std::uint64_t> terminal_order_ SKEWOPT_GUARDED_BY(mu_);
   std::uint64_t next_id_ SKEWOPT_GUARDED_BY(mu_) = 1;
   bool accepting_ SKEWOPT_GUARDED_BY(mu_) = true;
   bool abort_retries_ SKEWOPT_GUARDED_BY(mu_) = false;
   bool joined_ SKEWOPT_GUARDED_BY(mu_) = false;
+  /// Job-population counters. Every job accepted into the queue counts in
+  /// submitted_ and exactly one of queued_/running_/done_/failed_/
+  /// cancelled_ at any instant (all transitions happen under mu_), which
+  /// is the SchedulerStats coherence identity.
+  std::size_t submitted_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t queued_ SKEWOPT_GUARDED_BY(mu_) = 0;
   std::size_t running_ SKEWOPT_GUARDED_BY(mu_) = 0;
   std::size_t done_ SKEWOPT_GUARDED_BY(mu_) = 0;
   std::size_t failed_ SKEWOPT_GUARDED_BY(mu_) = 0;
   std::size_t cancelled_ SKEWOPT_GUARDED_BY(mu_) = 0;
   std::size_t retries_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t worker_count_ = 0;  ///< set once in the constructor
 
   /// Populated in the constructor, swapped out once under mu_ by the first
   /// drain()/shutdown() to join outside the lock.

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
@@ -98,6 +99,8 @@ std::vector<double> doubleArrayFromJson(const json::Value& arr,
   return out;
 }
 
+}  // namespace
+
 std::string hashHex(std::uint64_t h) {
   char buf[20];
   std::snprintf(buf, sizeof buf, "%016llx",
@@ -105,7 +108,23 @@ std::string hashHex(std::uint64_t h) {
   return buf;
 }
 
-}  // namespace
+DeltaEdits deltaEditsFromJson(const json::Value& v) {
+  requireObject(v, "edits");
+  checkKeys(v, {"u_sweep", "corner_dmax_derate", "moved_sinks"}, "edits");
+  DeltaEdits edits;
+  if (const json::Value* sweep = v.find("u_sweep")) {
+    edits.has_u_sweep = true;
+    edits.u_sweep = doubleArrayFromJson(*sweep, "edits.u_sweep");
+  }
+  if (const json::Value* derates = v.find("corner_dmax_derate")) {
+    edits.has_derates = true;
+    edits.corner_dmax_derate =
+        doubleArrayFromJson(*derates, "edits.corner_dmax_derate");
+  }
+  if (const json::Value* moved = v.find("moved_sinks"))
+    edits.moved_sinks = movedSinksFromJson(*moved, "edits.moved_sinks");
+  return edits;
+}
 
 json::Value specToJson(const JobSpec& spec) {
   json::Value source = json::Value::object();
@@ -344,8 +363,6 @@ json::Value resultToJson(const core::FlowResult& r) {
 // ---------------------------------------------------------------------------
 // Request dispatch
 
-namespace {
-
 json::Value errorReply(const std::string& message) {
   json::Value v = json::Value::object();
   v.set("ok", false);
@@ -366,7 +383,53 @@ json::Value statusToJson(const JobStatus& s) {
   return v;
 }
 
-}  // namespace
+json::Value serveGaugesToJson() {
+  // Live values of the obs gauges/counters the scheduler maintains —
+  // the authoritative queue-depth/cache/retry numbers.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  json::Value gauges = json::Value::object();
+  gauges.set("queue_depth", reg.gauge("skewopt_serve_queue_depth").value());
+  gauges.set("jobs_running",
+             reg.gauge("skewopt_serve_jobs_running").value());
+  gauges.set("cache_entries",
+             reg.gauge("skewopt_serve_cache_entries").value());
+  gauges.set("cache_hits",
+             reg.counter("skewopt_serve_cache_hits_total").value());
+  gauges.set("cache_misses",
+             reg.counter("skewopt_serve_cache_misses_total").value());
+  gauges.set("retries", reg.counter("skewopt_serve_retries_total").value());
+  gauges.set("cache_evictions",
+             reg.counter("skewopt_serve_cache_evictions_total").value());
+  gauges.set("warmstate_entries",
+             reg.gauge("skewopt_serve_warmstate_entries").value());
+  gauges.set("warmstate_hits",
+             reg.counter("skewopt_serve_warmstate_hits_total").value());
+  gauges.set("warmstate_misses",
+             reg.counter("skewopt_serve_warmstate_misses_total").value());
+  gauges.set("warmstate_evictions",
+             reg.counter("skewopt_serve_warmstate_evictions_total").value());
+  return gauges;
+}
+
+json::Value schedulerStatsToJson(const SchedulerStats& s) {
+  json::Value v = json::Value::object();
+  v.set("ok", true);
+  v.set("submitted", s.submitted);
+  v.set("done", s.done);
+  v.set("failed", s.failed);
+  v.set("cancelled", s.cancelled);
+  v.set("retries", s.retries);
+  v.set("running", s.running);
+  v.set("queue_depth", s.queue_depth);
+  v.set("workers", s.workers);
+  // Deprecated (see docs/serving.md release notes): the flat cache_*
+  // fields are superseded by the "gauges" object below and the METRICS
+  // verb; they stay for one release so existing clients round-trip.
+  v.set("cache_hits", s.cache.hits);
+  v.set("cache_misses", s.cache.misses);
+  v.set("cache_entries", s.cache.entries);
+  return v;
+}
 
 json::Value handleRequest(Scheduler& sched, const json::Value& request) {
   try {
@@ -400,21 +463,7 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
         throw std::runtime_error("DELTA needs a numeric 'base' job id");
       const json::Value* edits_v = request.find("edits");
       if (!edits_v) throw std::runtime_error("DELTA needs an 'edits' object");
-      requireObject(*edits_v, "edits");
-      checkKeys(*edits_v, {"u_sweep", "corner_dmax_derate", "moved_sinks"},
-                "edits");
-      DeltaEdits edits;
-      if (const json::Value* sweep = edits_v->find("u_sweep")) {
-        edits.has_u_sweep = true;
-        edits.u_sweep = doubleArrayFromJson(*sweep, "edits.u_sweep");
-      }
-      if (const json::Value* derates = edits_v->find("corner_dmax_derate")) {
-        edits.has_derates = true;
-        edits.corner_dmax_derate =
-            doubleArrayFromJson(*derates, "edits.corner_dmax_derate");
-      }
-      if (const json::Value* moved = edits_v->find("moved_sinks"))
-        edits.moved_sinks = movedSinksFromJson(*moved, "edits.moved_sinks");
+      const DeltaEdits edits = deltaEditsFromJson(*edits_v);
       const bool block = request.boolean("block", false);
       std::shared_ptr<Job> job;
       try {
@@ -481,52 +530,8 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
 
     if (cmd == "STATS") {
       checkKeys(request, {"cmd"}, "request");
-      const SchedulerStats s = sched.stats();
-      json::Value v = json::Value::object();
-      v.set("ok", true);
-      v.set("submitted", s.submitted);
-      v.set("done", s.done);
-      v.set("failed", s.failed);
-      v.set("cancelled", s.cancelled);
-      v.set("retries", s.retries);
-      v.set("running", s.running);
-      v.set("queue_depth", s.queue_depth);
-      v.set("workers", s.workers);
-      // Deprecated (see docs/serving.md release notes): the flat cache_*
-      // fields are superseded by the "gauges" object below and the METRICS
-      // verb; they stay for one release so existing clients round-trip.
-      v.set("cache_hits", s.cache.hits);
-      v.set("cache_misses", s.cache.misses);
-      v.set("cache_entries", s.cache.entries);
-      // Live values of the obs gauges/counters the scheduler maintains —
-      // the authoritative queue-depth/cache/retry numbers.
-      obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
-      json::Value gauges = json::Value::object();
-      gauges.set("queue_depth",
-                 reg.gauge("skewopt_serve_queue_depth").value());
-      gauges.set("jobs_running",
-                 reg.gauge("skewopt_serve_jobs_running").value());
-      gauges.set("cache_entries",
-                 reg.gauge("skewopt_serve_cache_entries").value());
-      gauges.set("cache_hits",
-                 reg.counter("skewopt_serve_cache_hits_total").value());
-      gauges.set("cache_misses",
-                 reg.counter("skewopt_serve_cache_misses_total").value());
-      gauges.set("retries",
-                 reg.counter("skewopt_serve_retries_total").value());
-      gauges.set("cache_evictions",
-                 reg.counter("skewopt_serve_cache_evictions_total").value());
-      gauges.set("warmstate_entries",
-                 reg.gauge("skewopt_serve_warmstate_entries").value());
-      gauges.set("warmstate_hits",
-                 reg.counter("skewopt_serve_warmstate_hits_total").value());
-      gauges.set(
-          "warmstate_misses",
-          reg.counter("skewopt_serve_warmstate_misses_total").value());
-      gauges.set(
-          "warmstate_evictions",
-          reg.counter("skewopt_serve_warmstate_evictions_total").value());
-      v.set("gauges", std::move(gauges));
+      json::Value v = schedulerStatsToJson(sched.stats());
+      v.set("gauges", serveGaugesToJson());
       return v;
     }
 
@@ -561,6 +566,9 @@ std::string handleLine(Scheduler& sched, const std::string& line) {
 
 namespace {
 
+/// Writes all of `data`, looping on partial writes and retrying EINTR and
+/// (for a socket with a send timeout) EAGAIN/EWOULDBLOCK — under sustained
+/// load short writes are routine, not errors.
 bool sendAll(int fd, const std::string& data) {
   std::size_t off = 0;
   while (off < data.size()) {
@@ -571,6 +579,9 @@ bool sendAll(int fd, const std::string& data) {
                              0
 #endif
     );
+    if (n < 0 &&
+        (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
@@ -580,7 +591,14 @@ bool sendAll(int fd, const std::string& data) {
 }  // namespace
 
 TcpServer::TcpServer(Scheduler& sched, TcpServerOptions opts)
-    : sched_(&sched) {
+    : TcpServer(
+          [&sched](const std::string& line, const LineSink& emit) {
+            return emit(handleLine(sched, line));
+          },
+          std::move(opts)) {}
+
+TcpServer::TcpServer(LineHandler handler, TcpServerOptions opts)
+    : handler_(std::move(handler)), opts_(std::move(opts)) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("serve: socket() failed");
   const int one = 1;
@@ -588,17 +606,17 @@ TcpServer::TcpServer(Scheduler& sched, TcpServerOptions opts)
 
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(opts.port));
-  if (::inet_pton(AF_INET, opts.host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<std::uint16_t>(opts_.port));
+  if (::inet_pton(AF_INET, opts_.host.c_str(), &addr.sin_addr) != 1) {
     ::close(listen_fd_);
-    throw std::runtime_error("serve: bad listen address " + opts.host);
+    throw std::runtime_error("serve: bad listen address " + opts_.host);
   }
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
           0 ||
       ::listen(listen_fd_, 16) < 0) {
     ::close(listen_fd_);
-    throw std::runtime_error("serve: cannot listen on " + opts.host + ":" +
-                             std::to_string(opts.port));
+    throw std::runtime_error("serve: cannot listen on " + opts_.host + ":" +
+                             std::to_string(opts_.port));
   }
   sockaddr_in bound{};
   socklen_t len = sizeof bound;
@@ -650,10 +668,15 @@ void TcpServer::acceptLoop() {
 }
 
 void TcpServer::serveConnection(int fd) {
+  const LineSink emit = [fd](const std::string& reply) {
+    return sendAll(fd, reply + "\n");
+  };
   std::string buffer;
   char chunk[4096];
   for (;;) {
     const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK))
+      continue;
     if (n <= 0) return;  // EOF / error / stop(): fd is closed by stop()
     buffer.append(chunk, static_cast<std::size_t>(n));
     std::size_t nl;
@@ -662,7 +685,22 @@ void TcpServer::serveConnection(int fd) {
       buffer.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
-      if (!sendAll(fd, handleLine(*sched_, line) + "\n")) return;
+      if (line.size() > opts_.max_line_bytes) {
+        emit(json::dump(errorReply("request line exceeds " +
+                                   std::to_string(opts_.max_line_bytes) +
+                                   " bytes")));
+        return;
+      }
+      if (!handler_(line, emit)) return;
+    }
+    // A line fragment past the bound can never become a valid request;
+    // answer once and drop the connection instead of buffering without
+    // limit.
+    if (buffer.size() > opts_.max_line_bytes) {
+      emit(json::dump(errorReply("request line exceeds " +
+                                 std::to_string(opts_.max_line_bytes) +
+                                 " bytes")));
+      return;
     }
   }
 }

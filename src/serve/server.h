@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <functional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -43,6 +44,20 @@ JobSpec specFromJson(const json::Value& v);
 json::Value metricsToJson(const core::DesignMetrics& m);
 json::Value resultToJson(const core::FlowResult& r);
 
+/// Building blocks the cluster front-end shares with this dispatcher, so
+/// the sharded protocol stays byte-compatible with the single-scheduler
+/// one (see src/cluster/protocol.h).
+json::Value errorReply(const std::string& message);
+json::Value statusToJson(const JobStatus& s);
+json::Value schedulerStatsToJson(const SchedulerStats& s);
+/// The STATS "gauges" object: live values of the serve obs gauges and
+/// counters (process-wide — in a cluster these aggregate all shards).
+json::Value serveGaugesToJson();
+std::string hashHex(std::uint64_t h);
+/// Parses a DELTA "edits" object ({"u_sweep":..,"corner_dmax_derate":..,
+/// "moved_sinks":..}); throws std::runtime_error on malformed input.
+DeltaEdits deltaEditsFromJson(const json::Value& v);
+
 /// Dispatches one parsed request against the scheduler. Never throws for
 /// protocol-level errors — they become {"ok":false,"error":...} replies.
 json::Value handleRequest(Scheduler& sched, const json::Value& request);
@@ -53,6 +68,10 @@ std::string handleLine(Scheduler& sched, const std::string& line);
 struct TcpServerOptions {
   std::string host = "127.0.0.1";
   int port = 0;  ///< 0 = ephemeral; the bound port is reported by port()
+  /// Per-connection read-buffer bound. A request line longer than this is
+  /// answered with a JSON error and the connection is closed — the buffer
+  /// never grows past the bound no matter what the peer sends.
+  std::size_t max_line_bytes = 1u << 20;
 };
 
 /// Serves the protocol over a local TCP socket: one accept loop, one
@@ -63,7 +82,18 @@ struct TcpServerOptions {
 /// running.
 class TcpServer {
  public:
+  /// Delivers one reply line to the peer ("\n" appended by the server);
+  /// false when the peer is gone — the handler should stop emitting.
+  using LineSink = std::function<bool(const std::string&)>;
+  /// Full-generality request handler: one request line in, any number of
+  /// reply lines out through the sink (streaming verbs emit many).
+  /// Returning false closes the connection. Runs on the connection's
+  /// thread, so concurrent connections mean concurrent handler calls.
+  using LineHandler =
+      std::function<bool(const std::string& line, const LineSink& emit)>;
+
   TcpServer(Scheduler& sched, TcpServerOptions opts = {});
+  TcpServer(LineHandler handler, TcpServerOptions opts = {});
   ~TcpServer();
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
@@ -75,7 +105,8 @@ class TcpServer {
   void acceptLoop();
   void serveConnection(int fd);
 
-  Scheduler* sched_;
+  LineHandler handler_;
+  TcpServerOptions opts_;
   int listen_fd_ = -1;
   int port_ = 0;
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,659 @@
+// Tests for the cluster subsystem: consistent-hash routing determinism,
+// the global job-id codec, N-shard vs single-shard bit-identity (the
+// subsystem's core guarantee, including DELTA jobs), the BATCH_SUBMIT and
+// streaming RESULTS wire verbs with their malformed-payload handling,
+// subscriber disconnect mid-stream, per-shard drain, and aggregated stats
+// coherence under concurrent load.
+//
+// The whole file runs under ThreadSanitizer as cluster_test_tsan (see
+// tests/CMakeLists.txt); the Concurrent* tests are the schedules that
+// matter there — batch submit + streaming + shard drain all at once.
+#include "cluster/frontend.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/protocol.h"
+#include "cluster/router.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+namespace skewopt::cluster {
+namespace {
+
+namespace json = serve::json;
+
+const tech::TechModel& sharedTech() {
+  static tech::TechModel t = tech::TechModel::make28nm();
+  return t;
+}
+
+const eco::StageDelayLut& sharedLut() {
+  static eco::StageDelayLut lut(sharedTech());
+  return lut;
+}
+
+/// A small, fast spec: 40-sink CLS1v1, local flow, two iterations.
+serve::JobSpec tinySpec(std::uint64_t seed,
+                        core::FlowMode mode = core::FlowMode::kLocal) {
+  serve::JobSpec spec;
+  spec.source.kind = serve::DesignSource::Kind::kTestgen;
+  spec.source.testcase = "CLS1v1";
+  spec.source.sinks = 40;
+  spec.source.max_pairs = 40;
+  spec.source.seed = seed;
+  spec.mode = mode;
+  spec.options.local.max_iterations = 2;
+  return spec;
+}
+
+ClusterOptions smallCluster(std::size_t shards, std::size_t workers = 2) {
+  ClusterOptions o;
+  o.shards = shards;
+  o.shard.workers = workers;
+  o.shard.queue_capacity = 64;
+  o.shard.cache_capacity = 64;
+  o.shard.warm_capacity = 16;
+  return o;
+}
+
+/// Digest of a result's optimization outcome, skipping wall-clock timings
+/// and solver-effort fields (lp_solves, lp_warm_hits) that legitimately
+/// differ between a cold run and a warm-started run of the same spec.
+std::string digest(const core::FlowResult& r) {
+  const json::Value full = serve::resultToJson(r);
+  json::Value out = json::Value::object();
+  for (const auto& [key, value] : full.members()) {
+    if (key == "stage_ms") continue;
+    if (key == "global") {
+      json::Value g = json::Value::object();
+      for (const auto& [gk, gv] : value.members())
+        if (gk != "lp_solves" && gk != "lp_warm_hits") g.set(gk, gv);
+      out.set(key, std::move(g));
+      continue;
+    }
+    out.set(key, value);
+  }
+  return json::dump(out);
+}
+
+/// Collects a multi-line protocol exchange.
+struct Emitted {
+  std::vector<std::string> lines;
+  serve::TcpServer::LineSink sink() {
+    return [this](const std::string& line) {
+      lines.push_back(line);
+      return true;
+    };
+  }
+  json::Value at(std::size_t i) const { return json::parse(lines.at(i)); }
+};
+
+std::string call(ClusterFrontend& fe, const std::string& line) {
+  Emitted out;
+  EXPECT_TRUE(handleClusterLine(fe, line, out.sink()));
+  EXPECT_EQ(out.lines.size(), 1u);
+  return out.lines.empty() ? "" : out.lines.front();
+}
+
+// ---------------------------------------------------------------------------
+// Router
+
+TEST(ShardRouter, Fnv1aIsThePinnedFunction) {
+  // Known FNV-1a vectors: the ring layout (and therefore the shard a spec
+  // routes to) is a wire-stability contract, so the hash is pinned.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(ShardRouter, RingIsDeterministicAcrossInstances) {
+  const ShardRouter a(ShardRouterOptions{4, 16});
+  const ShardRouter b(ShardRouterOptions{4, 16});
+  EXPECT_EQ(a.ring(), b.ring());
+  EXPECT_EQ(a.ring().size(), 64u);
+  for (std::uint64_t h = 0; h < 1000; ++h)
+    EXPECT_EQ(a.route(h * 0x9e3779b97f4a7c15ull),
+              b.route(h * 0x9e3779b97f4a7c15ull));
+}
+
+TEST(ShardRouter, SpecsRouteTheSameAcrossRestarts) {
+  // "Restart" = a fresh router (and fresh frontend): placement must be a
+  // pure function of the spec's content hash.
+  std::vector<std::size_t> first;
+  for (int round = 0; round < 2; ++round) {
+    const ShardRouter router(ShardRouterOptions{5, 32});
+    for (std::uint64_t seed = 0; seed < 20; ++seed) {
+      const std::size_t shard =
+          router.route(serve::contentHash(tinySpec(seed)));
+      if (round == 0)
+        first.push_back(shard);
+      else
+        EXPECT_EQ(shard, first[seed]) << "seed " << seed;
+    }
+  }
+}
+
+TEST(ShardRouter, CoversAllShards) {
+  const ShardRouter router(ShardRouterOptions{4, 64});
+  std::set<std::size_t> used;
+  for (std::uint64_t h = 0; h < 4096; ++h)
+    used.insert(router.route(h * 0x9e3779b97f4a7c15ull));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ShardRouter, SingleShardRoutesEverythingToZero) {
+  const ShardRouter router(ShardRouterOptions{1, 8});
+  for (std::uint64_t h = 0; h < 64; ++h) EXPECT_EQ(router.route(h), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Global id codec
+
+TEST(ClusterFrontend, GlobalIdCodecRoundTrips) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(3),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  for (std::size_t shard = 0; shard < 3; ++shard) {
+    for (std::uint64_t local = 1; local <= 100; ++local) {
+      const std::uint64_t gid = fe.globalId(shard, local);
+      EXPECT_EQ(fe.shardOf(gid), shard);
+      EXPECT_EQ(fe.localId(gid), local);
+    }
+  }
+  EXPECT_THROW(fe.shardOf(0), std::out_of_range);
+}
+
+TEST(ClusterFrontend, SingleShardIdsEqualLocalIds) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(1),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  for (std::uint64_t local = 1; local <= 10; ++local)
+    EXPECT_EQ(fe.globalId(0, local), local);
+}
+
+// ---------------------------------------------------------------------------
+// Bit-identity: the tentpole guarantee
+
+TEST(ClusterFrontend, ShardedResultsBitIdenticalToSingleShard) {
+  // The same job set — hot repeats, distinct seeds, and DELTA re-opts —
+  // through a 3-shard cluster and a 1-shard cluster must produce
+  // bit-identical results per spec.
+  const std::vector<std::uint64_t> seeds = {7, 11, 7, 13, 11, 7};
+  serve::DeltaEdits edits;
+  edits.has_u_sweep = true;
+  edits.u_sweep = {0.05, 0.15};
+
+  auto run = [&](std::size_t shards) -> std::vector<std::string> {
+    std::vector<std::string> digests;
+    ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(shards));
+    std::vector<std::uint64_t> gids;
+    for (const std::uint64_t seed : seeds) {
+      const auto sub = fe.submit(tinySpec(seed), true);
+      EXPECT_TRUE(sub.job);
+      if (!sub.job) return digests;
+      gids.push_back(sub.id);
+    }
+    // DELTA against each distinct base; pinned to the base's shard.
+    for (const std::uint64_t base : {gids[0], gids[1], gids[3]}) {
+      const auto sub = fe.submitDelta(base, edits, true);
+      EXPECT_TRUE(sub.job);
+      if (!sub.job) return digests;
+      if (shards > 1) {
+        EXPECT_EQ(sub.shard, fe.shardOf(base));
+      }
+      gids.push_back(sub.id);
+    }
+    for (const std::uint64_t gid : gids)
+      digests.push_back(digest(fe.result(gid)));
+    fe.drain();
+    return digests;
+  };
+
+  const std::vector<std::string> sharded = run(3);
+  const std::vector<std::string> solo = run(1);
+  ASSERT_EQ(sharded.size(), solo.size());
+  for (std::size_t i = 0; i < sharded.size(); ++i)
+    EXPECT_EQ(sharded[i], solo[i]) << "job " << i;
+}
+
+TEST(ClusterFrontend, IdenticalSpecsLandOnTheSameShardAndCache) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(4));
+  const auto first = fe.submit(tinySpec(3), true);
+  ASSERT_TRUE(first.job);
+  (void)fe.result(first.id);
+  const auto repeat = fe.submit(tinySpec(3), true);
+  ASSERT_TRUE(repeat.job);
+  EXPECT_EQ(repeat.shard, first.shard);
+  (void)fe.result(repeat.id);
+  EXPECT_TRUE(fe.waitTerminal(repeat.id).cached);
+  fe.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: single-shard byte-compatibility
+
+TEST(ClusterProtocol, SingleShardRepliesMatchServeByteForByte) {
+  // The same request stream against a bare Scheduler and a 1-shard
+  // cluster: every reply line must be byte-identical.
+  serve::SchedulerOptions sopts;
+  sopts.workers = 2;
+  serve::Scheduler sched(sharedTech(), sharedLut(), sopts);
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(1));
+
+  const std::string spec_line =
+      json::dump(serve::specToJson(tinySpec(5)));
+  const std::vector<std::string> requests = {
+      R"({"cmd":"SUBMIT","spec":)" + spec_line + R"(,"block":true})",
+      R"({"cmd":"RESULT","id":1,"wait":true})",
+      // STATUS after the result wait: the job is deterministically DONE
+      // on both sides (mid-flight it could be QUEUED or RUNNING).
+      R"({"cmd":"STATUS","id":1})",
+      R"({"cmd":"DELTA","base":1,"edits":{"u_sweep":[0.05,0.2]},"block":true})",
+      R"({"cmd":"RESULT","id":2,"wait":true})",
+      R"({"cmd":"CANCEL","id":2})",
+      R"({"cmd":"RESULT","id":99,"wait":false})",
+      R"({"cmd":"nonsense"})",
+      R"(not json)",
+  };
+  for (const std::string& req : requests) {
+    const std::string serve_reply = serve::handleLine(sched, req);
+    const std::string cluster_reply = call(fe, req);
+    // Timing fields (queue_ms/run_ms, stage_ms) differ run to run; compare
+    // the parsed structure with those removed, serialized back to bytes.
+    const auto scrub = [](const std::string& line) {
+      const json::Value v = json::parse(line);
+      json::Value out = json::Value::object();
+      for (const auto& [key, value] : v.members()) {
+        if (key == "queue_ms" || key == "run_ms") continue;
+        if (key == "result") {
+          json::Value r = json::Value::object();
+          for (const auto& [rk, rv] : value.members())
+            if (rk != "stage_ms") r.set(rk, rv);
+          out.set(key, std::move(r));
+          continue;
+        }
+        out.set(key, value);
+      }
+      return json::dump(out);
+    };
+    EXPECT_EQ(scrub(serve_reply), scrub(cluster_reply)) << req;
+  }
+  fe.drain();
+  sched.drain();
+}
+
+TEST(ClusterProtocol, StatsAggregatesShards) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(3),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  std::vector<std::uint64_t> gids;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const auto sub = fe.submit(tinySpec(seed), true);
+    ASSERT_TRUE(sub.job);
+    gids.push_back(sub.id);
+  }
+  for (const std::uint64_t gid : gids) fe.waitTerminal(gid);
+  const json::Value v = json::parse(call(fe, R"({"cmd":"STATS"})"));
+  EXPECT_TRUE(v.boolean("ok", false));
+  EXPECT_EQ(v.num("submitted", -1), 12);
+  EXPECT_EQ(v.num("done", -1), 12);
+  const json::Value* shards = v.find("shards");
+  ASSERT_NE(shards, nullptr);
+  ASSERT_TRUE(shards->isArray());
+  ASSERT_EQ(shards->size(), 3u);
+  double sum = 0;
+  for (const json::Value& s : shards->items()) sum += s.num("submitted", 0);
+  EXPECT_EQ(sum, 12);
+  fe.drain();
+}
+
+// ---------------------------------------------------------------------------
+// BATCH_SUBMIT
+
+TEST(ClusterProtocol, BatchSubmitAcceptsManySpecs) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(3),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  json::Value jobs = json::Value::array();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    json::Value entry = json::Value::object();
+    entry.set("spec", serve::specToJson(tinySpec(seed)));
+    entry.set("tag", "job-" + std::to_string(seed));
+    jobs.push(std::move(entry));
+  }
+  json::Value req = json::Value::object();
+  req.set("cmd", "BATCH_SUBMIT");
+  req.set("jobs", std::move(jobs));
+  req.set("block", true);
+  const json::Value v = json::parse(call(fe, json::dump(req)));
+  EXPECT_TRUE(v.boolean("ok", false));
+  EXPECT_EQ(v.num("count", -1), 6);
+  EXPECT_EQ(v.num("accepted", -1), 6);
+  const json::Value* verdicts = v.find("jobs");
+  ASSERT_NE(verdicts, nullptr);
+  ASSERT_EQ(verdicts->size(), 6u);
+  std::set<std::uint64_t> ids;
+  for (std::size_t i = 0; i < verdicts->size(); ++i) {
+    const json::Value& entry = verdicts->at(i);
+    EXPECT_TRUE(entry.boolean("ok", false));
+    EXPECT_EQ(entry.str("tag", ""), "job-" + std::to_string(i));
+    ids.insert(static_cast<std::uint64_t>(entry.num("id", 0)));
+  }
+  EXPECT_EQ(ids.size(), 6u) << "per-spec job ids must be distinct";
+  for (const std::uint64_t id : ids) fe.waitTerminal(id);
+  fe.drain();
+}
+
+TEST(ClusterProtocol, BatchSubmitRejectsMalformedBatches) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  // Missing and empty jobs arrays reject as a unit.
+  json::Value no_jobs = json::parse(call(fe, R"({"cmd":"BATCH_SUBMIT"})"));
+  EXPECT_FALSE(no_jobs.boolean("ok", true));
+  json::Value empty =
+      json::parse(call(fe, R"({"cmd":"BATCH_SUBMIT","jobs":[]})"));
+  EXPECT_FALSE(empty.boolean("ok", true));
+  // Duplicate tags reject as a unit, before any spec is submitted.
+  const std::string spec_line = json::dump(serve::specToJson(tinySpec(1)));
+  json::Value dup = json::parse(call(
+      fe, R"({"cmd":"BATCH_SUBMIT","jobs":[{"spec":)" + spec_line +
+              R"(,"tag":"x"},{"spec":)" + spec_line + R"(,"tag":"x"}]})"));
+  EXPECT_FALSE(dup.boolean("ok", true));
+  EXPECT_EQ(fe.stats().total.submitted, 0u);
+  fe.drain();
+}
+
+TEST(ClusterProtocol, BatchSubmitFailsOnlyTheInvalidSpec) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  const std::string good = json::dump(serve::specToJson(tinySpec(1)));
+  const json::Value v = json::parse(call(
+      fe, R"({"cmd":"BATCH_SUBMIT","jobs":[{"spec":)" + good +
+              R"(},{"spec":{"bogus_key":1}},{"spec":)" + good + R"(}]})"));
+  EXPECT_TRUE(v.boolean("ok", false));
+  EXPECT_EQ(v.num("count", -1), 3);
+  EXPECT_EQ(v.num("accepted", -1), 2);
+  const json::Value* verdicts = v.find("jobs");
+  ASSERT_NE(verdicts, nullptr);
+  EXPECT_TRUE(verdicts->at(0).boolean("ok", false));
+  EXPECT_FALSE(verdicts->at(1).boolean("ok", true));
+  EXPECT_NE(verdicts->at(1).str("error", ""), "");
+  EXPECT_TRUE(verdicts->at(2).boolean("ok", false));
+  fe.drain();
+}
+
+// ---------------------------------------------------------------------------
+// Streaming RESULTS
+
+TEST(ClusterProtocol, ResultsStreamsCompletionsThenEnd) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  std::vector<std::uint64_t> gids;
+  std::string ids = "[";
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto sub = fe.submit(tinySpec(seed), true);
+    ASSERT_TRUE(sub.job);
+    gids.push_back(sub.id);
+    ids += (seed ? "," : "") + std::to_string(sub.id);
+  }
+  ids += ",999]";  // one unknown id: reported, not fatal
+  Emitted out;
+  EXPECT_TRUE(handleClusterLine(
+      fe, R"({"cmd":"RESULTS","ids":)" + ids + R"(,"timeout_ms":30000})",
+      out.sink()));
+  ASSERT_EQ(out.lines.size(), 6u);  // 4 results + 1 unknown + end
+  std::set<std::uint64_t> seen;
+  std::size_t unknown = 0;
+  for (std::size_t i = 0; i + 1 < out.lines.size(); ++i) {
+    const json::Value event = out.at(i);
+    EXPECT_EQ(event.str("event", ""), "result");
+    if (event.boolean("ok", false))
+      seen.insert(static_cast<std::uint64_t>(event.num("id", 0)));
+    else
+      ++unknown;
+  }
+  EXPECT_EQ(seen, std::set<std::uint64_t>(gids.begin(), gids.end()));
+  EXPECT_EQ(unknown, 1u);
+  const json::Value end = out.at(out.lines.size() - 1);
+  EXPECT_EQ(end.str("event", ""), "end");
+  EXPECT_EQ(end.num("remaining", -1), 0);
+  fe.drain();
+}
+
+TEST(ClusterProtocol, ResultsStopsWhenSubscriberDisconnects) {
+  // A subscriber that goes away mid-stream: the sink starts returning
+  // false, and the handler must stop (close the connection) rather than
+  // keep waiting for the remaining jobs.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [&](const serve::JobSpec& spec) {
+                       if (spec.source.seed >= 100) {
+                         std::unique_lock<std::mutex> lk(mu);
+                         cv.wait(lk, [&] { return release; });
+                       }
+                       return core::FlowResult{};
+                     });
+  const auto fast = fe.submit(tinySpec(1), true);
+  const auto slow = fe.submit(tinySpec(100), true);
+  ASSERT_TRUE(fast.job);
+  ASSERT_TRUE(slow.job);
+  fe.waitTerminal(fast.id);
+
+  std::vector<std::string> lines;
+  const serve::TcpServer::LineSink dead_after_one =
+      [&](const std::string& line) {
+        lines.push_back(line);
+        return false;  // peer hung up
+      };
+  EXPECT_FALSE(handleClusterLine(
+      fe,
+      R"({"cmd":"RESULTS","ids":[)" + std::to_string(fast.id) + "," +
+          std::to_string(slow.id) + R"(],"timeout_ms":30000})",
+      dead_after_one));
+  EXPECT_EQ(lines.size(), 1u);  // the fast job's event, then disconnect
+  {
+    std::lock_guard<std::mutex> lk(mu);
+    release = true;
+  }
+  cv.notify_all();
+  fe.waitTerminal(slow.id);
+  fe.drain();
+}
+
+// ---------------------------------------------------------------------------
+// DRAIN + stats coherence
+
+TEST(ClusterProtocol, DrainShardRejectsNewWorkThere) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  const json::Value v =
+      json::parse(call(fe, R"({"cmd":"DRAIN","shard":0})"));
+  EXPECT_TRUE(v.boolean("ok", false));
+  EXPECT_TRUE(v.boolean("drained", false));
+  // Submissions routed to shard 0 now reject; shard 1 still accepts.
+  std::size_t accepted = 0, rejected = 0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    const auto sub = fe.submit(tinySpec(seed), false);
+    if (sub.job) {
+      EXPECT_EQ(sub.shard, 1u);
+      ++accepted;
+      fe.waitTerminal(sub.id);
+    } else {
+      EXPECT_EQ(sub.shard, 0u);
+      ++rejected;
+    }
+  }
+  EXPECT_GT(accepted, 0u);
+  EXPECT_GT(rejected, 0u);
+  const ClusterStats cs = fe.stats();
+  EXPECT_EQ(cs.routed, accepted);
+  EXPECT_EQ(cs.rejected, rejected);
+  fe.drain();
+}
+
+TEST(ClusterFrontend, StatsStayCoherentDuringShutdown) {
+  // The satellite fix: a stats() aggregation racing a shard's shutdown()
+  // must see every job in exactly one state — the coherence identity
+  // holds for every snapshot, including mid-teardown.
+  for (int round = 0; round < 4; ++round) {
+    ClusterFrontend fe(
+        sharedTech(), sharedLut(), smallCluster(3, 2),
+        [](const serve::JobSpec& spec) {
+          if (spec.source.seed % 7 == 0)
+            std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return core::FlowResult{};
+        });
+    std::atomic<bool> stop{false};
+    std::thread sampler([&] {
+      while (!stop.load()) {
+        const ClusterStats cs = fe.stats();
+        for (const serve::SchedulerStats& s : cs.shards)
+          EXPECT_EQ(s.submitted, s.done + s.failed + s.cancelled + s.running +
+                                     s.queue_depth);
+        EXPECT_EQ(cs.total.submitted,
+                  cs.total.done + cs.total.failed + cs.total.cancelled +
+                      cs.total.running + cs.total.queue_depth);
+      }
+    });
+    std::thread submitter([&] {
+      for (std::uint64_t seed = 0; seed < 200 && !stop.load(); ++seed)
+        fe.submit(tinySpec(seed), false);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    fe.shutdownShard(round % 3);
+    fe.shutdown();
+    submitter.join();
+    stop.store(true);
+    sampler.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency (the TSan schedules)
+
+TEST(ClusterConcurrency, BatchSubmitStreamingAndDrainRace) {
+  // Batch submitters, a streaming subscriber, a stats sampler, and a
+  // shard drain all at once — the schedule cluster_test_tsan exists for.
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(3, 2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  std::mutex ids_mu;
+  std::vector<std::uint64_t> all_ids;
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 3; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int batch = 0; batch < 8; ++batch) {
+        json::Value jobs = json::Value::array();
+        for (int j = 0; j < 4; ++j) {
+          json::Value entry = json::Value::object();
+          entry.set("spec", serve::specToJson(tinySpec(
+                                static_cast<std::uint64_t>(
+                                    t * 1000 + batch * 10 + j))));
+          jobs.push(std::move(entry));
+        }
+        json::Value req = json::Value::object();
+        req.set("cmd", "BATCH_SUBMIT");
+        req.set("jobs", std::move(jobs));
+        Emitted out;
+        handleClusterLine(fe, json::dump(req), out.sink());
+        const json::Value v = out.at(0);
+        if (const json::Value* verdicts = v.find("jobs")) {
+          std::lock_guard<std::mutex> lk(ids_mu);
+          for (const json::Value& entry : verdicts->items())
+            if (entry.boolean("ok", false))
+              all_ids.push_back(
+                  static_cast<std::uint64_t>(entry.num("id", 0)));
+        }
+      }
+    });
+  }
+
+  std::thread subscriber([&] {
+    while (!stop.load()) {
+      std::string ids;
+      {
+        std::lock_guard<std::mutex> lk(ids_mu);
+        if (all_ids.empty()) continue;
+        for (std::size_t i = std::max<std::size_t>(all_ids.size(), 8) - 8;
+             i < all_ids.size(); ++i) {
+          if (!ids.empty()) ids += ',';
+          ids += std::to_string(all_ids[i]);
+        }
+      }
+      Emitted out;
+      handleClusterLine(
+          fe, R"({"cmd":"RESULTS","ids":[)" + ids + R"(],"timeout_ms":50})",
+          out.sink());
+    }
+  });
+
+  std::thread sampler([&] {
+    while (!stop.load()) (void)fe.stats();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  fe.drainShard(1);
+  for (std::thread& t : submitters) t.join();
+  stop.store(true);
+  subscriber.join();
+  sampler.join();
+  fe.drain();
+  // Everything accepted eventually completed (drain waits for the queue).
+  const ClusterStats cs = fe.stats();
+  EXPECT_EQ(cs.total.submitted,
+            cs.total.done + cs.total.failed + cs.total.cancelled);
+}
+
+// ---------------------------------------------------------------------------
+// TCP round trip
+
+TEST(ClusterTcp, BatchAndStreamingOverLiveSocket) {
+  ClusterFrontend fe(sharedTech(), sharedLut(), smallCluster(2),
+                     [](const serve::JobSpec&) { return core::FlowResult{}; });
+  serve::TcpServer server(clusterLineHandler(fe));
+  serve::TcpClient client("127.0.0.1", server.port());
+
+  json::Value jobs = json::Value::array();
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    json::Value entry = json::Value::object();
+    entry.set("spec", serve::specToJson(tinySpec(seed)));
+    jobs.push(std::move(entry));
+  }
+  json::Value req = json::Value::object();
+  req.set("cmd", "BATCH_SUBMIT");
+  req.set("jobs", std::move(jobs));
+  req.set("block", true);
+  const json::Value reply = client.call(req);
+  ASSERT_TRUE(reply.boolean("ok", false));
+  std::string ids;
+  for (const json::Value& entry : reply.find("jobs")->items()) {
+    if (!ids.empty()) ids += ',';
+    ids += std::to_string(static_cast<std::uint64_t>(entry.num("id", 0)));
+  }
+
+  client.send(R"({"cmd":"RESULTS","ids":[)" + ids + R"(],"timeout_ms":30000})");
+  std::size_t events = 0;
+  for (;;) {
+    const json::Value event = json::parse(client.readLine());
+    if (event.str("event", "") == "end") {
+      EXPECT_EQ(event.num("remaining", -1), 0);
+      break;
+    }
+    EXPECT_EQ(event.str("event", ""), "result");
+    ++events;
+  }
+  EXPECT_EQ(events, 3u);
+  server.stop();
+  fe.drain();
+}
+
+}  // namespace
+}  // namespace skewopt::cluster

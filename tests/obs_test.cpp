@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/frontend.h"
 #include "core/local_opt.h"
 #include "core/objective.h"
 #include "obs/clock.h"
@@ -202,6 +203,107 @@ TEST(MetricsTest, PrometheusTextFormat) {
             "latency_ms_bucket{le=\"+Inf\"} 3\n"
             "latency_ms_sum 12.25\n"
             "latency_ms_count 3\n");
+}
+
+TEST(MetricsTest, LabeledFamiliesAreDistinctChildrenOfOneFamily) {
+  MetricsOnScope on;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& a = reg.counter("obs_test_labeled_total", {{"shard", "0"}});
+  Counter& b = reg.counter("obs_test_labeled_total", {{"shard", "1"}});
+  EXPECT_NE(&a, &b);  // one child per label set
+  EXPECT_EQ(&a, &reg.counter("obs_test_labeled_total", {{"shard", "0"}}));
+  a.reset();
+  b.reset();
+  a.add(2);
+  b.add(5);
+  EXPECT_EQ(a.value(), 2u);
+  EXPECT_EQ(b.value(), 5u);
+
+  // Kind consistency is family-wide: a labeled child cannot disagree with
+  // the unlabeled one, in either direction.
+  EXPECT_THROW(reg.gauge("obs_test_labeled_total", {{"shard", "2"}}),
+               std::logic_error);
+  EXPECT_THROW(reg.gauge("obs_test_labeled_total"), std::logic_error);
+
+  // Label names are validated; values are escaped on exposition.
+  EXPECT_THROW(renderLabels({{"9bad", "v"}}), std::logic_error);
+  EXPECT_EQ(renderLabels({{"shard", "0"}, {"mode", "a\"b\\c\nd"}}),
+            "shard=\"0\",mode=\"a\\\"b\\\\c\\nd\"");
+}
+
+TEST(MetricsTest, LabeledSeriesRenderWithOneTypeLinePerFamily) {
+  MetricSample c0;
+  c0.name = "routed_total";
+  c0.labels = "shard=\"0\"";
+  c0.kind = MetricKind::kCounter;
+  c0.help = "Routed jobs";
+  c0.count = 7;
+  MetricSample c1 = c0;
+  c1.labels = "shard=\"1\"";
+  c1.count = 9;
+  const std::string text = prometheusText({c0, c1});
+  EXPECT_EQ(text,
+            "# HELP routed_total Routed jobs\n"
+            "# TYPE routed_total counter\n"
+            "routed_total{shard=\"0\"} 7\n"
+            "routed_total{shard=\"1\"} 9\n");
+}
+
+TEST(MetricsTest, ClusterShardMetricNamesArePinned) {
+  // The per-shard serving dashboards key on these exact family names and
+  // the shard="N" label (docs/observability.md); renaming one is a
+  // breaking change.
+  MetricsOnScope on;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& routed0 =
+      reg.counter("skewopt_cluster_jobs_routed_total", {{"shard", "0"}});
+  Counter& routed1 =
+      reg.counter("skewopt_cluster_jobs_routed_total", {{"shard", "1"}});
+  Counter& rejected0 =
+      reg.counter("skewopt_cluster_jobs_rejected_total", {{"shard", "0"}});
+  const auto r0 = routed0.value(), r1 = routed1.value();
+  const auto x0 = rejected0.value();
+
+  const tech::TechModel tech = tech::TechModel::make28nm();
+  const eco::StageDelayLut lut(tech);
+  cluster::ClusterOptions copts;
+  copts.shards = 2;
+  copts.shard.workers = 1;
+  cluster::ClusterFrontend fe(
+      tech, lut, copts,
+      [](const serve::JobSpec&) { return core::FlowResult{}; });
+  std::size_t accepted = 0;
+  for (std::uint64_t seed = 0; seed < 16; ++seed) {
+    serve::JobSpec spec;
+    spec.source.kind = serve::DesignSource::Kind::kTestgen;
+    spec.source.testcase = "CLS1v1";
+    spec.source.sinks = 8;
+    spec.source.seed = seed;
+    const auto sub = fe.submit(spec, true);
+    if (sub.job) {
+      ++accepted;
+      fe.waitTerminal(sub.id);
+    }
+  }
+  (void)fe.stats();  // refreshes the per-shard gauges
+  EXPECT_EQ((routed0.value() - r0) + (routed1.value() - r1), accepted);
+  EXPECT_EQ(rejected0.value(), x0);
+
+  // Every family the cluster front-end owns, present with shard labels.
+  std::map<std::string, std::string> seen;  // name -> labels (last wins)
+  for (const MetricSample& s : reg.snapshot()) seen[s.name] = s.labels;
+  for (const char* name :
+       {"skewopt_cluster_jobs_routed_total",
+        "skewopt_cluster_jobs_rejected_total",
+        "skewopt_cluster_shard_queue_depth",
+        "skewopt_cluster_shard_cache_hits",
+        "skewopt_cluster_shard_cache_misses",
+        "skewopt_cluster_shard_warm_hits",
+        "skewopt_cluster_shard_warm_misses"}) {
+    ASSERT_TRUE(seen.count(name)) << name;
+    EXPECT_EQ(seen[name], "shard=\"1\"") << name;  // labeled, 2 shards
+  }
+  fe.drain();
 }
 
 TEST(MetricsTest, ConcurrentUpdatesLoseNothing) {

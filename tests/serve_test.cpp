@@ -998,6 +998,78 @@ TEST(TcpTest, SubmitAndFetchOverARealSocket) {
   sched.drain();
 }
 
+TEST(TcpTest, OversizedRequestLineIsRejectedWithACleanError) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  TcpServerOptions sopts;
+  sopts.max_line_bytes = 256;
+  TcpServer server(sched, sopts);
+
+  {
+    // A complete over-long line: one JSON error reply, then the server
+    // closes the connection.
+    TcpClient client("127.0.0.1", server.port());
+    const std::string reply =
+        client.callRaw('{' + std::string(512, ' ') + '}');
+    const json::Value v = json::parse(reply);
+    EXPECT_FALSE(v.boolean("ok", true));
+    EXPECT_NE(v.str("error", "").find("256 bytes"), std::string::npos);
+    EXPECT_THROW(client.callRaw(R"({"cmd":"STATS"})"), std::runtime_error);
+  }
+  {
+    // A line so long its newline is many recv() chunks away: the bound
+    // check fires on the unterminated fragment, so the per-connection
+    // buffer never grows with the peer; same error, same close.
+    TcpClient client("127.0.0.1", server.port());
+    client.send(std::string(1u << 16, 'x'));
+    const json::Value v = json::parse(client.readLine());
+    EXPECT_FALSE(v.boolean("ok", true));
+    EXPECT_NE(v.str("error", "").find("256 bytes"), std::string::npos);
+  }
+  // The server survives both and still answers fresh connections.
+  TcpClient client("127.0.0.1", server.port());
+  EXPECT_TRUE(json::parse(client.callRaw(R"({"cmd":"STATS"})"))
+                  .boolean("ok", false));
+  server.stop();
+}
+
+TEST(SchedulerTest, StatsStayCoherentThroughShutdown) {
+  // Every stats() snapshot — including ones racing shutdown() — must see
+  // each accepted job in exactly one state.
+  for (int round = 0; round < 4; ++round) {
+    SchedulerOptions opts;
+    opts.workers = 2;
+    opts.queue_capacity = 64;
+    Scheduler sched(sharedTech(), sharedLut(), opts,
+                    [](const JobSpec& spec) {
+                      if (spec.source.seed % 5 == 0)
+                        std::this_thread::sleep_for(
+                            std::chrono::microseconds(200));
+                      return core::FlowResult{};
+                    });
+    std::atomic<bool> stop{false};
+    std::thread sampler([&] {
+      while (!stop.load()) {
+        const SchedulerStats s = sched.stats();
+        EXPECT_EQ(s.submitted, s.done + s.failed + s.cancelled + s.running +
+                                   s.queue_depth);
+      }
+    });
+    std::thread submitter([&] {
+      for (std::uint64_t seed = 0; seed < 200 && !stop.load(); ++seed)
+        sched.submit(tinySpec(seed), false);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    sched.shutdown();
+    submitter.join();
+    stop.store(true);
+    sampler.join();
+    const SchedulerStats s = sched.stats();
+    EXPECT_EQ(s.submitted, s.done + s.failed + s.cancelled);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Observability surface (METRICS verb, STATS gauges, per-job traces)
 
