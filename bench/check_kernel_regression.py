@@ -1,14 +1,19 @@
 #!/usr/bin/env python3
 """CI gate for the batched timing kernels.
 
-Fails when BM_NldmLookupBatch or BM_ElmoreMomentsBatch regresses more than
-the allowed margin against the recorded baseline
-(bench/baseline_kernels.json, a full BENCH_bench_kernels.json snapshot).
-Raw nanoseconds are machine-dependent, so the gate compares machine-neutral
+Fails when a gated batch kernel (NLDM lookup, Elmore moments, all-corner
+STA propagation, whole-round move scoring) regresses more than its margin
+against the recorded baseline (bench/baseline_kernels.json, a full
+BENCH_bench_kernels.json snapshot).
+
+Raw times are machine-dependent, so the gate compares machine-neutral
 ratios instead: batched time per element (or lane) divided by the scalar
 kernel's time from the same run. A slower machine inflates both numbers;
 only a genuine regression of a batch kernel relative to its scalar path
-moves the ratio.
+moves the ratio. Records carry heterogeneous units (real_time_ns/us/ms),
+so everything is normalized to nanoseconds first; constant per-unit
+divisors the JSON doesn't expose (e.g. the move-table size behind
+BM_MoveScoreBatch) cancel in the current-vs-baseline comparison.
 
 Usage: check_kernel_regression.py [current.json] [baseline.json] [margin]
 """
@@ -20,20 +25,26 @@ import sys
 BATCH_ELEMS = 1024
 ELMORE_LANES = 4
 
+UNIT_TO_NS = {
+    "real_time_ns": 1.0,
+    "real_time_us": 1e3,
+    "real_time_ms": 1e6,
+}
+
 
 def load(path):
+    """case -> time in ns, whatever unit the record was written in."""
     with open(path) as f:
         data = json.load(f)
-    return {
-        r["case"]: r["value"]
-        for r in data["records"]
-        if r["metric"] == "real_time_ns"
-    }
+    times = {}
+    for r in data["records"]:
+        scale = UNIT_TO_NS.get(r["metric"])
+        if scale is not None:
+            times[r["case"]] = r["value"] * scale
+    return times
 
 
-# Gated kernels: name -> (batch case, scalar case, per-unit divisor). The
-# Elmore margin is wider than the NLDM one — its walk order is
-# topology-sensitive, so smoke-budget runs jitter more.
+# Gated kernels: name -> (batch case, scalar case, per-unit divisor).
 GATES = {
     "BM_NldmLookupBatch": ("BM_NldmLookupBatch", "BM_NldmLookup", BATCH_ELEMS),
     "BM_ElmoreMomentsBatch": (
@@ -41,8 +52,28 @@ GATES = {
         "BM_ElmoreMoments",
         ELMORE_LANES,
     ),
+    # Arg(1) is the batched all-corner propagation, Arg(0) the per-corner
+    # loop over the same design — the ratio is batched/scalar directly.
+    "BM_PropagateCornerBatch": (
+        "BM_PropagateCornerBatch/1",
+        "BM_PropagateCornerBatch/0",
+        1,
+    ),
+    # Whole-move-table batch scoring vs a single scalar prediction. The
+    # table size is a constant of the benchmark design, so it cancels
+    # between current and baseline ratios.
+    "BM_MoveScoreBatch": ("BM_MoveScoreBatch", "BM_MovePrediction", 1),
 }
-EXTRA_MARGIN = {"BM_ElmoreMomentsBatch": 0.15}
+
+# Added on top of the base margin, per kernel. Elmore's walk order is
+# topology-sensitive, so smoke-budget runs jitter more; the whole-design
+# propagation and move-table kernels aggregate thousands of nodes/moves
+# per iteration and see fewer iterations in a smoke budget.
+EXTRA_MARGIN = {
+    "BM_ElmoreMomentsBatch": 0.15,
+    "BM_PropagateCornerBatch": 0.10,
+    "BM_MoveScoreBatch": 0.15,
+}
 
 
 def ratio(recs, batch, scalar, per):

@@ -40,6 +40,7 @@ bool parseLevel(const std::string& text, Level* out) {
 }
 
 Level effectiveLevel(Level configured) {
+  // SKEWLINT-ALLOW(LNT001: documented operator override of the check depth; never feeds results)
   const char* env = std::getenv("SKEWOPT_CHECK_LEVEL");
   Level lvl = configured;
   if (env != nullptr && parseLevel(env, &lvl)) return lvl;

@@ -832,6 +832,7 @@ GlobalResult GlobalOptimizer::run(Design& d, const Objective& objective,
       // below); in_arrival[arc.src] is untouched, so arc.src roots the
       // dirty subtree.
       retime(arc.src);
+      // SKEWLINT-ALLOW(LNT001: debug-only stderr dump; gates no result state)
       if (std::getenv("SKEWOPT_DEBUG_ECO") != nullptr) {
         for (std::size_t ki = 0; ki < nk; ++ki) {
           const double realized =

@@ -1,8 +1,10 @@
 #include "network/eco_export.h"
 
+#include <algorithm>
 #include <cmath>
 #include <ostream>
 #include <unordered_map>
+#include <vector>
 
 namespace skewopt::network {
 
@@ -20,6 +22,18 @@ std::unordered_map<std::string, int> nameIndex(const Design& d) {
   return idx;
 }
 
+/// Sorted key view: the ECO script is a result (it round-trips through
+/// files and diffs in tests), so command order must not follow hash order.
+std::vector<std::string> sortedNames(
+    const std::unordered_map<std::string, int>& idx) {
+  std::vector<std::string> names;
+  names.reserve(idx.size());
+  // SKEWLINT-ALLOW(LNT002: key collection feeding the sort below; order cannot reach the script)
+  for (const auto& kv : idx) names.push_back(kv.first);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
 }  // namespace
 
 EcoDiffStats writeEcoScript(const Design& before, const Design& after,
@@ -30,7 +44,8 @@ EcoDiffStats writeEcoScript(const Design& before, const Design& after,
   const std::unordered_map<std::string, int> a_idx = nameIndex(after);
 
   // Removals first (so a P&R tool frees the sites before insertions).
-  for (const auto& [name, id] : b_idx) {
+  for (const std::string& name : sortedNames(b_idx)) {
+    const int id = b_idx.at(name);
     if (before.tree.node(id).kind != NodeKind::Buffer) continue;
     if (!a_idx.count(name)) {
       os << "remove_buffer " << name << "\n";
@@ -54,7 +69,8 @@ EcoDiffStats writeEcoScript(const Design& before, const Design& after,
   }
 
   // Edits on surviving nodes.
-  for (const auto& [name, aid] : a_idx) {
+  for (const std::string& name : sortedNames(a_idx)) {
+    const int aid = a_idx.at(name);
     const auto it = b_idx.find(name);
     if (it == b_idx.end()) continue;
     const ClockNode& b = before.tree.node(it->second);
@@ -80,7 +96,8 @@ EcoDiffStats writeEcoScript(const Design& before, const Design& after,
 
   // Routing detours: forced extra wirelength differences per (driver,
   // child), matched by child name since pin indices shuffle with edits.
-  for (const auto& [name, aid] : a_idx) {
+  for (const std::string& name : sortedNames(a_idx)) {
+    const int aid = a_idx.at(name);
     const ClockNode& an = after.tree.node(aid);
     const auto bit = b_idx.find(name);
     for (std::size_t pin = 0; pin < an.children.size(); ++pin) {

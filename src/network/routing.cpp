@@ -1,5 +1,6 @@
 #include "network/routing.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace skewopt::network {
@@ -55,8 +56,16 @@ double Routing::extraOf(int driver, std::size_t pin_idx) const {
 }
 
 double Routing::totalWirelength() const {
+  // FP addition is not associative and this total reaches results (SKW
+  // checks, objective reports), so the accumulation order must not come
+  // from the hash layout: sum in sorted driver order.
+  std::vector<int> drivers;
+  drivers.reserve(nets_.size());
+  // SKEWLINT-ALLOW(LNT002: key collection feeding the sort below; order cannot reach the sum)
+  for (const auto& kv : nets_) drivers.push_back(kv.first);
+  std::sort(drivers.begin(), drivers.end());
   double wl = 0.0;
-  for (const auto& [driver, net] : nets_) wl += net.wirelength();
+  for (const int driver : drivers) wl += nets_.at(driver).wirelength();
   return wl;
 }
 

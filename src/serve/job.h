@@ -28,13 +28,12 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <string>
 
 #include "core/flow.h"
 #include "network/design.h"
+#include "support/thread_annotations.h"
 
 namespace skewopt::serve {
 
@@ -155,21 +154,26 @@ struct Job {
   std::string key;          ///< canonicalKey(spec)
   std::uint64_t hash = 0;   ///< contentHash(spec)
 
-  mutable std::mutex mu;
-  mutable std::condition_variable cv;
-  JobState state = JobState::kQueued;
-  int attempts = 0;         ///< runner invocations (>=2 means retried)
-  bool cached = false;      ///< result came from the result cache
-  std::string error;        ///< FAILED: what went wrong
-  core::FlowResult result;  ///< valid once state == kDone
+  mutable support::Mutex mu;
+  mutable support::CondVar cv;
+  JobState state SKEWOPT_GUARDED_BY(mu) = JobState::kQueued;
+  /// Runner invocations (>=2 means retried).
+  int attempts SKEWOPT_GUARDED_BY(mu) = 0;
+  /// Result came from the result cache.
+  bool cached SKEWOPT_GUARDED_BY(mu) = false;
+  /// FAILED: what went wrong.
+  std::string error SKEWOPT_GUARDED_BY(mu);
+  /// Valid once state == kDone.
+  core::FlowResult result SKEWOPT_GUARDED_BY(mu);
 
   /// Set by cancel(); checked before the job is started. A running job
   /// finishes normally (the flow is not interruptible).
   std::atomic<bool> cancel_requested{false};
 
+  /// Set once before the job is published to the queue; immutable after.
   std::chrono::steady_clock::time_point submitted_at{};
-  std::chrono::steady_clock::time_point started_at{};
-  std::chrono::steady_clock::time_point finished_at{};
+  std::chrono::steady_clock::time_point started_at SKEWOPT_GUARDED_BY(mu){};
+  std::chrono::steady_clock::time_point finished_at SKEWOPT_GUARDED_BY(mu){};
 };
 
 /// A client-side snapshot of a job's progress.

@@ -164,8 +164,16 @@ class Parser {
   Value parseValue() {
     skipWs();
     const char c = peek();
-    if (c == '{') return parseObject();
-    if (c == '[') return parseArray();
+    if (c == '{' || c == '[') {
+      // Depth cap: the parser recurses per nesting level, so a hostile
+      // "[[[[..." line would otherwise turn into a stack overflow. The
+      // protocol never nests beyond a handful of levels.
+      if (depth_ >= kMaxDepth) fail("nesting too deep");
+      ++depth_;
+      Value v = c == '{' ? parseObject() : parseArray();
+      --depth_;
+      return v;
+    }
     if (c == '"') return Value(parseString());
     if (c == 't') {
       if (!consumeWord("true")) fail("bad literal");
@@ -294,8 +302,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 128;
+
   const std::string& s_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

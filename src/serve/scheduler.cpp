@@ -157,7 +157,7 @@ std::shared_ptr<Job> Scheduler::findJob(std::uint64_t id) const {
 JobStatus Scheduler::status(std::uint64_t id) const {
   const std::shared_ptr<Job> job = findJob(id);
   const auto now = std::chrono::steady_clock::now();
-  std::lock_guard<std::mutex> lk(job->mu);
+  support::MutexLock lk(job->mu);
   JobStatus s;
   s.id = job->id;
   s.state = job->state;
@@ -185,8 +185,8 @@ JobStatus Scheduler::status(std::uint64_t id) const {
 
 core::FlowResult Scheduler::result(std::uint64_t id) const {
   const std::shared_ptr<Job> job = findJob(id);
-  std::unique_lock<std::mutex> lk(job->mu);
-  job->cv.wait(lk, [&] { return isTerminal(job->state); });
+  support::MutexLock lk(job->mu);
+  while (!isTerminal(job->state)) job->cv.wait(lk);
   if (job->state == JobState::kDone) return job->result;
   throw std::runtime_error("serve: job " + std::to_string(id) + " " +
                            jobStateName(job->state) +
@@ -196,13 +196,16 @@ core::FlowResult Scheduler::result(std::uint64_t id) const {
 JobStatus Scheduler::waitTerminal(std::uint64_t id, double timeout_ms) const {
   const std::shared_ptr<Job> job = findJob(id);
   {
-    std::unique_lock<std::mutex> lk(job->mu);
+    support::MutexLock lk(job->mu);
     if (timeout_ms < 0) {
-      job->cv.wait(lk, [&] { return isTerminal(job->state); });
+      while (!isTerminal(job->state)) job->cv.wait(lk);
     } else {
-      job->cv.wait_for(lk, std::chrono::duration<double, std::milli>(
-                               timeout_ms),
-                       [&] { return isTerminal(job->state); });
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(timeout_ms));
+      while (!isTerminal(job->state))
+        if (job->cv.waitUntil(lk, deadline) == std::cv_status::timeout) break;
     }
   }
   return status(id);
@@ -218,7 +221,7 @@ bool Scheduler::cancel(std::uint64_t id) {
   // Not in the queue: either already picked up, or in the pop->start
   // window. The worker re-checks the flag under job->mu before marking
   // RUNNING, so a job still QUEUED here is guaranteed never to run.
-  std::lock_guard<std::mutex> lk(job->mu);
+  support::MutexLock lk(job->mu);
   if (job->state == JobState::kQueued) return true;
   // RUNNING (the flag still aborts a pending retry backoff) or terminal.
   return false;
@@ -226,7 +229,7 @@ bool Scheduler::cancel(std::uint64_t id) {
 
 void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
   {
-    std::lock_guard<std::mutex> lk(job->mu);
+    support::MutexLock lk(job->mu);
     if (isTerminal(job->state)) return;
     job->state = JobState::kCancelled;
     job->finished_at = std::chrono::steady_clock::now();
@@ -240,7 +243,7 @@ void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
     ServeObs::get().cancelled.add();
     retainTerminalLocked(job->id);
   }
-  job->cv.notify_all();
+  job->cv.notifyAll();
   notifyTerminal(job);
 }
 
@@ -285,7 +288,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   ServeObs& sobs = ServeObs::get();
   bool cancelled_now = false;
   {
-    std::lock_guard<std::mutex> lk(job->mu);
+    support::MutexLock lk(job->mu);
     if (job->cancel_requested.load(std::memory_order_acquire)) {
       cancelled_now = true;
     } else if (deadline_missed) {
@@ -313,7 +316,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     return;
   }
   if (deadline_missed) {
-    job->cv.notify_all();
+    job->cv.notifyAll();
     notifyTerminal(job);
     return;
   }
@@ -340,7 +343,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   } else {
     for (;;) {
       {
-        std::lock_guard<std::mutex> lk(job->mu);
+        support::MutexLock lk(job->mu);
         ++job->attempts;
       }
       try {
@@ -352,7 +355,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
         error = e.what();
         int attempts;
         {
-          std::lock_guard<std::mutex> lk(job->mu);
+          support::MutexLock lk(job->mu);
           attempts = job->attempts;
         }
         if (attempts > job->spec.max_retries) break;
@@ -373,7 +376,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
   }
 
   {
-    std::lock_guard<std::mutex> lk(job->mu);
+    support::MutexLock lk(job->mu);
     job->state = ok ? JobState::kDone : JobState::kFailed;
     job->cached = cached;
     if (ok) {
@@ -391,7 +394,7 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     (ok ? sobs.done : sobs.failed).add();
     retainTerminalLocked(job->id);
   }
-  job->cv.notify_all();
+  job->cv.notifyAll();
   notifyTerminal(job);
 }
 
@@ -408,7 +411,7 @@ void Scheduler::notifyTerminal(const std::shared_ptr<Job>& job) {
   if (!opts_.on_terminal) return;
   JobStatus s;
   {
-    std::lock_guard<std::mutex> lk(job->mu);
+    support::MutexLock lk(job->mu);
     s.id = job->id;
     s.state = job->state;
     s.attempts = job->attempts;

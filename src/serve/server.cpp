@@ -634,7 +634,7 @@ void TcpServer::stop() {
   ::close(listen_fd_);
   std::vector<std::pair<int, std::thread>> conns;
   {
-    std::lock_guard<std::mutex> lk(conn_mu_);
+    support::MutexLock lk(conn_mu_);
     conns.swap(conns_);
   }
   for (auto& [fd, thread] : conns) {
@@ -651,14 +651,14 @@ void TcpServer::acceptLoop() {
       if (stopping_.load()) return;
       continue;
     }
-    std::lock_guard<std::mutex> lk(conn_mu_);
+    support::MutexLock lk(conn_mu_);
     const std::size_t slot = conns_.size();
     conns_.emplace_back(
         fd, std::thread([this, fd, slot] {
           serveConnection(fd);
           // Reclaim the fd as soon as the peer goes away (unless stop()
           // already took ownership of the connection list).
-          std::lock_guard<std::mutex> lk2(conn_mu_);
+          support::MutexLock lk2(conn_mu_);
           if (slot < conns_.size() && conns_[slot].first == fd) {
             ::close(fd);
             conns_[slot].first = -1;

@@ -33,6 +33,7 @@
 
 #include "serve/json.h"
 #include "serve/scheduler.h"
+#include "support/thread_annotations.h"
 
 namespace skewopt::serve {
 
@@ -111,8 +112,9 @@ class TcpServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::pair<int, std::thread>> conns_;  ///< fd + handler
+  support::Mutex conn_mu_;
+  /// fd + handler thread per live connection.
+  std::vector<std::pair<int, std::thread>> conns_ SKEWOPT_GUARDED_BY(conn_mu_);
 };
 
 }  // namespace skewopt::serve

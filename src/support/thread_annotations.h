@@ -65,6 +65,7 @@ class SKEWOPT_CAPABILITY("mutex") Mutex {
   std::mutex& native() { return mu_; }
 
  private:
+  // SKEWLINT-ALLOW(LNT003: this wrapper IS the capability; it guards callers' state, not its own)
   std::mutex mu_;
 };
 

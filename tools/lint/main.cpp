@@ -1,0 +1,117 @@
+// skewlint CLI: walks the given files/directories, lints every C++
+// source, and exits nonzero when any finding is not covered by the
+// baseline. Usage:
+//
+//   skewlint [--json OUT.json] [--baseline tools/lint/baseline.json] PATH...
+//
+// PATH may be a file or a directory (recursed for .h/.hpp/.cpp). Paths
+// should be repo-relative (run from the repo root) so the per-rule
+// directory scoping applies.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/json.h"
+#include "tools/lint/skewlint.h"
+
+namespace fs = std::filesystem;
+using skewopt::lint::Finding;
+
+namespace {
+
+bool isSourcePath(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+}
+
+std::vector<std::string> collectSources(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (const std::string& a : args) {
+    if (fs::is_directory(a)) {
+      for (const auto& e : fs::recursive_directory_iterator(a))
+        if (e.is_regular_file() && isSourcePath(e.path()))
+          files.push_back(e.path().generic_string());
+    } else {
+      files.push_back(a);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+/// Baseline entries are (code, file, line) triples; the checked-in
+/// baseline must stay empty — this exists so a future emergency has an
+/// escape hatch that is loudly visible in review.
+std::set<std::string> loadBaseline(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "skewlint: cannot read baseline %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  namespace json = skewopt::serve::json;
+  std::set<std::string> keys;
+  const json::Value v = json::parse(ss.str());
+  if (const json::Value* arr = v.find("findings"); arr && arr->isArray())
+    for (const json::Value& f : arr->items())
+      keys.insert(f.str("code", "") + "|" + f.str("file", "") + "|" +
+                  std::to_string(static_cast<long>(f.num("line", 0))));
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_out;
+  std::string baseline_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (a == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: skewlint [--json OUT.json] [--baseline FILE] PATH...\n");
+      return 0;
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+
+  std::set<std::string> baseline;
+  if (!baseline_path.empty()) baseline = loadBaseline(baseline_path);
+
+  std::vector<Finding> findings;
+  std::size_t files = 0;
+  for (const std::string& file : collectSources(paths)) {
+    ++files;
+    std::vector<Finding> fs_ = skewopt::lint::lintFile(file);
+    findings.insert(findings.end(), fs_.begin(), fs_.end());
+  }
+
+  std::vector<Finding> active;
+  for (Finding& f : findings) {
+    const std::string key = skewopt::lint::lintCodeString(f.code) + "|" +
+                            f.file + "|" + std::to_string(f.line);
+    if (!baseline.count(key)) active.push_back(std::move(f));
+  }
+
+  if (!json_out.empty()) {
+    std::ofstream out(json_out, std::ios::binary);
+    out << skewopt::lint::jsonReport(active) << "\n";
+  }
+  std::fputs(skewopt::lint::textReport(active).c_str(), stdout);
+  std::printf("skewlint: %zu file(s), %zu finding(s)%s\n", files,
+              active.size(),
+              findings.size() != active.size() ? " (after baseline)" : "");
+  return active.empty() ? 0 : 1;
+}
