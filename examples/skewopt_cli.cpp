@@ -26,6 +26,7 @@
 #include "network/eco_export.h"
 #include "network/io.h"
 #include "obs/clock.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sta/report.h"
@@ -83,6 +84,26 @@ unsigned long parseCount(const std::map<std::string, std::string>& flags,
     throw UsageError("flag '--" + key + "' expects a non-negative integer, got '" +
                      text + "'");
   return v;
+}
+
+/// Configures the process-wide structured logger from `--log PATH|-` (the
+/// JSON-lines sink; "-" = stderr) and `--log-level`. Either flag alone
+/// works: --log defaults the level to info, --log-level alone logs to
+/// stderr.
+void configureLogging(const std::map<std::string, std::string>& flags) {
+  const auto log_it = flags.find("log");
+  const auto lvl_it = flags.find("log-level");
+  if (log_it == flags.end() && lvl_it == flags.end()) return;
+  obs::Logger::Options o;
+  o.level = obs::LogLevel::kInfo;
+  if (lvl_it != flags.end() && !obs::parseLogLevel(lvl_it->second, &o.level))
+    throw UsageError(
+        "flag '--log-level' expects debug|info|warn|error|off, got '" +
+        lvl_it->second + "'");
+  if (log_it != flags.end() && log_it->second != "-") o.path = log_it->second;
+  std::string err;
+  if (!obs::Logger::global().configure(o, &err))
+    throw UsageError("flag '--log': " + err);
 }
 
 /// Resolves `--check` (plus the SKEWOPT_CHECK_LEVEL override) for a
@@ -167,11 +188,15 @@ int usage() {
       "                  [--train] [--iterations N]\n"
       "                  [--check off|cheap|deep] --out FILE\n"
       "                  [--trace FILE.json] [--metrics FILE.prom]\n"
+      "                  [--record FILE.json]\n"
       "\n"
       "--check runs the SKW design-invariant verifiers (see\n"
       "docs/static_analysis.md); SKEWOPT_CHECK_LEVEL overrides it.\n"
       "--trace exports a Chrome trace-event JSON (open in Perfetto);\n"
-      "--metrics exports a Prometheus text snapshot (docs/observability.md).\n");
+      "--metrics exports a Prometheus text snapshot (docs/observability.md);\n"
+      "--record exports the flight-recorder JSON of the optimization run;\n"
+      "--log FILE|- / --log-level enable JSON-lines structured logging\n"
+      "(report and optimize; docs/observability.md \"Job telemetry\").\n");
   return 2;
 }
 
@@ -217,8 +242,10 @@ int run(int argc, char** argv) {
   if (cmd == "report") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("report requires a design file");
-    const auto flags = parseFlags(argc, argv, 3, {"check", "trace", "metrics"},
-                                  {"detailed"});
+    const auto flags = parseFlags(
+        argc, argv, 3, {"check", "trace", "metrics", "log", "log-level"},
+        {"detailed"});
+    configureLogging(flags);
     ObsOutputs outputs(flags);
     const network::Design d = network::loadDesign(tech, argv[2]);
     // report is a read-only audit, so unlike optimize it does not throw on
@@ -264,9 +291,12 @@ int run(int argc, char** argv) {
   if (cmd == "optimize") {
     if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0)
       throw UsageError("optimize requires a design file");
-    const auto flags = parseFlags(
-        argc, argv, 3, {"flow", "iterations", "out", "check", "trace", "metrics"},
-        {"train"});
+    const auto flags = parseFlags(argc, argv, 3,
+                                  {"flow", "iterations", "out", "check",
+                                   "trace", "metrics", "record", "log",
+                                   "log-level"},
+                                  {"train"});
+    configureLogging(flags);
     ObsOutputs outputs(flags);
     network::Design d = network::loadDesign(tech, argv[2]);
 
@@ -297,8 +327,20 @@ int run(int argc, char** argv) {
     // The flow's stage gates throw check::CheckFailure on a violation;
     // main()'s std::exception handler prints the SKW report and exits 1.
     fopts.check_level = parseCheckFlag(flags, fopts.check_level);
+    fopts.record = flags.count("record") != 0;
     const core::Flow flow(tech, lut, fopts);
     const core::FlowResult r = flow.run(d, mode, model_ptr);
+
+    if (fopts.record) {
+      const std::string& path = flags.at("record");
+      std::FILE* f = std::fopen(path.c_str(), "w");
+      if (f == nullptr ||
+          std::fwrite(r.flight_record.data(), 1, r.flight_record.size(), f) !=
+              r.flight_record.size() ||
+          std::fputc('\n', f) == EOF || std::fclose(f) != 0)
+        throw std::runtime_error("cannot write flight record: " + path);
+      std::printf("wrote flight record %s\n", path.c_str());
+    }
 
     std::printf("%s flow: %.1f -> %.1f ps (%.1f%% reduction)\n",
                 core::flowModeName(mode), r.before.sum_variation_ps,

@@ -32,6 +32,7 @@
 
 #include "bench/bench_common.h"
 #include "cluster/frontend.h"
+#include "obs/log.h"
 #include "cluster/protocol.h"
 #include "serve/client.h"
 #include "serve/server.h"
@@ -52,6 +53,7 @@ struct Options {
   double rate = 0.0;           // jobs/s; 0 = closed loop
   bool tcp = false;
   bool verify = false;
+  std::string log_path;        // empty = logging off
 };
 
 void usage() {
@@ -60,7 +62,8 @@ void usage() {
       "usage: skewopt_loadgen [--jobs N] [--shards N] [--workers N]\n"
       "                       [--clients N] [--hot-pool N] [--sinks N]\n"
       "                       [--seed S] [--rate JOBS_PER_S]\n"
-      "                       [--transport inproc|tcp] [--verify]\n");
+      "                       [--transport inproc|tcp] [--verify]\n"
+      "                       [--log FILE.jsonl]\n");
 }
 
 bool parseArgs(int argc, char** argv, Options* o) {
@@ -99,6 +102,9 @@ bool parseArgs(int argc, char** argv, Options* o) {
         return false;
     } else if (a == "--verify") {
       o->verify = true;
+    } else if (a == "--log") {
+      if (++i >= argc) return false;
+      o->log_path = argv[i];
     } else {
       usage();
       return false;
@@ -455,6 +461,17 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, &o)) {
     usage();
     return 2;
+  }
+
+  if (!o.log_path.empty()) {
+    obs::Logger::Options log_opts;
+    log_opts.level = obs::LogLevel::kInfo;
+    log_opts.path = o.log_path;
+    std::string err;
+    if (!obs::Logger::global().configure(log_opts, &err)) {
+      std::fprintf(stderr, "loadgen: cannot open log: %s\n", err.c_str());
+      return 2;
+    }
   }
 
   const tech::TechModel tech = tech::TechModel::make28nm();

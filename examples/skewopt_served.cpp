@@ -2,7 +2,7 @@
 // socket.
 //
 //   skewopt_served [--port N] [--workers N] [--queue N] [--cache N]
-//                  [--warm-capacity N]
+//                  [--warm-capacity N] [--log PATH|-] [--log-level LEVEL]
 //
 // Speaks the newline-delimited JSON protocol of docs/serving.md. Try it
 // with netcat:
@@ -22,6 +22,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/log.h"
 #include "serve/server.h"
 
 using namespace skewopt;
@@ -35,7 +36,8 @@ void onSignal(int) { g_stop.store(true); }
 int usage() {
   std::fprintf(stderr,
                "usage: skewopt_served [--port N] [--workers N] [--queue N] "
-               "[--cache N] [--warm-capacity N]\n");
+               "[--cache N] [--warm-capacity N] [--log PATH|-] "
+               "[--log-level debug|info|warn|error]\n");
   return 2;
 }
 
@@ -52,16 +54,41 @@ bool parseInt(const char* text, long min, long max, long* out) {
 int main(int argc, char** argv) {
   serve::SchedulerOptions sched_opts;
   serve::TcpServerOptions tcp_opts;
+  obs::Logger::Options log_opts;
+  bool log_requested = false;
+  bool log_level_set = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
-    long value = 0;
-    if (i + 1 >= argc || !parseInt(argv[i + 1], 0, 1 << 20, &value)) {
-      std::fprintf(stderr, "skewopt_served: bad or missing value for %s\n",
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "skewopt_served: missing value for %s\n",
                    flag.c_str());
       return usage();
     }
-    ++i;
+    const std::string text = argv[++i];
+
+    // String-valued flags first; everything else takes an integer.
+    if (flag == "--log") {
+      log_requested = true;
+      if (text != "-") log_opts.path = text;  // "-" = stderr
+      continue;
+    }
+    if (flag == "--log-level") {
+      log_requested = true;
+      log_level_set = true;
+      if (!obs::parseLogLevel(text, &log_opts.level)) {
+        std::fprintf(stderr, "skewopt_served: bad log level '%s'\n",
+                     text.c_str());
+        return usage();
+      }
+      continue;
+    }
+
+    long value = 0;
+    if (!parseInt(text.c_str(), 0, 1 << 20, &value)) {
+      std::fprintf(stderr, "skewopt_served: bad value for %s\n", flag.c_str());
+      return usage();
+    }
     if (flag == "--port") {
       if (value > 65535) {
         std::fprintf(stderr, "skewopt_served: port out of range\n");
@@ -79,6 +106,18 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "skewopt_served: unknown flag %s\n", flag.c_str());
       return usage();
+    }
+  }
+
+  if (log_requested) {
+    // --log without --log-level means info; --log-level alone logs to
+    // stderr.
+    if (!log_level_set) log_opts.level = obs::LogLevel::kInfo;
+    std::string err;
+    if (!obs::Logger::global().configure(log_opts, &err)) {
+      std::fprintf(stderr, "skewopt_served: cannot open log: %s\n",
+                   err.c_str());
+      return 1;
     }
   }
 

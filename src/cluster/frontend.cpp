@@ -116,14 +116,16 @@ ClusterFrontend::Submitted ClusterFrontend::submit(serve::JobSpec spec,
 }
 
 ClusterFrontend::Submitted ClusterFrontend::submitDelta(
-    std::uint64_t base_gid, const serve::DeltaEdits& edits, bool block) {
+    std::uint64_t base_gid, const serve::DeltaEdits& edits, bool block,
+    std::uint64_t trace_id) {
   // Pin to the base's shard (see file comment): resolve the base spec
   // there, apply the edits, and submit to the same scheduler directly
   // instead of re-routing the edited spec's content hash.
   const std::size_t shard = shardOf(base_gid);
   serve::Scheduler& sched = *shards_[shard];
-  const serve::JobSpec merged =
+  serve::JobSpec merged =
       serve::applyDeltaEdits(sched.jobSpec(localId(base_gid)), edits);
+  if (trace_id != 0) merged.trace_id = trace_id;
   Submitted out;
   out.shard = shard;
   out.job = sched.submit(merged, block);
@@ -143,6 +145,10 @@ ClusterFrontend::Submitted ClusterFrontend::submitDelta(
 
 serve::JobSpec ClusterFrontend::jobSpec(std::uint64_t gid) const {
   return shards_[shardOf(gid)]->jobSpec(localId(gid));
+}
+
+std::uint64_t ClusterFrontend::traceId(std::uint64_t gid) const {
+  return shards_[shardOf(gid)]->traceId(localId(gid));
 }
 
 serve::JobStatus ClusterFrontend::status(std::uint64_t gid) const {

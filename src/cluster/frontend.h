@@ -83,15 +83,20 @@ class ClusterFrontend {
 
   /// Routes on contentHash(spec) and submits to the owning shard.
   Submitted submit(serve::JobSpec spec, bool block = true);
-  /// Base-affine DELTA submit (see file comment). Throws std::out_of_range
-  /// for an unknown base id.
+  /// Base-affine DELTA submit (see file comment). A nonzero `trace_id`
+  /// overrides the trace context inherited from the base spec. Throws
+  /// std::out_of_range for an unknown base id.
   Submitted submitDelta(std::uint64_t base_gid, const serve::DeltaEdits& edits,
-                        bool block = true);
+                        bool block = true, std::uint64_t trace_id = 0);
 
   /// Per-job access by global id; all throw std::out_of_range for ids
   /// whose shard never issued them (or has pruned them). Status snapshots
   /// come back with .id rewritten to the global id.
   serve::JobSpec jobSpec(std::uint64_t gid) const;
+  /// The job's effective trace context id (see Scheduler::traceId); shards
+  /// share the process-wide tracer, so one TRACE export covers a job's
+  /// spans no matter which shard ran it.
+  std::uint64_t traceId(std::uint64_t gid) const;
   serve::JobStatus status(std::uint64_t gid) const;
   core::FlowResult result(std::uint64_t gid) const;
   serve::JobStatus waitTerminal(std::uint64_t gid,

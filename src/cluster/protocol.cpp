@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skewopt::cluster {
 
@@ -73,6 +74,11 @@ json::Value submittedReply(const ClusterFrontend& fe,
   v.set("hash", serve::hashHex(sub.job->hash));
   v.set("state", serve::jobStateName(serve::JobState::kQueued));
   if (fe.shards() > 1) v.set("shard", sub.shard);
+  // Echoed only when the client supplied a context (spec.trace_id is
+  // client-set; the derived per-job fallback id is not echoed), keeping
+  // pre-telemetry replies byte-identical.
+  if (sub.job->spec.trace_id != 0)
+    v.set("trace_id", obs::traceIdHex(sub.job->trace_id));
   return v;
 }
 
@@ -98,6 +104,8 @@ json::Value batchEntryReply(ClusterFrontend& fe, const json::Value& entry,
       v.set("hash", serve::hashHex(sub.job->hash));
       v.set("state", serve::jobStateName(serve::JobState::kQueued));
       v.set("shard", sub.shard);
+      if (spec.trace_id != 0)
+        v.set("trace_id", obs::traceIdHex(sub.job->trace_id));
     }
   } catch (const std::exception& e) {
     v = errorReply(e.what());
@@ -174,7 +182,8 @@ json::Value resultEvent(ClusterFrontend& fe, const serve::JobStatus& s) {
     v.set("id", s.id);
     v.set("state", serve::jobStateName(s.state));
     v.set("cached", s.cached);
-    v.set("result", serve::resultToJson(fe.result(s.id)));
+    v.set("result", serve::resultToJson(fe.result(s.id),
+                                        fe.jobSpec(s.id).options.record));
   } else {
     v.set("ok", false);
     v.set("event", "result");
@@ -206,8 +215,12 @@ bool handleResults(ClusterFrontend& fe, const json::Value& request,
     }
     timeout_ms = request.num("timeout_ms", timeout_ms);
   } catch (const std::exception& e) {
+    serve::countRequest("RESULTS", false);
     return emit(json::dump(errorReply(e.what())));
   }
+  // Counted at subscription time (the stream itself can outlive the
+  // request by minutes).
+  serve::countRequest("RESULTS", true);
 
   const auto deadline =
       std::chrono::steady_clock::now() +
@@ -249,10 +262,8 @@ bool handleResults(ClusterFrontend& fe, const json::Value& request,
   return emit(json::dump(end));
 }
 
-}  // namespace
-
-json::Value handleClusterRequest(ClusterFrontend& fe,
-                                 const json::Value& request) {
+json::Value dispatchClusterRequest(ClusterFrontend& fe,
+                                   const json::Value& request) {
   try {
     requireObject(request, "request");
     const std::string cmd = request.str("cmd", "");
@@ -269,7 +280,8 @@ json::Value handleClusterRequest(ClusterFrontend& fe,
     }
 
     if (cmd == "DELTA") {
-      checkKeys(request, {"cmd", "base", "edits", "block"}, "request");
+      checkKeys(request, {"cmd", "base", "edits", "block", "trace_id"},
+                "request");
       const json::Value* base = request.find("base");
       if (!base || !base->isNumber() || base->asDouble() < 0)
         throw std::runtime_error("DELTA needs a numeric 'base' job id");
@@ -277,10 +289,13 @@ json::Value handleClusterRequest(ClusterFrontend& fe,
       if (!edits_v) throw std::runtime_error("DELTA needs an 'edits' object");
       const serve::DeltaEdits edits = serve::deltaEditsFromJson(*edits_v);
       const bool block = request.boolean("block", false);
+      const json::Value* tid = request.find("trace_id");
+      const std::uint64_t trace_id =
+          tid != nullptr ? serve::traceIdFromJson(*tid) : 0;
       ClusterFrontend::Submitted sub;
       try {
         sub = fe.submitDelta(static_cast<std::uint64_t>(base->asDouble()),
-                             edits, block);
+                             edits, block, trace_id);
       } catch (const std::out_of_range&) {
         return errorReply("unknown base job id");
       }
@@ -292,6 +307,8 @@ json::Value handleClusterRequest(ClusterFrontend& fe,
       v.set("hash", serve::hashHex(sub.job->hash));
       v.set("state", serve::jobStateName(serve::JobState::kQueued));
       if (fe.shards() > 1) v.set("shard", sub.shard);
+      if (tid != nullptr)
+        v.set("trace_id", obs::traceIdHex(sub.job->trace_id));
       return v;
     }
 
@@ -325,7 +342,24 @@ json::Value handleClusterRequest(ClusterFrontend& fe,
       v.set("id", id);
       v.set("state", serve::jobStateName(s.state));
       v.set("cached", s.cached);
-      v.set("result", serve::resultToJson(fe.result(id)));
+      v.set("result", serve::resultToJson(fe.result(id),
+                                          fe.jobSpec(id).options.record));
+      return v;
+    }
+
+    if (cmd == "TRACE") {
+      // Identical to the serve TRACE verb: shards record into the one
+      // process-wide tracer, so the filtered export already merges the
+      // job's spans across shards.
+      checkKeys(request, {"cmd", "id"}, "request");
+      const std::uint64_t id = requireId(request);
+      const std::uint64_t trace_id = fe.traceId(id);
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("trace_id", obs::traceIdHex(trace_id));
+      v.set("trace",
+            json::parse(obs::Tracer::global().exportJson(0, trace_id)));
       return v;
     }
 
@@ -377,6 +411,16 @@ json::Value handleClusterRequest(ClusterFrontend& fe,
   } catch (const std::exception& e) {
     return errorReply(e.what());
   }
+}
+
+}  // namespace
+
+json::Value handleClusterRequest(ClusterFrontend& fe,
+                                 const json::Value& request) {
+  json::Value reply = dispatchClusterRequest(fe, request);
+  serve::countRequest(request.isObject() ? request.str("cmd", "") : "",
+                      reply.boolean("ok", false));
+  return reply;
 }
 
 bool handleClusterLine(ClusterFrontend& fe, const std::string& line,

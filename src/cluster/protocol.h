@@ -3,7 +3,7 @@
 // cluster-only verbs.
 //
 // Compatibility contract: with one shard, every verb the single-scheduler
-// protocol defines (SUBMIT/DELTA/STATUS/RESULT/CANCEL/STATS/METRICS)
+// protocol defines (SUBMIT/DELTA/STATUS/RESULT/CANCEL/STATS/METRICS/TRACE)
 // answers byte-identically to serve::handleRequest — global ids collapse
 // to local ids and the shard-specific fields are only added when
 // shards > 1. Existing clients keep working unchanged against a cluster.

@@ -1,0 +1,171 @@
+#include "obs/log.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/clock.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"  // detail::appendJsonString
+
+namespace skewopt::obs {
+
+namespace {
+
+obs::Counter& logLinesTotal() {
+  static obs::Counter& c = MetricsRegistry::global().counter(
+      "skewopt_log_lines_total", "Structured log lines written");
+  return c;
+}
+
+obs::Counter& logDroppedTotal() {
+  static obs::Counter& c = MetricsRegistry::global().counter(
+      "skewopt_log_dropped_lines_total",
+      "Structured log lines shed by the rate limiter");
+  return c;
+}
+
+}  // namespace
+
+const char* logLevelName(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+    case LogLevel::kOff: return "off";
+  }
+  return "?";
+}
+
+bool parseLogLevel(const std::string& text, LogLevel* out) {
+  for (const LogLevel lvl : {LogLevel::kDebug, LogLevel::kInfo,
+                             LogLevel::kWarn, LogLevel::kError,
+                             LogLevel::kOff}) {
+    if (text == logLevelName(lvl)) {
+      *out = lvl;
+      return true;
+    }
+  }
+  return false;
+}
+
+Logger& Logger::global() {
+  static Logger* logger = new Logger();  // never destroyed
+  return *logger;
+}
+
+Logger::~Logger() {
+  support::MutexLock lock(mu_);
+  if (owns_sink_ && sink_ != nullptr) std::fclose(sink_);
+}
+
+bool Logger::configure(const Options& opts, std::string* error) {
+  std::FILE* f = nullptr;
+  bool owns = false;
+  if (opts.level != LogLevel::kOff) {
+    if (opts.path.empty()) {
+      f = stderr;
+    } else {
+      f = std::fopen(opts.path.c_str(), "a");
+      if (f == nullptr) {
+        if (error != nullptr)
+          *error = opts.path + ": " + std::strerror(errno);
+        return false;
+      }
+      owns = true;
+    }
+  }
+  support::MutexLock lock(mu_);
+  if (owns_sink_ && sink_ != nullptr) std::fclose(sink_);
+  sink_ = f;
+  owns_sink_ = owns;
+  max_lines_per_sec_ = opts.max_lines_per_sec;
+  window_sec_ = 0;
+  window_count_ = 0;
+  level_.store(static_cast<int>(opts.level), std::memory_order_relaxed);
+  return true;
+}
+
+void Logger::write(const std::string& line) {
+  const std::uint64_t now = nowNs();
+  support::MutexLock lock(mu_);
+  if (sink_ == nullptr) return;
+  if (max_lines_per_sec_ > 0) {
+    const std::uint64_t sec = now / 1'000'000'000ULL;
+    if (sec != window_sec_) {
+      window_sec_ = sec;
+      window_count_ = 0;
+    }
+    if (++window_count_ > max_lines_per_sec_) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      logDroppedTotal().add();
+      return;
+    }
+  }
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fflush(sink_);
+  logLinesTotal().add();
+}
+
+LogEvent::LogEvent(LogLevel lvl, const char* msg) {
+  if (lvl == LogLevel::kOff || !Logger::global().enabled(lvl)) return;
+  active_ = true;
+  line_ = "{\"ts_ns\":" + std::to_string(nowNs()) + ",\"level\":\"";
+  line_ += logLevelName(lvl);
+  line_ += "\",\"msg\":";
+  detail::appendJsonString(line_, msg);
+}
+
+LogEvent::~LogEvent() {
+  if (!active_) return;
+  line_ += "}\n";
+  Logger::global().write(line_);
+}
+
+LogEvent& LogEvent::field(const char* key, std::int64_t v) {
+  if (!active_) return *this;
+  line_ += ',';
+  detail::appendJsonString(line_, key);
+  line_ += ':' + std::to_string(v);
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, std::uint64_t v) {
+  if (!active_) return *this;
+  line_ += ',';
+  detail::appendJsonString(line_, key);
+  line_ += ':' + std::to_string(v);
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, double v) {
+  if (!active_) return *this;
+  line_ += ',';
+  detail::appendJsonString(line_, key);
+  line_ += ':';
+  line_ += detail::formatDouble(v);
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, bool v) {
+  if (!active_) return *this;
+  line_ += ',';
+  detail::appendJsonString(line_, key);
+  line_ += v ? ":true" : ":false";
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, const char* v) {
+  if (!active_) return *this;
+  line_ += ',';
+  detail::appendJsonString(line_, key);
+  line_ += ':';
+  detail::appendJsonString(line_, v);
+  return *this;
+}
+
+LogEvent& LogEvent::field(const char* key, const std::string& v) {
+  return field(key, v.c_str());
+}
+
+}  // namespace skewopt::obs

@@ -1,0 +1,124 @@
+// Structured logging: leveled JSON-lines events with typed fields.
+//
+// One log line is one strict-JSON object:
+//
+//   {"ts_ns":5000000,"level":"info","msg":"serve: job done","job_id":7,...}
+//
+// Timestamps come from obs::nowNs(), so with a fake clock injected
+// (setClockForTest) every line is byte-deterministic — the property the
+// log tests pin. The sink is process-global (Logger::global()), defaults
+// to off, and is pointed at stderr or a file via configure() (surfaced as
+// --log / --log-level on skewopt_served and skewopt_cli).
+//
+// Hot-path contract: constructing a LogEvent below the configured level
+// costs one relaxed atomic load and nothing else. Emission takes the
+// logger mutex; an optional per-second line budget sheds load under a
+// log storm (dropped lines are counted, never silently discarded).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "support/thread_annotations.h"
+
+namespace skewopt::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                            kOff = 4 };
+
+const char* logLevelName(LogLevel lvl);
+/// Parses "debug"|"info"|"warn"|"error"|"off"; false on anything else.
+bool parseLogLevel(const std::string& text, LogLevel* out);
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kOff;
+    /// Sink path; empty means stderr.
+    std::string path;
+    /// Max lines written per wall-clock second (0 = unlimited); lines
+    /// over budget are dropped and counted in droppedLines().
+    std::size_t max_lines_per_sec = 0;
+  };
+
+  /// The process-wide logger all LogEvents emit to. Starts off.
+  static Logger& global();
+
+  Logger() = default;
+  ~Logger();
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// (Re)configures level and sink, closing any previously opened file.
+  /// Returns false (and fills *error) when the path cannot be opened;
+  /// the previous configuration stays in effect.
+  bool configure(const Options& opts, std::string* error = nullptr);
+
+  /// One relaxed load; the guard on every LogEvent.
+  bool enabled(LogLevel lvl) const {
+    return static_cast<int>(lvl) >= level_.load(std::memory_order_relaxed);
+  }
+
+  /// Lines shed by the rate limiter since construction. Also surfaced as
+  /// the skewopt_log_dropped_lines_total metric.
+  std::uint64_t droppedLines() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Writes one already-formatted line (newline included) through the
+  /// rate limiter. LogEvent calls this; tests may too.
+  void write(const std::string& line);
+
+ private:
+  std::atomic<int> level_{static_cast<int>(LogLevel::kOff)};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable support::Mutex mu_;
+  std::FILE* sink_ SKEWOPT_GUARDED_BY(mu_) = nullptr;
+  bool owns_sink_ SKEWOPT_GUARDED_BY(mu_) = false;
+  std::size_t max_lines_per_sec_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::uint64_t window_sec_ SKEWOPT_GUARDED_BY(mu_) = 0;
+  std::size_t window_count_ SKEWOPT_GUARDED_BY(mu_) = 0;
+};
+
+/// One structured log line under construction. Fields are appended in
+/// call order (deterministic); the line is emitted on destruction, at the
+/// end of the full expression:
+///
+///   obs::logInfo("serve: job done").field("job_id", id).field("ok", true);
+///
+/// Below the configured level the whole chain is a no-op.
+class LogEvent {
+ public:
+  LogEvent(LogLevel lvl, const char* msg);
+  ~LogEvent();
+  LogEvent(const LogEvent&) = delete;
+  LogEvent& operator=(const LogEvent&) = delete;
+
+  LogEvent& field(const char* key, std::int64_t v);
+  LogEvent& field(const char* key, std::uint64_t v);
+  LogEvent& field(const char* key, double v);
+  LogEvent& field(const char* key, bool v);
+  LogEvent& field(const char* key, const char* v);
+  LogEvent& field(const char* key, const std::string& v);
+
+ private:
+  bool active_ = false;
+  std::string line_;
+};
+
+inline LogEvent logDebug(const char* msg) {
+  return LogEvent(LogLevel::kDebug, msg);
+}
+inline LogEvent logInfo(const char* msg) {
+  return LogEvent(LogLevel::kInfo, msg);
+}
+inline LogEvent logWarn(const char* msg) {
+  return LogEvent(LogLevel::kWarn, msg);
+}
+inline LogEvent logError(const char* msg) {
+  return LogEvent(LogLevel::kError, msg);
+}
+
+}  // namespace skewopt::obs

@@ -1,0 +1,122 @@
+#include "obs/recorder.h"
+
+#include <stdexcept>
+
+#include "obs/metrics.h"  // detail::formatDouble
+#include "obs/trace.h"    // detail::appendJsonString
+
+namespace skewopt::obs {
+
+namespace {
+thread_local FlightRecorder* t_recorder = nullptr;
+}  // namespace
+
+FlightRecorder* currentFlightRecorder() { return t_recorder; }
+
+ScopedFlightRecorder::ScopedFlightRecorder(FlightRecorder* rec)
+    : prev_(t_recorder) {
+  t_recorder = rec;
+}
+
+ScopedFlightRecorder::~ScopedFlightRecorder() { t_recorder = prev_; }
+
+FlightRecorder::FlightRecorder() {
+  // push_back, not `buf_ = "{"`: the C-string assignment trips GCC 12's
+  // -Wrestrict false positive (PR105329) under -Werror.
+  buf_.push_back('{');
+  first_.push_back(true);
+}
+
+void FlightRecorder::comma() {
+  if (first_.back())
+    first_.back() = false;
+  else
+    buf_ += ',';
+}
+
+void FlightRecorder::member(const char* key) {
+  comma();
+  detail::appendJsonString(buf_, key);
+  buf_ += ':';
+}
+
+FlightRecorder& FlightRecorder::beginObject(const char* key) {
+  member(key);
+  buf_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::beginObject() {
+  comma();
+  buf_ += '{';
+  first_.push_back(true);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::endObject() {
+  if (first_.size() <= 1)
+    throw std::logic_error("FlightRecorder: endObject without begin");
+  buf_ += '}';
+  first_.pop_back();
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::beginArray(const char* key) {
+  member(key);
+  buf_ += '[';
+  first_.push_back(true);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::endArray() {
+  if (first_.size() <= 1)
+    throw std::logic_error("FlightRecorder: endArray without begin");
+  buf_ += ']';
+  first_.pop_back();
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::field(const char* key, double v) {
+  member(key);
+  buf_ += detail::formatDouble(v);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::field(const char* key, std::int64_t v) {
+  member(key);
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::field(const char* key, bool v) {
+  member(key);
+  buf_ += v ? "true" : "false";
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::field(const char* key, const char* v) {
+  member(key);
+  detail::appendJsonString(buf_, v);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::value(double v) {
+  comma();
+  buf_ += detail::formatDouble(v);
+  return *this;
+}
+
+FlightRecorder& FlightRecorder::value(std::int64_t v) {
+  comma();
+  buf_ += std::to_string(v);
+  return *this;
+}
+
+std::string FlightRecorder::json() const {
+  if (first_.size() != 1)
+    throw std::logic_error("FlightRecorder: unbalanced document");
+  return buf_ + "}";
+}
+
+}  // namespace skewopt::obs

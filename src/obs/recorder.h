@@ -1,0 +1,82 @@
+// Per-job optimization flight recorder: a deterministic JSON document of
+// the algorithmic trajectory of one Flow::run — per-U-point LP effort in
+// the global stage, per-round trials and accepted moves in the local
+// stage, and the skew-variation curve per corner.
+//
+// Determinism contract: everything appended must be a pure function of
+// the job spec — algorithm state only, never wall-clock durations or
+// thread identity — so the recorded document is bit-identical between
+// serial and parallel runs and between 1-shard and 3-shard execution
+// (the differential tests pin this). Doubles render via
+// obs::detail::formatDouble (shortest round-trip, locale-free).
+//
+// Threading: a recorder has a single writer — the thread orchestrating
+// the flow. The optimizers reach it through the thread-local
+// currentFlightRecorder() installed by ScopedFlightRecorder, so the
+// recording hooks cost one thread-local load when recording is off and
+// nothing is threaded through the optimizer APIs. Appends from pool
+// workers are a bug; record on the orchestrating thread after joins.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skewopt::obs {
+
+/// Streaming builder for one job's flight record. The root object is
+/// opened by the constructor; json() closes it. Callers must balance
+/// every begin* with the matching end* — json() throws std::logic_error
+/// on an unbalanced document (a recording-site bug, not an input error).
+class FlightRecorder {
+ public:
+  FlightRecorder();
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Opens an object as a member of the enclosing object...
+  FlightRecorder& beginObject(const char* key);
+  /// ...or as an element of the enclosing array.
+  FlightRecorder& beginObject();
+  FlightRecorder& endObject();
+  FlightRecorder& beginArray(const char* key);
+  FlightRecorder& endArray();
+
+  FlightRecorder& field(const char* key, double v);
+  FlightRecorder& field(const char* key, std::int64_t v);
+  FlightRecorder& field(const char* key, bool v);
+  FlightRecorder& field(const char* key, const char* v);
+  /// Array elements.
+  FlightRecorder& value(double v);
+  FlightRecorder& value(std::int64_t v);
+
+  /// The completed document (root object closed). Throws std::logic_error
+  /// when begin/end calls are unbalanced.
+  std::string json() const;
+
+ private:
+  void comma();
+  void member(const char* key);
+
+  std::string buf_;
+  std::vector<bool> first_;  ///< per open scope: no element emitted yet
+};
+
+/// The calling thread's active recorder (nullptr = recording off).
+FlightRecorder* currentFlightRecorder();
+
+/// Installs `rec` as the thread's active recorder for the enclosing
+/// scope, restoring the previous one on destruction. Passing nullptr
+/// masks any outer recorder.
+class ScopedFlightRecorder {
+ public:
+  explicit ScopedFlightRecorder(FlightRecorder* rec);
+  ~ScopedFlightRecorder();
+  ScopedFlightRecorder(const ScopedFlightRecorder&) = delete;
+  ScopedFlightRecorder& operator=(const ScopedFlightRecorder&) = delete;
+
+ private:
+  FlightRecorder* prev_;
+};
+
+}  // namespace skewopt::obs

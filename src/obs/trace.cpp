@@ -4,6 +4,7 @@
 #include <bit>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "obs/metrics.h"  // detail::formatDouble
@@ -12,7 +13,97 @@ namespace skewopt::obs {
 
 namespace detail {
 std::atomic<bool> g_tracing_enabled{false};
+
+void appendJsonString(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
 }  // namespace detail
+
+namespace {
+
+thread_local std::uint32_t t_span_depth = 0;
+thread_local std::uint64_t t_trace_id = 0;
+
+obs::Counter& droppedSpansTotal() {
+  static obs::Counter& c = MetricsRegistry::global().counter(
+      "skewopt_trace_spans_dropped_total",
+      "Spans evicted from the trace ring buffers by wrap-around");
+  return c;
+}
+
+std::size_t clampRingSlots(std::size_t n) {
+  return std::min<std::size_t>(std::max<std::size_t>(n, 64), 1u << 22);
+}
+
+/// Ring capacity for the global tracer: SKEWOPT_TRACE_CAPACITY when set to
+/// a positive integer, the compile-time default otherwise. Read once.
+std::size_t globalRingSlots() {
+  const char* env = std::getenv("SKEWOPT_TRACE_CAPACITY");
+  if (env == nullptr || *env == '\0') return kTraceRingSlots;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(env, &end, 10);
+  if (end == env || *end != '\0' || v == 0) return kTraceRingSlots;
+  return clampRingSlots(static_cast<std::size_t>(v));
+}
+
+}  // namespace
+
+std::uint64_t currentTraceId() { return t_trace_id; }
+
+ScopedTraceContext::ScopedTraceContext(std::uint64_t trace_id)
+    : prev_(t_trace_id) {
+  t_trace_id = trace_id;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { t_trace_id = prev_; }
+
+std::uint64_t traceIdFor(std::uint64_t content_hash, std::uint64_t job_id) {
+  // splitmix64 finalizer over (hash, id); never returns 0 (the "no
+  // context" sentinel).
+  std::uint64_t x = content_hash ^ (job_id + 0x9e3779b97f4a7c15ULL);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x == 0 ? 1 : x;
+}
+
+std::string traceIdHex(std::uint64_t trace_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(trace_id));
+  return buf;
+}
 
 // Per-slot seqlock: while the slot holds completed ticket t its sequence
 // word reads 2t+2 (even, unique — tickets are monotonic); while the owner
@@ -36,22 +127,34 @@ struct Tracer::ThreadBuffer {
     std::atomic<std::uint64_t> start_ns{0};
     std::atomic<std::uint64_t> dur_ns{0};
     std::atomic<std::uint32_t> depth{0};
+    std::atomic<std::uint64_t> trace_id{0};
     SlotArg args[kMaxSpanArgs];
   };
 
+  explicit ThreadBuffer(std::size_t ring_slots)
+      : capacity(ring_slots), slots(new Slot[ring_slots]) {}
+
   std::uint32_t id = 0;
   std::uint64_t next_ticket = 0;  // owner thread only
-  Slot slots[kTraceRingSlots];
+  const std::size_t capacity;
+  std::atomic<std::uint64_t> dropped{0};  ///< spans evicted by wrap-around
+  std::unique_ptr<Slot[]> slots;          ///< capacity entries
 
   void emit(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns,
-            std::uint32_t depth, const TraceEvent::Arg* args, int nargs) {
+            std::uint32_t depth, std::uint64_t trace_id,
+            const TraceEvent::Arg* args, int nargs) {
     const std::uint64_t t = next_ticket++;
-    Slot& s = slots[t % kTraceRingSlots];
+    if (t >= capacity) {
+      dropped.fetch_add(1, std::memory_order_relaxed);
+      droppedSpansTotal().add();
+    }
+    Slot& s = slots[t % capacity];
     s.seq.store(2 * t + 1, std::memory_order_relaxed);
     s.name.store(name, std::memory_order_release);
     s.start_ns.store(start_ns, std::memory_order_release);
     s.dur_ns.store(dur_ns, std::memory_order_release);
     s.depth.store(depth, std::memory_order_release);
+    s.trace_id.store(trace_id, std::memory_order_release);
     for (int i = 0; i < kMaxSpanArgs; ++i) {
       if (i < nargs) {
         s.args[i].key.store(args[i].key, std::memory_order_release);
@@ -90,6 +193,7 @@ struct Tracer::ThreadBuffer {
     out->ts_ns = s.start_ns.load(std::memory_order_acquire);
     out->dur_ns = s.dur_ns.load(std::memory_order_acquire);
     out->depth = s.depth.load(std::memory_order_acquire);
+    out->trace_id = s.trace_id.load(std::memory_order_acquire);
     for (int a = 0; a < kMaxSpanArgs; ++a) {
       out->args[a].key = s.args[a].key.load(std::memory_order_acquire);
       out->args[a].type = static_cast<TraceEvent::ArgType>(
@@ -118,10 +222,15 @@ struct Tracer::ThreadBuffer {
   }
 };
 
-Tracer::Tracer() = default;
+Tracer::Tracer(TraceOptions opts) : opts_(opts) {
+  opts_.ring_slots = clampRingSlots(opts_.ring_slots);
+}
+
+Tracer::~Tracer() = default;
 
 Tracer& Tracer::global() {
-  static Tracer* tracer = new Tracer();  // never destroyed
+  static Tracer* tracer =
+      new Tracer(TraceOptions{globalRingSlots()});  // never destroyed
   return *tracer;
 }
 
@@ -135,6 +244,14 @@ void Tracer::stop() {
     detail::g_tracing_enabled.store(false, std::memory_order_relaxed);
 }
 
+std::uint64_t Tracer::droppedSpans() const {
+  support::MutexLock lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& b : buffers_)
+    total += b->dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
 Tracer::ThreadBuffer& Tracer::localBuffer() {
   // Cached per (thread, tracer); buffers are owned by the tracer and live
   // as long as it does, so dead threads' spans stay exportable.
@@ -142,7 +259,7 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
   for (const auto& [tracer, buf] : t_cache)
     if (tracer == this) return *buf;
   support::MutexLock lock(mu_);
-  auto buf = std::make_unique<ThreadBuffer>();
+  auto buf = std::make_unique<ThreadBuffer>(opts_.ring_slots);
   buf->id = static_cast<std::uint32_t>(buffers_.size());
   ThreadBuffer* raw = buf.get();
   buffers_.push_back(std::move(buf));
@@ -150,7 +267,15 @@ Tracer::ThreadBuffer& Tracer::localBuffer() {
   return *raw;
 }
 
-std::vector<TraceEvent> Tracer::collect(std::uint64_t since_ns) const {
+void Tracer::emitEvent(const char* name, std::uint64_t start_ns,
+                       std::uint64_t dur_ns) {
+  if (!tracingOn()) return;
+  localBuffer().emit(name, start_ns, dur_ns, t_span_depth, t_trace_id,
+                     nullptr, 0);
+}
+
+std::vector<TraceEvent> Tracer::collect(std::uint64_t since_ns,
+                                        std::uint64_t trace_id) const {
   std::vector<ThreadBuffer*> bufs;
   {
     support::MutexLock lock(mu_);
@@ -159,9 +284,10 @@ std::vector<TraceEvent> Tracer::collect(std::uint64_t since_ns) const {
   }
   std::vector<TraceEvent> events;
   for (const ThreadBuffer* b : bufs) {
-    for (std::size_t i = 0; i < kTraceRingSlots; ++i) {
+    for (std::size_t i = 0; i < b->capacity; ++i) {
       TraceEvent ev;
-      if (b->readSlot(i, &ev) && ev.ts_ns >= since_ns)
+      if (b->readSlot(i, &ev) && ev.ts_ns >= since_ns &&
+          (trace_id == 0 || ev.trace_id == trace_id))
         events.push_back(ev);
     }
   }
@@ -176,39 +302,6 @@ std::vector<TraceEvent> Tracer::collect(std::uint64_t since_ns) const {
 
 namespace {
 
-void appendJsonString(std::string& out, const char* s) {
-  out += '"';
-  for (; *s != '\0'; ++s) {
-    const char c = *s;
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
 // Nanoseconds as a microsecond decimal with exact .3 fraction.
 std::string microsFromNs(std::uint64_t ns) {
   char buf[40];
@@ -220,23 +313,28 @@ std::string microsFromNs(std::uint64_t ns) {
 
 }  // namespace
 
-std::string Tracer::exportJson(std::uint64_t since_ns) const {
-  const std::vector<TraceEvent> events = collect(since_ns);
+std::string Tracer::exportJson(std::uint64_t since_ns,
+                               std::uint64_t trace_id) const {
+  const std::vector<TraceEvent> events = collect(since_ns, trace_id);
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
   for (const TraceEvent& ev : events) {
     if (!first) out += ',';
     first = false;
     out += "{\"name\":";
-    appendJsonString(out, ev.name);
+    detail::appendJsonString(out, ev.name);
     out += ",\"cat\":\"skewopt\",\"ph\":\"X\",\"pid\":1,\"tid\":" +
            std::to_string(ev.tid) + ",\"ts\":" + microsFromNs(ev.ts_ns) +
            ",\"dur\":" + microsFromNs(ev.dur_ns) + ",\"args\":{\"depth\":" +
            std::to_string(ev.depth);
+    if (ev.trace_id != 0) {
+      out += ",\"trace_id\":";
+      detail::appendJsonString(out, traceIdHex(ev.trace_id).c_str());
+    }
     for (const TraceEvent::Arg& a : ev.args) {
       if (a.type == TraceEvent::ArgType::kNone || a.key == nullptr) continue;
       out += ',';
-      appendJsonString(out, a.key);
+      detail::appendJsonString(out, a.key);
       out += ':';
       switch (a.type) {
         case TraceEvent::ArgType::kInt:
@@ -276,15 +374,12 @@ bool Tracer::writeJsonFile(const std::string& path, std::uint64_t since_ns,
   return true;
 }
 
-namespace {
-thread_local std::uint32_t t_span_depth = 0;
-}  // namespace
-
 Span::Span(const char* name) {
   if (!tracingOn()) return;
   active_ = true;
   name_ = name;
   depth_ = t_span_depth++;
+  trace_id_ = t_trace_id;
   start_ns_ = nowNs();
 }
 
@@ -293,7 +388,7 @@ Span::~Span() {
   const std::uint64_t end_ns = nowNs();
   --t_span_depth;
   Tracer::global().localBuffer().emit(
-      name_, start_ns_, end_ns - start_ns_, depth_, args_, nargs_);
+      name_, start_ns_, end_ns - start_ns_, depth_, trace_id_, args_, nargs_);
 }
 
 void Span::arg(const char* key, std::int64_t v) {

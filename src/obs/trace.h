@@ -16,6 +16,12 @@
 // so torn slots — including ring wrap-around during an export — are
 // dropped, never mis-reported, and TSan sees only atomics.
 //
+// Trace context: every span is stamped with the thread's current trace id
+// (a 64-bit job identity installed via ScopedTraceContext; 0 = none), so
+// one export can be filtered down to a single job's tree even when many
+// jobs interleave on shared worker threads. support::ThreadPool propagates
+// the submitting thread's context into runSlices workers.
+//
 // Span names and annotation keys must point at storage that outlives the
 // export (string literals at the instrument sites — the span taxonomy in
 // docs/observability.md is the catalog). Nesting is reconstructed by
@@ -36,6 +42,8 @@ namespace skewopt::obs {
 
 namespace detail {
 extern std::atomic<bool> g_tracing_enabled;
+/// JSON string escaper shared by the trace/log/recorder exporters.
+void appendJsonString(std::string& out, const char* s);
 }  // namespace detail
 
 /// One relaxed load; the guard on every span.
@@ -45,8 +53,42 @@ inline bool tracingOn() {
 
 /// Max typed annotations carried by one span; extras are dropped.
 inline constexpr int kMaxSpanArgs = 4;
-/// Slots per thread buffer; the ring overwrites oldest when full.
+/// Default slots per thread buffer; the ring overwrites oldest when full.
+/// Override per Tracer via TraceOptions, or for the global tracer via the
+/// SKEWOPT_TRACE_CAPACITY environment variable (read once, at first use).
 inline constexpr std::size_t kTraceRingSlots = 8192;
+
+struct TraceOptions {
+  /// Per-thread ring capacity in spans; clamped to [64, 1<<22].
+  std::size_t ring_slots = kTraceRingSlots;
+};
+
+// ---------------------------------------------------------------------------
+// Trace context: a thread-local 64-bit job identity captured by every span.
+
+/// The calling thread's current trace id (0 = no context installed).
+std::uint64_t currentTraceId();
+
+/// Installs `trace_id` as the thread's current trace context for the
+/// enclosing scope, restoring the previous context on destruction.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(std::uint64_t trace_id);
+  ~ScopedTraceContext();
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  std::uint64_t prev_;
+};
+
+/// Deterministic nonzero trace id for a job: a splitmix64-style mix of the
+/// spec content hash and the job id, so the same job always maps to the
+/// same id without any global counter.
+std::uint64_t traceIdFor(std::uint64_t content_hash, std::uint64_t job_id);
+
+/// 16-digit lowercase hex rendering of a trace id (the wire format).
+std::string traceIdHex(std::uint64_t trace_id);
 
 /// A completed span read out of the buffers.
 struct TraceEvent {
@@ -55,7 +97,8 @@ struct TraceEvent {
   std::uint32_t depth = 0;  ///< nesting depth on its thread at start
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;
-  std::uint64_t ticket = 0;  ///< per-thread emit order (sort tie-break)
+  std::uint64_t ticket = 0;    ///< per-thread emit order (sort tie-break)
+  std::uint64_t trace_id = 0;  ///< owning job's trace context (0 = none)
 
   enum class ArgType : std::uint8_t { kNone = 0, kInt, kFloat, kBool };
   struct Arg {
@@ -70,10 +113,12 @@ struct TraceEvent {
 
 class Tracer {
  public:
-  /// The process-wide tracer all spans record into.
+  /// The process-wide tracer all spans record into. Its ring capacity
+  /// honors SKEWOPT_TRACE_CAPACITY when set.
   static Tracer& global();
 
-  Tracer();
+  explicit Tracer(TraceOptions opts = {});
+  ~Tracer();  // out-of-line: ThreadBuffer is incomplete here
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
 
@@ -82,19 +127,38 @@ class Tracer {
   void start();
   void stop();
 
+  /// Per-thread ring capacity this tracer was built with.
+  std::size_t ringSlots() const { return opts_.ring_slots; }
+
+  /// Spans evicted by ring wrap-around since construction (summed over
+  /// all thread buffers). Also surfaced as the
+  /// skewopt_trace_spans_dropped_total metric.
+  std::uint64_t droppedSpans() const;
+
   /// All consistent spans with ts_ns >= since_ns, sorted by
-  /// (ts, tid, ticket) — deterministic under a fake clock. Buffers are
-  /// not cleared; callers window with since_ns (obs::nowNs() taken before
-  /// the region of interest) so concurrent exports never race a clear.
-  std::vector<TraceEvent> collect(std::uint64_t since_ns = 0) const;
+  /// (ts, tid, ticket) — deterministic under a fake clock. When
+  /// `trace_id` is nonzero, only spans stamped with that context are
+  /// returned. Buffers are not cleared; callers window with since_ns
+  /// (obs::nowNs() taken before the region of interest) so concurrent
+  /// exports never race a clear.
+  std::vector<TraceEvent> collect(std::uint64_t since_ns = 0,
+                                  std::uint64_t trace_id = 0) const;
 
   /// Chrome trace-event JSON ({"displayTimeUnit":"ms","traceEvents":[...]})
-  /// for collect(since_ns). Valid strict JSON; ts/dur in microseconds.
-  std::string exportJson(std::uint64_t since_ns = 0) const;
+  /// for collect(since_ns, trace_id). Valid strict JSON; ts/dur in
+  /// microseconds; each stamped event carries a "trace_id" hex string arg.
+  std::string exportJson(std::uint64_t since_ns = 0,
+                         std::uint64_t trace_id = 0) const;
 
   /// exportJson to a file. Returns false and fills *error on I/O failure.
   bool writeJsonFile(const std::string& path, std::uint64_t since_ns,
                      std::string* error) const;
+
+  /// Records one already-timed event (e.g. a queue wait measured across
+  /// threads) into the calling thread's buffer, stamped with the current
+  /// trace context. No-op while tracing is disabled.
+  void emitEvent(const char* name, std::uint64_t start_ns,
+                 std::uint64_t dur_ns);
 
  private:
   friend class Span;
@@ -103,15 +167,16 @@ class Tracer {
   /// The calling thread's buffer, registering it on first use.
   ThreadBuffer& localBuffer();
 
+  TraceOptions opts_;
   mutable support::Mutex mu_;
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_ SKEWOPT_GUARDED_BY(mu_);
   std::atomic<int> start_count_{0};
 };
 
 /// RAII span. Times the enclosing scope and records it (with any args
-/// attached before destruction) into the current thread's ring buffer.
-/// `name` and arg keys must be string literals (or otherwise outlive the
-/// tracer's exports).
+/// attached before destruction) into the current thread's ring buffer,
+/// stamped with the thread's current trace context. `name` and arg keys
+/// must be string literals (or otherwise outlive the tracer's exports).
 class Span {
  public:
   explicit Span(const char* name);
@@ -127,6 +192,7 @@ class Span {
   bool active_ = false;
   std::uint32_t depth_ = 0;
   std::uint64_t start_ns_ = 0;
+  std::uint64_t trace_id_ = 0;
   const char* name_ = nullptr;
   int nargs_ = 0;
   TraceEvent::Arg args_[kMaxSpanArgs];

@@ -91,6 +91,16 @@ struct JobSpec {
   /// share the process-wide tracer, so spans of concurrently running jobs
   /// appear in each other's windows (they are distinguishable by thread).
   std::string trace;
+  /// Observability-only: client-supplied trace context (0 = none). When
+  /// nonzero the scheduler enables tracing for the job's run and stamps
+  /// every span with this id (obs::ScopedTraceContext), so the TRACE verb
+  /// can export exactly this job's tree even across cluster shards. When
+  /// zero but tracing is otherwise active, a deterministic per-job id
+  /// (obs::traceIdFor(hash, id)) is stamped instead.
+  std::uint64_t trace_id = 0;
+  /// Observability-only: spec-level alias of options.record (the flight
+  /// recorder). Lives in FlowOptions so the flow sees it; excluded from
+  /// the content key like every other observability field.
 };
 
 /// Versioned serialization of every result-affecting field (see file
@@ -169,6 +179,12 @@ struct Job {
   /// Set by cancel(); checked before the job is started. A running job
   /// finishes normally (the flow is not interruptible).
   std::atomic<bool> cancel_requested{false};
+
+  /// Effective trace context: spec.trace_id when the client supplied one,
+  /// obs::traceIdFor(hash, id) otherwise. Set once at submit; immutable.
+  std::uint64_t trace_id = 0;
+  /// obs::nowNs() at submit (for the serve.queue span); immutable.
+  std::uint64_t submitted_ns = 0;
 
   /// Set once before the job is published to the queue; immutable after.
   std::chrono::steady_clock::time_point submitted_at{};

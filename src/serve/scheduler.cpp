@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <cstdio>
 #include <stdexcept>
 
 #include "obs/clock.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/spec_check.h"
@@ -52,8 +52,8 @@ struct ServeObs {
 /// Scopes one job's optional trace export: opens a tracing window at
 /// construction when the spec asks for one, and on destruction exports
 /// everything the window saw to the spec's path. Export failures are
-/// reported to stderr, never to the job (observability must not change
-/// job outcomes).
+/// logged, never reported to the job (observability must not change job
+/// outcomes).
 class JobTraceScope {
  public:
   explicit JobTraceScope(const std::string& path) : path_(path) {
@@ -66,7 +66,9 @@ class JobTraceScope {
     obs::Tracer::global().stop();
     std::string err;
     if (!obs::Tracer::global().writeJsonFile(path_, since_ns_, &err))
-      std::fprintf(stderr, "serve: trace export failed: %s\n", err.c_str());
+      obs::logWarn("serve: trace export failed")
+          .field("path", path_)
+          .field("error", err);
   }
   JobTraceScope(const JobTraceScope&) = delete;
   JobTraceScope& operator=(const JobTraceScope&) = delete;
@@ -74,6 +76,25 @@ class JobTraceScope {
  private:
   std::string path_;
   std::uint64_t since_ns_ = 0;
+};
+
+/// Holds the tracer open (refcounted) while a client-traced job runs: a
+/// nonzero spec.trace_id means the client intends to pull the job's span
+/// tree with the TRACE verb, which needs the spans recorded even without
+/// a trace file path.
+class TracerOnScope {
+ public:
+  explicit TracerOnScope(bool active) : active_(active) {
+    if (active_) obs::Tracer::global().start();
+  }
+  ~TracerOnScope() {
+    if (active_) obs::Tracer::global().stop();
+  }
+  TracerOnScope(const TracerOnScope&) = delete;
+  TracerOnScope& operator=(const TracerOnScope&) = delete;
+
+ private:
+  bool active_;
 };
 
 }  // namespace
@@ -105,13 +126,18 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
   job->key = canonicalKey(job->spec);
   job->hash = contentHash(job->spec);
   job->submitted_at = std::chrono::steady_clock::now();
+  job->submitted_ns = obs::nowNs();
   {
     support::MutexLock lk(mu_);
     if (!accepting_) {
       ServeObs::get().rejected.add();
+      obs::logWarn("serve: submit rejected").field("reason", "shutting down");
       return nullptr;
     }
     job->id = next_id_++;
+    job->trace_id = job->spec.trace_id != 0
+                        ? job->spec.trace_id
+                        : obs::traceIdFor(job->hash, job->id);
     jobs_.emplace(job->id, job);
     // Counted as submitted+queued before the push: a blocked producer's
     // job is logically pending, and the coherence identity must hold for
@@ -123,6 +149,9 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
     // Rejected (full without blocking, or closed while blocked): the job
     // never became visible as QUEUED work; drop it from the registry.
     ServeObs::get().rejected.add();
+    obs::logWarn("serve: submit rejected")
+        .field("job_id", job->id)
+        .field("reason", "queue full");
     support::MutexLock lk(mu_);
     jobs_.erase(job->id);
     --submitted_;
@@ -130,20 +159,31 @@ std::shared_ptr<Job> Scheduler::submit(JobSpec spec, bool block) {
     return nullptr;
   }
   ServeObs::get().submitted.add();
+  obs::logInfo("serve: job submitted")
+      .field("job_id", job->id)
+      .field("trace_id", obs::traceIdHex(job->trace_id))
+      .field("priority", static_cast<std::int64_t>(job->spec.priority));
   return job;
 }
 
 std::shared_ptr<Job> Scheduler::submitDelta(std::uint64_t base_id,
                                             const DeltaEdits& edits,
-                                            bool block) {
+                                            bool block,
+                                            std::uint64_t trace_id) {
   // Resolution needs only the base's *spec*, so the base may be queued,
   // running, finished, or long evicted from every cache — and whether the
   // resolved job then runs warm is purely a store lookup at execution time.
-  return submit(applyDeltaEdits(jobSpec(base_id), edits), block);
+  JobSpec spec = applyDeltaEdits(jobSpec(base_id), edits);
+  if (trace_id != 0) spec.trace_id = trace_id;
+  return submit(std::move(spec), block);
 }
 
 JobSpec Scheduler::jobSpec(std::uint64_t id) const {
   return findJob(id)->spec;
+}
+
+std::uint64_t Scheduler::traceId(std::uint64_t id) const {
+  return findJob(id)->trace_id;
 }
 
 std::shared_ptr<Job> Scheduler::findJob(std::uint64_t id) const {
@@ -243,6 +283,7 @@ void Scheduler::finishCancelled(const std::shared_ptr<Job>& job) {
     ServeObs::get().cancelled.add();
     retainTerminalLocked(job->id);
   }
+  obs::logInfo("serve: job cancelled").field("job_id", job->id);
   job->cv.notifyAll();
   notifyTerminal(job);
 }
@@ -316,63 +357,92 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     return;
   }
   if (deadline_missed) {
+    obs::logWarn("serve: job missed start deadline")
+        .field("job_id", job->id)
+        .field("deadline_ms", job->spec.deadline_ms);
     job->cv.notifyAll();
     notifyTerminal(job);
     return;
   }
 
-  JobTraceScope trace_scope(job->spec.trace);
-  obs::Span job_span("serve.job");
-  job_span.arg("job_id", static_cast<std::int64_t>(job->id));
-
   core::FlowResult result;
   bool ok = false, cached = false;
   std::string error;
 
-  // Cross-check the job's spec and its cache-keying fields before the
-  // cache lookup: a drifted key would serve (or poison) the wrong entry.
-  // Record corruption is permanent — no retry can repair it.
-  check::DiagnosticEngine record_check;
-  record_check.setContext("serve:job");
-  checkJobRecord(job->spec, job->key, job->hash, record_check);
+  // The tracing scope closes before the terminal state flip below: every
+  // span of the job (serve.job included — emitted at Span destruction)
+  // and any "trace" file export are complete before waiters wake, so a
+  // client doing RESULT(wait) then TRACE never sees a partial tree.
+  {
+    // Tracing: open the windows first (refcounted client window +
+    // optional file-export window), then install the job's trace context
+    // so every span below — including pool slices via runSlices — is
+    // stamped with it.
+    TracerOnScope client_trace(job->spec.trace_id != 0);
+    JobTraceScope trace_scope(job->spec.trace);
+    obs::ScopedTraceContext trace_ctx(job->trace_id);
+    if (obs::tracingOn()) {
+      const std::uint64_t now_ns = obs::nowNs();
+      obs::Tracer::global().emitEvent(
+          "serve.queue", job->submitted_ns,
+          now_ns > job->submitted_ns ? now_ns - job->submitted_ns : 0);
+    }
+    obs::Span job_span("serve.job");
+    job_span.arg("job_id", static_cast<std::int64_t>(job->id));
+    obs::logInfo("serve: job started")
+        .field("job_id", job->id)
+        .field("trace_id", obs::traceIdHex(job->trace_id));
 
-  if (record_check.hasErrors()) {
-    error = "job record failed validation:\n" + record_check.text();
-  } else if (cache_.lookup(job->key, &result)) {
-    ok = cached = true;
-  } else {
-    for (;;) {
-      {
-        support::MutexLock lk(job->mu);
-        ++job->attempts;
-      }
-      try {
-        result = runner_ ? runner_(job->spec)
-                         : runJobSpecWarm(*tech_, *lut_, job->spec, &warm_);
-        ok = true;
-        break;
-      } catch (const TransientError& e) {
-        error = e.what();
-        int attempts;
+    // Cross-check the job's spec and its cache-keying fields before the
+    // cache lookup: a drifted key would serve (or poison) the wrong entry.
+    // Record corruption is permanent — no retry can repair it.
+    check::DiagnosticEngine record_check;
+    record_check.setContext("serve:job");
+    checkJobRecord(job->spec, job->key, job->hash, record_check);
+
+    if (record_check.hasErrors()) {
+      error = "job record failed validation:\n" + record_check.text();
+    } else if (cache_.lookup(job->key, &result)) {
+      ok = cached = true;
+    } else {
+      for (;;) {
         {
           support::MutexLock lk(job->mu);
-          attempts = job->attempts;
+          ++job->attempts;
         }
-        if (attempts > job->spec.max_retries) break;
-        const double delay =
-            std::min(opts_.backoff_cap_ms,
-                     opts_.backoff_base_ms *
-                         static_cast<double>(1u << std::min(attempts - 1, 20)));
-        if (!sleepBackoff(job, delay)) {
-          error += " (retry aborted)";
+        try {
+          result = runner_ ? runner_(job->spec)
+                           : runJobSpecWarm(*tech_, *lut_, job->spec, &warm_);
+          ok = true;
+          break;
+        } catch (const TransientError& e) {
+          error = e.what();
+          int attempts;
+          {
+            support::MutexLock lk(job->mu);
+            attempts = job->attempts;
+          }
+          if (attempts > job->spec.max_retries) break;
+          const double delay =
+              std::min(opts_.backoff_cap_ms,
+                       opts_.backoff_base_ms *
+                           static_cast<double>(
+                               1u << std::min(attempts - 1, 20)));
+          if (!sleepBackoff(job, delay)) {
+            error += " (retry aborted)";
+            break;
+          }
+          obs::logWarn("serve: job retrying after transient failure")
+              .field("job_id", job->id)
+              .field("attempt", static_cast<std::int64_t>(attempts))
+              .field("error", error);
+        } catch (const std::exception& e) {
+          error = e.what();
           break;
         }
-      } catch (const std::exception& e) {
-        error = e.what();
-        break;
       }
+      if (ok) cache_.insert(job->key, result);
     }
-    if (ok) cache_.insert(job->key, result);
   }
 
   {
@@ -393,6 +463,15 @@ void Scheduler::runJob(const std::shared_ptr<Job>& job) {
     ++(ok ? done_ : failed_);
     (ok ? sobs.done : sobs.failed).add();
     retainTerminalLocked(job->id);
+  }
+  if (ok) {
+    obs::logInfo("serve: job done")
+        .field("job_id", job->id)
+        .field("cached", cached);
+  } else {
+    obs::logWarn("serve: job failed")
+        .field("job_id", job->id)
+        .field("error", error);
   }
   job->cv.notifyAll();
   notifyTerminal(job);

@@ -108,13 +108,21 @@ class Scheduler {
   /// is needed) with `edits` applied, run through the normal submit path.
   /// Whether the run is actually warm is a store lookup at execution time:
   /// a missing warm entry just means a cold run with identical results.
-  /// Throws std::out_of_range for an unknown base id.
+  /// A nonzero `trace_id` overrides the trace context inherited from the
+  /// base spec. Throws std::out_of_range for an unknown base id.
   std::shared_ptr<Job> submitDelta(std::uint64_t base_id,
-                                   const DeltaEdits& edits, bool block = true);
+                                   const DeltaEdits& edits, bool block = true,
+                                   std::uint64_t trace_id = 0);
 
   /// The spec a job was submitted with (DELTA base resolution).
   /// Throws std::out_of_range for an unknown id.
   JobSpec jobSpec(std::uint64_t id) const;
+
+  /// The job's effective trace context id (spec.trace_id when the client
+  /// supplied one, obs::traceIdFor(hash, id) otherwise) — what the TRACE
+  /// verb filters the span export by. Throws std::out_of_range for an
+  /// unknown id.
+  std::uint64_t traceId(std::uint64_t id) const;
 
   /// Snapshot of a job's progress. Throws std::out_of_range for an unknown
   /// id.

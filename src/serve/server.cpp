@@ -12,7 +12,9 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skewopt::serve {
 
@@ -198,13 +200,15 @@ json::Value specToJson(const JobSpec& spec) {
   v.set("deadline_ms", spec.deadline_ms);
   v.set("max_retries", spec.max_retries);
   if (!spec.trace.empty()) v.set("trace", spec.trace);
+  if (spec.trace_id != 0) v.set("trace_id", obs::traceIdHex(spec.trace_id));
+  if (spec.options.record) v.set("record", true);
   return v;
 }
 
 JobSpec specFromJson(const json::Value& v) {
   requireObject(v, "spec");
   checkKeys(v, {"source", "mode", "options", "check", "priority",
-                "deadline_ms", "max_retries", "trace"},
+                "deadline_ms", "max_retries", "trace", "trace_id", "record"},
             "spec");
   JobSpec spec;
 
@@ -314,7 +318,26 @@ JobSpec specFromJson(const json::Value& v) {
       throw std::runtime_error("'trace' must be a non-empty output path");
     spec.trace = trace->asString();
   }
+  if (const json::Value* tid = v.find("trace_id"))
+    spec.trace_id = traceIdFromJson(*tid);
+  spec.options.record = v.boolean("record", false);
   return spec;
+}
+
+std::uint64_t traceIdFromJson(const json::Value& v) {
+  if (!v.isString() || v.asString().size() != 16)
+    throw std::runtime_error("'trace_id' must be a 16-digit hex string");
+  std::uint64_t id = 0;
+  for (const char c : v.asString()) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else
+      throw std::runtime_error("'trace_id' must be a 16-digit hex string");
+    id = (id << 4) | static_cast<std::uint64_t>(digit);
+  }
+  if (id == 0) throw std::runtime_error("'trace_id' 0 is reserved");
+  return id;
 }
 
 json::Value metricsToJson(const core::DesignMetrics& m) {
@@ -329,7 +352,7 @@ json::Value metricsToJson(const core::DesignMetrics& m) {
   return v;
 }
 
-json::Value resultToJson(const core::FlowResult& r) {
+json::Value resultToJson(const core::FlowResult& r, bool include_record) {
   json::Value v = json::Value::object();
   v.set("before", metricsToJson(r.before));
   v.set("after", metricsToJson(r.after));
@@ -357,6 +380,11 @@ json::Value resultToJson(const core::FlowResult& r) {
   t.set("local_ms", r.stage_ms.local_ms);
   t.set("total_ms", r.stage_ms.total_ms);
   v.set("stage_ms", std::move(t));
+  // A recorded result re-served from a cache entry written by an
+  // unrecorded run legitimately has no flight record; the member is
+  // simply absent then.
+  if (include_record && !r.flight_record.empty())
+    v.set("record", json::parse(r.flight_record));
   return v;
 }
 
@@ -431,7 +459,9 @@ json::Value schedulerStatsToJson(const SchedulerStats& s) {
   return v;
 }
 
-json::Value handleRequest(Scheduler& sched, const json::Value& request) {
+namespace {
+
+json::Value dispatchRequest(Scheduler& sched, const json::Value& request) {
   try {
     requireObject(request, "request");
     const std::string cmd = request.str("cmd", "");
@@ -449,6 +479,10 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       v.set("id", job->id);
       v.set("hash", hashHex(job->hash));
       v.set("state", jobStateName(JobState::kQueued));
+      // Echoed only when the client supplied a context, so pre-telemetry
+      // clients see byte-identical replies.
+      if (spec.trace_id != 0)
+        v.set("trace_id", obs::traceIdHex(job->trace_id));
       return v;
     }
 
@@ -457,7 +491,8 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       // applied, run through the normal submit path. The merged spec hits
       // the warm-state store under its topology key; an evicted base entry
       // silently degrades to a cold run with identical results.
-      checkKeys(request, {"cmd", "base", "edits", "block"}, "request");
+      checkKeys(request, {"cmd", "base", "edits", "block", "trace_id"},
+                "request");
       const json::Value* base = request.find("base");
       if (!base || !base->isNumber() || base->asDouble() < 0)
         throw std::runtime_error("DELTA needs a numeric 'base' job id");
@@ -465,10 +500,15 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       if (!edits_v) throw std::runtime_error("DELTA needs an 'edits' object");
       const DeltaEdits edits = deltaEditsFromJson(*edits_v);
       const bool block = request.boolean("block", false);
+      // A request-level trace context overrides whatever the base spec
+      // carried (otherwise the delta inherits the base's context).
+      const json::Value* tid = request.find("trace_id");
+      const std::uint64_t trace_id =
+          tid != nullptr ? traceIdFromJson(*tid) : 0;
       std::shared_ptr<Job> job;
       try {
-        job = sched.submitDelta(
-            static_cast<std::uint64_t>(base->asDouble()), edits, block);
+        job = sched.submitDelta(static_cast<std::uint64_t>(base->asDouble()),
+                                edits, block, trace_id);
       } catch (const std::out_of_range&) {
         return errorReply("unknown base job id");
       }
@@ -479,6 +519,7 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       v.set("base", static_cast<std::uint64_t>(base->asDouble()));
       v.set("hash", hashHex(job->hash));
       v.set("state", jobStateName(JobState::kQueued));
+      if (tid != nullptr) v.set("trace_id", obs::traceIdHex(job->trace_id));
       return v;
     }
 
@@ -512,7 +553,25 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
       v.set("id", id);
       v.set("state", jobStateName(s.state));
       v.set("cached", s.cached);
-      v.set("result", resultToJson(sched.result(id)));
+      v.set("result", resultToJson(sched.result(id),
+                                   sched.jobSpec(id).options.record));
+      return v;
+    }
+
+    if (cmd == "TRACE") {
+      // The job's span tree (every span stamped with its trace context),
+      // as Chrome trace-event JSON embedded in the reply. Works for
+      // running and finished jobs alike — the export is a snapshot of
+      // whatever the ring buffers currently hold for that id.
+      checkKeys(request, {"cmd", "id"}, "request");
+      const std::uint64_t id = requireId(request);
+      const std::uint64_t trace_id = sched.traceId(id);
+      json::Value v = json::Value::object();
+      v.set("ok", true);
+      v.set("id", id);
+      v.set("trace_id", obs::traceIdHex(trace_id));
+      v.set("trace",
+            json::parse(obs::Tracer::global().exportJson(0, trace_id)));
       return v;
     }
 
@@ -549,6 +608,32 @@ json::Value handleRequest(Scheduler& sched, const json::Value& request) {
   } catch (const std::exception& e) {
     return errorReply(e.what());
   }
+}
+
+}  // namespace
+
+void countRequest(const std::string& verb, bool ok) {
+  static const char* const kVerbs[] = {
+      "SUBMIT", "DELTA",   "STATUS", "RESULT",       "CANCEL",  "STATS",
+      "METRICS", "TRACE",  "BATCH_SUBMIT", "RESULTS", "DRAIN"};
+  const char* v = "unknown";
+  for (const char* k : kVerbs)
+    if (verb == k) {
+      v = k;
+      break;
+    }
+  obs::MetricsRegistry::global()
+      .counter("skewopt_serve_requests_total",
+               {{"verb", v}, {"ok", ok ? "true" : "false"}},
+               "Protocol requests dispatched, by verb and outcome")
+      .add();
+}
+
+json::Value handleRequest(Scheduler& sched, const json::Value& request) {
+  json::Value reply = dispatchRequest(sched, request);
+  countRequest(request.isObject() ? request.str("cmd", "") : "",
+               reply.boolean("ok", false));
+  return reply;
 }
 
 std::string handleLine(Scheduler& sched, const std::string& line) {
@@ -651,6 +736,8 @@ void TcpServer::acceptLoop() {
       if (stopping_.load()) return;
       continue;
     }
+    obs::logDebug("serve: connection accepted")
+        .field("fd", static_cast<std::int64_t>(fd));
     support::MutexLock lk(conn_mu_);
     const std::size_t slot = conns_.size();
     conns_.emplace_back(
@@ -686,6 +773,9 @@ void TcpServer::serveConnection(int fd) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
       if (line.size() > opts_.max_line_bytes) {
+        obs::logWarn("serve: oversized request line, closing connection")
+            .field("fd", static_cast<std::int64_t>(fd))
+            .field("bytes", static_cast<std::uint64_t>(line.size()));
         emit(json::dump(errorReply("request line exceeds " +
                                    std::to_string(opts_.max_line_bytes) +
                                    " bytes")));
@@ -697,6 +787,9 @@ void TcpServer::serveConnection(int fd) {
     // answer once and drop the connection instead of buffering without
     // limit.
     if (buffer.size() > opts_.max_line_bytes) {
+      obs::logWarn("serve: oversized request line, closing connection")
+          .field("fd", static_cast<std::int64_t>(fd))
+          .field("bytes", static_cast<std::uint64_t>(buffer.size()));
       emit(json::dump(errorReply("request line exceeds " +
                                  std::to_string(opts_.max_line_bytes) +
                                  " bytes")));

@@ -16,6 +16,10 @@
 //       -> {"ok":false,"state":"FAILED","error":"..."}
 //   {"cmd":"CANCEL","id":7}    -> {"ok":true,"cancelled":true}
 //   {"cmd":"STATS"}            -> {"ok":true,"submitted":N,...}
+//   {"cmd":"TRACE","id":7}
+//       -> {"ok":true,"id":7,"trace_id":"9f..","trace":{...}}
+//       (the job's span tree as Chrome trace-event JSON; requires the job
+//        to have been submitted with a "trace_id" spec field)
 //
 // The spec JSON covers the commonly-tuned option knobs (see specFromJson);
 // everything else takes its FlowOptions default, identically on both the
@@ -43,7 +47,11 @@ json::Value specToJson(const JobSpec& spec);
 JobSpec specFromJson(const json::Value& v);
 
 json::Value metricsToJson(const core::DesignMetrics& m);
-json::Value resultToJson(const core::FlowResult& r);
+/// `include_record` additionally emits the flight record (parsed back to a
+/// JSON object under "record") when the result carries one; the default
+/// keeps the wire bytes identical to pre-recorder servers.
+json::Value resultToJson(const core::FlowResult& r,
+                         bool include_record = false);
 
 /// Building blocks the cluster front-end shares with this dispatcher, so
 /// the sharded protocol stays byte-compatible with the single-scheduler
@@ -58,6 +66,13 @@ std::string hashHex(std::uint64_t h);
 /// Parses a DELTA "edits" object ({"u_sweep":..,"corner_dmax_derate":..,
 /// "moved_sinks":..}); throws std::runtime_error on malformed input.
 DeltaEdits deltaEditsFromJson(const json::Value& v);
+/// Parses a request/spec "trace_id" value (16-digit hex string); throws
+/// std::runtime_error on malformed input or the reserved id 0.
+std::uint64_t traceIdFromJson(const json::Value& v);
+/// Bumps skewopt_serve_requests_total{verb="...",ok="..."} for one
+/// dispatched request. Verbs outside the protocol's fixed set are counted
+/// under verb="unknown" so a hostile client cannot grow label cardinality.
+void countRequest(const std::string& verb, bool ok);
 
 /// Dispatches one parsed request against the scheduler. Never throws for
 /// protocol-level errors — they become {"ok":false,"error":...} replies.

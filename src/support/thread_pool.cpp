@@ -5,6 +5,7 @@
 
 #include "obs/clock.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skewopt::support {
 
@@ -107,10 +108,14 @@ void ThreadPool::runSlices(std::size_t slices,
       if (!err) err = std::current_exception();
     }
   };
+  // Pool workers inherit the submitting thread's trace context so a
+  // traced job's spans stay attributable across its parallel slices.
+  const std::uint64_t trace_id = obs::currentTraceId();
   WaitGroup wg;
   wg.add(slices - 1);
   for (std::size_t s = 1; s < slices; ++s)
-    submit([&guarded, &wg, s] {
+    submit([&guarded, &wg, s, trace_id] {
+      obs::ScopedTraceContext ctx(trace_id);
       guarded(s);
       wg.done();
     });

@@ -1,9 +1,12 @@
 // Tests for the observability layer (src/obs): the metrics registry
 // (kinds, validation, snapshots, Prometheus exposition), the tracer
 // (strict-JSON export, span nesting across ThreadPool slices, seqlock
-// reader safety under concurrent emission), and the determinism claim the
-// docs make: with a fake clock injected, a serial and a parallel run of
-// the same local optimization produce bit-identical metric snapshots.
+// reader safety under concurrent emission, trace-context stamping and
+// filtering, configurable ring capacity), the structured logger (strict
+// JSON-lines, byte-determinism under a fake clock, rate limiting), the
+// flight-recorder JSON builder, and the determinism claim the docs make:
+// with a fake clock injected, a serial and a parallel run of the same
+// local optimization produce bit-identical metric snapshots.
 //
 // The whole file also runs under ThreadSanitizer as obs_test_tsan (see
 // tests/CMakeLists.txt) — the race coverage behind the per-thread ring
@@ -15,6 +18,8 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <limits>
 #include <map>
 #include <stdexcept>
@@ -26,9 +31,12 @@
 #include "core/local_opt.h"
 #include "core/objective.h"
 #include "obs/clock.h"
+#include "obs/log.h"
+#include "obs/recorder.h"
 #include "obs/trace.h"
 #include "serve/cache.h"
 #include "serve/json.h"
+#include "serve/server.h"
 #include "serve/warm_state.h"
 #include "sta/timer.h"
 #include "support/stopwatch.h"
@@ -472,6 +480,297 @@ TEST(TraceTest, ConcurrentEmissionNeverTearsReads) {
   done.store(true, std::memory_order_release);
   reader.join();
   tracer.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Trace context: the per-job identity spans are stamped with
+
+TEST(TraceTest, ContextStampsSpansAndFiltersExports) {
+  // traceIdFor is a pure function of (hash, job id), never 0; traceIdHex
+  // is the pinned 16-digit lowercase wire format.
+  const std::uint64_t id_a = traceIdFor(0x1234, 1);
+  const std::uint64_t id_b = traceIdFor(0x1234, 2);
+  EXPECT_NE(id_a, 0u);
+  EXPECT_NE(id_b, 0u);
+  EXPECT_NE(id_a, id_b);
+  EXPECT_EQ(id_a, traceIdFor(0x1234, 1));
+  EXPECT_EQ(traceIdHex(0x0123456789abcdefULL), "0123456789abcdef");
+  EXPECT_EQ(traceIdHex(id_a).size(), 16u);
+
+  const std::uint64_t since = nowNs();
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    ScopedTraceContext ctx(id_a);
+    EXPECT_EQ(currentTraceId(), id_a);
+    Span a("test.ctx_a");
+    {
+      ScopedTraceContext nested(id_b);  // nests and restores
+      Span b("test.ctx_b");
+    }
+    EXPECT_EQ(currentTraceId(), id_a);
+  }
+  EXPECT_EQ(currentTraceId(), 0u);
+  {
+    Span none("test.ctx_none");  // no context: stamped 0, filtered out
+  }
+  tracer.stop();
+
+  const std::vector<TraceEvent> only_a = tracer.collect(since, id_a);
+  ASSERT_EQ(only_a.size(), 1u);
+  EXPECT_EQ(std::string(only_a[0].name), "test.ctx_a");
+  EXPECT_EQ(only_a[0].trace_id, id_a);
+  EXPECT_EQ(tracer.collect(since).size(), 3u);  // unfiltered sees all
+
+  // The filtered export is strict JSON and tags each event with the id.
+  const serve::json::Value v =
+      serve::json::parse(tracer.exportJson(since, id_b));
+  const serve::json::Value* events = v.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->size(), 1u);
+  EXPECT_EQ(events->at(0).str("name", ""), "test.ctx_b");
+  EXPECT_EQ(events->at(0).find("args")->str("trace_id", ""),
+            traceIdHex(id_b));
+}
+
+TEST(TraceTest, ContextPropagatesIntoThreadPoolSlices) {
+  const std::uint64_t since = nowNs();
+  const std::uint64_t id = traceIdFor(7, 7);
+  Tracer& tracer = Tracer::global();
+  tracer.start();
+  {
+    ScopedTraceContext ctx(id);
+    support::ThreadPool pool(3);
+    constexpr std::size_t kSlices = 8;
+    pool.runSlices(kSlices, [](std::size_t) {
+      Span s("test.ctx_slice");
+    });
+  }
+  tracer.stop();
+  // Every slice span — including ones run by pool workers — carries the
+  // submitting thread's context.
+  const std::vector<TraceEvent> events = tracer.collect(since, id);
+  ASSERT_EQ(events.size(), 8u);
+  for (const TraceEvent& e : events)
+    EXPECT_EQ(std::string(e.name), "test.ctx_slice");
+}
+
+TEST(TraceTest, RingCapacityIsConfigurableAndDropsAreCounted) {
+  MetricsOnScope on;
+  Counter& dropped_total = MetricsRegistry::global().counter(
+      "skewopt_trace_spans_dropped_total");  // pinned name
+  const auto d0 = dropped_total.value();
+
+  Tracer small(TraceOptions{16});  // clamped up to the floor
+  EXPECT_EQ(small.ringSlots(), 64u);
+  Tracer big(TraceOptions{std::size_t{1} << 30});  // clamped down
+  EXPECT_EQ(big.ringSlots(), std::size_t{1} << 22);
+  // The global tracer honors SKEWOPT_TRACE_CAPACITY (read once, another
+  // process's concern here); whatever it saw is within the clamp range.
+  EXPECT_GE(Tracer::global().ringSlots(), 64u);
+  EXPECT_LE(Tracer::global().ringSlots(), std::size_t{1} << 22);
+
+  small.start();
+  for (std::uint64_t i = 0; i < 100; ++i)
+    small.emitEvent("test.capacity", i, 1);
+  small.stop();
+
+  // 100 spans into 64 slots: 36 evictions, counted per tracer and in the
+  // process-wide metric; the ring keeps the newest spans.
+  EXPECT_EQ(small.droppedSpans(), 36u);
+  EXPECT_EQ(dropped_total.value() - d0, 36u);
+  const std::vector<TraceEvent> kept = small.collect();
+  ASSERT_EQ(kept.size(), 64u);
+  EXPECT_EQ(kept.front().ts_ns, 36u);
+  EXPECT_EQ(kept.back().ts_ns, 99u);
+  EXPECT_EQ(big.droppedSpans(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Request counter (shared by the serve and cluster dispatchers)
+
+TEST(MetricsTest, RequestCounterNameIsPinnedAndClampsUnknownVerbs) {
+  // Dashboards key on skewopt_serve_requests_total{verb=,ok=}; the verb
+  // label is clamped to the protocol's fixed set so a hostile client
+  // cannot grow label cardinality.
+  MetricsOnScope on;
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& submit_ok = reg.counter("skewopt_serve_requests_total",
+                                   {{"verb", "SUBMIT"}, {"ok", "true"}});
+  Counter& submit_err = reg.counter("skewopt_serve_requests_total",
+                                    {{"verb", "SUBMIT"}, {"ok", "false"}});
+  Counter& trace_ok = reg.counter("skewopt_serve_requests_total",
+                                  {{"verb", "TRACE"}, {"ok", "true"}});
+  Counter& unknown_ok = reg.counter("skewopt_serve_requests_total",
+                                    {{"verb", "unknown"}, {"ok", "true"}});
+  const auto a0 = submit_ok.value(), b0 = submit_err.value(),
+             t0 = trace_ok.value(), u0 = unknown_ok.value();
+
+  serve::countRequest("SUBMIT", true);
+  serve::countRequest("SUBMIT", true);
+  serve::countRequest("SUBMIT", false);
+  serve::countRequest("TRACE", true);
+  serve::countRequest("EVIL{injected=\"label\"}", true);  // clamped
+
+  EXPECT_EQ(submit_ok.value() - a0, 2u);
+  EXPECT_EQ(submit_err.value() - b0, 1u);
+  EXPECT_EQ(trace_ok.value() - t0, 1u);
+  EXPECT_EQ(unknown_ok.value() - u0, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Structured logging
+
+TEST(LogTest, LinesAreStrictJsonAndByteDeterministicUnderAFakeClock) {
+  MetricsOnScope on;
+  const std::string path =
+      ::testing::TempDir() + "skewopt_obs_log_det.jsonl";
+  std::remove(path.c_str());
+  Counter& lines_total =
+      MetricsRegistry::global().counter("skewopt_log_lines_total");
+  const auto l0 = lines_total.value();
+
+  setClockForTest(&fixedClock);
+  Logger::Options opts;
+  opts.level = LogLevel::kInfo;
+  opts.path = path;
+  ASSERT_TRUE(Logger::global().configure(opts));
+
+  logInfo("obs test event")
+      .field("job_id", std::uint64_t{7})
+      .field("ratio", 0.5)
+      .field("ok", true)
+      .field("note", "a\"b\nc");
+  logDebug("below the level").field("x", std::int64_t{1});  // gated out
+  logWarn("second event");
+
+  Logger::global().configure(Logger::Options{});  // off; closes the file
+  setClockForTest(nullptr);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  // Byte-pinned under the fake clock: field order is call order, strings
+  // are JSON-escaped, doubles render shortest-round-trip.
+  EXPECT_EQ(lines[0],
+            R"({"ts_ns":5000000,"level":"info","msg":"obs test event",)"
+            R"("job_id":7,"ratio":0.5,"ok":true,"note":"a\"b\nc"})");
+  EXPECT_EQ(lines[1],
+            R"({"ts_ns":5000000,"level":"warn","msg":"second event"})");
+  for (const std::string& line : lines)
+    EXPECT_NO_THROW(serve::json::parse(line)) << line;
+  EXPECT_EQ(lines_total.value() - l0, 2u);  // pinned name
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, RateLimiterShedsAndCountsOverBudgetLines) {
+  MetricsOnScope on;
+  const std::string path =
+      ::testing::TempDir() + "skewopt_obs_log_rate.jsonl";
+  std::remove(path.c_str());
+  Counter& dropped_total =
+      MetricsRegistry::global().counter("skewopt_log_dropped_lines_total");
+  const auto d0 = dropped_total.value();
+  const auto g0 = Logger::global().droppedLines();
+
+  setClockForTest(&fixedClock);  // one wall-clock second, forever
+  Logger::Options opts;
+  opts.level = LogLevel::kInfo;
+  opts.path = path;
+  opts.max_lines_per_sec = 2;
+  ASSERT_TRUE(Logger::global().configure(opts));
+  for (int i = 0; i < 5; ++i)
+    logInfo("storm").field("i", static_cast<std::int64_t>(i));
+  Logger::global().configure(Logger::Options{});
+  setClockForTest(nullptr);
+
+  EXPECT_EQ(Logger::global().droppedLines() - g0, 3u);
+  EXPECT_EQ(dropped_total.value() - d0, 3u);  // pinned name
+  std::ifstream in(path);
+  std::size_t written = 0;
+  for (std::string line; std::getline(in, line);) ++written;
+  EXPECT_EQ(written, 2u);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, ConfigureFailureKeepsThePreviousConfiguration) {
+  Logger logger;  // a private instance: the global one stays untouched
+  Logger::Options bad;
+  bad.level = LogLevel::kInfo;
+  bad.path = "/nonexistent-skewopt-dir/log.jsonl";
+  std::string err;
+  EXPECT_FALSE(logger.configure(bad, &err));
+  EXPECT_NE(err.find("/nonexistent-skewopt-dir"), std::string::npos) << err;
+  EXPECT_FALSE(logger.enabled(LogLevel::kError));  // still off
+
+  // parseLogLevel covers the --log-level surface.
+  LogLevel lvl = LogLevel::kOff;
+  EXPECT_TRUE(parseLogLevel("warn", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kWarn);
+  EXPECT_TRUE(parseLogLevel("off", &lvl));
+  EXPECT_EQ(lvl, LogLevel::kOff);
+  EXPECT_FALSE(parseLogLevel("verbose", &lvl));
+  EXPECT_FALSE(parseLogLevel("INFO", &lvl));
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder
+
+TEST(RecorderTest, BuilderEmitsStrictJsonInAppendOrder) {
+  FlightRecorder rec;
+  rec.field("version", std::int64_t{1});
+  rec.beginObject("global");
+  rec.beginArray("u_points");
+  rec.beginObject()
+      .field("u_ps", 12.5)
+      .field("lp_iterations", std::int64_t{40})
+      .field("warm", false)
+      .endObject();
+  rec.beginObject()
+      .field("u_ps", 15.0)
+      .field("lp_iterations", std::int64_t{8})
+      .field("warm", true)
+      .endObject();
+  rec.endArray();
+  rec.endObject();
+  rec.beginArray("sum_variation_ps");
+  rec.value(101.25);
+  rec.value(97.5);
+  rec.endArray();
+  rec.field("note", "escape \"this\"\n");
+
+  const std::string doc = rec.json();
+  EXPECT_EQ(doc,
+            R"({"version":1,"global":{"u_points":[)"
+            R"({"u_ps":12.5,"lp_iterations":40,"warm":false},)"
+            R"({"u_ps":15,"lp_iterations":8,"warm":true}]},)"
+            R"("sum_variation_ps":[101.25,97.5],)"
+            R"("note":"escape \"this\"\n"})");
+  EXPECT_NO_THROW(serve::json::parse(doc));  // strict JSON
+}
+
+TEST(RecorderTest, UnbalancedDocumentsThrowAndScopedInstallMasks) {
+  FlightRecorder rec;
+  rec.beginObject("open");
+  EXPECT_THROW(rec.json(), std::logic_error);  // recording-site bug
+  rec.endObject();
+  EXPECT_NO_THROW(rec.json());
+
+  // The thread-local install point the optimizers read through.
+  EXPECT_EQ(currentFlightRecorder(), nullptr);
+  FlightRecorder outer_rec;
+  {
+    ScopedFlightRecorder outer(&outer_rec);
+    EXPECT_EQ(currentFlightRecorder(), &outer_rec);
+    {
+      ScopedFlightRecorder mask(nullptr);  // per-run isolation
+      EXPECT_EQ(currentFlightRecorder(), nullptr);
+    }
+    EXPECT_EQ(currentFlightRecorder(), &outer_rec);
+  }
+  EXPECT_EQ(currentFlightRecorder(), nullptr);
 }
 
 // ---------------------------------------------------------------------------

@@ -22,6 +22,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.h"
 #include "serve/client.h"
 #include "serve/json.h"
 #include "serve/queue.h"
@@ -1180,6 +1181,221 @@ TEST(ObsProtocolTest, JobWithTraceSpecWritesAChromeTrace) {
     if (events->at(i).str("name", "") == "serve.job") saw_job_span = true;
   EXPECT_TRUE(saw_job_span);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Job telemetry: trace ids, the TRACE verb, and the flight recorder
+
+TEST(ObsProtocolTest, TraceIdRoundTripsButStaysOutOfTheKey) {
+  JobSpec spec = tinySpec(34);
+  spec.trace_id = 0x0123456789abcdefULL;
+  spec.options.record = true;
+  const json::Value sj = specToJson(spec);
+  EXPECT_EQ(sj.str("trace_id", ""), "0123456789abcdef");
+  EXPECT_TRUE(sj.boolean("record", false));
+  const JobSpec back = specFromJson(sj);
+  EXPECT_EQ(back.trace_id, spec.trace_id);
+  EXPECT_TRUE(back.options.record);
+
+  // Neither field may move the cache key: trace_id is client metadata,
+  // record is observability output.
+  EXPECT_EQ(canonicalKey(spec), canonicalKey(tinySpec(34)));
+  EXPECT_EQ(contentHash(spec), contentHash(tinySpec(34)));
+
+  // Untraced, unrecorded specs serialize without the members at all —
+  // pre-telemetry clients keep seeing byte-identical spec JSON.
+  const json::Value plain = specToJson(tinySpec(34));
+  EXPECT_EQ(plain.find("trace_id"), nullptr);
+  EXPECT_EQ(plain.find("record"), nullptr);
+
+  // Malformed ids reject loudly: wrong length, wrong alphabet, and the
+  // reserved all-zero id.
+  for (const char* bad :
+       {"", "xyz", "0123", "0123456789ABCDEF", "0000000000000000",
+        "0123456789abcdef0"}) {
+    json::Value v = specToJson(tinySpec(34));
+    v.set("trace_id", bad);
+    EXPECT_THROW(specFromJson(v), std::runtime_error) << bad;
+  }
+}
+
+TEST(ObsProtocolTest, TraceVerbExportsTheJobsFullSpanTree) {
+  SchedulerOptions opts;
+  opts.workers = 2;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  JobSpec spec = tinySpec(35);
+  spec.trace_id = obs::traceIdFor(contentHash(spec), 42);
+  const std::string hex = obs::traceIdHex(spec.trace_id);
+
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(spec));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false)) << json::dump(sr);
+  EXPECT_EQ(sr.str("trace_id", ""), hex);  // echoed back
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+  ASSERT_TRUE(json::parse(client.call(R"({"cmd":"RESULT","id":)" +
+                                      std::to_string(id) +
+                                      R"(,"wait":true})"))
+                  .boolean("ok", false));
+  // No drain: the scheduler guarantees every span of the job is in the
+  // ring before the terminal notify, so TRACE right after a blocking
+  // RESULT must already see the full tree.
+  const json::Value tr = json::parse(
+      client.call(R"({"cmd":"TRACE","id":)" + std::to_string(id) + "}"));
+  ASSERT_TRUE(tr.boolean("ok", false)) << json::dump(tr);
+  EXPECT_EQ(tr.str("trace_id", ""), hex);
+  const json::Value* trace = tr.find("trace");
+  ASSERT_NE(trace, nullptr);
+  EXPECT_EQ(trace->str("displayTimeUnit", ""), "ms");
+  const json::Value* events = trace->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_GT(events->size(), 0u);
+  bool saw_queue = false, saw_job = false, saw_flow = false, saw_local = false;
+  for (std::size_t i = 0; i < events->size(); ++i) {
+    const json::Value& e = events->at(i);
+    // Every span in the filtered export carries the submitted id.
+    EXPECT_EQ(e.find("args")->str("trace_id", ""), hex) << json::dump(e);
+    const std::string name = e.str("name", "");
+    if (name == "serve.queue") saw_queue = true;
+    if (name == "serve.job") saw_job = true;
+    if (name == "flow.run") saw_flow = true;
+    if (name == "local.run") saw_local = true;
+  }
+  // The full queue → job → flow → optimizer tree, in one export.
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_job);
+  EXPECT_TRUE(saw_flow);
+  EXPECT_TRUE(saw_local);
+
+  // Unknown id and unknown request keys reject.
+  EXPECT_FALSE(json::parse(client.call(R"({"cmd":"TRACE","id":424242})"))
+                   .boolean("ok", true));
+  EXPECT_FALSE(json::parse(client.call(R"({"cmd":"TRACE","id":)" +
+                                       std::to_string(id) + R"(,"bogus":1})"))
+                   .boolean("ok", true));
+}
+
+TEST(ObsProtocolTest, FlightRecordIsBitIdenticalSerialVsParallel) {
+  JobSpec spec = tinySpec(36, core::FlowMode::kGlobalLocal);
+  spec.options.global.u_sweep = {0.05, 0.2};
+  spec.options.record = true;
+
+  JobSpec serial = spec;
+  serial.options.local.parallel_trials = false;
+  serial.options.global.parallel_realize = false;
+  const core::FlowResult rs = runJobSpec(sharedTech(), sharedLut(), serial);
+  ASSERT_FALSE(rs.flight_record.empty());
+  const json::Value doc = json::parse(rs.flight_record);  // strict JSON
+  EXPECT_EQ(doc.num("v", -1), 1.0);
+  EXPECT_NE(doc.find("global"), nullptr);
+  EXPECT_NE(doc.find("local"), nullptr);
+  EXPECT_NE(doc.find("before"), nullptr);
+  EXPECT_NE(doc.find("after"), nullptr);
+
+  JobSpec parallel = spec;
+  parallel.options.local.parallel_trials = true;
+  parallel.options.local.threads = 4;
+  parallel.options.global.parallel_realize = true;
+  const core::FlowResult rp = runJobSpec(sharedTech(), sharedLut(), parallel);
+  EXPECT_EQ(rs.flight_record, rp.flight_record);  // bit-identical
+
+  // Recording off: no document, and the optimization outcome is unchanged
+  // bit for bit — the recorder never steers the flow.
+  JobSpec off = spec;
+  off.options.record = false;
+  const core::FlowResult ro = runJobSpec(sharedTech(), sharedLut(), off);
+  EXPECT_TRUE(ro.flight_record.empty());
+  expectIdentical(rs, ro);
+}
+
+TEST(ObsProtocolTest, ResultCarriesTheFlightRecordOnlyWhenRequested) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  JobSpec spec = tinySpec(37);
+  spec.options.record = true;
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(spec));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false));
+  EXPECT_EQ(sr.find("trace_id"), nullptr);  // no client id: not echoed
+  const std::uint64_t id = static_cast<std::uint64_t>(sr.num("id", 0));
+  const json::Value rr = json::parse(client.call(
+      R"({"cmd":"RESULT","id":)" + std::to_string(id) + R"(,"wait":true})"));
+  ASSERT_TRUE(rr.boolean("ok", false));
+  const json::Value* record = rr.find("result")->find("record");
+  ASSERT_NE(record, nullptr);
+  EXPECT_NE(record->find("local"), nullptr);
+
+  // The same spec without record (a cache hit — record stays out of the
+  // key): the reply omits the member, so recorder-off responses are
+  // byte-compatible with the pre-recorder protocol.
+  json::Value submit2 = json::Value::object();
+  submit2.set("cmd", "SUBMIT");
+  submit2.set("spec", specToJson(tinySpec(37)));
+  const json::Value sr2 = json::parse(client.call(json::dump(submit2)));
+  ASSERT_TRUE(sr2.boolean("ok", false));
+  const std::uint64_t id2 = static_cast<std::uint64_t>(sr2.num("id", 0));
+  const json::Value rr2 = json::parse(client.call(
+      R"({"cmd":"RESULT","id":)" + std::to_string(id2) + R"(,"wait":true})"));
+  ASSERT_TRUE(rr2.boolean("ok", false));
+  EXPECT_TRUE(json::parse(client.call(R"({"cmd":"STATUS","id":)" +
+                                      std::to_string(id2) + "}"))
+                  .boolean("cached", false));
+  EXPECT_EQ(rr2.find("result")->find("record"), nullptr);
+  sched.drain();
+}
+
+TEST(ObsProtocolTest, DeltaVerbAcceptsAndEchoesATraceId) {
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(sharedTech(), sharedLut(), opts);
+  InProcessClient client(sched);
+
+  json::Value submit = json::Value::object();
+  submit.set("cmd", "SUBMIT");
+  submit.set("spec", specToJson(tinySpec(38)));
+  const json::Value sr = json::parse(client.call(json::dump(submit)));
+  ASSERT_TRUE(sr.boolean("ok", false));
+  const std::uint64_t base_id = static_cast<std::uint64_t>(sr.num("id", 0));
+  ASSERT_TRUE(json::parse(client.call(R"({"cmd":"RESULT","id":)" +
+                                      std::to_string(base_id) +
+                                      R"(,"wait":true})"))
+                  .boolean("ok", false));
+
+  const std::string hex = obs::traceIdHex(obs::traceIdFor(99, 99));
+  const json::Value dr = json::parse(client.call(
+      R"({"cmd":"DELTA","base":)" + std::to_string(base_id) +
+      R"(,"edits":{"u_sweep":[0.1]},"trace_id":")" + hex +
+      R"(","block":true})"));
+  ASSERT_TRUE(dr.boolean("ok", false)) << json::dump(dr);
+  EXPECT_EQ(dr.str("trace_id", ""), hex);  // echoed
+  const std::uint64_t delta_id = static_cast<std::uint64_t>(dr.num("id", 0));
+  EXPECT_EQ(sched.traceId(delta_id), obs::traceIdFor(99, 99));
+  EXPECT_EQ(sched.jobSpec(delta_id).trace_id, obs::traceIdFor(99, 99));
+
+  // A DELTA without trace_id inherits nothing to echo; the base job's
+  // derived fallback id exists (scheduler-side) but stays off the wire.
+  const json::Value dr2 = json::parse(client.call(
+      R"({"cmd":"DELTA","base":)" + std::to_string(base_id) +
+      R"(,"edits":{"u_sweep":[0.2]},"block":true})"));
+  ASSERT_TRUE(dr2.boolean("ok", false));
+  EXPECT_EQ(dr2.find("trace_id"), nullptr);
+  EXPECT_NE(sched.traceId(base_id), 0u);  // every job has an effective id
+  EXPECT_THROW(sched.traceId(424242), std::out_of_range);
+
+  // Malformed trace_id on the wire rejects the request.
+  EXPECT_FALSE(json::parse(client.call(
+                   R"({"cmd":"DELTA","base":)" + std::to_string(base_id) +
+                   R"(,"edits":{"u_sweep":[0.3]},"trace_id":"nope"})"))
+                   .boolean("ok", true));
+  sched.drain();
 }
 
 }  // namespace
